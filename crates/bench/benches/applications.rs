@@ -1,0 +1,60 @@
+//! Criterion: end-to-end application latencies — claim verification,
+//! entity-pair scoring, tuning trials, and neural-database ingest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lm4db::corpus::{facts_from_table, make_domain, DomainKind, Severity};
+use lm4db::factcheck::{generate_claims, verify, KeywordMapper};
+use lm4db::neuraldb::{AllTemplatesExtractor, NeuralDb};
+use lm4db::tensor::Rand;
+use lm4db::tune::{db_bert_style, generate_manual, Workload};
+use lm4db::wrangle::{jaccard, matching_pairs, TfIdf};
+
+fn bench_applications(c: &mut Criterion) {
+    // Fact checking: one claim end to end (map -> execute -> compare).
+    let domain = make_domain(DomainKind::Employees, 100, 7);
+    let claims = generate_claims(&domain, 10, 0.0, 1);
+    c.bench_function("factcheck/verify_one_claim_100_rows", |b| {
+        let mut mapper = KeywordMapper;
+        b.iter(|| verify(&domain, &claims[0].text, &mut mapper))
+    });
+
+    // Entity matching: similarity scoring over a pair set.
+    let pairs = matching_pairs(100, Severity::medium(), 3);
+    c.bench_function("wrangle/jaccard_200_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|p| jaccard(&p.left, &p.right))
+                .sum::<f32>()
+        })
+    });
+    let tfidf = TfIdf::fit(pairs.iter().map(|p| p.left.as_str()));
+    c.bench_function("wrangle/tfidf_200_pairs", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|p| tfidf.cosine(&p.left, &p.right))
+                .sum::<f32>()
+        })
+    });
+
+    // Tuning: a full 25-trial manual-guided run.
+    let manual = generate_manual(40, 0.1, 3);
+    c.bench_function("tune/db_bert_25_trials", |b| {
+        b.iter(|| db_bert_style(&manual, Workload::Mixed, 25, 5))
+    });
+
+    // Neural DB: ingest (read every sentence) for a 30-row table.
+    let d = make_domain(DomainKind::Employees, 30, 9);
+    let mut rng = Rand::seeded(1);
+    let sentences: Vec<String> = facts_from_table(&d.table, &d.key_col, 0.5, &mut rng)
+        .into_iter()
+        .map(|f| f.text)
+        .collect();
+    c.bench_function("neuraldb/ingest_120_sentences", |b| {
+        b.iter(|| NeuralDb::ingest(sentences.clone(), &mut AllTemplatesExtractor))
+    });
+}
+
+criterion_group!(benches, bench_applications);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion: transformer forward/backward cost vs. sequence length —
+//! the quadratic attention profile the tutorial's architecture section
+//! discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lm4db::transformer::{GptModel, ModelConfig, NextToken};
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpt_train_step");
+    for seq_len in [8usize, 16, 32] {
+        let cfg = ModelConfig {
+            vocab_size: 256,
+            max_seq_len: seq_len + 1,
+            d_model: 32,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            dropout: 0.0,
+        };
+        let mut model = GptModel::new(cfg, 1);
+        let mut opt = model.optimizer(1e-3);
+        let batch: Vec<Vec<usize>> = (0..4)
+            .map(|b| (0..seq_len).map(|i| 10 + (b * 7 + i) % 200).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(seq_len), &seq_len, |bench, _| {
+            bench.iter(|| model.train_step(&batch, &mut opt))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gpt_next_logits");
+    for seq_len in [8usize, 32] {
+        let cfg = ModelConfig {
+            vocab_size: 256,
+            max_seq_len: seq_len + 1,
+            d_model: 32,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            dropout: 0.0,
+        };
+        let mut model = GptModel::new(cfg, 1);
+        let prefix: Vec<usize> = (0..seq_len).map(|i| 10 + i % 200).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(seq_len), &seq_len, |bench, _| {
+            bench.iter(|| model.next_logits(&prefix))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_backward);
+criterion_main!(benches);

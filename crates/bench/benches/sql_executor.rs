@@ -1,0 +1,54 @@
+//! Criterion: SQL substrate throughput — parse, filter, aggregate, join —
+//! and pipeline-DSL interpretation over the same data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lm4db::codegen::{parse_pipeline, run_pipeline};
+use lm4db::corpus::{make_domain, DomainKind};
+use lm4db::sql::{parse, run_sql};
+
+fn bench_sql(c: &mut Criterion) {
+    let domain = make_domain(DomainKind::Employees, 500, 7);
+    let cat = domain.catalog();
+
+    c.bench_function("sql/parse_grouped_query", |b| {
+        b.iter(|| {
+            parse(
+                "SELECT dept, COUNT(*), AVG(salary) FROM employees \
+                 WHERE age > 30 GROUP BY dept HAVING COUNT(*) > 2 ORDER BY dept LIMIT 5",
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("sql/filter_scan_500_rows", |b| {
+        b.iter(|| run_sql("SELECT name FROM employees WHERE salary > 100", &cat).unwrap())
+    });
+    c.bench_function("sql/group_aggregate_500_rows", |b| {
+        b.iter(|| {
+            run_sql(
+                "SELECT dept, AVG(salary), COUNT(*) FROM employees GROUP BY dept",
+                &cat,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("sql/join_500x5", |b| {
+        b.iter(|| {
+            run_sql(
+                "SELECT e.name, d.floor FROM employees e \
+                 JOIN departments d ON e.dept = d.dname WHERE d.floor > 2",
+                &cat,
+            )
+            .unwrap()
+        })
+    });
+
+    let pipeline =
+        parse_pipeline("load employees | filter salary > 100 | groupby dept agg avg salary")
+            .unwrap();
+    c.bench_function("pipeline/filter_group_500_rows", |b| {
+        b.iter(|| run_pipeline(&pipeline, &cat).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

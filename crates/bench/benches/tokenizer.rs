@@ -1,0 +1,32 @@
+//! Criterion: tokenizer throughput — BPE vs. WordPiece training and
+//! encoding on the synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lm4db::corpus;
+use lm4db::tokenize::{Bpe, Tokenizer, WordPiece};
+
+fn bench_tokenizers(c: &mut Criterion) {
+    let lines = corpus::corpus(300, 7);
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+
+    c.bench_function("bpe/train_300_lines", |b| {
+        b.iter(|| Bpe::train(refs.iter().copied(), 300))
+    });
+    c.bench_function("wordpiece/train_300_lines", |b| {
+        b.iter(|| WordPiece::train(refs.iter().copied(), 300))
+    });
+
+    let bpe = Bpe::train(refs.iter().copied(), 300);
+    let wp = WordPiece::train(refs.iter().copied(), 300);
+    let text = lines.join(" ");
+    c.bench_function("bpe/encode_corpus", |b| b.iter(|| bpe.encode(&text)));
+    c.bench_function("wordpiece/encode_corpus", |b| b.iter(|| wp.encode(&text)));
+
+    let ids = bpe.encode(&text);
+    c.bench_function("bpe/decode_corpus", |b| {
+        b.iter_batched(|| ids.clone(), |ids| bpe.decode(&ids), BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(benches, bench_tokenizers);
+criterion_main!(benches);

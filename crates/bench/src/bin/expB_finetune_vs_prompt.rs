@@ -1,0 +1,223 @@
+//! **Exp B** (§2.3, fine-tuning and prompting): accuracy of the two usage
+//! regimes the tutorial contrasts, as a function of model scale and number
+//! of in-context examples.
+//!
+//! Task: word-sentiment classification (novel word combinations at eval).
+//! Expected shape: fine-tuning is strong even for small encoders; prompting
+//! improves with model scale and with shots; the n-gram "model" cannot use
+//! distant context, so its prompting accuracy stays near chance.
+
+use lm4db::lm::{FineTunedClassifier, NGramLm, Prompt, PromptClassifier, TextClassifier};
+use lm4db::tensor::Rand;
+use lm4db::tokenize::{Bpe, Tokenizer};
+use lm4db::transformer::{
+    pack_corpus, pretrain_gpt, BertModel, GptModel, ModelConfig, TrainOptions,
+};
+use lm4db_bench::{pct, print_table};
+
+const POS: [&str; 8] = [
+    "great", "good", "nice", "superb", "fine", "lovely", "solid", "clean",
+];
+const NEG: [&str; 8] = [
+    "bad", "awful", "poor", "broken", "dirty", "slow", "faulty", "weak",
+];
+const LABELS: [&str; 2] = ["positive", "negative"];
+
+fn sample_text(pool: &[&str], rng: &mut Rand) -> String {
+    let mut words = Vec::new();
+    for _ in 0..3 {
+        words.push(pool[rng.below(pool.len())]);
+    }
+    words.join(" ")
+}
+
+fn demo_line(rng: &mut Rand) -> String {
+    let label = rng.below(2);
+    let pool = if label == 0 { &POS } else { &NEG };
+    format!(
+        "input : {} output : {} .",
+        sample_text(pool, rng),
+        LABELS[label]
+    )
+}
+
+fn eval_set(n: usize, seed: u64) -> Vec<(String, usize)> {
+    let mut rng = Rand::seeded(seed);
+    (0..n)
+        .map(|i| {
+            let label = i % 2;
+            let pool = if label == 0 { &POS } else { &NEG };
+            (sample_text(pool, &mut rng), label)
+        })
+        .collect()
+}
+
+fn few_shot_prompt(shots: usize, seed: u64) -> Prompt {
+    let mut rng = Rand::seeded(seed);
+    let mut p = Prompt::new().with_instruction("classify the sentiment");
+    for i in 0..shots {
+        let label = i % 2;
+        let pool = if label == 0 { &POS } else { &NEG };
+        p = p.with_example(sample_text(pool, &mut rng), LABELS[label]);
+    }
+    p
+}
+
+fn main() {
+    // Pre-training corpus: task-format demonstrations (the stand-in for the
+    // web-scale corpora that teach real LMs the instruction format).
+    let mut rng = Rand::seeded(7);
+    let corpus: Vec<String> = (0..1200).map(|_| demo_line(&mut rng)).collect();
+    let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+    let bpe = Bpe::train(refs.iter().copied(), 400);
+    let stream = pack_corpus(refs.iter().copied(), &bpe);
+    let v = bpe.vocab().len();
+    let test = eval_set(40, 999);
+
+    let gpt_cfg = |d: usize, l: usize| ModelConfig {
+        vocab_size: v,
+        max_seq_len: 160,
+        d_model: d,
+        n_heads: 4,
+        n_layers: l,
+        d_ff: d * 4,
+        dropout: 0.0,
+    };
+
+    let mut rows = Vec::new();
+    for (name, cfg, steps) in [
+        ("gpt-micro (d=16,L=2)", gpt_cfg(16, 2), 300u64),
+        ("gpt-small (d=48,L=3)", gpt_cfg(48, 3), 300),
+    ] {
+        let mut model = GptModel::new(cfg, 5);
+        pretrain_gpt(
+            &mut model,
+            &stream,
+            &TrainOptions {
+                steps,
+                batch_size: 8,
+                seq_len: 96,
+                ..Default::default()
+            },
+        );
+        let mut accs = Vec::new();
+        let mut model = Some(model);
+        for shots in [0usize, 1, 4] {
+            let m = model.take().unwrap();
+            let mut clf = PromptClassifier::new(
+                m,
+                bpe.clone(),
+                few_shot_prompt(shots, 31),
+                LABELS.iter().map(|s| s.to_string()).collect(),
+            );
+            accs.push(clf.accuracy(&test));
+            model = Some(clf.into_model());
+        }
+        rows.push(vec![
+            format!("{name}, prompting"),
+            pct(accs[0] as f64),
+            pct(accs[1] as f64),
+            pct(accs[2] as f64),
+        ]);
+    }
+
+    // N-gram prompting baseline.
+    let mut ngram = NGramLm::new(3, v);
+    ngram.train(&stream);
+    let mut accs = Vec::new();
+    let mut ngram = Some(ngram);
+    for shots in [0usize, 1, 4] {
+        let m = ngram.take().unwrap();
+        let mut clf = PromptClassifier::new(
+            m,
+            bpe.clone(),
+            few_shot_prompt(shots, 31),
+            LABELS.iter().map(|s| s.to_string()).collect(),
+        );
+        accs.push(clf.accuracy(&test));
+        ngram = Some(clf.into_model());
+    }
+    rows.push(vec![
+        "3-gram, prompting".into(),
+        pct(accs[0] as f64),
+        pct(accs[1] as f64),
+        pct(accs[2] as f64),
+    ]);
+
+    // Fine-tuned BERT-style classifier (32 labeled examples).
+    let train = eval_set(32, 55);
+    let mut ft = FineTunedClassifier::new(
+        ModelConfig {
+            vocab_size: 0, // overwritten from tokenizer
+            max_seq_len: 24,
+            d_model: 32,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            dropout: 0.0,
+        },
+        bpe.clone(),
+        LABELS.iter().map(|s| s.to_string()).collect(),
+        3,
+    );
+    ft.fit(&train, 20, 8, 2e-3);
+    let ft_acc = ft.accuracy(&test);
+    rows.push(vec![
+        "bert-tiny, fine-tuned (32 ex)".into(),
+        pct(ft_acc as f64),
+        "-".into(),
+        "-".into(),
+    ]);
+
+    print_table(
+        "Exp B — fine-tuning vs. prompting: accuracy by #in-context examples",
+        &["method", "0-shot", "1-shot", "4-shot"],
+        &rows,
+    );
+
+    // Transfer-learning ablation (§2.3, [28]/[67]): fine-tune with only a
+    // handful of labels, starting from an MLM-pre-trained encoder vs. from
+    // scratch. Pre-training should buy accuracy at low label counts.
+    let bert_cfg = ModelConfig {
+        vocab_size: v,
+        max_seq_len: 24,
+        d_model: 32,
+        n_heads: 4,
+        n_layers: 2,
+        d_ff: 128,
+        dropout: 0.0,
+    };
+    let few_labels = eval_set(8, 77);
+    let mut transfer_rows = Vec::new();
+    for (name, pretrain_steps) in [("from scratch", 0usize), ("MLM pre-trained", 150)] {
+        let mut encoder = BertModel::new(bert_cfg.clone(), 11);
+        if pretrain_steps > 0 {
+            let mut opt = encoder.optimizer(2e-3);
+            let mlm_batch: Vec<Vec<usize>> = corpus
+                .iter()
+                .take(16)
+                .map(|l| {
+                    let mut ids = bpe.encode_pair(l, None);
+                    ids.truncate(24);
+                    ids
+                })
+                .collect();
+            for _ in 0..pretrain_steps {
+                encoder.mlm_train_step(&mlm_batch, &mut opt);
+            }
+        }
+        let mut clf = FineTunedClassifier::from_pretrained(
+            encoder,
+            bpe.clone(),
+            LABELS.iter().map(|s| s.to_string()).collect(),
+            13,
+        );
+        clf.fit(&few_labels, 10, 4, 2e-3);
+        transfer_rows.push(vec![name.to_string(), pct(clf.accuracy(&test) as f64)]);
+    }
+    print_table(
+        "Exp B — transfer ablation: fine-tuning with only 8 labeled examples",
+        &["encoder initialization", "accuracy"],
+        &transfer_rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! **Figure 1**: Evolution of parameter counts in language models
+//! (2018-2022, log scale). Regenerates the chart's data series from the
+//! model registry, cross-checking published totals against our closed-form
+//! architecture formulas, and renders an ASCII log-scale chart.
+
+use lm4db::zoo::figure1_models;
+use lm4db_bench::{human, print_table};
+
+fn main() {
+    let models = figure1_models();
+    let rows: Vec<Vec<String>> = models
+        .iter()
+        .map(|m| {
+            let computed = m
+                .computed_params()
+                .map(human)
+                .unwrap_or_else(|| "- (sparse/undisclosed)".into());
+            vec![
+                format!("{}-{:02}", m.year, m.month),
+                m.name.to_string(),
+                human(m.published_params),
+                computed,
+                m.reference.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 1 — parameter counts of language models over time",
+        &["date", "model", "published", "computed from architecture", "ref"],
+        &rows,
+    );
+
+    // ASCII rendition of the log-scale growth curve.
+    println!("log10(params) per model:");
+    for m in &models {
+        let log = (m.published_params as f64).log10();
+        let bars = "#".repeat(((log - 7.0) * 8.0).max(1.0) as usize);
+        println!("{:>20} {:>6.2} {}", m.name, log, bars);
+    }
+
+    let first = models.first().unwrap();
+    let biggest = models.iter().max_by_key(|m| m.published_params).unwrap();
+    println!(
+        "\ngrowth {} ({}) -> {} ({}): {}x in {} years",
+        first.name,
+        human(first.published_params),
+        biggest.name,
+        human(biggest.published_params),
+        biggest.published_params / first.published_params,
+        biggest.year - first.year,
+    );
+}

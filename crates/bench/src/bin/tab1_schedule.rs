@@ -1,0 +1,17 @@
+//! **Table 1**: Tutorial organization overview (parts and durations),
+//! regenerated from the schedule data and checked against the paper's
+//! stated 1.5-hour total.
+
+use lm4db::zoo::{render_table, schedule, total_minutes};
+use lm4db_bench::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = schedule()
+        .iter()
+        .map(|p| vec![p.part.to_string(), format!("{} min", p.minutes)])
+        .collect();
+    print_table("Table 1 — tutorial organization overview", &["Part", "Duration"], &rows);
+    println!("{}", render_table());
+    assert_eq!(total_minutes(), 90, "paper states a 1.5 hour total");
+    println!("total: {} minutes (= the paper's stated 1.5 hours)", total_minutes());
+}

@@ -1,0 +1,66 @@
+//! Shared reporting helpers for the experiment binaries.
+//!
+//! Each `exp*` binary regenerates one exhibit (Figure 1, Table 1, or one of
+//! the tutorial-companion experiments A-I, see `DESIGN.md` §4) and prints a
+//! markdown table whose rows are recorded in `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+/// Prints a markdown table with a header row.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for r in rows {
+        println!("| {} |", r.join(" | "));
+    }
+    println!();
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Human-readable large numbers (110M, 175B, ...).
+pub fn human(n: u64) -> String {
+    fn scaled(v: f64, suffix: &str) -> String {
+        if v < 10.0 && v.fract() > 0.04 {
+            format!("{v:.1}{suffix}")
+        } else {
+            format!("{v:.0}{suffix}")
+        }
+    }
+    if n >= 1_000_000_000_000 {
+        scaled(n as f64 / 1e12, "T")
+    } else if n >= 1_000_000_000 {
+        scaled(n as f64 / 1e9, "B")
+    } else if n >= 1_000_000 {
+        scaled(n as f64 / 1e6, "M")
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_readable_magnitudes() {
+        assert_eq!(human(110_000_000), "110M");
+        assert_eq!(human(175_000_000_000), "175B");
+        assert_eq!(human(1_600_000_000_000), "1.6T");
+        assert_eq!(human(512), "512");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.875), "87.5%");
+    }
+}

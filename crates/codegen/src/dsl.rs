@@ -1,0 +1,388 @@
+//! The pipeline DSL that stands in for the Python programs GPT-3 Codex
+//! synthesizes in CodexDB: a linear sequence of dataframe-style steps.
+//!
+//! Grammar (one pipeline per line, steps separated by `|`):
+//!
+//! ```text
+//! pipeline := "load" table step*
+//! step     := "| filter" col op value
+//!           | "| select" col ("," col)*
+//!           | "| sort" col ("asc" | "desc")
+//!           | "| limit" n
+//!           | "| count"
+//!           | "| groupby" col "agg" fn col
+//!           | "| join" table "on" col "=" col
+//! ```
+
+use std::fmt;
+
+/// Comparison operators in filter steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    /// Equality.
+    Eq,
+    /// Greater-than.
+    Gt,
+    /// Less-than.
+    Lt,
+}
+
+impl FilterOp {
+    /// Surface syntax.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            FilterOp::Eq => "=",
+            FilterOp::Gt => ">",
+            FilterOp::Lt => "<",
+        }
+    }
+
+    fn from_symbol(s: &str) -> Option<FilterOp> {
+        match s {
+            "=" => Some(FilterOp::Eq),
+            ">" => Some(FilterOp::Gt),
+            "<" => Some(FilterOp::Lt),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate functions in groupby steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Average.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of rows per group.
+    Count,
+}
+
+impl AggFn {
+    /// Surface syntax (lowercase).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFn::Avg => "avg",
+            AggFn::Sum => "sum",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Count => "count",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<AggFn> {
+        match s {
+            "avg" => Some(AggFn::Avg),
+            "sum" => Some(AggFn::Sum),
+            "min" => Some(AggFn::Min),
+            "max" => Some(AggFn::Max),
+            "count" => Some(AggFn::Count),
+            _ => None,
+        }
+    }
+}
+
+/// A literal in a filter: a number or a bare word (string value).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Word literal (matched against text columns, no quotes in the DSL).
+    Word(String),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Word(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+/// One pipeline step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Start from a base table.
+    Load(String),
+    /// Keep rows satisfying `col op value`.
+    Filter {
+        /// Column name.
+        col: String,
+        /// Comparison operator.
+        op: FilterOp,
+        /// Comparison value.
+        value: Literal,
+    },
+    /// Project to the named columns.
+    Select(Vec<String>),
+    /// Sort by a column.
+    Sort {
+        /// Sort key column.
+        col: String,
+        /// Descending order.
+        desc: bool,
+    },
+    /// Keep the first `n` rows.
+    Limit(usize),
+    /// Collapse to a single row count.
+    Count,
+    /// Group by `key` and aggregate `col` with `agg`.
+    GroupAgg {
+        /// Grouping column.
+        key: String,
+        /// Aggregate function.
+        agg: AggFn,
+        /// Aggregated column (ignored for count).
+        col: String,
+    },
+    /// Inner-join another table on `left = right`.
+    Join {
+        /// Right-hand table name.
+        table: String,
+        /// Join column of the current pipeline.
+        left: String,
+        /// Join column of the joined table.
+        right: String,
+    },
+}
+
+/// A complete pipeline program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    /// Steps, beginning with `Load`.
+    pub steps: Vec<Step>,
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::Load(t) => format!("load {t}"),
+                Step::Filter { col, op, value } => {
+                    format!("filter {col} {} {value}", op.symbol())
+                }
+                Step::Select(cols) => format!("select {}", cols.join(" , ")),
+                Step::Sort { col, desc } => {
+                    format!("sort {col} {}", if *desc { "desc" } else { "asc" })
+                }
+                Step::Limit(n) => format!("limit {n}"),
+                Step::Count => "count".to_string(),
+                Step::GroupAgg { key, agg, col } => {
+                    format!("groupby {key} agg {} {col}", agg.name())
+                }
+                Step::Join { table, left, right } => {
+                    format!("join {table} on {left} = {right}")
+                }
+            })
+            .collect();
+        write!(f, "{}", parts.join(" | "))
+    }
+}
+
+/// Parses a pipeline program.
+pub fn parse_pipeline(text: &str) -> Result<Pipeline, String> {
+    let mut steps = Vec::new();
+    for (i, part) in text.split('|').enumerate() {
+        let words: Vec<&str> = part.split_whitespace().collect();
+        if words.is_empty() {
+            return Err(format!("empty step at position {i}"));
+        }
+        let step = match words[0] {
+            "load" => {
+                if i != 0 {
+                    return Err("load must be the first step".into());
+                }
+                match words[..] {
+                    [_, table] => Step::Load(table.to_string()),
+                    _ => return Err("usage: load <table>".into()),
+                }
+            }
+            "filter" => match words[..] {
+                [_, col, op, val] => {
+                    let op = FilterOp::from_symbol(op)
+                        .ok_or_else(|| format!("bad filter operator '{op}'"))?;
+                    let value = match val.parse::<i64>() {
+                        Ok(n) => Literal::Int(n),
+                        Err(_) => Literal::Word(val.to_string()),
+                    };
+                    Step::Filter {
+                        col: col.to_string(),
+                        op,
+                        value,
+                    }
+                }
+                _ => return Err("usage: filter <col> <op> <value>".into()),
+            },
+            "select" => {
+                let cols: Vec<String> = words[1..]
+                    .iter()
+                    .filter(|w| **w != ",")
+                    .map(|w| w.to_string())
+                    .collect();
+                if cols.is_empty() {
+                    return Err("select needs at least one column".into());
+                }
+                Step::Select(cols)
+            }
+            "sort" => match words[..] {
+                [_, col, dir] if dir == "asc" || dir == "desc" => Step::Sort {
+                    col: col.to_string(),
+                    desc: dir == "desc",
+                },
+                _ => return Err("usage: sort <col> asc|desc".into()),
+            },
+            "limit" => match words[..] {
+                [_, n] => Step::Limit(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("bad limit '{n}'"))?,
+                ),
+                _ => return Err("usage: limit <n>".into()),
+            },
+            "count" => {
+                if words.len() != 1 {
+                    return Err("count takes no arguments".into());
+                }
+                Step::Count
+            }
+            "groupby" => match words[..] {
+                [_, key, kw, agg, col] if kw == "agg" => Step::GroupAgg {
+                    key: key.to_string(),
+                    agg: AggFn::from_name(agg)
+                        .ok_or_else(|| format!("bad aggregate '{agg}'"))?,
+                    col: col.to_string(),
+                },
+                _ => return Err("usage: groupby <key> agg <fn> <col>".into()),
+            },
+            "join" => match words[..] {
+                [_, table, on, left, eq, right] if on == "on" && eq == "=" => Step::Join {
+                    table: table.to_string(),
+                    left: left.to_string(),
+                    right: right.to_string(),
+                },
+                _ => return Err("usage: join <table> on <left> = <right>".into()),
+            },
+            other => return Err(format!("unknown step '{other}'")),
+        };
+        steps.push(step);
+    }
+    if !matches!(steps.first(), Some(Step::Load(_))) {
+        return Err("pipeline must start with load".into());
+    }
+    Ok(Pipeline { steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let p = parse_pipeline("load employees | filter dept = sales | select name").unwrap();
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(
+            p.to_string(),
+            "load employees | filter dept = sales | select name"
+        );
+    }
+
+    #[test]
+    fn roundtrip_all_steps() {
+        let text = "load employees | join departments on dept = dname | \
+                    filter salary > 100 | groupby dept agg avg salary";
+        let p = parse_pipeline(text).unwrap();
+        assert_eq!(parse_pipeline(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn numeric_and_word_literals() {
+        let p = parse_pipeline("load t | filter x > 5 | filter name = ada").unwrap();
+        assert!(matches!(
+            &p.steps[1],
+            Step::Filter {
+                value: Literal::Int(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.steps[2],
+            Step::Filter {
+                value: Literal::Word(w),
+                ..
+            } if w == "ada"
+        ));
+    }
+
+    #[test]
+    fn select_multiple_columns() {
+        let p = parse_pipeline("load t | select a , b , c").unwrap();
+        assert_eq!(p.steps[1], Step::Select(vec!["a".into(), "b".into(), "c".into()]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_pipeline("filter x = 1").is_err()); // no load
+        assert!(parse_pipeline("load t | load u").is_err()); // load mid-pipe
+        assert!(parse_pipeline("load t | filter x ~ 1").is_err());
+        assert!(parse_pipeline("load t | sort x sideways").is_err());
+        assert!(parse_pipeline("load t | limit many").is_err());
+        assert!(parse_pipeline("load t | groupby k agg median x").is_err());
+        assert!(parse_pipeline("load t | fly away").is_err());
+        assert!(parse_pipeline("load t | count now").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z]{2,8}"
+    }
+
+    fn step() -> impl Strategy<Value = Step> {
+        prop_oneof![
+            (ident(), prop_oneof![Just(FilterOp::Eq), Just(FilterOp::Gt), Just(FilterOp::Lt)],
+             prop_oneof![(-999i64..999).prop_map(Literal::Int), ident().prop_map(Literal::Word)])
+                .prop_map(|(col, op, value)| Step::Filter { col, op, value }),
+            prop::collection::vec(ident(), 1..4).prop_map(Step::Select),
+            (ident(), any::<bool>()).prop_map(|(col, desc)| Step::Sort { col, desc }),
+            (0usize..1000).prop_map(Step::Limit),
+            Just(Step::Count),
+            (ident(),
+             prop_oneof![Just(AggFn::Avg), Just(AggFn::Sum), Just(AggFn::Min), Just(AggFn::Max), Just(AggFn::Count)],
+             ident())
+                .prop_map(|(key, agg, col)| Step::GroupAgg { key, agg, col }),
+            (ident(), ident(), ident()).prop_map(|(table, left, right)| Step::Join { table, left, right }),
+        ]
+    }
+
+    fn pipeline() -> impl Strategy<Value = Pipeline> {
+        (ident(), prop::collection::vec(step(), 0..5)).prop_map(|(table, rest)| {
+            let mut steps = vec![Step::Load(table)];
+            steps.extend(rest);
+            Pipeline { steps }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn print_parse_roundtrip(p in pipeline()) {
+            let text = p.to_string();
+            let back = parse_pipeline(&text).expect("printed pipeline must parse");
+            prop_assert_eq!(back, p);
+        }
+
+        #[test]
+        fn parse_never_panics(text in ".{0,80}") {
+            let _ = parse_pipeline(&text);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Natural-language instruction workload for program synthesis: imperative
+//! descriptions of data-processing tasks paired with gold pipelines —
+//! the input format of CodexDB ("SELECT ... FROM ..." is replaced by plain
+//! instructions like "load the table, keep rows where ..., return ...").
+
+use lm4db_corpus::Domain;
+use lm4db_tensor::Rand;
+use lm4db_text2sql::THRESHOLDS;
+
+use crate::dsl::{parse_pipeline, Pipeline};
+
+/// One synthesis task.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The natural-language instruction.
+    pub instruction: String,
+    /// The gold pipeline program (canonical DSL text).
+    pub program: String,
+    /// Parsed gold pipeline.
+    pub pipeline: Pipeline,
+}
+
+fn task(instruction: String, program: String) -> Task {
+    let pipeline = parse_pipeline(&program).expect("gold program must parse");
+    Task {
+        instruction,
+        program,
+        pipeline,
+    }
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut Rand) -> &'a T {
+    &items[rng.below(items.len())]
+}
+
+/// Generates `n` tasks over `domain`, cycling template families.
+pub fn generate_tasks(domain: &Domain, n: usize, seed: u64) -> Vec<Task> {
+    let mut rng = Rand::seeded(seed);
+    let table = &domain.table.name;
+    let key = &domain.key_col;
+    let entity = &domain.entity;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = match i % 6 {
+            0 => task(
+                format!("load the {table} table and return the {key} column"),
+                format!("load {table} | select {key}"),
+            ),
+            1 => {
+                let col = pick(&domain.text_cols, &mut rng).clone();
+                let vals = domain.distinct_text_values(&col);
+                let v = pick(&vals, &mut rng).clone();
+                task(
+                    format!(
+                        "load the {table} table , keep rows where {col} is {v} , \
+                         and return the {key} column"
+                    ),
+                    format!("load {table} | filter {col} = {v} | select {key}"),
+                )
+            }
+            2 => {
+                let col = pick(&domain.num_cols, &mut rng).clone();
+                let thr = *pick(&THRESHOLDS, &mut rng);
+                let (word, op) = if rng.uniform() < 0.5 {
+                    ("above", ">")
+                } else {
+                    ("below", "<")
+                };
+                task(
+                    format!(
+                        "load the {table} table , keep rows where {col} is {word} {thr} , \
+                         and return the {key} column"
+                    ),
+                    format!("load {table} | filter {col} {op} {thr} | select {key}"),
+                )
+            }
+            3 => {
+                let col = pick(&domain.text_cols, &mut rng).clone();
+                let vals = domain.distinct_text_values(&col);
+                let v = pick(&vals, &mut rng).clone();
+                task(
+                    format!("count the {entity}s whose {col} is {v}"),
+                    format!("load {table} | filter {col} = {v} | count"),
+                )
+            }
+            4 => {
+                let num = pick(&domain.num_cols, &mut rng).clone();
+                let gcol = pick(&domain.text_cols, &mut rng).clone();
+                task(
+                    format!("for each {gcol} compute the average {num} of the {entity}s"),
+                    format!("load {table} | groupby {gcol} agg avg {num}"),
+                )
+            }
+            _ => {
+                let num = pick(&domain.num_cols, &mut rng).clone();
+                let (word, dir) = if rng.uniform() < 0.5 {
+                    ("largest", "desc")
+                } else {
+                    ("smallest", "asc")
+                };
+                task(
+                    format!(
+                        "find the {entity} with the {word} {num} and return the {key} column"
+                    ),
+                    format!("load {table} | sort {num} {dir} | limit 1 | select {key}"),
+                )
+            }
+        };
+        out.push(t);
+    }
+    out
+}
+
+/// Enumerates the full pipeline program space matching the task templates
+/// (for the constrained decoder's trie).
+pub fn enumerate_programs(domain: &Domain) -> Vec<String> {
+    let table = &domain.table.name;
+    let key = &domain.key_col;
+    let mut out = Vec::new();
+    out.push(format!("load {table} | select {key}"));
+    for col in &domain.text_cols {
+        for v in domain.distinct_text_values(col) {
+            out.push(format!("load {table} | filter {col} = {v} | select {key}"));
+            out.push(format!("load {table} | filter {col} = {v} | count"));
+        }
+    }
+    for col in &domain.num_cols {
+        for thr in THRESHOLDS {
+            for op in ["<", ">"] {
+                out.push(format!(
+                    "load {table} | filter {col} {op} {thr} | select {key}"
+                ));
+            }
+        }
+        for gcol in &domain.text_cols {
+            out.push(format!("load {table} | groupby {gcol} agg avg {col}"));
+        }
+        for dir in ["asc", "desc"] {
+            out.push(format!(
+                "load {table} | sort {col} {dir} | limit 1 | select {key}"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_pipeline;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    #[test]
+    fn gold_programs_execute() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let cat = d.catalog();
+        for t in generate_tasks(&d, 30, 1) {
+            assert!(
+                run_pipeline(&t.pipeline, &cat).is_ok(),
+                "gold program failed: {}",
+                t.program
+            );
+        }
+    }
+
+    #[test]
+    fn gold_programs_are_canonical() {
+        let d = make_domain(DomainKind::Products, 25, 3);
+        for t in generate_tasks(&d, 24, 2) {
+            assert_eq!(t.pipeline.to_string(), t.program);
+        }
+    }
+
+    #[test]
+    fn task_programs_are_in_enumerated_space() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let space = enumerate_programs(&d);
+        for t in generate_tasks(&d, 30, 4) {
+            assert!(
+                space.contains(&t.program),
+                "program outside space: {}",
+                t.program
+            );
+        }
+    }
+
+    #[test]
+    fn enumerated_programs_all_execute() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let cat = d.catalog();
+        for p in enumerate_programs(&d) {
+            let pipe = parse_pipeline(&p).expect("enumerated program must parse");
+            assert!(run_pipeline(&pipe, &cat).is_ok(), "failed: {p}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let a: Vec<String> = generate_tasks(&d, 12, 5).into_iter().map(|t| t.program).collect();
+        let b: Vec<String> = generate_tasks(&d, 12, 5).into_iter().map(|t| t.program).collect();
+        assert_eq!(a, b);
+    }
+}

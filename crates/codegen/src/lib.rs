@@ -1,0 +1,21 @@
+//! # lm4db-codegen
+//!
+//! **Code synthesis for query processing** (CodexDB, VLDB 2022; §2.5 of
+//! the tutorial): natural-language instructions are translated by a causal
+//! LM into *programs* — here, a dataframe-style pipeline DSL standing in
+//! for the Python that GPT-3 Codex emits — which are validated by actually
+//! executing them against the `lm4db-sql` substrate. Failed candidates are
+//! retried with stochastic re-sampling (the CodexDB loop), or ruled out
+//! entirely by grammar-constrained decoding.
+
+#![warn(missing_docs)]
+
+pub mod dsl;
+pub mod instructions;
+pub mod interp;
+pub mod synthesizer;
+
+pub use dsl::{parse_pipeline, AggFn, FilterOp, Literal, Pipeline, Step};
+pub use instructions::{enumerate_programs, generate_tasks, Task};
+pub use interp::run_pipeline;
+pub use synthesizer::{execution_accuracy, Synthesis, Synthesizer};

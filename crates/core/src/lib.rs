@@ -1,0 +1,51 @@
+//! # LM4DB — Language Models for Data Management
+//!
+//! A from-scratch Rust reproduction of the systems surveyed in *"From BERT
+//! to GPT-3 Codex: Harnessing the Potential of Very Large Language Models
+//! for Data Management"* (Trummer, VLDB 2022).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! | Module | What it is |
+//! |---|---|
+//! | [`tensor`] | CPU autograd engine (matmul, softmax, layernorm, Adam) |
+//! | [`tokenize`] | Trainable BPE (GPT-style) and WordPiece (BERT-style) |
+//! | [`transformer`] | GPT & BERT models, RNN baseline, constrained decoding |
+//! | [`lm`] | N-gram baseline, prompting, LM classification |
+//! | [`corpus`] | Seeded synthetic text / entity / table generators |
+//! | [`sql`] | In-memory SQL engine (parser, planner, executor) |
+//! | [`text2sql`] | NL→SQL with PICARD-style constrained decoding |
+//! | [`wrangle`] | Entity matching, imputation, error detection |
+//! | [`factcheck`] | AggChecker-style claim verification |
+//! | [`tune`] | DB-BERT-style tuning that "reads the manual" |
+//! | [`codegen`] | CodexDB-style NL→program synthesis |
+//! | [`neuraldb`] | Facts-as-sentences storage with learned readers |
+//! | [`summarize`] | NL data summarization (BABOONS-style goal-driven selection) |
+//! | [`zoo`] | Published-model registry (Figure 1) + Table 1 data |
+//!
+//! ```
+//! use lm4db::sql::{run_sql, Catalog};
+//! use lm4db::corpus::{make_domain, DomainKind};
+//!
+//! let domain = make_domain(DomainKind::Employees, 10, 42);
+//! let catalog: Catalog = domain.catalog();
+//! let rs = run_sql("SELECT COUNT(*) FROM employees", &catalog).unwrap();
+//! assert_eq!(rs.rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lm4db_codegen as codegen;
+pub use lm4db_corpus as corpus;
+pub use lm4db_factcheck as factcheck;
+pub use lm4db_lm as lm;
+pub use lm4db_neuraldb as neuraldb;
+pub use lm4db_sql as sql;
+pub use lm4db_summarize as summarize;
+pub use lm4db_tensor as tensor;
+pub use lm4db_text2sql as text2sql;
+pub use lm4db_tokenize as tokenize;
+pub use lm4db_transformer as transformer;
+pub use lm4db_tune as tune;
+pub use lm4db_wrangle as wrangle;
+pub use lm4db_zoo as zoo;

@@ -1,0 +1,202 @@
+//! Text corruption operators used to create "dirty duplicates" for entity
+//! matching and error detection — the corruption types mirror those in the
+//! standard entity-matching benchmarks: typos, token drops, abbreviations,
+//! reorderings, and numeric perturbations.
+
+use lm4db_tensor::Rand;
+
+/// How aggressively to corrupt (probability per applicable site).
+#[derive(Debug, Clone, Copy)]
+pub struct Severity(pub f32);
+
+impl Severity {
+    /// Light corruption (easy pairs).
+    pub fn light() -> Self {
+        Severity(0.1)
+    }
+
+    /// Moderate corruption.
+    pub fn medium() -> Self {
+        Severity(0.3)
+    }
+
+    /// Heavy corruption (hard pairs).
+    pub fn heavy() -> Self {
+        Severity(0.5)
+    }
+}
+
+/// Swaps two adjacent characters somewhere inside one word.
+pub fn typo(word: &str, rng: &mut Rand) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 2 {
+        return word.to_string();
+    }
+    let i = rng.below(chars.len() - 1);
+    let mut out = chars;
+    out.swap(i, i + 1);
+    out.into_iter().collect()
+}
+
+/// Truncates a word to its first 3-4 characters ("corporation" → "corp").
+pub fn abbreviate(word: &str, rng: &mut Rand) -> String {
+    let keep = 3 + rng.below(2);
+    word.chars().take(keep).collect()
+}
+
+/// Perturbs a numeric string by up to ±10%.
+pub fn perturb_number(text: &str, rng: &mut Rand) -> String {
+    match text.parse::<i64>() {
+        Ok(n) => {
+            let delta = ((n.abs().max(10) as f32) * 0.1 * (rng.uniform() * 2.0 - 1.0)) as i64;
+            (n + delta).to_string()
+        }
+        Err(_) => text.to_string(),
+    }
+}
+
+/// Applies token-level corruption to a whitespace-separated record string.
+///
+/// Each token is independently, with probability `severity`: typo'd,
+/// abbreviated, dropped, or (if numeric) perturbed. Additionally, with
+/// probability `severity / 2` two adjacent tokens are swapped.
+pub fn corrupt(text: &str, severity: Severity, rng: &mut Rand) -> String {
+    let mut tokens: Vec<String> = Vec::new();
+    for tok in text.split_whitespace() {
+        if rng.uniform() >= severity.0 {
+            tokens.push(tok.to_string());
+            continue;
+        }
+        let roll = rng.uniform();
+        if tok.chars().all(|c| c.is_ascii_digit()) {
+            tokens.push(perturb_number(tok, rng));
+        } else if roll < 0.4 {
+            tokens.push(typo(tok, rng));
+        } else if roll < 0.7 && tok.len() > 4 {
+            tokens.push(abbreviate(tok, rng));
+        } else if roll < 0.85 {
+            // drop the token entirely
+        } else {
+            tokens.push(tok.to_uppercase());
+        }
+    }
+    if tokens.len() >= 2 && rng.uniform() < severity.0 / 2.0 {
+        let i = rng.below(tokens.len() - 1);
+        tokens.swap(i, i + 1);
+    }
+    if tokens.is_empty() {
+        text.to_string()
+    } else {
+        tokens.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typo_preserves_charset_and_length() {
+        let mut rng = Rand::seeded(1);
+        let t = typo("hello", &mut rng);
+        assert_eq!(t.len(), 5);
+        let mut a: Vec<char> = t.chars().collect();
+        let mut b: Vec<char> = "hello".chars().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn typo_leaves_short_words_alone() {
+        let mut rng = Rand::seeded(1);
+        assert_eq!(typo("a", &mut rng), "a");
+    }
+
+    #[test]
+    fn abbreviate_shortens() {
+        let mut rng = Rand::seeded(2);
+        let a = abbreviate("corporation", &mut rng);
+        assert!(a.len() <= 4);
+        assert!("corporation".starts_with(&a));
+    }
+
+    #[test]
+    fn perturb_number_stays_close() {
+        let mut rng = Rand::seeded(3);
+        for _ in 0..20 {
+            let p: i64 = perturb_number("1000", &mut rng).parse().unwrap();
+            assert!((890..=1110).contains(&p), "perturbed too far: {p}");
+        }
+    }
+
+    #[test]
+    fn light_corruption_changes_less_than_heavy() {
+        let text = "acme laptop pro 450 silver edition with warranty";
+        let distance = |sev: Severity, seed: u64| {
+            let mut rng = Rand::seeded(seed);
+            let mut diff = 0;
+            for _ in 0..50 {
+                let c = corrupt(text, sev, &mut rng);
+                if c != text {
+                    diff += 1;
+                }
+            }
+            diff
+        };
+        assert!(distance(Severity::light(), 4) < distance(Severity::heavy(), 4));
+    }
+
+    #[test]
+    fn corrupt_never_returns_empty() {
+        let mut rng = Rand::seeded(5);
+        for _ in 0..100 {
+            let c = corrupt("x", Severity::heavy(), &mut rng);
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut rng = Rand::seeded(seed);
+            corrupt("acme laptop pro 450", Severity::medium(), &mut rng)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn corrupt_never_panics_or_empties(text in "[a-z0-9 ]{1,60}", sev in 0.0f32..0.9, seed in 0u64..500) {
+            prop_assume!(!text.trim().is_empty());
+            let mut rng = Rand::seeded(seed);
+            let out = corrupt(&text, Severity(sev), &mut rng);
+            prop_assert!(!out.is_empty());
+        }
+
+        #[test]
+        fn typo_preserves_multiset(word in "[a-z]{2,12}") {
+            let mut rng = Rand::seeded(3);
+            let t = typo(&word, &mut rng);
+            let mut a: Vec<char> = t.chars().collect();
+            let mut b: Vec<char> = word.chars().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn perturb_number_is_bounded(n in -100000i64..100000) {
+            let mut rng = Rand::seeded(9);
+            let p: i64 = perturb_number(&n.to_string(), &mut rng).parse().unwrap();
+            let bound = (n.abs().max(10) as f64 * 0.11) as i64 + 1;
+            prop_assert!((p - n).abs() <= bound, "{n} -> {p}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Natural-language fact generation from relational rows, with paraphrase
+//! templates — the data layout of Thorne et al.'s *"From natural language
+//! processing to neural databases"* (VLDB 2021), where the database IS a set
+//! of NL sentences.
+
+use lm4db_sql::{Table, Value};
+use lm4db_tensor::Rand;
+
+/// One natural-language fact derived from a `(subject, attribute, value)`
+/// cell of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact {
+    /// Entity key (e.g. the employee name).
+    pub subject: String,
+    /// Attribute (column) name.
+    pub attribute: String,
+    /// Value rendered as plain text.
+    pub value: String,
+    /// The sentence storing this fact.
+    pub text: String,
+}
+
+/// Paraphrase templates; `{s}` = subject, `{a}` = attribute, `{v}` = value.
+/// Template 0 is the canonical form.
+pub const TEMPLATES: [&str; 4] = [
+    "the {a} of {s} is {v}",
+    "{s} has a {a} of {v}",
+    "{s} 's {a} is {v}",
+    "for {s} the {a} is {v}",
+];
+
+fn render(template: &str, s: &str, a: &str, v: &str) -> String {
+    template
+        .replace("{s}", s)
+        .replace("{a}", a)
+        .replace("{v}", v)
+}
+
+fn value_text(v: &Value) -> Option<String> {
+    match v {
+        Value::Null => None,
+        Value::Str(s) => Some(s.clone()),
+        Value::Int(i) => Some(i.to_string()),
+        Value::Float(f) => Some(format!("{f}")),
+        Value::Bool(b) => Some(b.to_string()),
+    }
+}
+
+/// Converts every non-null cell of `table` (except the key column itself)
+/// into a [`Fact`]. `paraphrase_rate` controls how often a non-canonical
+/// template is used (0.0 = always template 0).
+pub fn facts_from_table(
+    table: &Table,
+    key_col: &str,
+    paraphrase_rate: f32,
+    rng: &mut Rand,
+) -> Vec<Fact> {
+    let key_idx = table
+        .schema
+        .index_of(key_col)
+        .expect("key column must exist");
+    let mut out = Vec::new();
+    for row in &table.rows {
+        let Some(subject) = value_text(&row[key_idx]) else {
+            continue;
+        };
+        for (ci, col) in table.schema.columns().iter().enumerate() {
+            if ci == key_idx {
+                continue;
+            }
+            let Some(value) = value_text(&row[ci]) else {
+                continue;
+            };
+            let template = if rng.uniform() < paraphrase_rate {
+                TEMPLATES[1 + rng.below(TEMPLATES.len() - 1)]
+            } else {
+                TEMPLATES[0]
+            };
+            out.push(Fact {
+                subject: subject.clone(),
+                attribute: col.name.clone(),
+                value: value.clone(),
+                text: render(template, &subject, &col.name, &value),
+            });
+        }
+    }
+    out
+}
+
+/// Renders a fact with every available template (used to build paraphrase
+/// training pairs).
+pub fn all_paraphrases(subject: &str, attribute: &str, value: &str) -> Vec<String> {
+    TEMPLATES
+        .iter()
+        .map(|t| render(t, subject, attribute, value))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{make_domain, DomainKind};
+
+    #[test]
+    fn facts_cover_all_non_key_cells() {
+        let d = make_domain(DomainKind::Employees, 10, 3);
+        let mut rng = Rand::seeded(1);
+        let facts = facts_from_table(&d.table, &d.key_col, 0.0, &mut rng);
+        // 10 rows x 4 non-key columns.
+        assert_eq!(facts.len(), 40);
+    }
+
+    #[test]
+    fn canonical_template_when_rate_zero() {
+        let d = make_domain(DomainKind::Employees, 3, 3);
+        let mut rng = Rand::seeded(1);
+        for f in facts_from_table(&d.table, &d.key_col, 0.0, &mut rng) {
+            assert!(
+                f.text.starts_with(&format!("the {} of ", f.attribute)),
+                "unexpected template: {}",
+                f.text
+            );
+        }
+    }
+
+    #[test]
+    fn paraphrases_appear_at_high_rate() {
+        let d = make_domain(DomainKind::Employees, 10, 3);
+        let mut rng = Rand::seeded(2);
+        let facts = facts_from_table(&d.table, &d.key_col, 1.0, &mut rng);
+        let canonical = facts
+            .iter()
+            .filter(|f| f.text.starts_with("the "))
+            .count();
+        assert!(canonical < facts.len() / 2);
+    }
+
+    #[test]
+    fn all_paraphrases_mention_components() {
+        for p in all_paraphrases("ada", "salary", "120") {
+            assert!(p.contains("ada"));
+            assert!(p.contains("salary"));
+            assert!(p.contains("120"));
+        }
+    }
+
+    #[test]
+    fn fact_text_contains_subject_attribute_value() {
+        let d = make_domain(DomainKind::Products, 5, 7);
+        let mut rng = Rand::seeded(3);
+        for f in facts_from_table(&d.table, &d.key_col, 0.5, &mut rng) {
+            assert!(f.text.contains(&f.subject));
+            assert!(f.text.contains(&f.attribute));
+            assert!(f.text.contains(&f.value));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # lm4db-corpus
+//!
+//! Seeded synthetic data generators for every LM4DB experiment: database-
+//! flavored English text (LM pre-training), product/citation entities with
+//! controllable corruption (entity matching, error detection), cross-domain
+//! relational tables (text-to-SQL, fact checking, code synthesis), and
+//! natural-language facts (neural databases).
+//!
+//! The paper's demonstrations use proprietary corpora and public benchmarks
+//! we cannot ship; these generators produce workloads with the same *shape*
+//! (documented per experiment in `DESIGN.md` §2) while keeping every run
+//! deterministic.
+
+#![warn(missing_docs)]
+
+pub mod corruption;
+pub mod entities;
+pub mod facts;
+pub mod tables;
+pub mod text;
+
+pub use corruption::{corrupt, Severity};
+pub use entities::{citations, products, Citation, Product};
+pub use facts::{all_paraphrases, facts_from_table, Fact};
+pub use tables::{all_domains, make_domain, Domain, DomainKind};
+pub use text::{corpus, sentence, vocabulary};

@@ -1,0 +1,463 @@
+//! Cross-domain relational table generators, in the spirit of the Spider
+//! benchmark's many small databases: several themed domains, each with a
+//! populated primary table and a joinable lookup table.
+
+use lm4db_sql::{Catalog, DataType, Schema, Table, Value};
+use lm4db_tensor::Rand;
+
+/// The available table domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// Employees with departments (lookup: department → floor/budget).
+    Employees,
+    /// Products with categories (lookup: category → aisle/tax).
+    Products,
+    /// Students with majors (lookup: major → building).
+    Students,
+    /// Flights with carriers (lookup: carrier → country).
+    Flights,
+    /// Movies with studios (lookup: studio → founded year).
+    Movies,
+}
+
+impl DomainKind {
+    /// All domains, in a stable order.
+    pub fn all() -> [DomainKind; 5] {
+        [
+            DomainKind::Employees,
+            DomainKind::Products,
+            DomainKind::Students,
+            DomainKind::Flights,
+            DomainKind::Movies,
+        ]
+    }
+}
+
+/// A generated domain: one primary table, one lookup table, and metadata
+/// describing how they join and which columns are textual vs. numeric.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Domain label ("employees", ...).
+    pub name: String,
+    /// Singular entity noun for NL templates ("employee").
+    pub entity: String,
+    /// Populated primary table.
+    pub table: Table,
+    /// Populated lookup table.
+    pub lookup: Table,
+    /// `(primary column, lookup column)` equi-join key.
+    pub join_on: (String, String),
+    /// Text-typed columns of the primary table (excluding the join key).
+    pub text_cols: Vec<String>,
+    /// Numeric columns of the primary table.
+    pub num_cols: Vec<String>,
+    /// The column naming the entity (e.g. "name").
+    pub key_col: String,
+}
+
+impl Domain {
+    /// Registers both tables in a fresh catalog.
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        c.register(self.table.clone());
+        c.register(self.lookup.clone());
+        c
+    }
+
+    /// Distinct non-null values of a text column (for question generation).
+    pub fn distinct_text_values(&self, col: &str) -> Vec<String> {
+        let mut vals: Vec<String> = self
+            .table
+            .column_values(col)
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+}
+
+const FIRST_NAMES: [&str; 16] = [
+    "ada", "bob", "cora", "dan", "elsa", "finn", "gwen", "hugo", "iris", "jack", "kara", "liam",
+    "mona", "nils", "otto", "pia",
+];
+const CITIES: [&str; 8] = [
+    "berlin", "tokyo", "paris", "austin", "oslo", "lima", "seoul", "cairo",
+];
+const DEPTS: [&str; 5] = ["engineering", "sales", "marketing", "finance", "support"];
+const CATEGORIES: [&str; 5] = ["laptop", "phone", "camera", "monitor", "router"];
+const BRANDS: [&str; 6] = ["acme", "zenith", "orion", "vertex", "nimbus", "quasar"];
+const MAJORS: [&str; 5] = ["biology", "physics", "history", "economics", "computing"];
+const CARRIERS: [&str; 5] = ["skyways", "aerojet", "cloudair", "sunwing", "polaris"];
+const STUDIOS: [&str; 5] = ["moonlight", "redwood", "cascade", "horizon", "aurora"];
+const GENRES: [&str; 5] = ["drama", "comedy", "thriller", "scifi", "romance"];
+
+fn pick<'a>(options: &[&'a str], rng: &mut Rand) -> &'a str {
+    options[rng.below(options.len())]
+}
+
+fn unique_names(n: usize, rng: &mut Rand) -> Vec<String> {
+    // First names, then first+suffix to guarantee uniqueness.
+    (0..n)
+        .map(|i| {
+            let base = FIRST_NAMES[i % FIRST_NAMES.len()];
+            if i < FIRST_NAMES.len() {
+                base.to_string()
+            } else {
+                format!("{base}{}", i / FIRST_NAMES.len() + rng.below(1))
+            }
+        })
+        .collect()
+}
+
+/// Builds one populated domain with `rows` rows in the primary table.
+pub fn make_domain(kind: DomainKind, rows: usize, seed: u64) -> Domain {
+    let mut rng = Rand::seeded(seed ^ (kind as u64).wrapping_mul(0x9e37_79b9));
+    match kind {
+        DomainKind::Employees => {
+            let mut t = Table::new(
+                "employees",
+                Schema::new(vec![
+                    ("name", DataType::Text),
+                    ("dept", DataType::Text),
+                    ("city", DataType::Text),
+                    ("salary", DataType::Int),
+                    ("age", DataType::Int),
+                ]),
+            );
+            for name in unique_names(rows, &mut rng) {
+                t.insert(vec![
+                    Value::Str(name),
+                    Value::Str(pick(&DEPTS, &mut rng).into()),
+                    Value::Str(pick(&CITIES, &mut rng).into()),
+                    Value::Int(40 + rng.below(120) as i64),
+                    Value::Int(21 + rng.below(45) as i64),
+                ])
+                .unwrap();
+            }
+            let mut lookup = Table::new(
+                "departments",
+                Schema::new(vec![
+                    ("dname", DataType::Text),
+                    ("floor", DataType::Int),
+                    ("budget", DataType::Int),
+                ]),
+            );
+            for d in DEPTS {
+                lookup
+                    .insert(vec![
+                        Value::Str(d.into()),
+                        Value::Int(1 + rng.below(6) as i64),
+                        Value::Int(100 + rng.below(900) as i64),
+                    ])
+                    .unwrap();
+            }
+            Domain {
+                name: "employees".into(),
+                entity: "employee".into(),
+                table: t,
+                lookup,
+                join_on: ("dept".into(), "dname".into()),
+                text_cols: vec!["dept".into(), "city".into()],
+                num_cols: vec!["salary".into(), "age".into()],
+                key_col: "name".into(),
+            }
+        }
+        DomainKind::Products => {
+            let mut t = Table::new(
+                "products",
+                Schema::new(vec![
+                    ("pname", DataType::Text),
+                    ("category", DataType::Text),
+                    ("brand", DataType::Text),
+                    ("price", DataType::Int),
+                    ("stock", DataType::Int),
+                ]),
+            );
+            for i in 0..rows {
+                t.insert(vec![
+                    Value::Str(format!("{}{}", pick(&BRANDS, &mut rng), 100 + i)),
+                    Value::Str(pick(&CATEGORIES, &mut rng).into()),
+                    Value::Str(pick(&BRANDS, &mut rng).into()),
+                    Value::Int(50 + rng.below(1500) as i64),
+                    Value::Int(rng.below(200) as i64),
+                ])
+                .unwrap();
+            }
+            let mut lookup = Table::new(
+                "categories",
+                Schema::new(vec![
+                    ("cname", DataType::Text),
+                    ("aisle", DataType::Int),
+                    ("tax", DataType::Int),
+                ]),
+            );
+            for c in CATEGORIES {
+                lookup
+                    .insert(vec![
+                        Value::Str(c.into()),
+                        Value::Int(1 + rng.below(12) as i64),
+                        Value::Int(5 + rng.below(15) as i64),
+                    ])
+                    .unwrap();
+            }
+            Domain {
+                name: "products".into(),
+                entity: "product".into(),
+                table: t,
+                lookup,
+                join_on: ("category".into(), "cname".into()),
+                text_cols: vec!["category".into(), "brand".into()],
+                num_cols: vec!["price".into(), "stock".into()],
+                key_col: "pname".into(),
+            }
+        }
+        DomainKind::Students => {
+            let mut t = Table::new(
+                "students",
+                Schema::new(vec![
+                    ("sname", DataType::Text),
+                    ("major", DataType::Text),
+                    ("city", DataType::Text),
+                    ("credits", DataType::Int),
+                    ("year", DataType::Int),
+                ]),
+            );
+            for name in unique_names(rows, &mut rng) {
+                t.insert(vec![
+                    Value::Str(name),
+                    Value::Str(pick(&MAJORS, &mut rng).into()),
+                    Value::Str(pick(&CITIES, &mut rng).into()),
+                    Value::Int(rng.below(180) as i64),
+                    Value::Int(1 + rng.below(5) as i64),
+                ])
+                .unwrap();
+            }
+            let mut lookup = Table::new(
+                "majors",
+                Schema::new(vec![
+                    ("mname", DataType::Text),
+                    ("building", DataType::Int),
+                    ("faculty", DataType::Int),
+                ]),
+            );
+            for m in MAJORS {
+                lookup
+                    .insert(vec![
+                        Value::Str(m.into()),
+                        Value::Int(1 + rng.below(20) as i64),
+                        Value::Int(5 + rng.below(80) as i64),
+                    ])
+                    .unwrap();
+            }
+            Domain {
+                name: "students".into(),
+                entity: "student".into(),
+                table: t,
+                lookup,
+                join_on: ("major".into(), "mname".into()),
+                text_cols: vec!["major".into(), "city".into()],
+                num_cols: vec!["credits".into(), "year".into()],
+                key_col: "sname".into(),
+            }
+        }
+        DomainKind::Flights => {
+            let mut t = Table::new(
+                "flights",
+                Schema::new(vec![
+                    ("code", DataType::Text),
+                    ("carrier", DataType::Text),
+                    ("destination", DataType::Text),
+                    ("distance", DataType::Int),
+                    ("seats", DataType::Int),
+                ]),
+            );
+            for i in 0..rows {
+                t.insert(vec![
+                    Value::Str(format!("fl{}", 100 + i)),
+                    Value::Str(pick(&CARRIERS, &mut rng).into()),
+                    Value::Str(pick(&CITIES, &mut rng).into()),
+                    Value::Int(200 + rng.below(9000) as i64),
+                    Value::Int(50 + rng.below(300) as i64),
+                ])
+                .unwrap();
+            }
+            let mut lookup = Table::new(
+                "carriers",
+                Schema::new(vec![
+                    ("cname", DataType::Text),
+                    ("founded", DataType::Int),
+                    ("fleet", DataType::Int),
+                ]),
+            );
+            for c in CARRIERS {
+                lookup
+                    .insert(vec![
+                        Value::Str(c.into()),
+                        Value::Int(1950 + rng.below(70) as i64),
+                        Value::Int(10 + rng.below(400) as i64),
+                    ])
+                    .unwrap();
+            }
+            Domain {
+                name: "flights".into(),
+                entity: "flight".into(),
+                table: t,
+                lookup,
+                join_on: ("carrier".into(), "cname".into()),
+                text_cols: vec!["carrier".into(), "destination".into()],
+                num_cols: vec!["distance".into(), "seats".into()],
+                key_col: "code".into(),
+            }
+        }
+        DomainKind::Movies => {
+            let mut t = Table::new(
+                "movies",
+                Schema::new(vec![
+                    ("title", DataType::Text),
+                    ("studio", DataType::Text),
+                    ("genre", DataType::Text),
+                    ("revenue", DataType::Int),
+                    ("runtime", DataType::Int),
+                ]),
+            );
+            for i in 0..rows {
+                t.insert(vec![
+                    Value::Str(format!("{}{}", pick(&GENRES, &mut rng), i)),
+                    Value::Str(pick(&STUDIOS, &mut rng).into()),
+                    Value::Str(pick(&GENRES, &mut rng).into()),
+                    Value::Int(rng.below(500) as i64),
+                    Value::Int(80 + rng.below(100) as i64),
+                ])
+                .unwrap();
+            }
+            let mut lookup = Table::new(
+                "studios",
+                Schema::new(vec![
+                    ("sname", DataType::Text),
+                    ("founded", DataType::Int),
+                    ("employees", DataType::Int),
+                ]),
+            );
+            for s in STUDIOS {
+                lookup
+                    .insert(vec![
+                        Value::Str(s.into()),
+                        Value::Int(1920 + rng.below(100) as i64),
+                        Value::Int(50 + rng.below(5000) as i64),
+                    ])
+                    .unwrap();
+            }
+            Domain {
+                name: "movies".into(),
+                entity: "movie".into(),
+                table: t,
+                lookup,
+                join_on: ("studio".into(), "sname".into()),
+                text_cols: vec!["studio".into(), "genre".into()],
+                num_cols: vec!["revenue".into(), "runtime".into()],
+                key_col: "title".into(),
+            }
+        }
+    }
+}
+
+/// Generates every domain with `rows` primary rows each.
+pub fn all_domains(rows: usize, seed: u64) -> Vec<Domain> {
+    DomainKind::all()
+        .into_iter()
+        .map(|k| make_domain(k, rows, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_sql::run_sql;
+
+    #[test]
+    fn all_domains_generate_and_register() {
+        for d in all_domains(20, 7) {
+            assert_eq!(d.table.len(), 20);
+            assert!(!d.lookup.is_empty());
+            let cat = d.catalog();
+            assert_eq!(cat.len(), 2);
+        }
+    }
+
+    #[test]
+    fn domains_are_deterministic() {
+        let a = make_domain(DomainKind::Products, 10, 3);
+        let b = make_domain(DomainKind::Products, 10, 3);
+        assert_eq!(a.table.rows, b.table.rows);
+    }
+
+    #[test]
+    fn join_keys_reference_lookup_values() {
+        for d in all_domains(25, 11) {
+            let (pcol, lcol) = &d.join_on;
+            let lookup_vals: Vec<String> = d
+                .lookup
+                .column_values(lcol)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            for v in d.table.column_values(pcol).unwrap() {
+                assert!(
+                    lookup_vals.contains(&v.to_string()),
+                    "dangling join key {v} in domain {}",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_columns_exist_in_schema() {
+        for d in all_domains(5, 2) {
+            for c in d.text_cols.iter().chain(d.num_cols.iter()) {
+                assert!(
+                    d.table.schema.index_of(c).is_some(),
+                    "column {c} missing in {}",
+                    d.name
+                );
+            }
+            assert!(d.table.schema.index_of(&d.key_col).is_some());
+        }
+    }
+
+    #[test]
+    fn generated_tables_are_queryable() {
+        let d = make_domain(DomainKind::Employees, 30, 5);
+        let cat = d.catalog();
+        let rs = run_sql(
+            "SELECT dept, COUNT(*) FROM employees GROUP BY dept ORDER BY dept",
+            &cat,
+        )
+        .unwrap();
+        assert!(!rs.rows.is_empty());
+        let join = run_sql(
+            "SELECT e.name FROM employees e JOIN departments d ON e.dept = d.dname LIMIT 5",
+            &cat,
+        )
+        .unwrap();
+        assert!(!join.rows.is_empty());
+    }
+
+    #[test]
+    fn distinct_text_values_are_sorted_unique() {
+        let d = make_domain(DomainKind::Employees, 40, 1);
+        let vals = d.distinct_text_values("dept");
+        let mut sorted = vals.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(vals, sorted);
+        assert!(!vals.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Seeded English-like text generation from a small template grammar.
+//!
+//! The generated prose is database-flavored (the domain the tutorial's
+//! audience cares about) and statistically regular enough for tiny language
+//! models to learn measurable structure: articles precede nouns, verbs agree
+//! with templates, and a Zipf-like skew is applied to word choice so
+//! frequent-token effects (BPE merges, n-gram backoff) appear naturally.
+
+use lm4db_tensor::Rand;
+
+const SUBJECTS: [&str; 12] = [
+    "the optimizer", "the database", "the query", "the index", "the planner", "the executor",
+    "the system", "the user", "the table", "the transaction", "the buffer", "the scheduler",
+];
+
+const VERBS: [&str; 10] = [
+    "scans", "reads", "writes", "updates", "joins", "sorts", "filters", "caches", "loads",
+    "stores",
+];
+
+const OBJECTS: [&str; 12] = [
+    "the rows", "the data", "the pages", "the tuples", "the results", "the partitions",
+    "the records", "the columns", "the statistics", "the plan", "the log", "the snapshot",
+];
+
+const MODIFIERS: [&str; 8] = [
+    "quickly", "slowly", "in parallel", "in order", "at night", "on disk", "in memory",
+    "twice",
+];
+
+const CONNECTIVES: [&str; 4] = ["and", "while", "because", "so"];
+
+/// Picks an index with a Zipf-like skew (rank-weighted, exponent 1).
+fn zipf(n: usize, rng: &mut Rand) -> usize {
+    let weights: Vec<f32> = (0..n).map(|i| 1.0 / (i + 1) as f32).collect();
+    rng.weighted(&weights)
+}
+
+/// Generates one sentence.
+pub fn sentence(rng: &mut Rand) -> String {
+    let clause = |rng: &mut Rand| {
+        let s = SUBJECTS[zipf(SUBJECTS.len(), rng)];
+        let v = VERBS[zipf(VERBS.len(), rng)];
+        let o = OBJECTS[zipf(OBJECTS.len(), rng)];
+        if rng.uniform() < 0.4 {
+            let m = MODIFIERS[rng.below(MODIFIERS.len())];
+            format!("{s} {v} {o} {m}")
+        } else {
+            format!("{s} {v} {o}")
+        }
+    };
+    let mut out = clause(rng);
+    if rng.uniform() < 0.3 {
+        let c = CONNECTIVES[rng.below(CONNECTIVES.len())];
+        out = format!("{out} {c} {}", clause(rng));
+    }
+    out
+}
+
+/// Generates a corpus of `n` sentences with a fixed seed.
+pub fn corpus(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = Rand::seeded(seed);
+    (0..n).map(|_| sentence(&mut rng)).collect()
+}
+
+/// The full generator vocabulary (useful for sizing tokenizers).
+pub fn vocabulary() -> Vec<&'static str> {
+    let mut words: Vec<&str> = Vec::new();
+    for group in [
+        &SUBJECTS[..],
+        &VERBS[..],
+        &OBJECTS[..],
+        &MODIFIERS[..],
+        &CONNECTIVES[..],
+    ] {
+        for phrase in group {
+            words.extend(phrase.split_whitespace());
+        }
+    }
+    words.sort_unstable();
+    words.dedup();
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        assert_eq!(corpus(20, 7), corpus(20, 7));
+        assert_ne!(corpus(20, 7), corpus(20, 8));
+    }
+
+    #[test]
+    fn sentences_use_only_known_vocabulary() {
+        let vocab = vocabulary();
+        for line in corpus(50, 3) {
+            for w in line.split_whitespace() {
+                assert!(vocab.contains(&w), "unknown word '{w}' in '{line}'");
+            }
+        }
+    }
+
+    #[test]
+    fn sentences_have_reasonable_length() {
+        for line in corpus(100, 1) {
+            let n = line.split_whitespace().count();
+            assert!((4..=20).contains(&n), "odd sentence length {n}: '{line}'");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut rng = Rand::seeded(5);
+        let mut counts = [0usize; 5];
+        for _ in 0..2000 {
+            counts[zipf(5, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4] * 2, "no Zipf skew: {counts:?}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Claim generation: natural-language statements about aggregate properties
+//! of a table, half of them deliberately wrong — the evaluation setup of
+//! AggChecker (Jo et al., SIGMOD 2019), where text summaries of relational
+//! data are verified query-by-query.
+
+use lm4db_corpus::Domain;
+use lm4db_sql::{run_sql, Value};
+use lm4db_tensor::Rand;
+
+/// The aggregate a claim asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimAgg {
+    /// Row count (optionally filtered).
+    Count,
+    /// Average of a numeric column.
+    Avg,
+    /// Maximum of a numeric column.
+    Max,
+    /// Minimum of a numeric column.
+    Min,
+}
+
+impl ClaimAgg {
+    /// All aggregates.
+    pub fn all() -> [ClaimAgg; 4] {
+        [ClaimAgg::Count, ClaimAgg::Avg, ClaimAgg::Max, ClaimAgg::Min]
+    }
+
+    /// SQL function name.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            ClaimAgg::Count => "COUNT",
+            ClaimAgg::Avg => "AVG",
+            ClaimAgg::Max => "MAX",
+            ClaimAgg::Min => "MIN",
+        }
+    }
+
+    /// Canonical NL phrasing.
+    pub fn phrase(&self) -> &'static str {
+        match self {
+            ClaimAgg::Count => "number of",
+            ClaimAgg::Avg => "average",
+            ClaimAgg::Max => "maximum",
+            ClaimAgg::Min => "minimum",
+        }
+    }
+
+    /// Paraphrases (non-canonical phrasings).
+    pub fn paraphrases(&self) -> &'static [&'static str] {
+        match self {
+            ClaimAgg::Count => &["count of", "total number of"],
+            ClaimAgg::Avg => &["mean", "typical"],
+            ClaimAgg::Max => &["highest", "largest", "top"],
+            ClaimAgg::Min => &["lowest", "smallest"],
+        }
+    }
+}
+
+/// The structured meaning of a claim (its gold query).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimMeaning {
+    /// Aggregate function.
+    pub agg: ClaimAgg,
+    /// Numeric column (ignored for COUNT).
+    pub num_col: Option<String>,
+    /// Optional equality filter `(text column, value)`.
+    pub filter: Option<(String, String)>,
+}
+
+impl ClaimMeaning {
+    /// Renders the gold SQL for this meaning over `table`.
+    pub fn to_sql(&self, table: &str) -> String {
+        let select = match self.agg {
+            ClaimAgg::Count => "COUNT(*)".to_string(),
+            _ => format!(
+                "{}({})",
+                self.agg.sql_name(),
+                self.num_col.as_deref().unwrap_or("?")
+            ),
+        };
+        match &self.filter {
+            Some((col, val)) => {
+                format!("SELECT {select} FROM {table} WHERE ({col} = '{val}')")
+            }
+            None => format!("SELECT {select} FROM {table}"),
+        }
+    }
+}
+
+/// A generated claim with its gold verdict.
+#[derive(Debug, Clone)]
+pub struct Claim {
+    /// The claim sentence.
+    pub text: String,
+    /// The asserted numeric value.
+    pub claimed_value: f64,
+    /// The structured meaning (for diagnostic evaluation).
+    pub meaning: ClaimMeaning,
+    /// Whether the claim is actually true of the data.
+    pub is_true: bool,
+}
+
+/// Evaluates a meaning against the domain's data; `None` when the query
+/// returns NULL (empty filter group).
+pub fn true_value(domain: &Domain, meaning: &ClaimMeaning) -> Option<f64> {
+    let cat = domain.catalog();
+    let sql = meaning.to_sql(&domain.table.name);
+    let rs = run_sql(&sql, &cat).ok()?;
+    match rs.rows.first().and_then(|r| r.first()) {
+        Some(Value::Int(i)) => Some(*i as f64),
+        Some(Value::Float(f)) => Some(*f),
+        _ => None,
+    }
+}
+
+fn render_claim(
+    domain: &Domain,
+    meaning: &ClaimMeaning,
+    value: f64,
+    paraphrase: bool,
+    rng: &mut Rand,
+) -> String {
+    let entity = &domain.entity;
+    let agg_word = if paraphrase {
+        let ps = meaning.agg.paraphrases();
+        ps[rng.below(ps.len())]
+    } else {
+        meaning.agg.phrase()
+    };
+    let value_text = if value.fract() == 0.0 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value:.1}")
+    };
+    let scope = match &meaning.filter {
+        Some((col, val)) => format!("{entity}s whose {col} is {val}"),
+        None => format!("all {entity}s"),
+    };
+    match meaning.agg {
+        ClaimAgg::Count => format!("the {agg_word} {scope} is {value_text}"),
+        _ => format!(
+            "the {agg_word} {} of {scope} is {value_text}",
+            meaning.num_col.as_deref().unwrap_or("")
+        ),
+    }
+}
+
+/// Generates `n` claims over `domain`; alternating true/false, with
+/// paraphrased phrasing at `paraphrase_rate`.
+pub fn generate_claims(domain: &Domain, n: usize, paraphrase_rate: f32, seed: u64) -> Vec<Claim> {
+    let mut rng = Rand::seeded(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let agg = ClaimAgg::all()[rng.below(4)];
+        let num_col = if agg == ClaimAgg::Count {
+            None
+        } else {
+            Some(domain.num_cols[rng.below(domain.num_cols.len())].clone())
+        };
+        let filter = if rng.uniform() < 0.5 {
+            let col = domain.text_cols[rng.below(domain.text_cols.len())].clone();
+            let vals = domain.distinct_text_values(&col);
+            if vals.is_empty() {
+                None
+            } else {
+                let v = vals[rng.below(vals.len())].clone();
+                Some((col, v))
+            }
+        } else {
+            None
+        };
+        let meaning = ClaimMeaning {
+            agg,
+            num_col,
+            filter,
+        };
+        let Some(truth) = true_value(domain, &meaning) else {
+            continue;
+        };
+        let truth = (truth * 10.0).round() / 10.0;
+        let make_true = out.len() % 2 == 0;
+        let value = if make_true {
+            truth
+        } else {
+            // A wrong value: off by 20-80%, never equal to the truth.
+            let factor = 1.2 + rng.uniform() as f64 * 0.6;
+            let wrong = if rng.uniform() < 0.5 {
+                truth * factor
+            } else {
+                truth / factor
+            };
+            let wrong = (wrong * 10.0).round() / 10.0;
+            if (wrong - truth).abs() < 0.05 {
+                truth + 5.0
+            } else {
+                wrong
+            }
+        };
+        let paraphrase = rng.uniform() < paraphrase_rate;
+        out.push(Claim {
+            text: render_claim(domain, &meaning, value, paraphrase, &mut rng),
+            claimed_value: value,
+            meaning,
+            is_true: make_true,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    fn domain() -> Domain {
+        make_domain(DomainKind::Employees, 30, 7)
+    }
+
+    #[test]
+    fn claims_alternate_truth_labels() {
+        let claims = generate_claims(&domain(), 20, 0.0, 1);
+        assert_eq!(claims.len(), 20);
+        assert_eq!(claims.iter().filter(|c| c.is_true).count(), 10);
+    }
+
+    #[test]
+    fn true_claims_match_executed_values() {
+        let d = domain();
+        for c in generate_claims(&d, 20, 0.0, 2) {
+            let truth = true_value(&d, &c.meaning).unwrap();
+            let truth = (truth * 10.0).round() / 10.0;
+            if c.is_true {
+                assert!(
+                    (c.claimed_value - truth).abs() < 1e-6,
+                    "true claim value mismatch: {} vs {truth}",
+                    c.claimed_value
+                );
+            } else {
+                assert!(
+                    (c.claimed_value - truth).abs() > 1e-6,
+                    "false claim accidentally true"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn meanings_render_executable_sql() {
+        let d = domain();
+        let cat = d.catalog();
+        for c in generate_claims(&d, 16, 0.0, 3) {
+            let sql = c.meaning.to_sql(&d.table.name);
+            assert!(run_sql(&sql, &cat).is_ok(), "bad gold query: {sql}");
+        }
+    }
+
+    #[test]
+    fn claim_text_mentions_value_and_scope() {
+        let d = domain();
+        for c in generate_claims(&d, 10, 0.0, 4) {
+            assert!(!c.text.is_empty());
+            if let Some((_, v)) = &c.meaning.filter {
+                assert!(c.text.contains(v), "filter value missing: {}", c.text);
+            }
+        }
+    }
+
+    #[test]
+    fn paraphrased_claims_avoid_canonical_phrase() {
+        let d = domain();
+        let claims = generate_claims(&d, 30, 1.0, 5);
+        let canonical = claims
+            .iter()
+            .filter(|c| c.text.contains(c.meaning.agg.phrase()))
+            .count();
+        assert!(
+            canonical < claims.len() / 2,
+            "too many canonical phrasings under full paraphrase"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # lm4db-factcheck
+//!
+//! Data-driven **fact checking** (§2.5): verify natural-language claims
+//! about aggregate properties of a relational table by mapping each claim
+//! to a candidate query, executing it, and comparing values — the
+//! AggChecker pipeline, with both keyword evidence and LM evidence for the
+//! claim-to-query mapping (the Scrutinizer refinement).
+
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod mapper;
+pub mod summary;
+pub mod verify;
+
+pub use claims::{generate_claims, true_value, Claim, ClaimAgg, ClaimMeaning};
+pub use mapper::{ClaimMapper, KeywordMapper, LmMapper};
+pub use summary::{synthetic_summary, verify_summary, SentenceVerdict, SummaryReport};
+pub use verify::{evaluate, extract_claimed_value, verify, Verdict};

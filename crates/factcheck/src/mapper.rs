@@ -1,0 +1,203 @@
+//! Claim-to-query mapping: recovering the structured meaning (aggregate,
+//! column, filter) from claim text. Two mappers, mirroring AggChecker's
+//! keyword evidence vs. Scrutinizer's learned evidence:
+//!
+//! * [`KeywordMapper`] — exact canonical-phrase matching;
+//! * [`LmMapper`] — a fine-tuned LM predicts the aggregate (robust to
+//!   paraphrase), columns/values are schema-linked from the text.
+
+use lm4db_corpus::Domain;
+use lm4db_lm::{FineTunedClassifier, TextClassifier};
+use lm4db_tokenize::Bpe;
+use lm4db_transformer::ModelConfig;
+
+use crate::claims::{Claim, ClaimAgg, ClaimMeaning};
+
+/// Anything that maps claim text to a candidate meaning.
+pub trait ClaimMapper {
+    /// Recovers the meaning, or `None` when the claim is unmappable.
+    fn map(&mut self, domain: &Domain, text: &str) -> Option<ClaimMeaning>;
+}
+
+/// Schema linking shared by both mappers: find a numeric column, then an
+/// optional `whose <col> is <val>` filter.
+fn link_schema(domain: &Domain, text: &str) -> (Option<String>, Option<(String, String)>) {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    let num_col = domain
+        .num_cols
+        .iter()
+        .find(|c| words.contains(&c.as_str()))
+        .cloned();
+    let mut filter = None;
+    for col in &domain.text_cols {
+        if !words.contains(&col.as_str()) {
+            continue;
+        }
+        let vals = domain.distinct_text_values(col);
+        if let Some(v) = words.iter().find(|w| vals.iter().any(|v| v == **w)) {
+            filter = Some((col.clone(), (*v).to_string()));
+            break;
+        }
+    }
+    (num_col, filter)
+}
+
+/// Canonical-phrase keyword mapper.
+pub struct KeywordMapper;
+
+impl ClaimMapper for KeywordMapper {
+    fn map(&mut self, domain: &Domain, text: &str) -> Option<ClaimMeaning> {
+        let agg = if text.contains("number of") {
+            ClaimAgg::Count
+        } else if text.contains("average") {
+            ClaimAgg::Avg
+        } else if text.contains("maximum") {
+            ClaimAgg::Max
+        } else if text.contains("minimum") {
+            ClaimAgg::Min
+        } else {
+            return None; // paraphrases defeat the keyword mapper
+        };
+        let (num_col, filter) = link_schema(domain, text);
+        if agg != ClaimAgg::Count && num_col.is_none() {
+            return None;
+        }
+        Some(ClaimMeaning {
+            agg,
+            num_col: if agg == ClaimAgg::Count { None } else { num_col },
+            filter,
+        })
+    }
+}
+
+/// LM-evidence mapper: a fine-tuned classifier predicts the aggregate from
+/// the full claim text, making the mapping robust to paraphrased phrasing.
+pub struct LmMapper {
+    agg_clf: FineTunedClassifier<Bpe>,
+}
+
+impl LmMapper {
+    /// Trains the aggregate classifier on labeled claims (use claims
+    /// generated with a high paraphrase rate so the model sees synonyms).
+    pub fn train(cfg: ModelConfig, train: &[Claim], epochs: usize, seed: u64) -> Self {
+        let bpe = Bpe::train(train.iter().map(|c| c.text.as_str()), 600);
+        let labels: Vec<String> = ClaimAgg::all()
+            .iter()
+            .map(|a| a.sql_name().to_lowercase())
+            .collect();
+        let mut agg_clf = FineTunedClassifier::new(cfg, bpe, labels, seed);
+        let examples: Vec<(String, usize)> = train
+            .iter()
+            .map(|c| {
+                let label = ClaimAgg::all()
+                    .iter()
+                    .position(|a| *a == c.meaning.agg)
+                    .unwrap();
+                (c.text.clone(), label)
+            })
+            .collect();
+        agg_clf.fit(&examples, epochs, 8, 2e-3);
+        LmMapper { agg_clf }
+    }
+}
+
+impl ClaimMapper for LmMapper {
+    fn map(&mut self, domain: &Domain, text: &str) -> Option<ClaimMeaning> {
+        let agg = ClaimAgg::all()[self.agg_clf.classify(text)];
+        let (num_col, filter) = link_schema(domain, text);
+        let num_col = if agg == ClaimAgg::Count {
+            None
+        } else {
+            // Fall back to the first numeric column if linking failed; the
+            // verifier will then likely refute, which is the safe direction.
+            num_col.or_else(|| domain.num_cols.first().cloned())
+        };
+        Some(ClaimMeaning {
+            agg,
+            num_col,
+            filter,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claims::generate_claims;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    fn domain() -> Domain {
+        make_domain(DomainKind::Employees, 30, 7)
+    }
+
+    #[test]
+    fn keyword_mapper_recovers_canonical_meanings() {
+        let d = domain();
+        let mut m = KeywordMapper;
+        let claims = generate_claims(&d, 20, 0.0, 1);
+        let mut correct = 0;
+        for c in &claims {
+            if m.map(&d, &c.text) == Some(c.meaning.clone()) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f32 / claims.len() as f32 > 0.9,
+            "keyword mapper only got {correct}/{}",
+            claims.len()
+        );
+    }
+
+    #[test]
+    fn keyword_mapper_fails_on_paraphrases() {
+        let d = domain();
+        let mut m = KeywordMapper;
+        // "mean salary" is a paraphrase of "average salary".
+        assert_eq!(m.map(&d, "the mean salary of all employees is 80"), None);
+        assert_eq!(m.map(&d, "the highest age of all employees is 60"), None);
+    }
+
+    #[test]
+    fn lm_mapper_handles_paraphrases_after_training() {
+        let d = domain();
+        // Train on heavily paraphrased claims (labels come from generation).
+        let train = generate_claims(&d, 60, 0.7, 2);
+        let cfg = ModelConfig {
+            max_seq_len: 32,
+            ..ModelConfig::test()
+        };
+        let mut m = LmMapper::train(cfg, &train, 15, 3);
+        // Held-out paraphrased claims: the aggregate should be recovered
+        // more often than the keyword mapper manages (which is ~0 on pure
+        // paraphrases for the aggregate word).
+        let test = generate_claims(&d, 20, 1.0, 9);
+        let mut lm_agg_correct = 0;
+        let mut kw_mapped = 0;
+        let mut kw = KeywordMapper;
+        for c in &test {
+            if let Some(meaning) = m.map(&d, &c.text) {
+                if meaning.agg == c.meaning.agg {
+                    lm_agg_correct += 1;
+                }
+            }
+            if kw.map(&d, &c.text).is_some() {
+                kw_mapped += 1;
+            }
+        }
+        assert!(
+            lm_agg_correct > kw_mapped,
+            "LM mapper ({lm_agg_correct}) should beat keyword mapper ({kw_mapped}) on paraphrases"
+        );
+    }
+
+    #[test]
+    fn schema_linking_finds_filters() {
+        let d = domain();
+        let mut m = KeywordMapper;
+        let vals = d.distinct_text_values("dept");
+        let v = &vals[0];
+        let text = format!("the number of employees whose dept is {v} is 4");
+        let meaning = m.map(&d, &text).unwrap();
+        assert_eq!(meaning.filter, Some(("dept".to_string(), v.clone())));
+    }
+}

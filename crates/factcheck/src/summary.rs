@@ -1,0 +1,174 @@
+//! Whole-summary verification — AggChecker's actual interface: a text
+//! summary contains several claim sentences; the checker verifies each and
+//! reports per-sentence verdicts plus an overall assessment.
+
+use lm4db_corpus::Domain;
+use lm4db_tensor::Rand;
+
+use crate::claims::{generate_claims, Claim};
+use crate::mapper::ClaimMapper;
+use crate::verify::{verify, Verdict};
+
+/// The verdict for one sentence of a summary.
+#[derive(Debug, Clone)]
+pub struct SentenceVerdict {
+    /// The sentence text.
+    pub sentence: String,
+    /// Its verdict.
+    pub verdict: Verdict,
+}
+
+/// Verification report for a whole summary.
+#[derive(Debug, Clone)]
+pub struct SummaryReport {
+    /// Per-sentence verdicts, in order.
+    pub sentences: Vec<SentenceVerdict>,
+}
+
+impl SummaryReport {
+    /// Number of refuted sentences.
+    pub fn refuted_count(&self) -> usize {
+        self.sentences
+            .iter()
+            .filter(|s| s.verdict == Verdict::Refuted)
+            .count()
+    }
+
+    /// Number of sentences that could not be checked.
+    pub fn unverifiable_count(&self) -> usize {
+        self.sentences
+            .iter()
+            .filter(|s| s.verdict == Verdict::Unverifiable)
+            .count()
+    }
+
+    /// True when every checkable sentence is supported.
+    pub fn is_clean(&self) -> bool {
+        self.refuted_count() == 0
+    }
+
+    /// Renders the report with markers per sentence.
+    pub fn render(&self) -> String {
+        self.sentences
+            .iter()
+            .map(|s| {
+                let marker = match s.verdict {
+                    Verdict::Supported => "[ok]",
+                    Verdict::Refuted => "[WRONG]",
+                    Verdict::Unverifiable => "[?]",
+                };
+                format!("{marker} {}", s.sentence)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Splits a summary into claim sentences and verifies each against the
+/// domain's data. Sentences are separated by ` . ` (period with spaces), so
+/// decimal values like `87.5` inside a claim are not split.
+pub fn verify_summary(domain: &Domain, summary: &str, mapper: &mut dyn ClaimMapper) -> SummaryReport {
+    let sentences = summary
+        .split(" . ")
+        .map(|s| s.trim().trim_end_matches(" .").trim_end_matches('.').trim())
+        .filter(|s| !s.is_empty())
+        .map(|s| SentenceVerdict {
+            sentence: s.to_string(),
+            verdict: verify(domain, s, mapper),
+        })
+        .collect();
+    SummaryReport { sentences }
+}
+
+/// Builds a synthetic summary text from `n` claims (with the given fraction
+/// of false ones, as generated), returning `(summary, claims)` so tests can
+/// align verdicts with ground truth.
+pub fn synthetic_summary(domain: &Domain, n: usize, seed: u64) -> (String, Vec<Claim>) {
+    let claims = generate_claims(domain, n, 0.0, seed);
+    let mut rng = Rand::seeded(seed ^ 0x5a);
+    let mut ordered = claims.clone();
+    rng.shuffle(&mut ordered);
+    let text = ordered
+        .iter()
+        .map(|c| c.text.clone())
+        .collect::<Vec<_>>()
+        .join(" . ");
+    (format!("{text} ."), ordered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapper::KeywordMapper;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    fn domain() -> Domain {
+        make_domain(DomainKind::Employees, 30, 7)
+    }
+
+    #[test]
+    fn report_flags_false_sentences() {
+        let d = domain();
+        let (summary, claims) = synthetic_summary(&d, 10, 3);
+        let report = verify_summary(&d, &summary, &mut KeywordMapper);
+        assert_eq!(report.sentences.len(), claims.len());
+        // Half the claims are false by construction; most should be caught.
+        let false_count = claims.iter().filter(|c| !c.is_true).count();
+        assert!(
+            report.refuted_count() >= false_count.saturating_sub(2),
+            "caught {} of {} false claims",
+            report.refuted_count(),
+            false_count
+        );
+    }
+
+    #[test]
+    fn verdicts_align_with_ground_truth_per_sentence() {
+        let d = domain();
+        let (summary, claims) = synthetic_summary(&d, 8, 5);
+        let report = verify_summary(&d, &summary, &mut KeywordMapper);
+        let mut agree = 0;
+        for (sv, claim) in report.sentences.iter().zip(claims.iter()) {
+            assert_eq!(sv.sentence, claim.text);
+            if (sv.verdict == Verdict::Supported) == claim.is_true
+                && sv.verdict != Verdict::Unverifiable
+            {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 6, "only {agree}/8 verdicts agree with truth");
+    }
+
+    #[test]
+    fn clean_summary_of_true_claims() {
+        let d = domain();
+        // Take only the true claims.
+        let claims = generate_claims(&d, 12, 0.0, 9);
+        let text = claims
+            .iter()
+            .filter(|c| c.is_true)
+            .map(|c| c.text.clone())
+            .collect::<Vec<_>>()
+            .join(" . ");
+        let report = verify_summary(&d, &format!("{text} ."), &mut KeywordMapper);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn render_marks_each_sentence() {
+        let d = domain();
+        let (summary, _) = synthetic_summary(&d, 6, 11);
+        let report = verify_summary(&d, &summary, &mut KeywordMapper);
+        let rendered = report.render();
+        assert_eq!(rendered.lines().count(), report.sentences.len());
+        assert!(rendered.contains("[ok]") || rendered.contains("[WRONG]"));
+    }
+
+    #[test]
+    fn empty_summary_is_trivially_clean() {
+        let d = domain();
+        let report = verify_summary(&d, "  ", &mut KeywordMapper);
+        assert!(report.sentences.is_empty());
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,132 @@
+//! Claim verification: map the claim to a query, execute it, and compare
+//! the asserted value with the computed one.
+
+use lm4db_corpus::Domain;
+
+use crate::claims::{true_value, Claim};
+use crate::mapper::ClaimMapper;
+
+/// The verdict on one claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The mapped query's result matches the claimed value.
+    Supported,
+    /// The mapped query's result contradicts the claimed value.
+    Refuted,
+    /// The claim could not be mapped to a query.
+    Unverifiable,
+}
+
+/// Extracts the asserted numeric value: the last number in the claim text.
+pub fn extract_claimed_value(text: &str) -> Option<f64> {
+    text.split_whitespace()
+        .rev()
+        .find_map(|w| w.parse::<f64>().ok())
+}
+
+/// Relative/absolute tolerance for value comparison (AVG values are
+/// rendered with one decimal).
+fn values_match(claimed: f64, actual: f64) -> bool {
+    let abs = (claimed - actual).abs();
+    abs < 0.051 || abs / actual.abs().max(1e-9) < 0.001
+}
+
+/// Verifies one claim text against the domain's data.
+pub fn verify(domain: &Domain, text: &str, mapper: &mut dyn ClaimMapper) -> Verdict {
+    let Some(claimed) = extract_claimed_value(text) else {
+        return Verdict::Unverifiable;
+    };
+    let Some(meaning) = mapper.map(domain, text) else {
+        return Verdict::Unverifiable;
+    };
+    let Some(actual) = true_value(domain, &meaning) else {
+        return Verdict::Unverifiable;
+    };
+    let actual = (actual * 10.0).round() / 10.0;
+    if values_match(claimed, actual) {
+        Verdict::Supported
+    } else {
+        Verdict::Refuted
+    }
+}
+
+/// Accuracy of a mapper's verdicts over labeled claims. `Unverifiable`
+/// counts as wrong (the checker must commit).
+pub fn evaluate(domain: &Domain, claims: &[Claim], mapper: &mut dyn ClaimMapper) -> f32 {
+    if claims.is_empty() {
+        return 0.0;
+    }
+    let correct = claims
+        .iter()
+        .filter(|c| {
+            let v = verify(domain, &c.text, mapper);
+            (v == Verdict::Supported) == c.is_true && v != Verdict::Unverifiable
+        })
+        .count();
+    correct as f32 / claims.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::claims::generate_claims;
+    use crate::mapper::KeywordMapper;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    fn domain() -> Domain {
+        make_domain(DomainKind::Employees, 30, 7)
+    }
+
+    #[test]
+    fn extracts_trailing_values() {
+        assert_eq!(extract_claimed_value("the count is 42"), Some(42.0));
+        assert_eq!(extract_claimed_value("the avg is 87.5"), Some(87.5));
+        assert_eq!(extract_claimed_value("no numbers here"), None);
+    }
+
+    #[test]
+    fn keyword_verifier_is_accurate_on_canonical_claims() {
+        let d = domain();
+        let claims = generate_claims(&d, 30, 0.0, 1);
+        let acc = evaluate(&d, &claims, &mut KeywordMapper);
+        assert!(acc > 0.85, "canonical verification accuracy {acc}");
+    }
+
+    #[test]
+    fn paraphrases_break_the_keyword_verifier() {
+        let d = domain();
+        let canonical = generate_claims(&d, 30, 0.0, 2);
+        let paraphrased = generate_claims(&d, 30, 1.0, 2);
+        let acc_canon = evaluate(&d, &canonical, &mut KeywordMapper);
+        let acc_para = evaluate(&d, &paraphrased, &mut KeywordMapper);
+        assert!(
+            acc_para < acc_canon,
+            "paraphrase should hurt keywords: {acc_para} vs {acc_canon}"
+        );
+    }
+
+    #[test]
+    fn supported_and_refuted_verdicts_fire() {
+        let d = domain();
+        let claims = generate_claims(&d, 10, 0.0, 3);
+        let mut saw_supported = false;
+        let mut saw_refuted = false;
+        for c in &claims {
+            match verify(&d, &c.text, &mut KeywordMapper) {
+                Verdict::Supported => saw_supported = true,
+                Verdict::Refuted => saw_refuted = true,
+                Verdict::Unverifiable => {}
+            }
+        }
+        assert!(saw_supported && saw_refuted);
+    }
+
+    #[test]
+    fn unmappable_claims_are_unverifiable() {
+        let d = domain();
+        assert_eq!(
+            verify(&d, "the vibes of the team are good 7", &mut KeywordMapper),
+            Verdict::Unverifiable
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Prompt construction: instructions plus few-shot examples, rendered into
+//! the flat text a causal LM completes — the "prompting" method the tutorial
+//! contrasts with fine-tuning (§2.3).
+
+/// A prompt template: an optional instruction, zero or more worked examples,
+/// and the query to be completed.
+#[derive(Debug, Clone, Default)]
+pub struct Prompt {
+    instruction: Option<String>,
+    examples: Vec<(String, String)>,
+    input_prefix: String,
+    output_prefix: String,
+}
+
+impl Prompt {
+    /// Creates an empty prompt with the default `input:`/`output:` markers.
+    pub fn new() -> Self {
+        Prompt {
+            instruction: None,
+            examples: Vec::new(),
+            input_prefix: "input :".into(),
+            output_prefix: "output :".into(),
+        }
+    }
+
+    /// Sets the leading task instruction.
+    pub fn with_instruction(mut self, text: impl Into<String>) -> Self {
+        self.instruction = Some(text.into());
+        self
+    }
+
+    /// Overrides the input/output field markers.
+    pub fn with_markers(mut self, input: impl Into<String>, output: impl Into<String>) -> Self {
+        self.input_prefix = input.into();
+        self.output_prefix = output.into();
+        self
+    }
+
+    /// Appends a worked example (few-shot demonstration).
+    pub fn with_example(mut self, input: impl Into<String>, output: impl Into<String>) -> Self {
+        self.examples.push((input.into(), output.into()));
+        self
+    }
+
+    /// Number of demonstrations.
+    pub fn shot_count(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Renders the prompt for `query`, ending right after the output marker
+    /// so the LM's completion IS the answer.
+    pub fn render(&self, query: &str) -> String {
+        let mut out = String::new();
+        if let Some(instr) = &self.instruction {
+            out.push_str(instr);
+            out.push_str(" . ");
+        }
+        for (i, o) in &self.examples {
+            out.push_str(&format!(
+                "{} {} {} {} . ",
+                self.input_prefix, i, self.output_prefix, o
+            ));
+        }
+        out.push_str(&format!("{} {query} {}", self.input_prefix, self.output_prefix));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shot_render() {
+        let p = Prompt::new().with_instruction("classify the sentiment");
+        let r = p.render("great product");
+        assert!(r.starts_with("classify the sentiment . "));
+        assert!(r.ends_with("input : great product output :"));
+        assert_eq!(p.shot_count(), 0);
+    }
+
+    #[test]
+    fn few_shot_examples_appear_in_order() {
+        let p = Prompt::new()
+            .with_example("good", "positive")
+            .with_example("bad", "negative");
+        let r = p.render("fine");
+        let pos_good = r.find("good").unwrap();
+        let pos_bad = r.find("bad").unwrap();
+        assert!(pos_good < pos_bad);
+        assert_eq!(p.shot_count(), 2);
+    }
+
+    #[test]
+    fn custom_markers() {
+        let p = Prompt::new().with_markers("q :", "a :");
+        let r = p.render("why");
+        assert!(r.contains("q : why a :"));
+    }
+
+    #[test]
+    fn render_ends_with_output_marker() {
+        let p = Prompt::new().with_example("x", "y");
+        assert!(p.render("z").ends_with("output :"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Fact extraction from natural-language sentences.
+//!
+//! The exact extractor only understands the canonical template — the
+//! symbolic-database position. The LM extractor classifies the sentence's
+//! template with a fine-tuned encoder first, recovering facts from
+//! paraphrased sentences too — the capability NeuralDB attributes to
+//! transformer readers.
+
+use lm4db_corpus::facts::TEMPLATES;
+use lm4db_lm::{FineTunedClassifier, TextClassifier};
+use lm4db_tensor::Rand;
+use lm4db_tokenize::Bpe;
+use lm4db_transformer::ModelConfig;
+
+/// A `(subject, attribute, value)` triple recovered from a sentence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractedFact {
+    /// Entity key.
+    pub subject: String,
+    /// Attribute name.
+    pub attribute: String,
+    /// Value text.
+    pub value: String,
+}
+
+/// Slot extraction for a known template id, assuming single-word slots
+/// (which our fact generator guarantees).
+pub fn extract_with_template(sentence: &str, template: usize) -> Option<ExtractedFact> {
+    let w: Vec<&str> = sentence.split_whitespace().collect();
+    match template {
+        // "the {a} of {s} is {v}"
+        0 if w.len() == 6 && w[0] == "the" && w[2] == "of" && w[4] == "is" => {
+            Some(ExtractedFact {
+                attribute: w[1].into(),
+                subject: w[3].into(),
+                value: w[5].into(),
+            })
+        }
+        // "{s} has a {a} of {v}"
+        1 if w.len() == 6 && w[1] == "has" && w[2] == "a" && w[4] == "of" => {
+            Some(ExtractedFact {
+                subject: w[0].into(),
+                attribute: w[3].into(),
+                value: w[5].into(),
+            })
+        }
+        // "{s} 's {a} is {v}"
+        2 if w.len() == 5 && w[1] == "'s" && w[3] == "is" => Some(ExtractedFact {
+            subject: w[0].into(),
+            attribute: w[2].into(),
+            value: w[4].into(),
+        }),
+        // "for {s} the {a} is {v}"
+        3 if w.len() == 6 && w[0] == "for" && w[2] == "the" && w[4] == "is" => {
+            Some(ExtractedFact {
+                subject: w[1].into(),
+                attribute: w[3].into(),
+                value: w[5].into(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Anything that reads one sentence into a fact.
+pub trait FactExtractor {
+    /// Extracts the fact, or `None` when the sentence is not understood.
+    fn extract(&mut self, sentence: &str) -> Option<ExtractedFact>;
+}
+
+/// The symbolic baseline: canonical template only.
+pub struct ExactExtractor;
+
+impl FactExtractor for ExactExtractor {
+    fn extract(&mut self, sentence: &str) -> Option<ExtractedFact> {
+        extract_with_template(sentence, 0)
+    }
+}
+
+/// LM extractor: a fine-tuned encoder classifies the sentence's template,
+/// then the matching slot pattern is applied.
+pub struct LmExtractor {
+    clf: FineTunedClassifier<Bpe>,
+}
+
+impl LmExtractor {
+    /// Trains the template classifier on synthetic labeled sentences built
+    /// from the known templates over a slot vocabulary.
+    pub fn train(
+        cfg: ModelConfig,
+        subjects: &[String],
+        attributes: &[String],
+        values: &[String],
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = Rand::seeded(seed);
+        let mut examples: Vec<(String, usize)> = Vec::new();
+        for _ in 0..60 {
+            let s = &subjects[rng.below(subjects.len())];
+            let a = &attributes[rng.below(attributes.len())];
+            let v = &values[rng.below(values.len())];
+            for (tid, t) in TEMPLATES.iter().enumerate() {
+                let text = t.replace("{s}", s).replace("{a}", a).replace("{v}", v);
+                examples.push((text, tid));
+            }
+        }
+        let bpe = Bpe::train(examples.iter().map(|(t, _)| t.as_str()), 700);
+        let labels: Vec<String> = (0..TEMPLATES.len()).map(|i| format!("t{i}")).collect();
+        let mut clf = FineTunedClassifier::new(cfg, bpe, labels, seed);
+        clf.fit(&examples, epochs, 8, 2e-3);
+        LmExtractor { clf }
+    }
+}
+
+impl FactExtractor for LmExtractor {
+    fn extract(&mut self, sentence: &str) -> Option<ExtractedFact> {
+        let template = self.clf.classify(sentence);
+        extract_with_template(sentence, template).or_else(|| {
+            // The classifier may err; fall back to trying every template.
+            (0..TEMPLATES.len()).find_map(|t| extract_with_template(sentence, t))
+        })
+    }
+}
+
+/// Oracle extractor that tries every template pattern (the upper bound for
+/// pattern-based readers; still defeated by genuinely novel phrasings).
+pub struct AllTemplatesExtractor;
+
+impl FactExtractor for AllTemplatesExtractor {
+    fn extract(&mut self, sentence: &str) -> Option<ExtractedFact> {
+        (0..TEMPLATES.len()).find_map(|t| extract_with_template(sentence, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_corpus::all_paraphrases;
+
+    #[test]
+    fn extracts_every_template() {
+        let phrases = all_paraphrases("ada", "salary", "120");
+        for (tid, p) in phrases.iter().enumerate() {
+            let f = extract_with_template(p, tid).expect("pattern must match");
+            assert_eq!(
+                f,
+                ExtractedFact {
+                    subject: "ada".into(),
+                    attribute: "salary".into(),
+                    value: "120".into(),
+                },
+                "template {tid}: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_template_does_not_match() {
+        let canonical = "the salary of ada is 120";
+        assert!(extract_with_template(canonical, 1).is_none());
+        assert!(extract_with_template(canonical, 2).is_none());
+    }
+
+    #[test]
+    fn exact_extractor_only_handles_canonical() {
+        let mut e = ExactExtractor;
+        assert!(e.extract("the salary of ada is 120").is_some());
+        assert!(e.extract("ada has a salary of 120").is_none());
+        assert!(e.extract("random words here").is_none());
+    }
+
+    #[test]
+    fn all_templates_extractor_handles_paraphrases() {
+        let mut e = AllTemplatesExtractor;
+        for p in all_paraphrases("bob", "age", "41") {
+            let f = e.extract(&p).expect("paraphrase not extracted");
+            assert_eq!(f.value, "41");
+        }
+    }
+
+    #[test]
+    fn lm_extractor_recovers_paraphrased_facts() {
+        let subjects = vec!["ada".to_string(), "bob".to_string(), "cora".to_string()];
+        let attributes = vec!["salary".to_string(), "age".to_string()];
+        let values = vec!["10".to_string(), "20".to_string(), "30".to_string()];
+        let cfg = ModelConfig {
+            max_seq_len: 24,
+            ..ModelConfig::test()
+        };
+        let mut e = LmExtractor::train(cfg, &subjects, &attributes, &values, 6, 3);
+        // Unseen slot combination, paraphrased phrasing.
+        let f = e.extract("cora has a age of 30").expect("not extracted");
+        assert_eq!(f.subject, "cora");
+        assert_eq!(f.attribute, "age");
+        assert_eq!(f.value, "30");
+    }
+}

@@ -1,0 +1,21 @@
+//! # lm4db-neuraldb
+//!
+//! **Natural language as the storage layer** (Thorne et al., *From natural
+//! language processing to neural databases*, VLDB 2021; §2.5 of the
+//! tutorial): the database is a bag of sentences; query answering depends
+//! on how well the system *reads* them. The crate provides the fact store
+//! with lookup / count / min-max / two-hop operators, and three readers:
+//! an exact canonical-template reader (the symbolic baseline), an
+//! all-templates pattern reader, and a fine-tuned LM reader that
+//! classifies each sentence's phrasing before slot extraction.
+
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod store;
+
+pub use extract::{
+    extract_with_template, AllTemplatesExtractor, ExactExtractor, ExtractedFact, FactExtractor,
+    LmExtractor,
+};
+pub use store::NeuralDb;

@@ -1,0 +1,212 @@
+//! The fact store and its query operators: the "database whose storage
+//! layer is natural language" of Thorne et al. (VLDB 2021).
+
+use std::collections::HashMap;
+
+use crate::extract::{ExtractedFact, FactExtractor};
+
+/// A database whose physical representation is a bag of NL sentences.
+/// Queries run over the facts an extractor managed to *read* from those
+/// sentences — unread sentences are silently unqueryable, which is exactly
+/// the failure mode the extractor quality experiments measure.
+pub struct NeuralDb {
+    /// All ingested sentences (the "storage layer").
+    sentences: Vec<String>,
+    /// Facts successfully read.
+    facts: Vec<ExtractedFact>,
+    /// `(subject, attribute) -> fact index`.
+    by_key: HashMap<(String, String), usize>,
+    /// `attribute -> fact indices`.
+    by_attr: HashMap<String, Vec<usize>>,
+}
+
+impl NeuralDb {
+    /// Ingests sentences, reading facts with `extractor`.
+    pub fn ingest(sentences: Vec<String>, extractor: &mut dyn FactExtractor) -> Self {
+        let mut facts = Vec::new();
+        let mut by_key = HashMap::new();
+        let mut by_attr: HashMap<String, Vec<usize>> = HashMap::new();
+        for s in &sentences {
+            if let Some(f) = extractor.extract(s) {
+                let idx = facts.len();
+                by_key.insert((f.subject.clone(), f.attribute.clone()), idx);
+                by_attr.entry(f.attribute.clone()).or_default().push(idx);
+                facts.push(f);
+            }
+        }
+        NeuralDb {
+            sentences,
+            facts,
+            by_key,
+            by_attr,
+        }
+    }
+
+    /// Number of stored sentences.
+    pub fn sentence_count(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Number of facts the extractor could read.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Fraction of sentences successfully read.
+    pub fn read_rate(&self) -> f32 {
+        self.fact_count() as f32 / self.sentence_count().max(1) as f32
+    }
+
+    /// Lookup: the value of `attribute` for `subject`.
+    pub fn lookup(&self, subject: &str, attribute: &str) -> Option<&str> {
+        self.by_key
+            .get(&(subject.to_string(), attribute.to_string()))
+            .map(|&i| self.facts[i].value.as_str())
+    }
+
+    /// Count: how many subjects have `attribute = value`.
+    pub fn count(&self, attribute: &str, value: &str) -> usize {
+        self.by_attr
+            .get(attribute)
+            .map(|idxs| {
+                idxs.iter()
+                    .filter(|&&i| self.facts[i].value == value)
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Min/max: the subject with the extreme numeric value of `attribute`.
+    pub fn extreme(&self, attribute: &str, max: bool) -> Option<&str> {
+        let idxs = self.by_attr.get(attribute)?;
+        let best = idxs
+            .iter()
+            .filter_map(|&i| {
+                self.facts[i]
+                    .value
+                    .parse::<f64>()
+                    .ok()
+                    .map(|v| (i, v))
+            })
+            .reduce(|a, b| {
+                let better = if max { b.1 > a.1 } else { b.1 < a.1 };
+                if better {
+                    b
+                } else {
+                    a
+                }
+            })?;
+        Some(self.facts[best.0].subject.as_str())
+    }
+
+    /// Two-hop query: the values of `target_attr` for every subject whose
+    /// `filter_attr` equals `filter_value` (sorted for determinism).
+    pub fn join(&self, filter_attr: &str, filter_value: &str, target_attr: &str) -> Vec<&str> {
+        let Some(idxs) = self.by_attr.get(filter_attr) else {
+            return vec![];
+        };
+        let mut out: Vec<&str> = idxs
+            .iter()
+            .filter(|&&i| self.facts[i].value == filter_value)
+            .filter_map(|&i| {
+                let subject = &self.facts[i].subject;
+                self.lookup(subject, target_attr)
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::{AllTemplatesExtractor, ExactExtractor};
+    use lm4db_corpus::{facts_from_table, make_domain, DomainKind};
+    use lm4db_tensor::Rand;
+
+    fn sentences(paraphrase_rate: f32) -> (lm4db_corpus::Domain, Vec<String>) {
+        let d = make_domain(DomainKind::Employees, 20, 7);
+        let mut rng = Rand::seeded(1);
+        let facts = facts_from_table(&d.table, &d.key_col, paraphrase_rate, &mut rng);
+        let texts = facts.into_iter().map(|f| f.text).collect();
+        (d, texts)
+    }
+
+    #[test]
+    fn canonical_sentences_are_fully_readable() {
+        let (_, texts) = sentences(0.0);
+        let db = NeuralDb::ingest(texts, &mut ExactExtractor);
+        assert_eq!(db.read_rate(), 1.0);
+        assert_eq!(db.fact_count(), db.sentence_count());
+    }
+
+    #[test]
+    fn paraphrases_defeat_the_exact_reader_but_not_templates() {
+        let (_, texts) = sentences(0.8);
+        let exact = NeuralDb::ingest(texts.clone(), &mut ExactExtractor);
+        let all = NeuralDb::ingest(texts, &mut AllTemplatesExtractor);
+        assert!(exact.read_rate() < 0.6, "exact rate {}", exact.read_rate());
+        assert_eq!(all.read_rate(), 1.0);
+    }
+
+    #[test]
+    fn lookup_returns_table_values() {
+        let (d, texts) = sentences(0.0);
+        let db = NeuralDb::ingest(texts, &mut ExactExtractor);
+        // Compare against the source table for one row.
+        let name_idx = d.table.schema.index_of(&d.key_col).unwrap();
+        let dept_idx = d.table.schema.index_of("dept").unwrap();
+        let row = &d.table.rows[0];
+        let subject = match &row[name_idx] {
+            lm4db_sql::Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        let dept = match &row[dept_idx] {
+            lm4db_sql::Value::Str(s) => s.clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(db.lookup(&subject, "dept"), Some(dept.as_str()));
+    }
+
+    #[test]
+    fn count_and_extreme_queries() {
+        let (d, texts) = sentences(0.0);
+        let db = NeuralDb::ingest(texts, &mut ExactExtractor);
+        // Count per dept must sum to the table size.
+        let total: usize = d
+            .distinct_text_values("dept")
+            .iter()
+            .map(|v| db.count("dept", v))
+            .sum();
+        assert_eq!(total, d.table.len());
+        // The max-salary subject exists and has the max value.
+        let top = db.extreme("salary", true).expect("no max found");
+        let top_val: f64 = db.lookup(top, "salary").unwrap().parse().unwrap();
+        for row in &d.table.rows {
+            let sal = row[d.table.schema.index_of("salary").unwrap()]
+                .as_f64()
+                .unwrap();
+            assert!(sal <= top_val);
+        }
+    }
+
+    #[test]
+    fn join_two_hop() {
+        let (d, texts) = sentences(0.0);
+        let db = NeuralDb::ingest(texts, &mut ExactExtractor);
+        let depts = d.distinct_text_values("dept");
+        let cities = db.join("dept", &depts[0], "city");
+        assert_eq!(cities.len(), db.count("dept", &depts[0]));
+    }
+
+    #[test]
+    fn unknown_queries_return_empty() {
+        let (_, texts) = sentences(0.0);
+        let db = NeuralDb::ingest(texts, &mut ExactExtractor);
+        assert_eq!(db.lookup("nobody", "salary"), None);
+        assert_eq!(db.count("nope", "x"), 0);
+        assert!(db.extreme("nope", true).is_none());
+        assert!(db.join("nope", "x", "y").is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by the lexer, parser, planner, and executor.
+
+use std::fmt;
+
+/// Any failure while processing a SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Tokenization failure (unexpected character, unterminated string).
+    Lex(String),
+    /// Grammar violation.
+    Parse(String),
+    /// Unknown table/column, ambiguous reference, bad aggregate usage.
+    Plan(String),
+    /// Runtime failure (type mismatch, division by zero).
+    Exec(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "plan error: {m}"),
+            SqlError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::Exec("y".into()).to_string().contains("execution"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Hand-written SQL tokenizer.
+
+use crate::error::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (stored uppercase) or bare identifier (stored lowercase).
+    Keyword(String),
+    /// Identifier (lowercased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Operator or punctuation: `= <> < <= > >= + - * / ( ) , . ;`
+    Symbol(&'static str),
+}
+
+const KEYWORDS: [&str; 30] = [
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT", "AS",
+    "AND", "OR", "NOT", "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "ON", "LIKE", "IN",
+    "BETWEEN", "IS", "DISTINCT", "COUNT", "SUM", "AVG", "MIN",
+];
+// MAX handled specially below to keep the array size fixed.
+
+fn is_keyword(word: &str) -> bool {
+    let upper = word.to_uppercase();
+    upper == "MAX" || KEYWORDS.contains(&upper.as_str())
+}
+
+/// Tokenizes a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            let is_float = i + 1 < chars.len()
+                && chars[i] == '.'
+                && chars[i + 1].is_ascii_digit();
+            if is_float {
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let f: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::Lex(format!("bad float literal '{text}'")))?;
+                tokens.push(Token::Float(f));
+            } else {
+                let text: String = chars[start..i].iter().collect();
+                let n: i64 = text
+                    .parse()
+                    .map_err(|_| SqlError::Lex(format!("integer literal '{text}' out of range")))?;
+                tokens.push(Token::Int(n));
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            if is_keyword(&word) {
+                tokens.push(Token::Keyword(word.to_uppercase()));
+            } else {
+                tokens.push(Token::Ident(word.to_lowercase()));
+            }
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(SqlError::Lex("unterminated string literal".into()));
+                }
+                if chars[i] == '\'' {
+                    // '' is an escaped quote.
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::Str(s));
+            continue;
+        }
+        // Multi-char operators first.
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        let sym: Option<&'static str> = match two.as_str() {
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "<>" => Some("<>"),
+            "!=" => Some("<>"),
+            _ => None,
+        };
+        if let Some(s) = sym {
+            tokens.push(Token::Symbol(s));
+            i += 2;
+            continue;
+        }
+        let sym: Option<&'static str> = match c {
+            '=' => Some("="),
+            '<' => Some("<"),
+            '>' => Some(">"),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '*' => Some("*"),
+            '/' => Some("/"),
+            '(' => Some("("),
+            ')' => Some(")"),
+            ',' => Some(","),
+            '.' => Some("."),
+            ';' => Some(";"),
+            _ => None,
+        };
+        match sym {
+            Some(s) => {
+                tokens.push(Token::Symbol(s));
+                i += 1;
+            }
+            None => {
+                return Err(SqlError::Lex(format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select From WHERE").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_are_lowercased() {
+        let toks = lex("MyTable my_col2").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("mytable".into()), Token::Ident("my_col2".into())]
+        );
+    }
+
+    #[test]
+    fn numbers_int_and_float() {
+        let toks = lex("42 3.75").unwrap();
+        assert_eq!(toks, vec![Token::Int(42), Token::Float(3.75)]);
+    }
+
+    #[test]
+    fn qualified_name_lexes_as_ident_dot_ident() {
+        let toks = lex("t.age").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol("."),
+                Token::Ident("age".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        let toks = lex("'o''brien'").unwrap();
+        assert_eq!(toks, vec![Token::Str("o'brien".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn operators_including_two_char() {
+        let toks = lex("<= >= <> != = < >").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Symbol("<="),
+                Token::Symbol(">="),
+                Token::Symbol("<>"),
+                Token::Symbol("<>"),
+                Token::Symbol("="),
+                Token::Symbol("<"),
+                Token::Symbol(">"),
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("select @").is_err());
+    }
+
+    #[test]
+    fn full_statement() {
+        let toks = lex("SELECT name, COUNT(*) FROM t WHERE age >= 30 GROUP BY name;").unwrap();
+        assert!(toks.contains(&Token::Keyword("COUNT".into())));
+        assert!(toks.contains(&Token::Symbol(";")));
+    }
+}

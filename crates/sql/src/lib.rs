@@ -1,0 +1,185 @@
+//! # lm4db-sql
+//!
+//! An in-memory relational engine — lexer, parser, and executor for a
+//! practical SQL subset (filters, expressions, inner joins, grouping and
+//! aggregation, HAVING, ORDER BY, LIMIT, LIKE/IN/BETWEEN/IS NULL, scalar
+//! functions). It is the substrate on which the LM4DB applications run:
+//! text-to-SQL needs gold-query execution, CodexDB-style synthesis needs an
+//! execution target, and fact checking needs query evaluation.
+//!
+//! ```
+//! use lm4db_sql::{run_sql, Catalog, DataType, Schema, Table, Value};
+//!
+//! let mut t = Table::new("nums", Schema::new(vec![("x", DataType::Int)]));
+//! for i in 1..=4 {
+//!     t.insert(vec![Value::Int(i)]).unwrap();
+//! }
+//! let mut cat = Catalog::new();
+//! cat.register(t);
+//! let rs = run_sql("SELECT SUM(x) FROM nums WHERE x > 1", &cat).unwrap();
+//! assert_eq!(rs.rows[0][0], Value::Int(9));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod table;
+pub mod value;
+
+pub use ast::{AggFunc, BinOp, Expr, Join, JoinKind, Query, SelectItem, TableRef};
+pub use error::{Result, SqlError};
+pub use exec::execute;
+pub use parser::{parse, parse_expr};
+pub use plan::explain;
+pub use table::{Catalog, ColumnDef, ResultSet, Row, Schema, Table};
+pub use value::{DataType, Value};
+
+/// Parses and executes `sql` against `catalog` in one call.
+pub fn run_sql(sql: &str, catalog: &Catalog) -> Result<ResultSet> {
+    execute(&parse(sql)?, catalog)
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Strategy producing small random WHERE predicates over `x`/`y`.
+    fn predicate() -> impl Strategy<Value = String> {
+        let cmp = prop::sample::select(vec!["=", "<>", "<", "<=", ">", ">="]);
+        let col = prop::sample::select(vec!["x", "y"]);
+        (col, cmp, -5i64..5).prop_map(|(c, o, n)| format!("{c} {o} {n}"))
+    }
+
+    fn small_catalog(vals: &[(i64, i64)]) -> Catalog {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![("x", DataType::Int), ("y", DataType::Int)]),
+        );
+        for &(x, y) in vals {
+            t.insert(vec![Value::Int(x), Value::Int(y)]).unwrap();
+        }
+        let mut c = Catalog::new();
+        c.register(t);
+        c
+    }
+
+    proptest! {
+        #[test]
+        fn parse_print_parse_is_fixed_point(p in predicate(), q in predicate()) {
+            let sql = format!("SELECT x FROM t WHERE {p} AND {q} ORDER BY y DESC LIMIT 3");
+            let once = parse(&sql).unwrap().to_string();
+            let twice = parse(&once).unwrap().to_string();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn where_filter_agrees_with_manual_eval(
+            rows in prop::collection::vec((-5i64..5, -5i64..5), 0..20),
+            thresh in -5i64..5,
+        ) {
+            let cat = small_catalog(&rows);
+            let rs = run_sql(&format!("SELECT x, y FROM t WHERE x > {thresh}"), &cat).unwrap();
+            let expected = rows.iter().filter(|(x, _)| *x > thresh).count();
+            prop_assert_eq!(rs.rows.len(), expected);
+        }
+
+        #[test]
+        fn count_star_equals_row_count(rows in prop::collection::vec((-5i64..5, -5i64..5), 0..20)) {
+            let cat = small_catalog(&rows);
+            let rs = run_sql("SELECT COUNT(*) FROM t", &cat).unwrap();
+            prop_assert_eq!(rs.rows[0][0].clone(), Value::Int(rows.len() as i64));
+        }
+
+        #[test]
+        fn sum_matches_iterator_sum(rows in prop::collection::vec((-5i64..5, -5i64..5), 1..20)) {
+            let cat = small_catalog(&rows);
+            let rs = run_sql("SELECT SUM(x) FROM t", &cat).unwrap();
+            let expected: i64 = rows.iter().map(|(x, _)| x).sum();
+            prop_assert_eq!(rs.rows[0][0].clone(), Value::Int(expected));
+        }
+
+        #[test]
+        fn group_by_partitions_rows(rows in prop::collection::vec((0i64..3, -5i64..5), 1..30)) {
+            let cat = small_catalog(&rows);
+            let rs = run_sql("SELECT x, COUNT(*) FROM t GROUP BY x", &cat).unwrap();
+            let total: i64 = rs.rows.iter().map(|r| match r[1] { Value::Int(n) => n, _ => 0 }).sum();
+            prop_assert_eq!(total, rows.len() as i64);
+        }
+
+        #[test]
+        fn order_by_produces_sorted_output(rows in prop::collection::vec((-50i64..50, 0i64..2), 1..25)) {
+            let cat = small_catalog(&rows);
+            let rs = run_sql("SELECT x FROM t ORDER BY x ASC", &cat).unwrap();
+            let xs: Vec<i64> = rs.rows.iter().map(|r| match r[0] { Value::Int(n) => n, _ => 0 }).collect();
+            let mut sorted = xs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(xs, sorted);
+        }
+
+        #[test]
+        fn limit_caps_rows(rows in prop::collection::vec((-5i64..5, -5i64..5), 0..20), k in 0usize..10) {
+            let cat = small_catalog(&rows);
+            let rs = run_sql(&format!("SELECT * FROM t LIMIT {k}"), &cat).unwrap();
+            prop_assert_eq!(rs.rows.len(), rows.len().min(k));
+        }
+
+        #[test]
+        fn distinct_never_returns_more_rows(rows in prop::collection::vec((0i64..4, 0i64..3), 0..25)) {
+            let cat = small_catalog(&rows);
+            let plain = run_sql("SELECT x FROM t", &cat).unwrap();
+            let distinct = run_sql("SELECT DISTINCT x FROM t", &cat).unwrap();
+            prop_assert!(distinct.rows.len() <= plain.rows.len());
+            // DISTINCT output has no duplicates.
+            let mut seen = std::collections::HashSet::new();
+            for r in &distinct.rows {
+                prop_assert!(seen.insert(r[0].to_string()));
+            }
+            // And matches the true distinct count.
+            let truth: std::collections::HashSet<i64> = rows.iter().map(|(x, _)| *x).collect();
+            prop_assert_eq!(distinct.rows.len(), truth.len());
+        }
+
+        #[test]
+        fn left_join_row_count_is_at_least_inner(
+            left in prop::collection::vec(0i64..4, 1..12),
+            right in prop::collection::vec(0i64..4, 0..12),
+        ) {
+            let mut lt = Table::new("l", Schema::new(vec![("k", DataType::Int)]));
+            for &k in &left {
+                lt.insert(vec![Value::Int(k)]).unwrap();
+            }
+            let mut rt = Table::new("r", Schema::new(vec![("k", DataType::Int)]));
+            for &k in &right {
+                rt.insert(vec![Value::Int(k)]).unwrap();
+            }
+            let mut cat = Catalog::new();
+            cat.register(lt);
+            cat.register(rt);
+            let inner = run_sql("SELECT a.k FROM l a JOIN r b ON a.k = b.k", &cat).unwrap();
+            let leftj = run_sql("SELECT a.k FROM l a LEFT JOIN r b ON a.k = b.k", &cat).unwrap();
+            prop_assert!(leftj.rows.len() >= inner.rows.len());
+            // Every left row appears at least once in the LEFT JOIN output.
+            prop_assert!(leftj.rows.len() >= left.len());
+            // Matched multiplicities agree with a manual count.
+            let expected: usize = left
+                .iter()
+                .map(|k| right.iter().filter(|r| *r == k).count().max(1))
+                .sum();
+            prop_assert_eq!(leftj.rows.len(), expected);
+        }
+
+        #[test]
+        fn explain_never_panics_and_mentions_scan(p in predicate()) {
+            let q = parse(&format!("SELECT DISTINCT x FROM t WHERE {p} ORDER BY y LIMIT 2")).unwrap();
+            let plan = explain(&q);
+            prop_assert!(plan.contains("Scan t"));
+            prop_assert!(plan.contains("Project DISTINCT"));
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::ast::{AggFunc, BinOp, Expr, Join, JoinKind, Query, SelectItem, TableRef};
+use crate::error::{Result, SqlError};
+use crate::lexer::{lex, Token};
+use crate::value::Value;
+
+/// Parses one SELECT statement (an optional trailing `;` is allowed).
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_symbol(";"); // optional
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse(format!(
+            "unexpected trailing input at token {:?}",
+            p.tokens[p.pos]
+        )));
+    }
+    Ok(q)
+}
+
+/// Parses a standalone expression (used by the fact-checking claim mapper).
+pub fn parse_expr(text: &str) -> Result<Expr> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(SqlError::Parse("unexpected trailing input".into()));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+const SCALAR_FUNCS: [&str; 5] = ["upper", "lower", "length", "abs", "round"];
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(sym)) if *sym == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected '{s}', found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(name)) => Ok(name),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut items = vec![self.select_item()?];
+        while self.eat_symbol(",") {
+            items.push(self.select_item()?);
+        }
+        self.expect_keyword("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.eat_keyword("INNER");
+            let left = !inner && self.eat_keyword("LEFT");
+            if self.eat_keyword("JOIN") {
+                let kind = if left { JoinKind::Left } else { JoinKind::Inner };
+                let table = self.table_ref()?;
+                self.expect_keyword("ON")?;
+                let on = self.expr()?;
+                joins.push(Join { kind, table, on });
+            } else if inner || left {
+                return Err(SqlError::Parse(
+                    "INNER/LEFT must be followed by JOIN".into(),
+                ));
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_symbol(",") {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected non-negative LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(_)) = self.peek() {
+            // Bare alias: `SELECT age a FROM ...`
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.ident()?)
+        } else if let Some(Token::Ident(_)) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// expr := or_expr
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        // Postfix predicates: IS [NOT] NULL, [NOT] IN, [NOT] BETWEEN, [NOT] LIKE.
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = self.eat_keyword("NOT");
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let mut list = vec![self.expr()?];
+            while self.eat_symbol(",") {
+                list.push(self.expr()?);
+            }
+            self.expect_symbol(")")?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(SqlError::Parse(
+                "NOT must be followed by IN, BETWEEN, or LIKE here".into(),
+            ));
+        }
+        let op = match self.peek() {
+            Some(Token::Symbol("=")) => Some(BinOp::Eq),
+            Some(Token::Symbol("<>")) => Some(BinOp::NotEq),
+            Some(Token::Symbol("<")) => Some(BinOp::Lt),
+            Some(Token::Symbol("<=")) => Some(BinOp::LtEq),
+            Some(Token::Symbol(">")) => Some(BinOp::Gt),
+            Some(Token::Symbol(">=")) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.pos += 1;
+                let right = self.additive()?;
+                Ok(Expr::binary(op, left, right))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            if self.eat_symbol("+") {
+                let right = self.multiplicative()?;
+                left = Expr::binary(BinOp::Add, left, right);
+            } else if self.eat_symbol("-") {
+                let right = self.multiplicative()?;
+                left = Expr::binary(BinOp::Sub, left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            if self.eat_symbol("*") {
+                let right = self.unary()?;
+                left = Expr::binary(BinOp::Mul, left, right);
+            } else if self.eat_symbol("/") {
+                let right = self.unary()?;
+                left = Expr::binary(BinOp::Div, left, right);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("-") {
+            let inner = self.unary()?;
+            // Fold negation of numeric literals for canonical output.
+            return Ok(match inner {
+                Expr::Literal(Value::Int(n)) => Expr::Literal(Value::Int(-n)),
+                Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                other => Expr::Neg(Box::new(other)),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
+            Some(Token::Float(x)) => Ok(Expr::Literal(Value::Float(x))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Value::Null)),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Symbol("(")) => {
+                let e = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Token::Keyword(k)) if AggFunc::from_name(&k).is_some() => {
+                let func = AggFunc::from_name(&k).unwrap();
+                self.expect_symbol("(")?;
+                if self.eat_symbol("*") {
+                    self.expect_symbol(")")?;
+                    if func != AggFunc::Count {
+                        return Err(SqlError::Parse(format!("{}(*) is not valid", func.name())));
+                    }
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: None,
+                        distinct: false,
+                    });
+                }
+                let distinct = self.eat_keyword("DISTINCT");
+                let arg = self.expr()?;
+                self.expect_symbol(")")?;
+                Ok(Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                    distinct,
+                })
+            }
+            Some(Token::Ident(name)) => {
+                // Scalar function call?
+                if SCALAR_FUNCS.contains(&name.as_str()) && self.eat_symbol("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(")") {
+                        args.push(self.expr()?);
+                        while self.eat_symbol(",") {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_symbol(")")?;
+                    }
+                    return Ok(Expr::Func { name, args });
+                }
+                // Qualified column?
+                if self.eat_symbol(".") {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(SqlError::Parse(format!(
+                "unexpected token {other:?} in expression"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(sql: &str) -> String {
+        parse(sql).unwrap().to_string()
+    }
+
+    #[test]
+    fn simple_select() {
+        assert_eq!(roundtrip("select * from people"), "SELECT * FROM people");
+    }
+
+    #[test]
+    fn where_with_precedence() {
+        // AND binds tighter than OR.
+        let q = roundtrip("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        assert_eq!(
+            q,
+            "SELECT * FROM t WHERE ((a = 1) OR ((b = 2) AND (c = 3)))"
+        );
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = roundtrip("SELECT a + b * c FROM t");
+        assert_eq!(q, "SELECT (a + (b * c)) FROM t");
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let q = roundtrip(
+            "SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept HAVING COUNT(*) > 2",
+        );
+        assert_eq!(
+            q,
+            "SELECT dept, COUNT(*), AVG(salary) FROM emp GROUP BY dept HAVING (COUNT(*) > 2)"
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        let q = roundtrip("SELECT COUNT(DISTINCT name) FROM t");
+        assert_eq!(q, "SELECT COUNT(DISTINCT name) FROM t");
+    }
+
+    #[test]
+    fn join_with_aliases() {
+        let q = roundtrip(
+            "SELECT p.name, o.total FROM people AS p JOIN orders o ON p.id = o.person_id",
+        );
+        assert_eq!(
+            q,
+            "SELECT p.name, o.total FROM people AS p JOIN orders AS o ON (p.id = o.person_id)"
+        );
+    }
+
+    #[test]
+    fn order_limit() {
+        let q = roundtrip("SELECT name FROM t ORDER BY age DESC, name LIMIT 10");
+        assert_eq!(q, "SELECT name FROM t ORDER BY age DESC, name ASC LIMIT 10");
+    }
+
+    #[test]
+    fn predicates_in_between_like_isnull() {
+        let q = roundtrip(
+            "SELECT * FROM t WHERE a IN (1, 2) AND b BETWEEN 0 AND 5 \
+             AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)",
+        );
+        assert!(q.contains("(a IN (1, 2))"));
+        assert!(q.contains("(b BETWEEN 0 AND 5)"));
+        assert!(q.contains("(c LIKE 'x%')"));
+        assert!(q.contains("(d IS NOT NULL)"));
+        assert!(q.contains("(e NOT IN (3))"));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = roundtrip("SELECT * FROM t WHERE a > -5");
+        assert_eq!(q, "SELECT * FROM t WHERE (a > -5)");
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let q = roundtrip("SELECT upper(name), length(name) FROM t");
+        assert_eq!(q, "SELECT UPPER(name), LENGTH(name) FROM t");
+    }
+
+    #[test]
+    fn bare_alias() {
+        let q = roundtrip("SELECT age a FROM people p");
+        assert_eq!(q, "SELECT age AS a FROM people AS p");
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t LIMIT x").is_err());
+        assert!(parse("SELECT * FROM t extra garbage ,").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT * FROM t INNER WHERE a = 1").is_err());
+    }
+
+    #[test]
+    fn parse_is_stable_under_reprint() {
+        // parse -> print -> parse -> print is a fixed point.
+        for sql in [
+            "SELECT * FROM t WHERE a = 1 AND b < 2 OR NOT c = 3",
+            "SELECT dept, SUM(x) AS s FROM emp GROUP BY dept ORDER BY s DESC LIMIT 3",
+            "SELECT p.a FROM people p JOIN orders o ON p.id = o.pid WHERE o.total >= 10.5",
+        ] {
+            let once = parse(sql).unwrap().to_string();
+            let twice = parse(&once).unwrap().to_string();
+            assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn parse_expr_standalone() {
+        let e = parse_expr("age >= 21 AND name LIKE 'a%'").unwrap();
+        assert!(e.to_string().contains("LIKE"));
+    }
+}

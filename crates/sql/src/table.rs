@@ -1,0 +1,352 @@
+//! Schemas, in-memory tables, and the catalog.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SqlError};
+use crate::value::{DataType, Value};
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (lowercase by convention).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new(columns: Vec<(impl Into<String>, DataType)>) -> Self {
+        Schema {
+            columns: columns
+                .into_iter()
+                .map(|(name, dtype)| ColumnDef {
+                    name: name.into().to_lowercase(),
+                    dtype,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// One row of values (aligned with a schema).
+pub type Row = Vec<Value>;
+
+/// An in-memory table: schema plus rows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Column definitions.
+    pub schema: Schema,
+    /// Row data.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into().to_lowercase(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row after validating arity and types (NULL always fits).
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(SqlError::Exec(format!(
+                "row arity {} does not match schema arity {} of table {}",
+                row.len(),
+                self.schema.len(),
+                self.name
+            )));
+        }
+        for (v, c) in row.iter().zip(self.schema.columns()) {
+            if let Some(dt) = v.data_type() {
+                let compatible = dt == c.dtype
+                    || (dt == DataType::Int && c.dtype == DataType::Float);
+                if !compatible {
+                    return Err(SqlError::Exec(format!(
+                        "value {v} has type {dt} but column {} is {}",
+                        c.name, c.dtype
+                    )));
+                }
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All values of one column (by name).
+    pub fn column_values(&self, name: &str) -> Option<Vec<&Value>> {
+        let idx = self.schema.index_of(name)?;
+        Some(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+}
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table under its own name.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Looks up a table by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| SqlError::Plan(format!("unknown table '{name}'")))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_lowercase())
+            .ok_or_else(|| SqlError::Plan(format!("unknown table '{name}'")))
+    }
+
+    /// Names of all registered tables (sorted for determinism).
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// The output of a query: a schema-less result relation with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Renders the result as an aligned ASCII table (for examples/demos).
+    pub fn to_ascii(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, v)| {
+                        let s = match v {
+                            Value::Str(s) => s.clone(),
+                            other => other.to_string(),
+                        };
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("{s:<w$}", w = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// True when two result sets contain the same bag of rows (order
+    /// insensitive) — the standard "execution accuracy" comparison.
+    pub fn same_bag(&self, other: &ResultSet) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let key = |r: &Row| {
+            r.iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        };
+        let mut a: Vec<String> = self.rows.iter().map(key).collect();
+        let mut b: Vec<String> = other.rows.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut t = Table::new(
+            "People",
+            Schema::new(vec![("name", DataType::Text), ("age", DataType::Int)]),
+        );
+        t.insert(vec![Value::Str("ada".into()), Value::Int(36)]).unwrap();
+        t.insert(vec![Value::Str("bob".into()), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn table_name_is_lowercased() {
+        assert_eq!(people().name, "people");
+    }
+
+    #[test]
+    fn schema_lookup_is_case_insensitive() {
+        let t = people();
+        assert_eq!(t.schema.index_of("NAME"), Some(0));
+        assert_eq!(t.schema.index_of("Age"), Some(1));
+        assert_eq!(t.schema.index_of("missing"), None);
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut t = people();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn insert_validates_types() {
+        let mut t = people();
+        assert!(t
+            .insert(vec![Value::Int(5), Value::Int(1)])
+            .is_err());
+        // NULL fits anywhere.
+        assert!(t.insert(vec![Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn int_widens_into_float_column() {
+        let mut t = Table::new("m", Schema::new(vec![("x", DataType::Float)]));
+        assert!(t.insert(vec![Value::Int(3)]).is_ok());
+    }
+
+    #[test]
+    fn column_values_projects() {
+        let t = people();
+        let ages = t.column_values("age").unwrap();
+        assert_eq!(ages.len(), 2);
+        assert_eq!(*ages[0], Value::Int(36));
+        assert!(ages[1].is_null());
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut c = Catalog::new();
+        c.register(people());
+        assert!(c.get("PEOPLE").is_ok());
+        assert!(c.get("nope").is_err());
+        assert_eq!(c.table_names(), vec!["people"]);
+    }
+
+    #[test]
+    fn result_set_bag_comparison_ignores_order() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        let b = ResultSet {
+            columns: vec!["y".into()],
+            rows: vec![vec![Value::Int(2)], vec![Value::Int(1)]],
+        };
+        assert!(a.same_bag(&b));
+        let c = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(1)]],
+        };
+        assert!(!a.same_bag(&c));
+    }
+
+    #[test]
+    fn ascii_rendering_contains_all_cells() {
+        let t = people();
+        let rs = ResultSet {
+            columns: vec!["name".into(), "age".into()],
+            rows: t.rows,
+        };
+        let s = rs.to_ascii();
+        assert!(s.contains("ada"));
+        assert!(s.contains("36"));
+        assert!(s.contains("NULL"));
+    }
+}

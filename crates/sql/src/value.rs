@@ -1,0 +1,313 @@
+//! Runtime values and their comparison/arithmetic semantics.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SqlError};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Text => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A runtime value. `Null` inhabits every type (SQL three-valued logic is
+/// approximated: comparisons with `Null` are false, aggregates skip nulls).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer literal/value.
+    Int(i64),
+    /// Float literal/value.
+    Float(f64),
+    /// String literal/value.
+    Str(String),
+    /// Boolean literal/value.
+    Bool(bool),
+}
+
+impl Value {
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value's type, if non-null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// Numeric view (ints widen to float); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for WHERE evaluation: only `Bool(true)` passes.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    /// SQL equality: NULL equals nothing (including NULL).
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+
+    /// Three-valued comparison. `None` when either side is NULL or the
+    /// types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Total order used by ORDER BY and GROUP BY: NULLs sort first, then by
+    /// type tag, then by value. Unlike [`Value::compare`], this never fails.
+    pub fn sort_key_cmp(&self, other: &Value) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            _ => tag(self).cmp(&tag(other)).then_with(|| {
+                self.compare(other).unwrap_or(Ordering::Equal)
+            }),
+        }
+    }
+
+    fn arith(
+        &self,
+        other: &Value,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        float_op: impl Fn(f64, f64) -> f64,
+        op_name: &str,
+    ) -> Result<Value> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Int(a), Value::Int(b)) => int_op(*a, *b)
+                .map(Value::Int)
+                .ok_or_else(|| SqlError::Exec(format!("integer overflow in {op_name}"))),
+            _ => {
+                let a = self.as_f64().ok_or_else(|| {
+                    SqlError::Exec(format!("{op_name} on non-numeric value {self}"))
+                })?;
+                let b = other.as_f64().ok_or_else(|| {
+                    SqlError::Exec(format!("{op_name} on non-numeric value {other}"))
+                })?;
+                Ok(Value::Float(float_op(a, b)))
+            }
+        }
+    }
+
+    /// Addition. String + string concatenates.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        if let (Value::Str(a), Value::Str(b)) = (self, other) {
+            return Ok(Value::Str(format!("{a}{b}")));
+        }
+        self.arith(other, i64::checked_add, |a, b| a + b, "+")
+    }
+
+    /// Subtraction.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        self.arith(other, i64::checked_sub, |a, b| a - b, "-")
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        self.arith(other, i64::checked_mul, |a, b| a * b, "*")
+    }
+
+    /// Division. Integer division by zero is an error; float yields inf.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        if let (Value::Int(_), Value::Int(0)) = (self, other) {
+            return Err(SqlError::Exec("division by zero".into()));
+        }
+        self.arith(other, i64::checked_div, |a, b| a / b, "/")
+    }
+
+    /// SQL LIKE with `%` (any run) and `_` (any char), case-sensitive.
+    pub fn like(&self, pattern: &Value) -> Result<Value> {
+        match (self, pattern) {
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(like_match(s, p))),
+            _ => Err(SqlError::Exec(format!(
+                "LIKE requires strings, got {self} LIKE {pattern}"
+            ))),
+        }
+    }
+}
+
+/// Glob-style matcher for LIKE patterns.
+fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => s.is_empty(),
+            Some(('%', rest)) => {
+                (0..=s.len()).any(|k| rec(&s[k..], rest))
+            }
+            Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
+            Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true, // structural, not SQL, equality
+            _ => self.compare(other) == Some(Ordering::Equal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_across_numeric_types() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        // But structural equality treats NULL == NULL (for grouping).
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).add(&Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            Value::Str("a".into()).add(&Value::Str("b".into())).unwrap(),
+            Value::Str("ab".into())
+        );
+        assert_eq!(Value::Int(7).div(&Value::Int(2)).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn arithmetic_with_null_is_null() {
+        assert!(Value::Null.add(&Value::Int(1)).unwrap().is_null());
+        assert!(Value::Int(1).mul(&Value::Null).unwrap().is_null());
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(Value::Int(i64::MAX).add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_arithmetic_is_an_error() {
+        assert!(Value::Str("a".into()).sub(&Value::Int(1)).is_err());
+        assert!(Value::Bool(true).mul(&Value::Int(2)).is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        let s = |x: &str| Value::Str(x.into());
+        assert_eq!(s("hello").like(&s("h%")).unwrap(), Value::Bool(true));
+        assert_eq!(s("hello").like(&s("%llo")).unwrap(), Value::Bool(true));
+        assert_eq!(s("hello").like(&s("h_llo")).unwrap(), Value::Bool(true));
+        assert_eq!(s("hello").like(&s("h_l")).unwrap(), Value::Bool(false));
+        assert_eq!(s("hello").like(&s("%")).unwrap(), Value::Bool(true));
+        assert_eq!(s("").like(&s("%")).unwrap(), Value::Bool(true));
+        assert_eq!(s("abc").like(&s("abc")).unwrap(), Value::Bool(true));
+        assert_eq!(s("abc").like(&s("ab")).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn display_quotes_strings() {
+        assert_eq!(Value::Str("o'brien".into()).to_string(), "'o''brien'");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn sort_key_orders_nulls_first() {
+        let mut vs = [Value::Int(2), Value::Null, Value::Int(1)];
+        vs.sort_by(|a, b| a.sort_key_cmp(b));
+        assert!(vs[0].is_null());
+        assert_eq!(vs[1], Value::Int(1));
+    }
+}

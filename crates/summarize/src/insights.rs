@@ -1,0 +1,169 @@
+//! Candidate insight mining: facts about data subsets, phrased in natural
+//! language — the raw material BABOONS searches over.
+
+use lm4db_corpus::Domain;
+use lm4db_sql::{run_sql, Value};
+
+/// One candidate insight: an aggregate fact about a subset of the data,
+/// with its deviation from the table-wide value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insight {
+    /// Dimension column ("dept").
+    pub dim_col: String,
+    /// Dimension value ("sales").
+    pub dim_val: String,
+    /// Measure column ("salary").
+    pub measure: String,
+    /// Mean of the measure within the subset.
+    pub value: f64,
+    /// Signed percentage deviation from the overall mean.
+    pub delta_pct: f64,
+    /// Row count of the subset.
+    pub support: usize,
+    /// The insight rendered as a sentence.
+    pub text: String,
+}
+
+impl Insight {
+    /// Interestingness prior: larger deviations with more support matter
+    /// more (the "surprise" heuristic data-summary systems use).
+    pub fn interestingness(&self) -> f64 {
+        (self.delta_pct.abs() / 100.0).min(1.0) * (1.0 + (self.support as f64).ln())
+    }
+}
+
+fn scalar_f64(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+/// Mines one insight per `(dimension value, measure)` combination of the
+/// domain's primary table.
+pub fn mine_insights(domain: &Domain) -> Vec<Insight> {
+    let cat = domain.catalog();
+    let table = &domain.table.name;
+    let entity = &domain.entity;
+    let mut out = Vec::new();
+    for measure in &domain.num_cols {
+        let overall = run_sql(&format!("SELECT AVG({measure}) FROM {table}"), &cat)
+            .ok()
+            .and_then(|rs| rs.rows.first().and_then(|r| scalar_f64(&r[0])));
+        let Some(overall) = overall else { continue };
+        for dim_col in &domain.text_cols {
+            let rs = run_sql(
+                &format!(
+                    "SELECT {dim_col}, AVG({measure}), COUNT(*) FROM {table} \
+                     GROUP BY {dim_col} ORDER BY {dim_col}"
+                ),
+                &cat,
+            );
+            let Ok(rs) = rs else { continue };
+            for row in rs.rows {
+                let (Value::Str(dim_val), Some(value), Value::Int(n)) =
+                    (&row[0], scalar_f64(&row[1]), &row[2])
+                else {
+                    continue;
+                };
+                if overall.abs() < 1e-9 {
+                    continue;
+                }
+                let delta_pct = (value - overall) / overall * 100.0;
+                let direction = if delta_pct >= 0.0 { "above" } else { "below" };
+                let text = format!(
+                    "{entity}s with {dim_col} {dim_val} have average {measure} {:.0} , \
+                     {:.0} percent {direction} the overall average",
+                    value,
+                    delta_pct.abs()
+                );
+                out.push(Insight {
+                    dim_col: dim_col.clone(),
+                    dim_val: dim_val.clone(),
+                    measure: measure.clone(),
+                    value,
+                    delta_pct,
+                    support: *n as usize,
+                    text,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    #[test]
+    fn mines_every_dim_value_measure_combination() {
+        let d = make_domain(DomainKind::Employees, 40, 7);
+        let insights = mine_insights(&d);
+        let expected: usize = d
+            .num_cols
+            .len()
+            .checked_mul(
+                d.text_cols
+                    .iter()
+                    .map(|c| d.distinct_text_values(c).len())
+                    .sum(),
+            )
+            .unwrap();
+        assert_eq!(insights.len(), expected);
+    }
+
+    #[test]
+    fn deltas_average_near_zero_weighted_by_support() {
+        // Subset means weighted by support reconstruct the overall mean.
+        let d = make_domain(DomainKind::Employees, 40, 7);
+        let insights = mine_insights(&d);
+        let salary_dept: Vec<&Insight> = insights
+            .iter()
+            .filter(|i| i.measure == "salary" && i.dim_col == "dept")
+            .collect();
+        let total_n: usize = salary_dept.iter().map(|i| i.support).sum();
+        assert_eq!(total_n, d.table.len());
+        let weighted: f64 = salary_dept
+            .iter()
+            .map(|i| i.value * i.support as f64)
+            .sum::<f64>()
+            / total_n as f64;
+        let overall: f64 = salary_dept[0].value / (1.0 + salary_dept[0].delta_pct / 100.0);
+        assert!(
+            (weighted - overall).abs() / overall < 0.01,
+            "weighted {weighted} vs overall {overall}"
+        );
+    }
+
+    #[test]
+    fn text_mentions_all_components() {
+        let d = make_domain(DomainKind::Products, 30, 3);
+        for i in mine_insights(&d) {
+            assert!(i.text.contains(&i.dim_val), "{:?}", i);
+            assert!(i.text.contains(&i.measure));
+            assert!(i.text.contains("percent"));
+        }
+    }
+
+    #[test]
+    fn interestingness_grows_with_deviation_and_support() {
+        let base = Insight {
+            dim_col: "d".into(),
+            dim_val: "v".into(),
+            measure: "m".into(),
+            value: 10.0,
+            delta_pct: 10.0,
+            support: 5,
+            text: String::new(),
+        };
+        let bigger_delta = Insight {
+            delta_pct: 50.0,
+            ..base.clone()
+        };
+        let bigger_support = Insight {
+            support: 50,
+            ..base.clone()
+        };
+        assert!(bigger_delta.interestingness() > base.interestingness());
+        assert!(bigger_support.interestingness() > base.interestingness());
+    }
+}

@@ -1,0 +1,21 @@
+//! # lm4db-summarize
+//!
+//! **Natural-language data summarization** — the BABOONS (PVLDB 2022) and
+//! NaturalMiner direction the tutorial surveys: mine candidate insights
+//! (aggregate facts about data subsets, rendered as sentences), score each
+//! against the user's NL goal with a black-box relevance function, and
+//! select a small diverse summary that maximizes total utility.
+//!
+//! Two relevance scorers mirror the before/after-LM contrast used across
+//! this reproduction: keyword overlap (blind to paraphrase) and a
+//! fine-tuned LM classifier (robust to synonymous goals).
+
+#![warn(missing_docs)]
+
+pub mod insights;
+pub mod score;
+pub mod search;
+
+pub use insights::{mine_insights, Insight};
+pub use score::{render_goal, KeywordScorer, LmScorer, RelevanceScorer, MEASURE_SYNONYMS};
+pub use search::{exhaustive_summary, greedy_summary, random_summary, Summary};

@@ -1,0 +1,175 @@
+//! Relevance scoring of insights against a natural-language goal — the
+//! "black box" BABOONS optimizes against, here instantiated as keyword
+//! overlap (baseline) and a fine-tuned LM relevance classifier.
+
+use lm4db_corpus::Domain;
+use lm4db_lm::FineTunedClassifier;
+use lm4db_tensor::Rand;
+use lm4db_tokenize::Bpe;
+use lm4db_transformer::ModelConfig;
+
+use crate::insights::Insight;
+
+/// Scores how well an insight serves a user goal (higher is better).
+pub trait RelevanceScorer {
+    /// Relevance of `insight` to `goal` in `[0, 1]`-ish range.
+    fn score(&mut self, goal: &str, insight: &Insight) -> f64;
+}
+
+/// Keyword baseline: token overlap between goal and the insight's
+/// dimension/measure names.
+pub struct KeywordScorer;
+
+impl RelevanceScorer for KeywordScorer {
+    fn score(&mut self, goal: &str, insight: &Insight) -> f64 {
+        let words: Vec<&str> = goal.split_whitespace().collect();
+        let mut s = 0.0;
+        if words.contains(&insight.measure.as_str()) {
+            s += 0.6;
+        }
+        if words.contains(&insight.dim_col.as_str()) {
+            s += 0.4;
+        }
+        s
+    }
+}
+
+/// Goal paraphrase vocabulary: how users refer to measures/dimensions
+/// without naming the column (the robustness gap the LM scorer closes).
+pub const MEASURE_SYNONYMS: [(&str, &[&str]); 4] = [
+    ("salary", &["pay", "compensation", "earnings"]),
+    ("age", &["seniority", "years"]),
+    ("price", &["cost", "pricing"]),
+    ("stock", &["inventory", "supply"]),
+];
+
+/// Renders a goal sentence for a measure/dimension pair; `paraphrase`
+/// replaces the measure name with a synonym.
+pub fn render_goal(measure: &str, dim_col: &str, paraphrase: bool, rng: &mut Rand) -> String {
+    let m = if paraphrase {
+        MEASURE_SYNONYMS
+            .iter()
+            .find(|(k, _)| *k == measure)
+            .map(|(_, alts)| alts[rng.below(alts.len())])
+            .unwrap_or(measure)
+    } else {
+        measure
+    };
+    format!("focus on {m} differences across {dim_col} groups")
+}
+
+/// LM relevance scorer: a fine-tuned classifier over `goal ; insight`
+/// pairs, trained on synthetic labeled pairs that include paraphrased
+/// goals.
+pub struct LmScorer {
+    clf: FineTunedClassifier<Bpe>,
+}
+
+impl LmScorer {
+    /// Trains on synthetic `(goal, insight)` pairs from the domain: a pair
+    /// is relevant iff the goal's measure and dimension match the insight.
+    pub fn train(cfg: ModelConfig, domain: &Domain, insights: &[Insight], seed: u64) -> Self {
+        let mut rng = Rand::seeded(seed);
+        let mut examples: Vec<(String, usize)> = Vec::new();
+        for insight in insights.iter().take(60) {
+            for measure in &domain.num_cols {
+                for dim in &domain.text_cols {
+                    let relevant = *measure == insight.measure && *dim == insight.dim_col;
+                    // Canonical phrasing plus two paraphrase draws, so every
+                    // synonym appears with both labels during training.
+                    for paraphrase in [false, true, true] {
+                        let goal = render_goal(measure, dim, paraphrase, &mut rng);
+                        examples.push((
+                            format!("{goal} ; {}", insight.text),
+                            usize::from(relevant),
+                        ));
+                    }
+                }
+            }
+        }
+        let bpe = Bpe::train(examples.iter().map(|(t, _)| t.as_str()), 800);
+        let mut clf = FineTunedClassifier::new(
+            cfg,
+            bpe,
+            vec!["irrelevant".into(), "relevant".into()],
+            seed,
+        );
+        clf.fit(&examples, 12, 8, 2e-3);
+        LmScorer { clf }
+    }
+}
+
+impl RelevanceScorer for LmScorer {
+    fn score(&mut self, goal: &str, insight: &Insight) -> f64 {
+        let probs = self.clf.proba(&format!("{goal} ; {}", insight.text));
+        probs[1] as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insights::mine_insights;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    fn sample_insight(measure: &str, dim: &str) -> Insight {
+        Insight {
+            dim_col: dim.into(),
+            dim_val: "x".into(),
+            measure: measure.into(),
+            value: 1.0,
+            delta_pct: 10.0,
+            support: 3,
+            text: format!("things with {dim} x have average {measure} 1"),
+        }
+    }
+
+    #[test]
+    fn keyword_scorer_matches_named_columns() {
+        let mut s = KeywordScorer;
+        let i = sample_insight("salary", "dept");
+        assert!(s.score("focus on salary differences across dept groups", &i) > 0.9);
+        assert_eq!(s.score("focus on age differences across city groups", &i), 0.0);
+    }
+
+    #[test]
+    fn keyword_scorer_blind_to_synonyms() {
+        let mut s = KeywordScorer;
+        let i = sample_insight("salary", "dept");
+        // "pay" means salary but the keyword scorer scores only the dim.
+        let score = s.score("focus on pay differences across dept groups", &i);
+        assert!(score < 0.5, "keyword scorer should miss the synonym: {score}");
+    }
+
+    #[test]
+    fn render_goal_uses_synonyms_when_asked() {
+        let mut rng = Rand::seeded(1);
+        let canonical = render_goal("salary", "dept", false, &mut rng);
+        assert!(canonical.contains("salary"));
+        let para = render_goal("salary", "dept", true, &mut rng);
+        assert!(!para.contains("salary"), "paraphrase kept the name: {para}");
+    }
+
+    #[test]
+    fn lm_scorer_separates_relevant_from_irrelevant() {
+        let d = make_domain(DomainKind::Employees, 30, 7);
+        let insights = mine_insights(&d);
+        let cfg = ModelConfig {
+            max_seq_len: 48,
+            ..ModelConfig::test()
+        };
+        let mut scorer = LmScorer::train(cfg, &d, &insights, 3);
+        let relevant = insights
+            .iter()
+            .find(|i| i.measure == "salary" && i.dim_col == "dept")
+            .unwrap();
+        let irrelevant = insights
+            .iter()
+            .find(|i| i.measure == "age" && i.dim_col == "city")
+            .unwrap();
+        let goal = "focus on salary differences across dept groups";
+        let sr = scorer.score(goal, relevant);
+        let si = scorer.score(goal, irrelevant);
+        assert!(sr > si, "relevant {sr} should beat irrelevant {si}");
+    }
+}

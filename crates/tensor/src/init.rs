@@ -1,0 +1,138 @@
+//! Seeded parameter initialization.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::shape::numel;
+use crate::tensor::Tensor;
+
+/// Deterministic random source for initialization and data shuffling.
+///
+/// A thin wrapper so downstream crates do not depend on `rand` directly.
+pub struct Rand {
+    rng: SmallRng,
+}
+
+impl Rand {
+    /// Creates a generator from a fixed seed.
+    pub fn seeded(seed: u64) -> Self {
+        Rand {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.rng.gen::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Standard normal sample (Box-Muller).
+    pub fn normal(&mut self) -> f32 {
+        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples an index proportionally to `weights` (must be non-negative,
+    /// not all zero).
+    pub fn weighted(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "weighted() requires positive total weight");
+        let mut x = self.rng.gen::<f32>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Fills a vector with `n` uniform samples (for dropout masks).
+    pub fn uniform_vec(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.uniform()).collect()
+    }
+}
+
+/// Normal initialization with the given standard deviation (GPT-2 style uses
+/// `std = 0.02`).
+pub fn normal(shape: &[usize], std: f32, rng: &mut Rand) -> Tensor {
+    let data = (0..numel(shape)).map(|_| rng.normal() * std).collect();
+    Tensor::new(shape.to_vec(), data)
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` matrix.
+pub fn xavier(shape: &[usize], rng: &mut Rand) -> Tensor {
+    assert_eq!(shape.len(), 2, "xavier init expects a 2-D weight");
+    let limit = (6.0 / (shape[0] + shape[1]) as f32).sqrt();
+    let data = (0..numel(shape))
+        .map(|_| (rng.uniform() * 2.0 - 1.0) * limit)
+        .collect();
+    Tensor::new(shape.to_vec(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = Rand::seeded(7);
+        let mut b = Rand::seeded(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn normal_has_roughly_right_std() {
+        let mut rng = Rand::seeded(1);
+        let t = normal(&[10_000], 0.02, &mut rng);
+        let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
+        let var: f32 = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = Rand::seeded(2);
+        let t = xavier(&[16, 32], &mut rng);
+        let limit = (6.0f32 / 48.0).sqrt();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rand::seeded(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut rng = Rand::seeded(4);
+        for _ in 0..100 {
+            let i = rng.weighted(&[0.0, 1.0, 0.0]);
+            assert_eq!(i, 1);
+        }
+    }
+}

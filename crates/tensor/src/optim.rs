@@ -1,0 +1,348 @@
+//! Parameter storage and optimizers.
+//!
+//! Parameters live in a [`ParamStore`] that persists across training steps;
+//! each step re-registers them on a fresh [`crate::Graph`], runs backward,
+//! and applies an optimizer to the collected gradients.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(usize);
+
+/// Reconstructs the [`ParamId`] for a registration index. Ids are assigned
+/// densely in registration order, so this is safe for stores rebuilt with
+/// an identical registration sequence (checkpoint restore).
+pub fn param_id_for_index(i: usize) -> ParamId {
+    ParamId(i)
+}
+
+/// A named collection of trainable tensors.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Adds a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of parameters (tensors, not scalar elements).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar element count across all parameters.
+    pub fn num_elements(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Overwrites a parameter value (e.g. when loading a checkpoint).
+    pub fn set(&mut self, id: ParamId, value: Tensor) {
+        assert_eq!(
+            self.values[id.0].shape(),
+            value.shape(),
+            "set() must preserve the shape of {}",
+            self.names[id.0]
+        );
+        self.values[id.0] = value;
+    }
+
+    /// Name given at registration.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(name, tensor)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.names.iter().map(String::as_str).zip(self.values.iter())
+    }
+}
+
+/// Per-step binding of a [`ParamStore`] onto a [`Graph`], remembering which
+/// graph node corresponds to which parameter so gradients can be gathered.
+pub struct Bound {
+    vars: Vec<Var>,
+}
+
+impl Bound {
+    /// Registers all parameters of `store` on `graph`.
+    pub fn bind(store: &ParamStore, graph: &mut Graph) -> Bound {
+        let vars = store
+            .values
+            .iter()
+            .map(|t| graph.param(t.clone()))
+            .collect();
+        Bound { vars }
+    }
+
+    /// The graph node for a parameter.
+    pub fn var(&self, id: ParamId) -> Var {
+        self.vars[id.0]
+    }
+
+    /// Collects gradients for every parameter after `graph.backward()`.
+    /// Parameters unreachable from the loss get zero gradients.
+    pub fn grads(&self, store: &ParamStore, graph: &Graph) -> Vec<Tensor> {
+        self.vars
+            .iter()
+            .zip(store.values.iter())
+            .map(|(&v, t)| {
+                graph
+                    .grad(v)
+                    .cloned()
+                    .unwrap_or_else(|| Tensor::zeros(t.shape()))
+            })
+            .collect()
+    }
+}
+
+/// Rescales gradients in place so their global L2 norm does not exceed
+/// `max_norm`. Returns the pre-clip norm.
+pub fn clip_grad_norm(grads: &mut [Tensor], max_norm: f32) -> f32 {
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
+        .sum::<f32>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for g in grads.iter_mut() {
+            for x in g.data_mut() {
+                *x *= scale;
+            }
+        }
+    }
+    total
+}
+
+/// Adam optimizer with decoupled weight decay (AdamW).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates an optimizer for every parameter in `store` with standard
+    /// betas (0.9, 0.999).
+    pub fn new(store: &ParamStore, lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step: 0,
+            m: store.values.iter().map(|t| Tensor::zeros(t.shape())).collect(),
+            v: store.values.iter().map(|t| Tensor::zeros(t.shape())).collect(),
+        }
+    }
+
+    /// Sets decoupled weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Updates the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step given gradients aligned with the store.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Tensor]) {
+        assert_eq!(grads.len(), store.values.len(), "gradient count mismatch");
+        self.step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.step as i32);
+        for i in 0..grads.len() {
+            let g = grads[i].data();
+            let m = self.m[i].data_mut();
+            let v = self.v[i].data_mut();
+            let p = store.values[i].data_mut();
+            for j in 0..g.len() {
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g[j];
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g[j] * g[j];
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                p[j] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * p[j]);
+            }
+        }
+    }
+}
+
+/// Plain SGD (used as a baseline and in tests).
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &[Tensor]) {
+        assert_eq!(grads.len(), store.values.len(), "gradient count mismatch");
+        for i in 0..grads.len() {
+            let lr = self.lr;
+            store.values[i].add_scaled_assign(&grads[i], -lr);
+        }
+    }
+}
+
+/// Linear warmup followed by cosine decay to `min_lr`.
+pub struct LrSchedule {
+    peak_lr: f32,
+    min_lr: f32,
+    warmup_steps: u64,
+    total_steps: u64,
+}
+
+impl LrSchedule {
+    /// Builds a warmup+cosine schedule.
+    pub fn warmup_cosine(peak_lr: f32, min_lr: f32, warmup_steps: u64, total_steps: u64) -> Self {
+        assert!(total_steps >= warmup_steps, "total < warmup");
+        LrSchedule {
+            peak_lr,
+            min_lr,
+            warmup_steps,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at step `t` (0-based).
+    pub fn at(&self, t: u64) -> f32 {
+        if self.warmup_steps > 0 && t < self.warmup_steps {
+            return self.peak_lr * (t + 1) as f32 / self.warmup_steps as f32;
+        }
+        if t >= self.total_steps {
+            return self.min_lr;
+        }
+        let progress = (t - self.warmup_steps) as f32
+            / (self.total_steps - self.warmup_steps).max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.peak_lr - self.min_lr) * cos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Minimizing (x - 3)^2 must converge to 3 for both optimizers.
+    fn converges(mut apply: impl FnMut(&mut ParamStore, &[Tensor])) -> f32 {
+        let mut store = ParamStore::new();
+        let x = store.add("x", Tensor::scalar(0.0));
+        for _ in 0..500 {
+            let mut g = Graph::new();
+            let bound = Bound::bind(&store, &mut g);
+            let xv = bound.var(x);
+            let c = g.input(Tensor::scalar(3.0));
+            let d = g.sub(xv, c);
+            let loss = g.mul(d, d);
+            g.backward(loss);
+            let grads = bound.grads(&store, &g);
+            apply(&mut store, &grads);
+        }
+        store.get(x).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = converges(|s, g| opt.step(s, g));
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store_probe = ParamStore::new();
+        store_probe.add("x", Tensor::scalar(0.0));
+        let mut opt = Adam::new(&store_probe, 0.1);
+        let x = converges(|s, g| opt.step(s, g));
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales() {
+        let mut grads = vec![Tensor::from_vec(vec![3.0, 4.0])]; // norm 5
+        let pre = clip_grad_norm(&mut grads, 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = grads[0].data().iter().map(|&x| x * x).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients() {
+        let mut grads = vec![Tensor::from_vec(vec![0.3, 0.4])]; // norm 0.5
+        clip_grad_norm(&mut grads, 1.0);
+        assert_eq!(grads[0].data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn schedule_warms_up_then_decays() {
+        let s = LrSchedule::warmup_cosine(1.0, 0.1, 10, 110);
+        assert!(s.at(0) < s.at(5));
+        assert!((s.at(9) - 1.0).abs() < 1e-6);
+        assert!(s.at(50) < 1.0);
+        assert!((s.at(109) - 0.1).abs() < 0.01);
+        assert_eq!(s.at(500), 0.1);
+    }
+
+    #[test]
+    fn param_store_counts_elements() {
+        let mut store = ParamStore::new();
+        store.add("a", Tensor::zeros(&[3, 4]));
+        store.add("b", Tensor::zeros(&[5]));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_elements(), 17);
+    }
+
+    #[test]
+    fn unreachable_params_get_zero_grads() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Tensor::scalar(1.0));
+        let _b = store.add("b", Tensor::zeros(&[2]));
+        let mut g = Graph::new();
+        let bound = Bound::bind(&store, &mut g);
+        let loss = g.mul(bound.var(a), bound.var(a));
+        g.backward(loss);
+        let grads = bound.grads(&store, &g);
+        assert_eq!(grads[1].data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,558 @@
+//! The dense `Tensor` value type and its pure (non-differentiable) kernels.
+//!
+//! All operations here are plain functions of their inputs; the autograd
+//! layer in [`crate::graph`] composes them and supplies the matching
+//! backward passes. Data is stored row-major in an `Arc<Vec<f32>>` so that
+//! cloning a tensor is cheap and saved activations can be shared between the
+//! forward value and the closures recorded on the tape.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::shape::{assert_same_shape, batch_dims, numel, strides};
+
+/// A dense, row-major, `f32` tensor.
+///
+/// Cloning is O(1): the buffer is shared until a mutation forces a copy
+/// (copy-on-write via [`Tensor::data_mut`]).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Arc<Vec<f32>>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let preview: Vec<f32> = self.data.iter().copied().take(8).collect();
+        let ellipsis = if self.data.len() > 8 { ", ..." } else { "" };
+        write!(f, "Tensor{:?} {:?}{}", self.shape, preview, ellipsis)
+    }
+}
+
+impl Tensor {
+    /// Builds a tensor from a shape and matching data buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the element count of `shape`.
+    pub fn new(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        assert_eq!(
+            numel(&shape),
+            data.len(),
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor {
+            shape,
+            data: Arc::new(data),
+        }
+    }
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::new(shape.to_vec(), vec![0.0; numel(shape)])
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor::new(shape.to_vec(), vec![value; numel(shape)])
+    }
+
+    /// A rank-0 scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::new(vec![], vec![value])
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor::new(vec![n], data)
+    }
+
+    /// The shape of this tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Read-only view of the underlying buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the buffer, copying if it is shared.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        let v: &mut Vec<f32> = Arc::make_mut(&mut self.data);
+        v.as_mut_slice()
+    }
+
+    /// The single value of a scalar (rank-0 or one-element) tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor holds more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with shape {:?}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Returns a tensor with the same data and a new shape of equal size.
+    pub fn reshape(&self, new_shape: &[usize]) -> Tensor {
+        assert_eq!(
+            numel(&self.shape),
+            numel(new_shape),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape,
+            new_shape
+        );
+        Tensor {
+            shape: new_shape.to_vec(),
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Element-wise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+        }
+    }
+
+    /// Element-wise combination of two same-shaped tensors.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_same_shape("zip", &self.shape, &other.shape);
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(data),
+        }
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Multiplication by a scalar.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// In-place `self += other * s` (axpy). Avoids allocation in gradient
+    /// accumulation, the hottest loop of the backward pass.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, s: f32) {
+        assert_same_shape("add_scaled_assign", &self.shape, &other.shape);
+        let other = Arc::clone(&other.data);
+        let dst = self.data_mut();
+        for (d, &o) in dst.iter_mut().zip(other.iter()) {
+            *d += o * s;
+        }
+    }
+
+    /// Adds `row` (shape `[d]`) to every trailing row of `self`
+    /// (shape `[..., d]`). Used for bias addition.
+    pub fn add_row_broadcast(&self, row: &Tensor) -> Tensor {
+        assert_eq!(row.rank(), 1, "add_row_broadcast expects a rank-1 bias");
+        let d = row.shape[0];
+        assert_eq!(
+            self.shape.last().copied(),
+            Some(d),
+            "bias of width {d} does not match shape {:?}",
+            self.shape
+        );
+        let mut out = self.as_ref().to_vec();
+        for chunk in out.chunks_mut(d) {
+            for (o, &b) in chunk.iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(out),
+        }
+    }
+
+    /// Sum of all elements, as a scalar tensor.
+    pub fn sum_all(&self) -> Tensor {
+        Tensor::scalar(self.data.iter().sum())
+    }
+
+    /// Mean of all elements, as a scalar tensor.
+    pub fn mean_all(&self) -> Tensor {
+        let n = self.data.len().max(1) as f32;
+        Tensor::scalar(self.data.iter().sum::<f32>() / n)
+    }
+
+    /// Sums over all leading dimensions, collapsing `[..., d]` to `[d]`.
+    /// This is the backward op of [`Tensor::add_row_broadcast`].
+    pub fn sum_to_row(&self, d: usize) -> Tensor {
+        assert_eq!(
+            self.shape.last().copied(),
+            Some(d),
+            "sum_to_row({d}) on shape {:?}",
+            self.shape
+        );
+        let mut out = vec![0.0f32; d];
+        for chunk in self.data.chunks(d) {
+            for (o, &x) in out.iter_mut().zip(chunk.iter()) {
+                *o += x;
+            }
+        }
+        Tensor::new(vec![d], out)
+    }
+
+    /// Swaps two axes, materializing the permuted layout.
+    pub fn transpose(&self, a: usize, b: usize) -> Tensor {
+        assert!(
+            a < self.rank() && b < self.rank(),
+            "transpose axes ({a},{b}) out of range for shape {:?}",
+            self.shape
+        );
+        if a == b {
+            return self.clone();
+        }
+        let mut new_shape = self.shape.clone();
+        new_shape.swap(a, b);
+        let in_strides = strides(&self.shape);
+        let out_strides = strides(&new_shape);
+        let mut out = vec![0.0f32; self.data.len()];
+        // Walk output positions in order; compute the matching input index.
+        let rank = self.rank();
+        let mut idx = vec![0usize; rank];
+        for (pos, slot) in out.iter_mut().enumerate() {
+            // Decompose pos into output multi-index.
+            let mut rem = pos;
+            for (i, s) in out_strides.iter().enumerate() {
+                idx[i] = rem / s;
+                rem %= s;
+            }
+            idx.swap(a, b); // output index -> input index
+            let src: usize = idx.iter().zip(in_strides.iter()).map(|(i, s)| i * s).sum();
+            *slot = self.data[src];
+        }
+        Tensor::new(new_shape, out)
+    }
+
+    /// Batched matrix multiply.
+    ///
+    /// Accepts `[.., m, k] x [.., k, n]` where both sides share identical
+    /// leading (batch) dimensions, or `[.., m, k] x [k, n]` where the 2-D
+    /// right-hand side (a weight matrix) is broadcast over the batch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (ab, m, k) = batch_dims(&self.shape);
+        let (bb, k2, n) = batch_dims(&other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims differ: {:?} x {:?}",
+            self.shape, other.shape
+        );
+        let broadcast_rhs = other.rank() == 2 && self.rank() > 2;
+        assert!(
+            ab == bb || broadcast_rhs,
+            "matmul batch dims differ: {:?} x {:?}",
+            self.shape, other.shape
+        );
+        let mut out = vec![0.0f32; ab * m * n];
+        let a = &self.data;
+        let b = &other.data;
+        for batch in 0..ab {
+            let a_off = batch * m * k;
+            let b_off = if broadcast_rhs { 0 } else { batch * k * n };
+            let o_off = batch * m * n;
+            // ikj loop order: stream over contiguous rows of b and out.
+            for i in 0..m {
+                let a_row = &a[a_off + i * k..a_off + (i + 1) * k];
+                let o_row = &mut out[o_off + i * n..o_off + (i + 1) * n];
+                for (p, &a_ip) in a_row.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[b_off + p * n..b_off + (p + 1) * n];
+                    for (o, &b_pj) in o_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_ip * b_pj;
+                    }
+                }
+            }
+        }
+        let mut shape = self.shape[..self.rank() - 2].to_vec();
+        shape.push(m);
+        shape.push(n);
+        Tensor::new(shape, out)
+    }
+
+    /// Softmax over the last dimension, numerically stabilized.
+    pub fn softmax_last(&self) -> Tensor {
+        let d = *self
+            .shape
+            .last()
+            .expect("softmax_last requires rank >= 1");
+        let mut out = self.as_ref().to_vec();
+        for row in out.chunks_mut(d) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            let inv = 1.0 / sum;
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(out),
+        }
+    }
+
+    /// Log-softmax over the last dimension.
+    pub fn log_softmax_last(&self) -> Tensor {
+        let d = *self
+            .shape
+            .last()
+            .expect("log_softmax_last requires rank >= 1");
+        let mut out = self.as_ref().to_vec();
+        for row in out.chunks_mut(d) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            for x in row.iter_mut() {
+                *x -= logsum;
+            }
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data: Arc::new(out),
+        }
+    }
+
+    /// Frobenius / L2 norm of all elements.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element within each trailing row, collapsing
+    /// `[..., d]` to one index per row.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        let d = *self.shape.last().expect("argmax_last requires rank >= 1");
+        self.data
+            .chunks(d)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+impl AsRef<[f32]> for Tensor {
+    fn as_ref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// GELU activation (tanh approximation, as used by BERT/GPT).
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] with respect to its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: &[usize], data: &[f32]) -> Tensor {
+        Tensor::new(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn new_rejects_bad_lengths() {
+        let result = std::panic::catch_unwind(|| Tensor::new(vec![2, 2], vec![1.0; 3]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[2, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(&[2, 2], &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(b.sub(&a).data(), &[9.0, 18.0, 27.0, 36.0]);
+        assert_eq!(a.mul(&b).data(), &[10.0, 40.0, 90.0, 160.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn add_scaled_assign_accumulates() {
+        let mut a = t(&[3], &[1.0, 1.0, 1.0]);
+        let b = t(&[3], &[1.0, 2.0, 3.0]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn clone_is_shared_until_mutation() {
+        let a = t(&[2], &[1.0, 2.0]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_2d() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_batched_and_broadcast() {
+        // Two identical batches against a broadcast weight.
+        let a = t(&[2, 1, 2], &[1.0, 2.0, 3.0, 4.0]);
+        let w = t(&[2, 2], &[1.0, 0.0, 0.0, 1.0]); // identity
+        let c = a.matmul(&w);
+        assert_eq!(c.shape(), &[2, 1, 2]);
+        assert_eq!(c.data(), a.data());
+
+        // Fully batched.
+        let b = t(&[2, 2, 1], &[1.0, 1.0, 2.0, 2.0]);
+        let d = a.matmul(&b);
+        assert_eq!(d.shape(), &[2, 1, 1]);
+        assert_eq!(d.data(), &[3.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_mismatch() {
+        let a = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[2, 3], &[0.0; 6]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let at = a.transpose(0, 1);
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        // Transposing twice restores the original.
+        assert_eq!(at.transpose(0, 1), a);
+    }
+
+    #[test]
+    fn transpose_inner_axes_of_rank4() {
+        // [1, 2, 2, 1] swap axes 1,2
+        let a = t(&[1, 2, 2, 1], &[1.0, 2.0, 3.0, 4.0]);
+        let b = a.transpose(1, 2);
+        assert_eq!(b.shape(), &[1, 2, 2, 1]);
+        assert_eq!(b.data(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(&[2, 3], &[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let s = a.softmax_last();
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
+        }
+        // Large inputs must not overflow to NaN.
+        assert!(s.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let a = t(&[1, 4], &[0.5, -1.0, 2.0, 0.0]);
+        let ls = a.log_softmax_last();
+        let s = a.softmax_last();
+        for (l, p) in ls.data().iter().zip(s.data().iter()) {
+            assert!((l.exp() - p).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_broadcast_and_sum_back() {
+        let x = t(&[2, 3], &[0.0; 6]);
+        let b = t(&[3], &[1.0, 2.0, 3.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        let back = y.sum_to_row(3);
+        assert_eq!(back.data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_last_per_row() {
+        let a = t(&[2, 3], &[0.1, 0.9, 0.0, 5.0, -1.0, 2.0]);
+        assert_eq!(a.argmax_last(), vec![1, 0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu(0.0)).abs() < 1e-6);
+        assert!((gelu(1.0) - 0.841_192).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.158_808).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let eps = 1e-3;
+            let fd = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-2,
+                "x={x}: analytic {} vs fd {}",
+                gelu_grad(x),
+                fd
+            );
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Evaluation: exact-match and execution accuracy, the two standard
+//! text-to-SQL metrics (Spider / WikiSQL conventions).
+
+use std::collections::BTreeMap;
+
+use lm4db_sql::{parse, run_sql, Catalog};
+
+use crate::workload::{Example, Tier};
+
+/// Accuracy metrics over one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Number of evaluated examples.
+    pub total: usize,
+    /// Predictions that parsed as SQL at all.
+    pub valid: usize,
+    /// Predictions whose canonical form equals the gold canonical form.
+    pub exact: usize,
+    /// Predictions whose result set matches the gold result set (as bags).
+    pub exec: usize,
+}
+
+impl Metrics {
+    /// Exact-match accuracy.
+    pub fn exact_acc(&self) -> f32 {
+        self.exact as f32 / self.total.max(1) as f32
+    }
+
+    /// Execution accuracy.
+    pub fn exec_acc(&self) -> f32 {
+        self.exec as f32 / self.total.max(1) as f32
+    }
+
+    /// Fraction of predictions that were valid SQL.
+    pub fn valid_frac(&self) -> f32 {
+        self.valid as f32 / self.total.max(1) as f32
+    }
+
+    fn add(&mut self, other: &Metrics) {
+        self.total += other.total;
+        self.valid += other.valid;
+        self.exact += other.exact;
+        self.exec += other.exec;
+    }
+}
+
+/// Scores one prediction against a gold example.
+pub fn score_one(prediction: Option<&str>, gold: &Example, catalog: &Catalog) -> Metrics {
+    let mut m = Metrics {
+        total: 1,
+        ..Default::default()
+    };
+    let Some(pred) = prediction else {
+        return m;
+    };
+    let Ok(pred_ast) = parse(pred) else {
+        return m;
+    };
+    m.valid = 1;
+    let canonical = pred_ast.to_string();
+    let gold_canonical = parse(&gold.sql)
+        .expect("gold SQL must parse")
+        .to_string();
+    if canonical == gold_canonical {
+        m.exact = 1;
+    }
+    let (Ok(pred_rs), Ok(gold_rs)) = (run_sql(pred, catalog), run_sql(&gold.sql, catalog)) else {
+        return m;
+    };
+    if pred_rs.same_bag(&gold_rs) {
+        m.exec = 1;
+    }
+    m
+}
+
+/// Evaluates a translation function over a set of examples, reporting
+/// aggregate metrics and a per-tier breakdown.
+pub fn evaluate(
+    mut translate: impl FnMut(&Example) -> Option<String>,
+    examples: &[Example],
+    catalog: &Catalog,
+) -> (Metrics, BTreeMap<Tier, Metrics>) {
+    let mut total = Metrics::default();
+    let mut by_tier: BTreeMap<Tier, Metrics> = BTreeMap::new();
+    for ex in examples {
+        let pred = translate(ex);
+        let m = score_one(pred.as_deref(), ex, catalog);
+        total.add(&m);
+        by_tier.entry(ex.tier).or_default().add(&m);
+    }
+    (total, by_tier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::generate;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    #[test]
+    fn gold_scores_perfectly_against_itself() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let cat = d.catalog();
+        let exs = generate(&d, 20, 1);
+        let (m, by_tier) = evaluate(|ex| Some(ex.sql.clone()), &exs, &cat);
+        assert_eq!(m.total, 20);
+        assert_eq!(m.exact, 20);
+        assert_eq!(m.exec, 20);
+        assert_eq!(m.valid, 20);
+        assert!(!by_tier.is_empty());
+    }
+
+    #[test]
+    fn garbage_scores_zero_but_counts() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let cat = d.catalog();
+        let exs = generate(&d, 8, 2);
+        let (m, _) = evaluate(|_| Some("not sql at all".into()), &exs, &cat);
+        assert_eq!(m.total, 8);
+        assert_eq!(m.valid, 0);
+        assert_eq!(m.exact, 0);
+        assert_eq!(m.exec, 0);
+    }
+
+    #[test]
+    fn none_predictions_count_as_failures() {
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let cat = d.catalog();
+        let exs = generate(&d, 5, 3);
+        let (m, _) = evaluate(|_| None, &exs, &cat);
+        assert_eq!(m.total, 5);
+        assert_eq!(m.exact_acc(), 0.0);
+    }
+
+    #[test]
+    fn execution_match_can_exceed_exact_match() {
+        // A differently-written but semantically equal query: exec yes,
+        // exact no.
+        let d = make_domain(DomainKind::Employees, 25, 7);
+        let cat = d.catalog();
+        let gold = Example {
+            question: "q".into(),
+            sql: "SELECT name FROM employees WHERE (salary > 50)".into(),
+            tier: Tier::Medium,
+            domain: d.name.clone(),
+        };
+        let m = score_one(
+            Some("SELECT name FROM employees WHERE (50 < salary)"),
+            &gold,
+            &cat,
+        );
+        assert_eq!(m.exact, 0);
+        assert_eq!(m.exec, 1);
+    }
+
+    #[test]
+    fn whitespace_and_case_do_not_break_exact_match() {
+        let d = make_domain(DomainKind::Employees, 10, 7);
+        let cat = d.catalog();
+        let gold = Example {
+            question: "q".into(),
+            sql: "SELECT name FROM employees".into(),
+            tier: Tier::Easy,
+            domain: d.name.clone(),
+        };
+        let m = score_one(Some("select  name   from EMPLOYEES"), &gold, &cat);
+        assert_eq!(m.exact, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Question paraphrasing: rewrites canonical workload questions with
+//! synonym substitutions. The template baseline keys on exact phrasings, so
+//! paraphrased sets expose the robustness gap that motivates LM-based
+//! parsers (§2.5 of the tutorial).
+
+use lm4db_tensor::Rand;
+
+use crate::workload::Example;
+
+/// `(canonical phrase, paraphrases)` substitution table.
+const SUBSTITUTIONS: [(&str, &[&str]); 6] = [
+    ("show the", &["list the", "give me the", "display the"]),
+    ("how many", &["count the number of", "what is the number of"]),
+    ("more than", &["exceeding", "above"]),
+    ("less than", &["below", "under"]),
+    ("for each", &["per", "grouped by"]),
+    ("whose", &["where the", "with"]),
+];
+
+/// Rewrites `question`, replacing each known phrase with a random synonym
+/// with probability `rate`.
+pub fn paraphrase_question(question: &str, rate: f32, rng: &mut Rand) -> String {
+    let mut q = question.to_string();
+    for (canonical, alts) in SUBSTITUTIONS {
+        if q.contains(canonical) && rng.uniform() < rate {
+            let alt = alts[rng.below(alts.len())];
+            q = q.replace(canonical, alt);
+        }
+    }
+    q
+}
+
+/// Paraphrases a whole example set (gold SQL unchanged).
+pub fn paraphrase_examples(examples: &[Example], rate: f32, seed: u64) -> Vec<Example> {
+    let mut rng = Rand::seeded(seed);
+    examples
+        .iter()
+        .map(|ex| Example {
+            question: paraphrase_question(&ex.question, rate, &mut rng),
+            ..ex.clone()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::generate;
+    use lm4db_corpus::{make_domain, DomainKind};
+
+    #[test]
+    fn rate_zero_is_identity() {
+        let mut rng = Rand::seeded(1);
+        let q = "show the name of all employees";
+        assert_eq!(paraphrase_question(q, 0.0, &mut rng), q);
+    }
+
+    #[test]
+    fn rate_one_changes_known_phrases() {
+        let mut rng = Rand::seeded(2);
+        let q = paraphrase_question("how many employees have dept sales", 1.0, &mut rng);
+        assert!(!q.contains("how many"), "unchanged: {q}");
+    }
+
+    #[test]
+    fn paraphrased_set_keeps_gold_sql() {
+        let d = make_domain(DomainKind::Employees, 20, 7);
+        let exs = generate(&d, 12, 1);
+        let para = paraphrase_examples(&exs, 1.0, 9);
+        for (a, b) in exs.iter().zip(para.iter()) {
+            assert_eq!(a.sql, b.sql);
+            assert_eq!(a.tier, b.tier);
+        }
+        assert!(exs.iter().zip(para.iter()).any(|(a, b)| a.question != b.question));
+    }
+
+    #[test]
+    fn paraphrasing_is_deterministic() {
+        let d = make_domain(DomainKind::Employees, 20, 7);
+        let exs = generate(&d, 12, 1);
+        let a: Vec<String> = paraphrase_examples(&exs, 0.7, 5)
+            .into_iter()
+            .map(|e| e.question)
+            .collect();
+        let b: Vec<String> = paraphrase_examples(&exs, 0.7, 5)
+            .into_iter()
+            .map(|e| e.question)
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,251 @@
+//! Spider-style text-to-SQL workload generation: natural-language questions
+//! paired with gold SQL over the cross-domain tables from `lm4db-corpus`,
+//! stratified by query complexity.
+
+use lm4db_corpus::Domain;
+use lm4db_tensor::Rand;
+
+/// Query complexity tiers (mirroring Spider's easy/medium/hard/extra split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Projection, optionally with one equality filter.
+    Easy,
+    /// Numeric comparison filters and counting.
+    Medium,
+    /// Aggregation with GROUP BY, or superlatives via ORDER BY ... LIMIT 1.
+    Hard,
+    /// Joins against the lookup table.
+    Extra,
+}
+
+impl Tier {
+    /// All tiers, easiest first.
+    pub fn all() -> [Tier; 4] {
+        [Tier::Easy, Tier::Medium, Tier::Hard, Tier::Extra]
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Tier::Easy => "easy",
+            Tier::Medium => "medium",
+            Tier::Hard => "hard",
+            Tier::Extra => "extra",
+        }
+    }
+}
+
+/// One benchmark example.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// The natural-language question.
+    pub question: String,
+    /// The gold SQL (in our canonical dialect).
+    pub sql: String,
+    /// The complexity tier.
+    pub tier: Tier,
+    /// The domain name the example came from.
+    pub domain: String,
+}
+
+/// The numeric thresholds questions may mention. Keeping this pool small
+/// and round keeps the candidate-query space enumerable for the
+/// grammar-constrained decoder, mirroring how PICARD constrains literals to
+/// values recoverable from the question.
+pub const THRESHOLDS: [i64; 5] = [25, 50, 75, 100, 150];
+
+/// Generates `n` examples for `domain`, cycling through tiers and template
+/// variants deterministically (plus seeded value choices).
+pub fn generate(domain: &Domain, n: usize, seed: u64) -> Vec<Example> {
+    let mut rng = Rand::seeded(seed);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let tier = Tier::all()[i % 4];
+        out.push(example_for(domain, tier, &mut rng));
+    }
+    out
+}
+
+fn pick<'a, T>(items: &'a [T], rng: &mut Rand) -> &'a T {
+    &items[rng.below(items.len())]
+}
+
+fn example_for(domain: &Domain, tier: Tier, rng: &mut Rand) -> Example {
+    let table = &domain.table.name;
+    let key = &domain.key_col;
+    let entity = &domain.entity;
+    let make = |question: String, sql: String| Example {
+        question,
+        sql,
+        tier,
+        domain: domain.name.clone(),
+    };
+    match tier {
+        Tier::Easy => {
+            if rng.uniform() < 0.5 {
+                make(
+                    format!("show the {key} of all {entity}s"),
+                    format!("SELECT {key} FROM {table}"),
+                )
+            } else {
+                let col = pick(&domain.text_cols, rng).clone();
+                let vals = domain.distinct_text_values(&col);
+                let v = pick(&vals, rng).clone();
+                make(
+                    format!("show the {key} of {entity}s whose {col} is {v}"),
+                    format!("SELECT {key} FROM {table} WHERE ({col} = '{v}')"),
+                )
+            }
+        }
+        Tier::Medium => {
+            let col = pick(&domain.num_cols, rng).clone();
+            let t = *pick(&THRESHOLDS, rng);
+            if rng.uniform() < 0.5 {
+                let (word, op) = if rng.uniform() < 0.5 {
+                    ("more", ">")
+                } else {
+                    ("less", "<")
+                };
+                make(
+                    format!("show the {key} of {entity}s with {col} {word} than {t}"),
+                    format!("SELECT {key} FROM {table} WHERE ({col} {op} {t})"),
+                )
+            } else {
+                let tcol = pick(&domain.text_cols, rng).clone();
+                let vals = domain.distinct_text_values(&tcol);
+                let v = pick(&vals, rng).clone();
+                make(
+                    format!("how many {entity}s have {tcol} {v}"),
+                    format!("SELECT COUNT(*) FROM {table} WHERE ({tcol} = '{v}')"),
+                )
+            }
+        }
+        Tier::Hard => {
+            let col = pick(&domain.num_cols, rng).clone();
+            match rng.below(3) {
+                0 => {
+                    let gcol = pick(&domain.text_cols, rng).clone();
+                    make(
+                        format!("what is the average {col} of {entity}s for each {gcol}"),
+                        format!("SELECT {gcol}, AVG({col}) FROM {table} GROUP BY {gcol}"),
+                    )
+                }
+                1 => {
+                    let dir = if rng.uniform() < 0.5 {
+                        ("highest", "DESC")
+                    } else {
+                        ("lowest", "ASC")
+                    };
+                    make(
+                        format!("which {entity} has the {} {col}", dir.0),
+                        format!("SELECT {key} FROM {table} ORDER BY {col} {} LIMIT 1", dir.1),
+                    )
+                }
+                _ => make(
+                    format!("what is the maximum {col} of all {entity}s"),
+                    format!("SELECT MAX({col}) FROM {table}"),
+                ),
+            }
+        }
+        Tier::Extra => {
+            let (jcol, lcol) = &domain.join_on;
+            let lookup = &domain.lookup.name;
+            // A numeric column of the lookup table (skip the join key).
+            let lnum: Vec<String> = domain
+                .lookup
+                .schema
+                .columns()
+                .iter()
+                .filter(|c| c.name != *lcol)
+                .map(|c| c.name.clone())
+                .collect();
+            let lk = pick(&lnum, rng).clone();
+            let t = *pick(&THRESHOLDS, rng);
+            make(
+                format!(
+                    "show the {key} of {entity}s whose {jcol} has {lk} greater than {t}"
+                ),
+                format!(
+                    "SELECT t.{key} FROM {table} AS t JOIN {lookup} AS j ON (t.{jcol} = j.{lcol}) \
+                     WHERE (j.{lk} > {t})"
+                ),
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_corpus::{make_domain, DomainKind};
+    use lm4db_sql::{parse, run_sql};
+
+    fn domain() -> Domain {
+        make_domain(DomainKind::Employees, 30, 7)
+    }
+
+    #[test]
+    fn gold_sql_always_parses_and_executes() {
+        let d = domain();
+        let cat = d.catalog();
+        for ex in generate(&d, 40, 1) {
+            let parsed = parse(&ex.sql);
+            assert!(parsed.is_ok(), "gold SQL failed to parse: {}", ex.sql);
+            let rs = run_sql(&ex.sql, &cat);
+            assert!(rs.is_ok(), "gold SQL failed to execute: {}", ex.sql);
+        }
+    }
+
+    #[test]
+    fn gold_sql_is_canonical() {
+        // The printed parse of the gold SQL must equal the gold SQL itself,
+        // so exact-match comparison is meaningful.
+        let d = domain();
+        for ex in generate(&d, 40, 2) {
+            let reprinted = parse(&ex.sql).unwrap().to_string();
+            assert_eq!(reprinted, ex.sql, "gold not canonical");
+        }
+    }
+
+    #[test]
+    fn all_tiers_are_generated() {
+        let d = domain();
+        let exs = generate(&d, 16, 3);
+        for t in Tier::all() {
+            assert!(exs.iter().any(|e| e.tier == t), "missing tier {t:?}");
+        }
+    }
+
+    #[test]
+    fn questions_are_nonempty_and_lowercase() {
+        let d = domain();
+        for ex in generate(&d, 20, 4) {
+            assert!(!ex.question.is_empty());
+            assert_eq!(ex.question, ex.question.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = domain();
+        let a: Vec<String> = generate(&d, 10, 5).into_iter().map(|e| e.sql).collect();
+        let b: Vec<String> = generate(&d, 10, 5).into_iter().map(|e| e.sql).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn works_across_all_domains() {
+        for kind in DomainKind::all() {
+            let d = make_domain(kind, 20, 9);
+            let cat = d.catalog();
+            for ex in generate(&d, 12, 6) {
+                assert!(
+                    run_sql(&ex.sql, &cat).is_ok(),
+                    "domain {} gold failed: {}",
+                    d.name,
+                    ex.sql
+                );
+            }
+        }
+    }
+}

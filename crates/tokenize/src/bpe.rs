@@ -1,0 +1,305 @@
+//! Byte-pair encoding in the style of Sennrich et al. (and the GPT family):
+//! characters as base symbols, an explicit `</w>` end-of-word marker, and a
+//! learned, ordered list of merges.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pretokenize::{detokenize, pretokenize};
+use crate::vocab::Vocab;
+use crate::Tokenizer;
+
+/// End-of-word marker appended to each word's final symbol.
+pub const EOW: &str = "</w>";
+
+/// A trained byte-pair encoder.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Bpe {
+    vocab: Vocab,
+    merges: Vec<(String, String)>,
+    #[serde(skip)]
+    ranks: HashMap<(String, String), usize>,
+    #[serde(skip)]
+    cache: Mutex<HashMap<String, Vec<usize>>>,
+}
+
+impl Clone for Bpe {
+    fn clone(&self) -> Self {
+        let mut b = Bpe {
+            vocab: self.vocab.clone(),
+            merges: self.merges.clone(),
+            ranks: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+        };
+        b.rebuild_index();
+        b
+    }
+}
+
+/// Decomposes a word into its base symbols: one per character, with the
+/// final character carrying the end-of-word marker.
+fn base_symbols(word: &str) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    let n = chars.len();
+    chars
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i + 1 == n {
+                format!("{c}{EOW}")
+            } else {
+                c.to_string()
+            }
+        })
+        .collect()
+}
+
+impl Bpe {
+    /// Trains a BPE model on `lines`, growing the vocabulary (specials and
+    /// base characters included) up to `vocab_size`. Merges whose best pair
+    /// occurs fewer than 2 times are not learned.
+    pub fn train<'a>(lines: impl IntoIterator<Item = &'a str>, vocab_size: usize) -> Self {
+        // Word frequency table.
+        let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
+        for line in lines {
+            for unit in pretokenize(line) {
+                *word_freq.entry(base_symbols(&unit)).or_insert(0) += 1;
+            }
+        }
+
+        let mut vocab = Vocab::new();
+        // Register BOTH variants (plain and end-of-word) of every character
+        // so that any word over known characters can be encoded, even when a
+        // character was never observed in that position during training.
+        let mut chars: Vec<char> = word_freq
+            .keys()
+            .flatten()
+            .flat_map(|s| s.trim_end_matches(EOW).chars())
+            .collect();
+        chars.sort_unstable();
+        chars.dedup();
+        for c in chars {
+            vocab.add(&c.to_string());
+            vocab.add(&format!("{c}{EOW}"));
+        }
+
+        let mut words: Vec<(Vec<String>, u64)> = word_freq.into_iter().collect();
+        words.sort(); // determinism independent of hash order
+        let mut merges = Vec::new();
+
+        while vocab.len() < vocab_size {
+            // Count adjacent pairs.
+            let mut pair_freq: HashMap<(&str, &str), u64> = HashMap::new();
+            for (syms, freq) in &words {
+                for w in syms.windows(2) {
+                    *pair_freq.entry((w[0].as_str(), w[1].as_str())).or_insert(0) += freq;
+                }
+            }
+            let Some(((a, b), best)) = pair_freq
+                .into_iter()
+                .max_by(|x, y| x.1.cmp(&y.1).then_with(|| y.0.cmp(&x.0)))
+            else {
+                break;
+            };
+            if best < 2 {
+                break;
+            }
+            let (a, b) = (a.to_string(), b.to_string());
+            let merged = format!("{a}{b}");
+            vocab.add(&merged);
+            // Apply the merge to every word.
+            for (syms, _) in words.iter_mut() {
+                let mut i = 0;
+                while i + 1 < syms.len() {
+                    if syms[i] == a && syms[i + 1] == b {
+                        syms[i] = merged.clone();
+                        syms.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            merges.push((a, b));
+        }
+
+        let mut bpe = Bpe {
+            vocab,
+            merges,
+            ranks: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+        };
+        bpe.rebuild_index();
+        bpe
+    }
+
+    /// Rebuilds derived lookup structures (after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.vocab.rebuild_index();
+        self.ranks = self
+            .merges
+            .iter()
+            .enumerate()
+            .map(|(i, (a, b))| ((a.clone(), b.clone()), i))
+            .collect();
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// The learned merge rules, in application order.
+    pub fn merges(&self) -> &[(String, String)] {
+        &self.merges
+    }
+
+    /// Encodes a single pre-tokenized word into token ids.
+    fn encode_word(&self, word: &str) -> Vec<usize> {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(word) {
+            return hit.clone();
+        }
+        let mut syms = base_symbols(word);
+        // Repeatedly apply the lowest-rank applicable merge.
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (rank, position)
+            for i in 0..syms.len().saturating_sub(1) {
+                if let Some(&rank) = self
+                    .ranks
+                    .get(&(syms[i].clone(), syms[i + 1].clone()))
+                {
+                    if best.map(|(r, _)| rank < r).unwrap_or(true) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            syms[i] = format!("{}{}", syms[i], syms[i + 1]);
+            syms.remove(i + 1);
+        }
+        let ids: Vec<usize> = syms.iter().map(|s| self.vocab.id_or_unk(s)).collect();
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(word.to_string(), ids.clone());
+        ids
+    }
+}
+
+impl Tokenizer for Bpe {
+    fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    fn encode(&self, text: &str) -> Vec<usize> {
+        pretokenize(text)
+            .iter()
+            .flat_map(|w| self.encode_word(w))
+            .collect()
+    }
+
+    fn decode(&self, ids: &[usize]) -> String {
+        let mut units: Vec<String> = Vec::new();
+        let mut current = String::new();
+        for &id in ids {
+            if self.vocab.is_special(id) {
+                continue;
+            }
+            let tok = self.vocab.token(id);
+            if let Some(stem) = tok.strip_suffix(EOW) {
+                current.push_str(stem);
+                units.push(std::mem::take(&mut current));
+            } else {
+                current.push_str(tok);
+            }
+        }
+        if !current.is_empty() {
+            units.push(current);
+        }
+        detokenize(&units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::UNK;
+
+    const CORPUS: [&str; 4] = [
+        "the lower the better for lower latency",
+        "lowest of the low lower bounds",
+        "newer models are better than older models",
+        "low latency newer lower bounds",
+    ];
+
+    #[test]
+    fn training_learns_frequent_merges() {
+        let bpe = Bpe::train(CORPUS, 100);
+        assert!(!bpe.merges().is_empty(), "no merges learned");
+        // "low" appears often enough that "lo" or "ow"-ish merges exist.
+        let has_multi_char = bpe
+            .vocab()
+            .iter()
+            .any(|(_, t)| t.trim_end_matches(EOW).chars().count() > 1);
+        assert!(has_multi_char, "vocabulary has no merged symbols");
+    }
+
+    #[test]
+    fn roundtrip_on_training_text() {
+        let bpe = Bpe::train(CORPUS, 200);
+        for line in CORPUS {
+            assert_eq!(bpe.decode(&bpe.encode(line)), line);
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_unseen_text_with_known_chars() {
+        let bpe = Bpe::train(CORPUS, 200);
+        let text = "the newest model lowers latency";
+        assert_eq!(bpe.decode(&bpe.encode(text)), text);
+    }
+
+    #[test]
+    fn unknown_characters_become_unk() {
+        let bpe = Bpe::train(CORPUS, 100);
+        let ids = bpe.encode("…");
+        assert_eq!(ids, vec![UNK]);
+    }
+
+    #[test]
+    fn vocab_size_is_respected() {
+        let big = Bpe::train(CORPUS, 1000);
+        // Training stops when no frequent pairs remain, below the cap.
+        assert!(big.vocab().len() <= 1000);
+        let small = Bpe::train(CORPUS, 30);
+        assert!(small.vocab().len() <= 30 || small.merges().is_empty());
+    }
+
+    #[test]
+    fn more_merges_yield_fewer_tokens() {
+        let small = Bpe::train(CORPUS, 30);
+        let big = Bpe::train(CORPUS, 300);
+        let text = "lower latency models";
+        assert!(big.encode(text).len() <= small.encode(text).len());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = Bpe::train(CORPUS, 120);
+        let b = Bpe::train(CORPUS, 120);
+        assert_eq!(a.merges(), b.merges());
+        assert_eq!(a.encode("lower bounds"), b.encode("lower bounds"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let bpe = Bpe::train(CORPUS, 100);
+        let json = serde_json::to_string(&bpe).unwrap();
+        let mut back: Bpe = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.encode("lower the better"), bpe.encode("lower the better"));
+    }
+
+    #[test]
+    fn punctuation_roundtrip() {
+        let bpe = Bpe::train(["a, b. c! d?"], 100);
+        assert_eq!(bpe.decode(&bpe.encode("a, b.")), "a, b.");
+    }
+}

@@ -1,0 +1,120 @@
+//! # lm4db-tokenize
+//!
+//! Trainable subword tokenizers for the LM4DB stack: **BPE** (as used by the
+//! GPT family the tutorial demonstrates) and **WordPiece** (as used by
+//! BERT), over a shared [`Vocab`] with fixed special-token ids.
+//!
+//! ```
+//! use lm4db_tokenize::{Bpe, Tokenizer};
+//!
+//! let bpe = Bpe::train(["select name from people", "select age from people"], 100);
+//! let ids = bpe.encode("select age");
+//! assert_eq!(bpe.decode(&ids), "select age");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bpe;
+pub mod pretokenize;
+pub mod vocab;
+pub mod wordpiece;
+
+pub use bpe::Bpe;
+pub use vocab::{Vocab, BOS, CLS, EOS, MASK, PAD, SEP, UNK};
+pub use wordpiece::WordPiece;
+
+/// Common interface of all LM4DB tokenizers.
+pub trait Tokenizer: Send + Sync {
+    /// The vocabulary backing this tokenizer.
+    fn vocab(&self) -> &Vocab;
+
+    /// Encodes text into token ids (no special tokens added).
+    fn encode(&self, text: &str) -> Vec<usize>;
+
+    /// Decodes token ids back into display text, skipping special tokens.
+    fn decode(&self, ids: &[usize]) -> String;
+
+    /// Encodes text and frames it GPT-style: `[BOS] tokens [EOS]`.
+    fn encode_causal(&self, text: &str) -> Vec<usize> {
+        let mut ids = vec![BOS];
+        ids.extend(self.encode(text));
+        ids.push(EOS);
+        ids
+    }
+
+    /// Encodes one or two segments BERT-style:
+    /// `[CLS] a [SEP]` or `[CLS] a [SEP] b [SEP]`.
+    fn encode_pair(&self, a: &str, b: Option<&str>) -> Vec<usize> {
+        let mut ids = vec![CLS];
+        ids.extend(self.encode(a));
+        ids.push(SEP);
+        if let Some(b) = b {
+            ids.extend(self.encode(b));
+            ids.push(SEP);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_framing() {
+        let bpe = Bpe::train(["hello world"], 50);
+        let ids = bpe.encode_causal("hello");
+        assert_eq!(ids.first(), Some(&BOS));
+        assert_eq!(ids.last(), Some(&EOS));
+    }
+
+    #[test]
+    fn pair_framing() {
+        let wp = WordPiece::train(["hello world"], 50);
+        let ids = wp.encode_pair("hello", Some("world"));
+        assert_eq!(ids.first(), Some(&CLS));
+        assert_eq!(ids.iter().filter(|&&i| i == SEP).count(), 2);
+        let single = wp.encode_pair("hello", None);
+        assert_eq!(single.iter().filter(|&&i| i == SEP).count(), 1);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let bpe = Bpe::train(["a b c"], 50);
+        let t: &dyn Tokenizer = &bpe;
+        assert_eq!(t.decode(&t.encode("a b")), "a b");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple_text() -> impl Strategy<Value = String> {
+        // Words over a small alphabet, single-space separated.
+        prop::collection::vec("[abcdef]{1,8}", 1..8).prop_map(|ws| ws.join(" "))
+    }
+
+    proptest! {
+        #[test]
+        fn bpe_roundtrips_known_alphabet(text in simple_text()) {
+            let bpe = Bpe::train(["abcdef abc def fed cba"], 200);
+            prop_assert_eq!(bpe.decode(&bpe.encode(&text)), text);
+        }
+
+        #[test]
+        fn wordpiece_roundtrips_known_alphabet(text in simple_text()) {
+            let wp = WordPiece::train(["abcdef abc def fed cba"], 200);
+            prop_assert_eq!(wp.decode(&wp.encode(&text)), text);
+        }
+
+        #[test]
+        fn encode_never_panics_on_arbitrary_text(text in ".{0,60}") {
+            let bpe = Bpe::train(["hello world"], 60);
+            let wp = WordPiece::train(["hello world"], 60);
+            let _ = bpe.encode(&text);
+            let _ = wp.encode(&text);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Pre-tokenization: splitting raw text into word-level units before
+//! subword encoding.
+
+/// Splits text into lowercase word and punctuation units.
+///
+/// Rules:
+/// * Unicode whitespace separates units and is discarded.
+/// * Each run of alphanumeric characters (plus `_`) is one unit.
+/// * Every other character is its own single-character unit.
+///
+/// This matches the BERT "basic tokenizer" closely enough for our synthetic
+/// corpora while staying trivially reversible (units are joined with single
+/// spaces on decode).
+pub fn pretokenize(text: &str) -> Vec<String> {
+    let mut units = Vec::new();
+    let mut word = String::new();
+    for c in text.chars() {
+        if c.is_whitespace() {
+            if !word.is_empty() {
+                units.push(std::mem::take(&mut word));
+            }
+        } else if c.is_alphanumeric() || c == '_' {
+            for lc in c.to_lowercase() {
+                word.push(lc);
+            }
+        } else {
+            if !word.is_empty() {
+                units.push(std::mem::take(&mut word));
+            }
+            units.push(c.to_string());
+        }
+    }
+    if !word.is_empty() {
+        units.push(word);
+    }
+    units
+}
+
+/// Joins pre-tokenized units back into a display string: words separated by
+/// spaces, with no space before common trailing punctuation.
+pub fn detokenize(units: &[String]) -> String {
+    let mut out = String::new();
+    for u in units {
+        let is_tight_punct =
+            u.len() == 1 && matches!(u.chars().next(), Some(',' | '.' | ';' | ':' | '?' | '!' | ')'));
+        if !out.is_empty() && !is_tight_punct {
+            out.push(' ');
+        }
+        out.push_str(u);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(s: &str) -> Vec<String> {
+        pretokenize(s)
+    }
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(pt("hello  world"), vec!["hello", "world"]);
+        assert_eq!(pt("  leading trailing  "), vec!["leading", "trailing"]);
+    }
+
+    #[test]
+    fn punctuation_is_isolated() {
+        assert_eq!(pt("hi, there!"), vec!["hi", ",", "there", "!"]);
+        assert_eq!(pt("a=b"), vec!["a", "=", "b"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(pt("SELECT Name"), vec!["select", "name"]);
+    }
+
+    #[test]
+    fn keeps_underscores_and_digits_in_words() {
+        assert_eq!(pt("col_1 x2"), vec!["col_1", "x2"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(pt("").is_empty());
+        assert!(pt("   ").is_empty());
+    }
+
+    #[test]
+    fn detokenize_spaces_words_and_tightens_punctuation() {
+        let units: Vec<String> = ["hello", ",", "world", "!"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(detokenize(&units), "hello, world!");
+    }
+
+    #[test]
+    fn roundtrip_for_simple_text() {
+        let text = "the cat sat on the mat";
+        assert_eq!(detokenize(&pretokenize(text)), text);
+    }
+}

@@ -1,0 +1,175 @@
+//! Token vocabulary with reserved special tokens.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The special tokens every LM4DB tokenizer reserves, in fixed id order.
+///
+/// * `[PAD]` — padding (id 0, so zero-initialized id buffers are padding)
+/// * `[UNK]` — unknown / out-of-vocabulary
+/// * `[BOS]` — beginning of sequence (GPT-style)
+/// * `[EOS]` — end of sequence
+/// * `[CLS]` — classification position (BERT-style)
+/// * `[SEP]` — segment separator (BERT-style)
+/// * `[MASK]` — masked-LM target marker
+pub const SPECIAL_TOKENS: [&str; 7] = [
+    "[PAD]", "[UNK]", "[BOS]", "[EOS]", "[CLS]", "[SEP]", "[MASK]",
+];
+
+/// Id of `[PAD]`.
+pub const PAD: usize = 0;
+/// Id of `[UNK]`.
+pub const UNK: usize = 1;
+/// Id of `[BOS]`.
+pub const BOS: usize = 2;
+/// Id of `[EOS]`.
+pub const EOS: usize = 3;
+/// Id of `[CLS]`.
+pub const CLS: usize = 4;
+/// Id of `[SEP]`.
+pub const SEP: usize = 5;
+/// Id of `[MASK]`.
+pub const MASK: usize = 6;
+
+/// Bidirectional token ↔ id map. Ids `0..7` are always the special tokens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    #[serde(skip)]
+    ids: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let mut v = Vocab {
+            tokens: Vec::new(),
+            ids: HashMap::new(),
+        };
+        for t in SPECIAL_TOKENS {
+            v.add(t);
+        }
+        v
+    }
+
+    /// Adds a token if absent; returns its id either way.
+    pub fn add(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.tokens.push(token.to_string());
+        self.ids.insert(token.to_string(), id);
+        id
+    }
+
+    /// Looks up a token's id.
+    pub fn id(&self, token: &str) -> Option<usize> {
+        self.ids.get(token).copied()
+    }
+
+    /// Looks up a token's id, falling back to `[UNK]`.
+    pub fn id_or_unk(&self, token: &str) -> usize {
+        self.id(token).unwrap_or(UNK)
+    }
+
+    /// The token string for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn token(&self, id: usize) -> &str {
+        &self.tokens[id]
+    }
+
+    /// Number of tokens, including specials.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Always false: a vocabulary at least holds its special tokens.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if `id` refers to one of the reserved special tokens.
+    pub fn is_special(&self, id: usize) -> bool {
+        id < SPECIAL_TOKENS.len()
+    }
+
+    /// Iterates over `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.tokens.iter().enumerate().map(|(i, t)| (i, t.as_str()))
+    }
+
+    /// Rebuilds the reverse index; needed after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.ids = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Vocab::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let v = Vocab::new();
+        assert_eq!(v.id("[PAD]"), Some(PAD));
+        assert_eq!(v.id("[UNK]"), Some(UNK));
+        assert_eq!(v.id("[BOS]"), Some(BOS));
+        assert_eq!(v.id("[EOS]"), Some(EOS));
+        assert_eq!(v.id("[CLS]"), Some(CLS));
+        assert_eq!(v.id("[SEP]"), Some(SEP));
+        assert_eq!(v.id("[MASK]"), Some(MASK));
+        assert_eq!(v.len(), 7);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("hello");
+        let b = v.add("hello");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.token(a), "hello");
+    }
+
+    #[test]
+    fn unknown_tokens_fall_back_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.id_or_unk("nope"), UNK);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_rebuilt_index() {
+        let mut v = Vocab::new();
+        v.add("alpha");
+        v.add("beta");
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.id("alpha"), v.id("alpha"));
+        assert_eq!(back.id("beta"), v.id("beta"));
+        assert_eq!(back.len(), v.len());
+    }
+
+    #[test]
+    fn is_special_boundary() {
+        let mut v = Vocab::new();
+        let id = v.add("word");
+        assert!(v.is_special(MASK));
+        assert!(!v.is_special(id));
+    }
+}

@@ -1,0 +1,253 @@
+//! WordPiece tokenization in the style of BERT: greedy longest-match-first
+//! subword segmentation with `##` continuation markers.
+//!
+//! Training uses pair merging like BPE but scores candidate merges by
+//! `count(ab) / (count(a) * count(b))` — the likelihood-ratio criterion that
+//! distinguishes WordPiece training from plain frequency-based BPE.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pretokenize::{detokenize, pretokenize};
+use crate::vocab::{Vocab, UNK};
+use crate::Tokenizer;
+
+/// Continuation prefix for non-initial subwords.
+pub const CONT: &str = "##";
+
+/// A trained WordPiece model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordPiece {
+    vocab: Vocab,
+    /// Longest token length in characters (bounds the greedy search).
+    max_token_chars: usize,
+}
+
+fn word_symbols(word: &str) -> Vec<String> {
+    word.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == 0 {
+                c.to_string()
+            } else {
+                format!("{CONT}{c}")
+            }
+        })
+        .collect()
+}
+
+/// Concatenation of two adjacent symbols: the continuation prefix of the
+/// right-hand symbol is absorbed.
+fn join_symbols(a: &str, b: &str) -> String {
+    format!("{a}{}", b.strip_prefix(CONT).unwrap_or(b))
+}
+
+impl WordPiece {
+    /// Trains a WordPiece vocabulary of at most `vocab_size` entries on
+    /// `lines`.
+    pub fn train<'a>(lines: impl IntoIterator<Item = &'a str>, vocab_size: usize) -> Self {
+        let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
+        for line in lines {
+            for unit in pretokenize(line) {
+                *word_freq.entry(word_symbols(&unit)).or_insert(0) += 1;
+            }
+        }
+
+        let mut vocab = Vocab::new();
+        // Register BOTH variants (word-initial and continuation) of every
+        // character so any word over known characters segments without UNK,
+        // regardless of where the character appeared in training words.
+        let mut chars: Vec<char> = word_freq
+            .keys()
+            .flatten()
+            .flat_map(|s| s.trim_start_matches(CONT).chars())
+            .collect();
+        chars.sort_unstable();
+        chars.dedup();
+        for c in chars {
+            vocab.add(&c.to_string());
+            vocab.add(&format!("{CONT}{c}"));
+        }
+
+        let mut words: Vec<(Vec<String>, u64)> = word_freq.into_iter().collect();
+        words.sort();
+
+        while vocab.len() < vocab_size {
+            let mut sym_freq: HashMap<&str, u64> = HashMap::new();
+            let mut pair_freq: HashMap<(&str, &str), u64> = HashMap::new();
+            for (syms, freq) in &words {
+                for s in syms {
+                    *sym_freq.entry(s.as_str()).or_insert(0) += freq;
+                }
+                for w in syms.windows(2) {
+                    *pair_freq.entry((w[0].as_str(), w[1].as_str())).or_insert(0) += freq;
+                }
+            }
+            // Likelihood score; ties broken lexicographically for determinism.
+            let best = pair_freq
+                .iter()
+                .filter(|(_, &c)| c >= 2)
+                .map(|(&(a, b), &c)| {
+                    let score = c as f64 / (sym_freq[a] as f64 * sym_freq[b] as f64);
+                    ((a, b), score)
+                })
+                .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap().then_with(|| y.0.cmp(&x.0)));
+            let Some(((a, b), _)) = best else { break };
+            let (a, b) = (a.to_string(), b.to_string());
+            let merged = join_symbols(&a, &b);
+            vocab.add(&merged);
+            for (syms, _) in words.iter_mut() {
+                let mut i = 0;
+                while i + 1 < syms.len() {
+                    if syms[i] == a && syms[i + 1] == b {
+                        syms[i] = merged.clone();
+                        syms.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let max_token_chars = vocab
+            .iter()
+            .map(|(_, t)| t.chars().count())
+            .max()
+            .unwrap_or(1);
+        WordPiece {
+            vocab,
+            max_token_chars,
+        }
+    }
+
+    /// Rebuilds derived indexes after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.vocab.rebuild_index();
+    }
+
+    /// Greedy longest-match segmentation of one word. Returns `None` when
+    /// some position cannot be matched (the whole word becomes `[UNK]`).
+    fn segment(&self, word: &str) -> Option<Vec<usize>> {
+        let chars: Vec<char> = word.chars().collect();
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < chars.len() {
+            let budget = (chars.len() - start).min(self.max_token_chars);
+            let mut matched = None;
+            for end in (start + 1..=start + budget).rev() {
+                let piece: String = chars[start..end].iter().collect();
+                let candidate = if start == 0 {
+                    piece
+                } else {
+                    format!("{CONT}{piece}")
+                };
+                if let Some(id) = self.vocab.id(&candidate) {
+                    matched = Some((id, end));
+                    break;
+                }
+            }
+            let (id, end) = matched?;
+            out.push(id);
+            start = end;
+        }
+        Some(out)
+    }
+}
+
+impl Tokenizer for WordPiece {
+    fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    fn encode(&self, text: &str) -> Vec<usize> {
+        pretokenize(text)
+            .iter()
+            .flat_map(|w| self.segment(w).unwrap_or_else(|| vec![UNK]))
+            .collect()
+    }
+
+    fn decode(&self, ids: &[usize]) -> String {
+        let mut units: Vec<String> = Vec::new();
+        for &id in ids {
+            if self.vocab.is_special(id) {
+                continue;
+            }
+            let tok = self.vocab.token(id);
+            if let Some(cont) = tok.strip_prefix(CONT) {
+                if let Some(last) = units.last_mut() {
+                    last.push_str(cont);
+                    continue;
+                }
+            }
+            units.push(tok.to_string());
+        }
+        detokenize(&units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORPUS: [&str; 4] = [
+        "running runner runs ran",
+        "jumping jumper jumps",
+        "the runner was running and jumping",
+        "runs and jumps in the running track",
+    ];
+
+    #[test]
+    fn roundtrip_on_training_text() {
+        let wp = WordPiece::train(CORPUS, 200);
+        for line in CORPUS {
+            assert_eq!(wp.decode(&wp.encode(line)), line);
+        }
+    }
+
+    #[test]
+    fn continuation_tokens_have_prefix() {
+        let wp = WordPiece::train(CORPUS, 60);
+        let has_cont = wp.vocab().iter().any(|(_, t)| t.starts_with(CONT));
+        assert!(has_cont, "no continuation subwords learned");
+    }
+
+    #[test]
+    fn unseen_word_with_known_chars_segments() {
+        let wp = WordPiece::train(CORPUS, 200);
+        // "runnings" is not in the corpus but decomposes into known pieces.
+        let ids = wp.encode("runnings");
+        assert!(!ids.contains(&UNK), "should segment without UNK: {ids:?}");
+        assert_eq!(wp.decode(&ids), "runnings");
+    }
+
+    #[test]
+    fn unknown_chars_yield_unk() {
+        let wp = WordPiece::train(CORPUS, 100);
+        assert_eq!(wp.encode("Ω"), vec![UNK]);
+    }
+
+    #[test]
+    fn greedy_prefers_longest_match() {
+        let wp = WordPiece::train(CORPUS, 300);
+        // Whole words seen often should be single tokens once merged fully.
+        let the = wp.encode("the");
+        assert_eq!(the.len(), 1, "'the' should be one token, got {the:?}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = WordPiece::train(CORPUS, 150);
+        let b = WordPiece::train(CORPUS, 150);
+        assert_eq!(a.encode("running jumps"), b.encode("running jumps"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let wp = WordPiece::train(CORPUS, 100);
+        let json = serde_json::to_string(&wp).unwrap();
+        let mut back: WordPiece = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.encode("runner runs"), wp.encode("runner runs"));
+    }
+}

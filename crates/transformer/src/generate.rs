@@ -1,0 +1,484 @@
+//! Decoding strategies: greedy, temperature/top-k/top-p sampling, beam
+//! search — all with optional **constrained decoding** in the style of
+//! PICARD (Scholak et al., EMNLP 2021): at every step a [`Constraint`] may
+//! veto tokens, and only permitted tokens can be emitted.
+
+use lm4db_tensor::Rand;
+
+/// Anything that can score the next token given a prefix. Implemented by
+/// [`crate::GptModel`], [`crate::RnnLm`], and the n-gram model in
+/// `lm4db-lm`.
+pub trait NextToken {
+    /// Size of the logit vector.
+    fn vocab_size(&self) -> usize;
+
+    /// Unnormalized next-token logits for `prefix` (must be non-empty).
+    fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32>;
+}
+
+/// A decoding-time veto over candidate tokens.
+///
+/// `allowed(prefix, token)` is consulted for every candidate continuation;
+/// returning `false` removes the token from consideration at this step.
+pub trait Constraint {
+    /// May `token` follow `prefix`?
+    fn allowed(&self, prefix: &[usize], token: usize) -> bool;
+}
+
+/// The trivial constraint that permits everything.
+pub struct Unconstrained;
+
+impl Constraint for Unconstrained {
+    fn allowed(&self, _prefix: &[usize], _token: usize) -> bool {
+        true
+    }
+}
+
+impl<F: Fn(&[usize], usize) -> bool> Constraint for F {
+    fn allowed(&self, prefix: &[usize], token: usize) -> bool {
+        self(prefix, token)
+    }
+}
+
+/// Options controlling [`sample`].
+#[derive(Debug, Clone)]
+pub struct SampleOptions {
+    /// Softmax temperature; lower is greedier. Must be positive.
+    pub temperature: f32,
+    /// Keep only the `k` most likely tokens (0 disables).
+    pub top_k: usize,
+    /// Keep the smallest set of tokens with cumulative probability `p`
+    /// (1.0 disables).
+    pub top_p: f32,
+}
+
+impl Default for SampleOptions {
+    fn default() -> Self {
+        SampleOptions {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
+    }
+}
+
+fn apply_constraint(logits: &mut [f32], prefix: &[usize], constraint: &dyn Constraint) -> usize {
+    let mut allowed = 0;
+    for (tok, l) in logits.iter_mut().enumerate() {
+        if constraint.allowed(prefix, tok) {
+            allowed += 1;
+        } else {
+            *l = f32::NEG_INFINITY;
+        }
+    }
+    allowed
+}
+
+/// Greedy decoding: always pick the most likely permitted token. Stops at
+/// `stop` or after `max_new` tokens. Returns only the newly generated ids.
+pub fn greedy(
+    model: &mut dyn NextToken,
+    prefix: &[usize],
+    max_new: usize,
+    stop: usize,
+    constraint: &dyn Constraint,
+) -> Vec<usize> {
+    let mut seq = prefix.to_vec();
+    let mut out = Vec::new();
+    for _ in 0..max_new {
+        let mut logits = model.next_logits(&seq);
+        if apply_constraint(&mut logits, &seq, constraint) == 0 {
+            break; // dead end: no permitted continuation
+        }
+        let tok = argmax(&logits);
+        if tok == stop {
+            break;
+        }
+        seq.push(tok);
+        out.push(tok);
+    }
+    out
+}
+
+/// Stochastic decoding with temperature, top-k, and nucleus (top-p)
+/// filtering. Returns only the newly generated ids.
+pub fn sample(
+    model: &mut dyn NextToken,
+    prefix: &[usize],
+    max_new: usize,
+    stop: usize,
+    opts: &SampleOptions,
+    constraint: &dyn Constraint,
+    rng: &mut Rand,
+) -> Vec<usize> {
+    assert!(opts.temperature > 0.0, "temperature must be positive");
+    let mut seq = prefix.to_vec();
+    let mut out = Vec::new();
+    for _ in 0..max_new {
+        let mut logits = model.next_logits(&seq);
+        if apply_constraint(&mut logits, &seq, constraint) == 0 {
+            break;
+        }
+        for l in logits.iter_mut() {
+            *l /= opts.temperature;
+        }
+        let mut probs = softmax(&logits);
+        if opts.top_k > 0 {
+            keep_top_k(&mut probs, opts.top_k);
+        }
+        if opts.top_p < 1.0 {
+            keep_top_p(&mut probs, opts.top_p);
+        }
+        let tok = rng.weighted(&probs);
+        if tok == stop {
+            break;
+        }
+        seq.push(tok);
+        out.push(tok);
+    }
+    out
+}
+
+/// One finished or in-flight beam-search hypothesis.
+#[derive(Debug, Clone)]
+pub struct Hypothesis {
+    /// Full token sequence including the prefix.
+    pub ids: Vec<usize>,
+    /// Sum of token log-probabilities of the generated part.
+    pub log_prob: f32,
+    /// Whether the hypothesis ended with the stop token.
+    pub finished: bool,
+}
+
+/// Beam search with `width` beams. Returns hypotheses sorted by descending
+/// length-normalized log-probability. Constraint-vetoed tokens are never
+/// expanded, making this a complete PICARD-style constrained decoder.
+pub fn beam(
+    model: &mut dyn NextToken,
+    prefix: &[usize],
+    width: usize,
+    max_new: usize,
+    stop: usize,
+    constraint: &dyn Constraint,
+) -> Vec<Hypothesis> {
+    assert!(width > 0, "beam width must be positive");
+    let mut live = vec![Hypothesis {
+        ids: prefix.to_vec(),
+        log_prob: 0.0,
+        finished: false,
+    }];
+    let mut done: Vec<Hypothesis> = Vec::new();
+
+    for _ in 0..max_new {
+        let mut candidates: Vec<Hypothesis> = Vec::new();
+        for hyp in &live {
+            let mut logits = model.next_logits(&hyp.ids);
+            if apply_constraint(&mut logits, &hyp.ids, constraint) == 0 {
+                continue; // dead end — drop this beam
+            }
+            let log_probs = log_softmax(&logits);
+            // Expand the `width` best continuations of this hypothesis.
+            let mut order: Vec<usize> = (0..log_probs.len())
+                .filter(|&t| log_probs[t].is_finite())
+                .collect();
+            order.sort_by(|&a, &b| log_probs[b].total_cmp(&log_probs[a]));
+            for &tok in order.iter().take(width) {
+                let mut ids = hyp.ids.clone();
+                let lp = hyp.log_prob + log_probs[tok];
+                if tok == stop {
+                    done.push(Hypothesis {
+                        ids,
+                        log_prob: lp,
+                        finished: true,
+                    });
+                } else {
+                    ids.push(tok);
+                    candidates.push(Hypothesis {
+                        ids,
+                        log_prob: lp,
+                        finished: false,
+                    });
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| b.log_prob.total_cmp(&a.log_prob));
+        candidates.truncate(width);
+        live = candidates;
+        if done.len() >= width {
+            break;
+        }
+    }
+    done.extend(live);
+    let norm = |h: &Hypothesis| {
+        let gen_len = (h.ids.len() - prefix.len() + usize::from(h.finished)).max(1);
+        h.log_prob / gen_len as f32
+    };
+    done.sort_by(|a, b| norm(b).total_cmp(&norm(a)));
+    done.truncate(width);
+    done
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("argmax of empty slice")
+}
+
+fn softmax(xs: &[f32]) -> Vec<f32> {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn log_softmax(xs: &[f32]) -> Vec<f32> {
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let logsum = xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+    xs.iter().map(|&x| x - logsum).collect()
+}
+
+fn keep_top_k(probs: &mut [f32], k: usize) {
+    if k >= probs.len() {
+        return;
+    }
+    let mut sorted: Vec<f32> = probs.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let threshold = sorted[k - 1];
+    for p in probs.iter_mut() {
+        if *p < threshold {
+            *p = 0.0;
+        }
+    }
+}
+
+fn keep_top_p(probs: &mut [f32], p: f32) {
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
+    let mut cum = 0.0;
+    let mut cutoff = probs.len();
+    for (rank, &i) in order.iter().enumerate() {
+        cum += probs[i];
+        if cum >= p {
+            cutoff = rank + 1;
+            break;
+        }
+    }
+    for &i in &order[cutoff..] {
+        probs[i] = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake LM: token `t` gets logit `-(t as f32)` so lower
+    /// ids are always preferred, except the last prefix token `p` boosts
+    /// token `p + 1`.
+    struct FakeLm {
+        vocab: usize,
+    }
+
+    impl NextToken for FakeLm {
+        fn vocab_size(&self) -> usize {
+            self.vocab
+        }
+        fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
+            let mut l: Vec<f32> = (0..self.vocab).map(|t| -(t as f32)).collect();
+            let boost = prefix.last().unwrap() + 1;
+            if boost < self.vocab {
+                l[boost] = 10.0;
+            }
+            l
+        }
+    }
+
+    #[test]
+    fn greedy_follows_boosted_chain() {
+        let mut m = FakeLm { vocab: 10 };
+        let out = greedy(&mut m, &[3], 4, 99, &Unconstrained);
+        assert_eq!(out, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn greedy_stops_at_stop_token() {
+        let mut m = FakeLm { vocab: 10 };
+        let out = greedy(&mut m, &[6], 10, 8, &Unconstrained);
+        assert_eq!(out, vec![7]); // 8 would be next but is the stop token
+    }
+
+    #[test]
+    fn constraint_vetoes_tokens() {
+        let mut m = FakeLm { vocab: 10 };
+        // Forbid the boosted chain entirely: only even tokens allowed.
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2);
+        let out = greedy(&mut m, &[3], 3, 99, &even);
+        // Boosted token 4 is even (allowed); then 5 is vetoed so the best
+        // even token is chosen: 0 has the highest base logit.
+        assert_eq!(out[0], 4);
+        assert!(out.iter().all(|t| t % 2 == 0));
+    }
+
+    #[test]
+    fn dead_end_terminates_generation() {
+        let mut m = FakeLm { vocab: 10 };
+        let nothing = |_p: &[usize], _t: usize| false;
+        let out = greedy(&mut m, &[3], 5, 99, &nothing);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sampling_with_tiny_temperature_is_greedy() {
+        let mut m = FakeLm { vocab: 10 };
+        let mut rng = Rand::seeded(1);
+        let opts = SampleOptions {
+            temperature: 0.05,
+            ..Default::default()
+        };
+        let out = sample(&mut m, &[3], 4, 99, &opts, &Unconstrained, &mut rng);
+        assert_eq!(out, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn sampling_respects_constraint() {
+        let mut m = FakeLm { vocab: 10 };
+        let mut rng = Rand::seeded(2);
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2);
+        for _ in 0..5 {
+            let out = sample(
+                &mut m,
+                &[1],
+                6,
+                99,
+                &SampleOptions::default(),
+                &even,
+                &mut rng,
+            );
+            assert!(out.iter().all(|t| t % 2 == 0), "sampled odd token: {out:?}");
+        }
+    }
+
+    #[test]
+    fn top_k_filters_probabilities() {
+        let mut probs = vec![0.4, 0.3, 0.2, 0.1];
+        keep_top_k(&mut probs, 2);
+        assert_eq!(probs, vec![0.4, 0.3, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_p_keeps_nucleus() {
+        let mut probs = vec![0.5, 0.3, 0.15, 0.05];
+        keep_top_p(&mut probs, 0.8);
+        assert_eq!(probs, vec![0.5, 0.3, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn beam_finds_boosted_chain() {
+        let mut m = FakeLm { vocab: 10 };
+        let hyps = beam(&mut m, &[3], 3, 4, 99, &Unconstrained);
+        assert!(!hyps.is_empty());
+        assert_eq!(hyps[0].ids, vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn beam_respects_stop_token() {
+        let mut m = FakeLm { vocab: 10 };
+        let hyps = beam(&mut m, &[6], 2, 10, 8, &Unconstrained);
+        // Best hypothesis: 6 -> 7 -> stop(8), finished.
+        assert!(hyps[0].finished);
+        assert_eq!(hyps[0].ids, vec![6, 7]);
+    }
+
+    #[test]
+    fn beam_constrained_avoids_vetoed_tokens() {
+        let mut m = FakeLm { vocab: 10 };
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2);
+        let hyps = beam(&mut m, &[2], 2, 3, 99, &even);
+        for h in &hyps {
+            assert!(h.ids[1..].iter().all(|t| t % 2 == 0), "{:?}", h.ids);
+        }
+    }
+
+    #[test]
+    fn beam_log_probs_are_negative_and_ordered() {
+        let mut m = FakeLm { vocab: 10 };
+        let hyps = beam(&mut m, &[3], 4, 3, 99, &Unconstrained);
+        for h in &hyps {
+            assert!(h.log_prob <= 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Deterministic fake LM with a fixed logit profile per position.
+    struct ProfileLm {
+        vocab: usize,
+    }
+
+    impl NextToken for ProfileLm {
+        fn vocab_size(&self) -> usize {
+            self.vocab
+        }
+        fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
+            (0..self.vocab)
+                .map(|t| ((t * 31 + prefix.len() * 7) % 13) as f32 * 0.3)
+                .collect()
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_tokens_respect_arbitrary_constraints(
+            allowed_mask in prop::collection::vec(any::<bool>(), 12),
+            seed in 0u64..1000,
+        ) {
+            // Ensure something stays allowed (besides stop token 0).
+            let mut mask = allowed_mask;
+            mask[3] = true;
+            let mask_clone = mask.clone();
+            let constraint = move |_p: &[usize], t: usize| mask_clone[t];
+            let mut lm = ProfileLm { vocab: 12 };
+            let mut rng = lm4db_tensor::Rand::seeded(seed);
+            let out = sample(
+                &mut lm,
+                &[3],
+                6,
+                usize::MAX,
+                &SampleOptions::default(),
+                &constraint,
+                &mut rng,
+            );
+            for t in out {
+                prop_assert!(mask[t], "sampled a vetoed token {t}");
+            }
+        }
+
+        #[test]
+        fn beam_hypotheses_are_sorted_by_normalized_score(width in 1usize..5) {
+            let mut lm = ProfileLm { vocab: 12 };
+            let hyps = beam(&mut lm, &[1], width, 4, 0, &Unconstrained);
+            prop_assert!(!hyps.is_empty());
+            prop_assert!(hyps.len() <= width);
+            for h in &hyps {
+                prop_assert!(h.log_prob <= 0.0);
+            }
+        }
+
+        #[test]
+        fn greedy_is_deterministic(prefix in prop::collection::vec(1usize..12, 1..5)) {
+            let mut lm = ProfileLm { vocab: 12 };
+            let a = greedy(&mut lm, &prefix, 5, 0, &Unconstrained);
+            let b = greedy(&mut lm, &prefix, 5, 0, &Unconstrained);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! GPT-style decoder-only causal language model.
+//!
+//! This is the stand-in for the GPT-3 / Codex models the tutorial
+//! demonstrates: the architecture and training objective are identical in
+//! kind (causal next-token prediction over BPE tokens); only the scale is
+//! laptop-sized.
+
+use lm4db_tensor::{
+    clip_grad_norm, init, Adam, Bound, Graph, ParamId, ParamStore, Rand, Tensor, Var,
+    IGNORE_INDEX,
+};
+use lm4db_tokenize::PAD;
+
+use crate::config::ModelConfig;
+use crate::generate::NextToken;
+use crate::layers::{causal_mask, combine_masks, padding_mask, Block, LayerNorm, Linear};
+
+/// A decoder-only transformer language model.
+pub struct GptModel {
+    pub(crate) cfg: ModelConfig,
+    pub(crate) store: ParamStore,
+    pub(crate) tok_emb: ParamId,
+    pub(crate) pos_emb: ParamId,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) ln_f: LayerNorm,
+    pub(crate) head: Linear,
+    rng: Rand,
+}
+
+impl GptModel {
+    /// Builds a freshly initialized model (GPT-2 style normal init with
+    /// `std = 0.02` for embeddings, Xavier for projections).
+    pub fn new(cfg: ModelConfig, seed: u64) -> Self {
+        let mut rng = Rand::seeded(seed);
+        let mut store = ParamStore::new();
+        let tok_emb = store.add(
+            "tok_emb",
+            init::normal(&[cfg.vocab_size, cfg.d_model], 0.02, &mut rng),
+        );
+        let pos_emb = store.add(
+            "pos_emb",
+            init::normal(&[cfg.max_seq_len, cfg.d_model], 0.02, &mut rng),
+        );
+        let blocks = (0..cfg.n_layers)
+            .map(|i| Block::new(&mut store, &format!("block{i}"), &cfg, &mut rng))
+            .collect();
+        let ln_f = LayerNorm::new(&mut store, "ln_f", cfg.d_model);
+        let head = Linear::new(&mut store, "head", cfg.d_model, cfg.vocab_size, &mut rng);
+        GptModel {
+            cfg,
+            store,
+            tok_emb,
+            pos_emb,
+            blocks,
+            ln_f,
+            head,
+            rng,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.store.num_elements()
+    }
+
+    /// Read access to the parameter store (for checkpoints/inspection).
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Forward pass over a padded batch, returning the logits node
+    /// `[b, t, vocab]`. `lengths` gives each row's true length.
+    fn forward(
+        &mut self,
+        g: &mut Graph,
+        bound: &Bound,
+        ids: &[usize],
+        b: usize,
+        t: usize,
+        lengths: &[usize],
+        train: bool,
+    ) -> Var {
+        assert!(
+            t <= self.cfg.max_seq_len,
+            "sequence length {t} exceeds max_seq_len {}",
+            self.cfg.max_seq_len
+        );
+        let tok = g.embedding(bound.var(self.tok_emb), ids);
+        let tok = g.reshape(tok, &[b, t, self.cfg.d_model]);
+        let positions: Vec<usize> = (0..b).flat_map(|_| 0..t).collect();
+        let pos = g.embedding(bound.var(self.pos_emb), &positions);
+        let pos = g.reshape(pos, &[b, t, self.cfg.d_model]);
+        let mut x = g.add(tok, pos);
+
+        let causal = causal_mask(b, self.cfg.n_heads, t);
+        let mask = if lengths.iter().any(|&l| l < t) {
+            combine_masks(&causal, &padding_mask(lengths, self.cfg.n_heads, t))
+        } else {
+            causal
+        };
+        let mask = g.input(mask);
+
+        let dropout = if train { self.cfg.dropout } else { 0.0 };
+        for block in &self.blocks {
+            x = block.forward(g, bound, x, Some(mask), dropout, Some(&mut self.rng));
+        }
+        let x = self.ln_f.forward(g, bound, x);
+        self.head.forward(g, bound, x)
+    }
+
+    /// Pads a batch to a common length with `[PAD]`, returning
+    /// `(flat_ids, b, t, lengths)`.
+    fn pad_batch(batch: &[Vec<usize>]) -> (Vec<usize>, usize, usize, Vec<usize>) {
+        assert!(!batch.is_empty(), "empty batch");
+        let b = batch.len();
+        let t = batch.iter().map(Vec::len).max().unwrap();
+        let lengths: Vec<usize> = batch.iter().map(Vec::len).collect();
+        let mut flat = Vec::with_capacity(b * t);
+        for seq in batch {
+            flat.extend_from_slice(seq);
+            flat.extend(std::iter::repeat_n(PAD, t - seq.len()));
+        }
+        (flat, b, t, lengths)
+    }
+
+    /// Shifted next-token targets: `target[i] = ids[i+1]`, with padding and
+    /// each row's final position ignored.
+    fn causal_targets(flat: &[usize], b: usize, t: usize, lengths: &[usize]) -> Vec<usize> {
+        let mut targets = vec![IGNORE_INDEX; b * t];
+        for bi in 0..b {
+            for i in 0..lengths[bi].saturating_sub(1) {
+                targets[bi * t + i] = flat[bi * t + i + 1];
+            }
+        }
+        targets
+    }
+
+    /// Builds the scalar causal-LM loss over a batch.
+    fn loss_graph(&mut self, batch: &[Vec<usize>], train: bool) -> (Graph, Bound, Var) {
+        let (flat, b, t, lengths) = Self::pad_batch(batch);
+        let targets = Self::causal_targets(&flat, b, t, &lengths);
+        let mut g = Graph::new();
+        let bound = Bound::bind(&self.store, &mut g);
+        let logits = self.forward(&mut g, &bound, &flat, b, t, &lengths, train);
+        let logits2 = g.reshape(logits, &[b * t, self.cfg.vocab_size]);
+        let loss = g.cross_entropy(logits2, &targets);
+        (g, bound, loss)
+    }
+
+    /// One optimizer step on a batch; returns the loss value.
+    pub fn train_step(&mut self, batch: &[Vec<usize>], opt: &mut Adam) -> f32 {
+        let (mut g, bound, loss) = self.loss_graph(batch, true);
+        let loss_val = g.value(loss).item();
+        g.backward(loss);
+        let mut grads = bound.grads(&self.store, &g);
+        clip_grad_norm(&mut grads, 1.0);
+        opt.step(&mut self.store, &grads);
+        loss_val
+    }
+
+    /// Mean causal-LM loss on a batch without updating parameters.
+    pub fn eval_loss(&mut self, batch: &[Vec<usize>]) -> f32 {
+        let (g, _bound, loss) = self.loss_graph(batch, false);
+        g.value(loss).item()
+    }
+
+    /// Perplexity (`exp(loss)`) on a batch.
+    pub fn perplexity(&mut self, batch: &[Vec<usize>]) -> f32 {
+        self.eval_loss(batch).exp()
+    }
+
+    /// Creates a fresh Adam optimizer matching this model's parameters.
+    pub fn optimizer(&self, lr: f32) -> Adam {
+        Adam::new(&self.store, lr).with_weight_decay(0.01)
+    }
+
+    /// Logits for every position of a single sequence: `[t, vocab]`.
+    pub fn sequence_logits(&mut self, ids: &[usize]) -> Tensor {
+        assert!(!ids.is_empty(), "sequence_logits on empty sequence");
+        let mut g = Graph::new();
+        let bound = Bound::bind(&self.store, &mut g);
+        let t = ids.len();
+        let logits = self.forward(&mut g, &bound, ids, 1, t, &[t], false);
+        g.value(logits).reshape(&[t, self.cfg.vocab_size])
+    }
+
+    /// Total log-probability of `ids` under the model (sum over next-token
+    /// log-probs; the first token is conditioned on, not scored).
+    pub fn log_prob(&mut self, ids: &[usize]) -> f32 {
+        if ids.len() < 2 {
+            return 0.0;
+        }
+        let logits = self.sequence_logits(ids);
+        let log_probs = logits.log_softmax_last();
+        let v = self.cfg.vocab_size;
+        ids.windows(2)
+            .enumerate()
+            .map(|(i, w)| log_probs.data()[i * v + w[1]])
+            .sum()
+    }
+}
+
+impl NextToken for GptModel {
+    fn vocab_size(&self) -> usize {
+        self.cfg.vocab_size
+    }
+
+    fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
+        assert!(!prefix.is_empty(), "next_logits requires a non-empty prefix");
+        // Clamp the context window to the model's maximum.
+        let start = prefix.len().saturating_sub(self.cfg.max_seq_len);
+        let window = &prefix[start..];
+        let logits = self.sequence_logits(window);
+        let v = self.cfg.vocab_size;
+        let t = window.len();
+        logits.data()[(t - 1) * v..t * v].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_tokenize::BOS;
+
+    fn tiny() -> GptModel {
+        GptModel::new(ModelConfig::test(), 7)
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let m = tiny();
+        assert_eq!(m.num_params(), m.config().param_count_decoder());
+    }
+
+    #[test]
+    fn initial_loss_is_near_uniform() {
+        let mut m = tiny();
+        let batch = vec![vec![BOS, 10, 11, 12, 13]];
+        let loss = m.eval_loss(&batch);
+        let uniform = (m.config().vocab_size as f32).ln();
+        assert!(
+            (loss - uniform).abs() < 1.0,
+            "initial loss {loss} far from ln(V) = {uniform}"
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_pattern() {
+        let mut m = tiny();
+        let mut opt = m.optimizer(3e-3);
+        // A deterministic repeating pattern the model should memorize.
+        let batch: Vec<Vec<usize>> = vec![
+            vec![BOS, 10, 11, 12, 10, 11, 12, 10, 11, 12],
+            vec![BOS, 20, 21, 22, 20, 21, 22, 20, 21, 22],
+        ];
+        let before = m.eval_loss(&batch);
+        for _ in 0..60 {
+            m.train_step(&batch, &mut opt);
+        }
+        let after = m.eval_loss(&batch);
+        assert!(
+            after < before * 0.5,
+            "loss did not drop: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn padded_batches_match_unpadded_loss() {
+        // The loss of a short sequence must be unaffected by batching it
+        // with a longer one (padding must be fully masked).
+        let mut m = tiny();
+        let short = vec![BOS, 10, 11, 12];
+        let long = vec![BOS, 20, 21, 22, 23, 24, 25, 26];
+        let solo = m.eval_loss(&[short.clone()]);
+        let long_solo = m.eval_loss(&[long.clone()]);
+        let both = m.eval_loss(&[short.clone(), long.clone()]);
+        // Mean of per-position losses: both has (3 + 7) scored positions.
+        let expected = (solo * 3.0 + long_solo * 7.0) / 10.0;
+        assert!(
+            (both - expected).abs() < 1e-3,
+            "batched {both} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn next_logits_has_vocab_width() {
+        let mut m = tiny();
+        let l = m.next_logits(&[BOS, 5, 9]);
+        assert_eq!(l.len(), m.config().vocab_size);
+        assert!(l.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn next_logits_clamps_long_context() {
+        let mut m = tiny();
+        let long: Vec<usize> = (0..50).map(|i| 8 + (i % 20)).collect();
+        let l = m.next_logits(&long);
+        assert_eq!(l.len(), m.config().vocab_size);
+    }
+
+    #[test]
+    fn log_prob_of_trained_sequence_increases() {
+        let mut m = tiny();
+        let mut opt = m.optimizer(3e-3);
+        let seq = vec![BOS, 10, 11, 12, 13, 14];
+        let before = m.log_prob(&seq);
+        for _ in 0..40 {
+            m.train_step(&[seq.clone()], &mut opt);
+        }
+        let after = m.log_prob(&seq);
+        assert!(after > before, "log prob did not increase: {before} -> {after}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = GptModel::new(ModelConfig::test(), 3);
+        let mut b = GptModel::new(ModelConfig::test(), 3);
+        let batch = vec![vec![BOS, 9, 8, 7]];
+        assert_eq!(a.eval_loss(&batch), b.eval_loss(&batch));
+    }
+}

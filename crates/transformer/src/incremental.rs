@@ -1,0 +1,249 @@
+//! KV-cache incremental decoding: an inference-only fast path that reuses
+//! attention keys/values across generation steps, turning the O(t²)
+//! recompute-everything decode loop into O(t) per new token.
+//!
+//! The session produces bit-compatible logits with the autograd forward
+//! pass (verified by parity tests) and implements [`NextToken`], so every
+//! decoding strategy can use it transparently: when a requested prefix
+//! extends the tokens already consumed, only the new suffix is processed;
+//! otherwise the cache resets.
+
+use lm4db_tokenize::PAD;
+
+use crate::generate::NextToken;
+use crate::gpt::GptModel;
+use crate::layers::AttnCache;
+
+/// An incremental decoding session over a frozen [`GptModel`].
+pub struct IncrementalSession<'a> {
+    model: &'a GptModel,
+    caches: Vec<AttnCache>,
+    consumed: Vec<usize>,
+    last_logits: Vec<f32>,
+}
+
+impl<'a> IncrementalSession<'a> {
+    /// Starts an empty session.
+    pub fn new(model: &'a GptModel) -> Self {
+        let caches = (0..model.cfg.n_layers).map(|_| AttnCache::new()).collect();
+        IncrementalSession {
+            model,
+            caches,
+            consumed: Vec::new(),
+            last_logits: Vec::new(),
+        }
+    }
+
+    /// Tokens consumed so far.
+    pub fn consumed(&self) -> &[usize] {
+        &self.consumed
+    }
+
+    /// Resets the session to the empty prefix.
+    pub fn reset(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+        self.consumed.clear();
+        self.last_logits.clear();
+    }
+
+    /// Number of cache resets a fresh prefix would cost; exposed so beam
+    /// search-style callers can reason about reuse.
+    pub fn position(&self) -> usize {
+        self.consumed.len()
+    }
+
+    /// Feeds one token, returning the next-token logits.
+    ///
+    /// # Panics
+    /// Panics when the context would exceed the model's `max_seq_len`.
+    pub fn feed(&mut self, token: usize) -> &[f32] {
+        let m = self.model;
+        let pos = self.consumed.len();
+        assert!(
+            pos < m.cfg.max_seq_len,
+            "incremental session exceeded max_seq_len {}",
+            m.cfg.max_seq_len
+        );
+        let d = m.cfg.d_model;
+        let tok_emb = m.store.get(m.tok_emb);
+        let pos_emb = m.store.get(m.pos_emb);
+        assert!(token < m.cfg.vocab_size, "token {token} out of vocabulary");
+        let mut x: Vec<f32> = tok_emb.data()[token * d..(token + 1) * d]
+            .iter()
+            .zip(pos_emb.data()[pos * d..(pos + 1) * d].iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        for (block, cache) in m.blocks.iter().zip(self.caches.iter_mut()) {
+            x = block.step(&m.store, &x, cache);
+        }
+        let x = m.ln_f.apply_slice(&m.store, &x);
+        self.last_logits = m.head.apply_slice(&m.store, &x);
+        self.consumed.push(token);
+        &self.last_logits
+    }
+
+    /// Feeds several tokens; returns the logits after the last one.
+    pub fn feed_all(&mut self, tokens: &[usize]) -> &[f32] {
+        assert!(!tokens.is_empty(), "feed_all of empty token slice");
+        for &t in tokens {
+            self.feed(t);
+        }
+        &self.last_logits
+    }
+}
+
+impl NextToken for IncrementalSession<'_> {
+    fn vocab_size(&self) -> usize {
+        self.model.cfg.vocab_size
+    }
+
+    fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
+        assert!(!prefix.is_empty(), "next_logits requires a non-empty prefix");
+        // Clamp long prefixes the same way GptModel does.
+        let start = prefix.len().saturating_sub(self.model.cfg.max_seq_len);
+        let window = &prefix[start..];
+        let reusable = window.len() > self.consumed.len()
+            && window[..self.consumed.len()] == self.consumed[..]
+            && start == 0;
+        if reusable {
+            let new = window[self.consumed.len()..].to_vec();
+            return self.feed_all(&new).to_vec();
+        }
+        self.reset();
+        self.feed_all(window).to_vec()
+    }
+}
+
+/// Greedy generation through a KV-cache session — same contract as
+/// [`crate::generate::greedy`] but O(t) per token.
+pub fn greedy_cached(
+    model: &GptModel,
+    prefix: &[usize],
+    max_new: usize,
+    stop: usize,
+) -> Vec<usize> {
+    let mut session = IncrementalSession::new(model);
+    let mut logits = session.feed_all(prefix).to_vec();
+    let mut out = Vec::new();
+    for _ in 0..max_new {
+        let tok = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(PAD);
+        if tok == stop || session.position() >= model.config().max_seq_len {
+            break;
+        }
+        out.push(tok);
+        logits = session.feed(tok).to_vec();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::generate::{greedy, Unconstrained};
+    use lm4db_tokenize::{BOS, EOS};
+
+    fn model() -> GptModel {
+        GptModel::new(ModelConfig::test(), 7)
+    }
+
+    #[test]
+    fn incremental_logits_match_full_forward() {
+        let mut m = model();
+        let prefix = vec![BOS, 10, 23, 41, 9, 30];
+        let full = m.next_logits(&prefix);
+        let mut session = IncrementalSession::new(&m);
+        let inc = session.feed_all(&prefix).to_vec();
+        assert_eq!(full.len(), inc.len());
+        for (i, (a, b)) in full.iter().zip(inc.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-3,
+                "logit {i} differs: full {a} vs incremental {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn parity_at_every_intermediate_position() {
+        let mut m = model();
+        let prefix = [BOS, 5, 6, 7, 8];
+        // Compute all full-forward logits first (mutable borrow), then
+        // replay the same positions through one session (shared borrow).
+        let fulls: Vec<Vec<f32>> = (1..=prefix.len())
+            .map(|t| m.next_logits(&prefix[..t]))
+            .collect();
+        let mut session = IncrementalSession::new(&m);
+        for t in 1..=prefix.len() {
+            let full = &fulls[t - 1];
+            let inc = session.feed(prefix[t - 1]).to_vec();
+            let max_diff = full
+                .iter()
+                .zip(inc.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(max_diff < 1e-3, "t={t}: max diff {max_diff}");
+        }
+    }
+
+    #[test]
+    fn next_token_impl_reuses_and_resets() {
+        let m = model();
+        let mut session = IncrementalSession::new(&m);
+        let a = session.next_logits(&[BOS, 10, 11]);
+        assert_eq!(session.position(), 3);
+        // Extension: only one new token should be consumed.
+        let _ = session.next_logits(&[BOS, 10, 11, 12]);
+        assert_eq!(session.position(), 4);
+        // Divergent prefix: the session resets.
+        let b = session.next_logits(&[BOS, 10, 13]);
+        assert_eq!(session.position(), 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn greedy_cached_matches_uncached_greedy() {
+        let mut m = model();
+        let prefix = vec![BOS, 10, 11];
+        let uncached = greedy(&mut m, &prefix, 6, EOS, &Unconstrained);
+        let cached = greedy_cached(&m, &prefix, 6, EOS);
+        assert_eq!(uncached, cached);
+    }
+
+    #[test]
+    fn trained_model_parity_holds() {
+        // Parity must survive training (non-symmetric weights).
+        let mut m = model();
+        let mut opt = m.optimizer(3e-3);
+        let batch = vec![vec![BOS, 10, 11, 12, 13, 14]];
+        for _ in 0..20 {
+            m.train_step(&batch, &mut opt);
+        }
+        let prefix = vec![BOS, 10, 11, 12];
+        let full = m.next_logits(&prefix);
+        let mut session = IncrementalSession::new(&m);
+        let inc = session.feed_all(&prefix).to_vec();
+        let max_diff = full
+            .iter()
+            .zip(inc.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-2, "max diff after training: {max_diff}");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_seq_len")]
+    fn overlong_context_panics() {
+        let m = model();
+        let mut session = IncrementalSession::new(&m);
+        for t in 0..=m.config().max_seq_len {
+            session.feed(10 + (t % 20));
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Reusable transformer building blocks: linear layers, multi-head
+//! attention, feed-forward networks, and full pre-norm blocks.
+//!
+//! Each struct owns [`ParamId`]s into a shared [`ParamStore`]; the `forward`
+//! methods take the per-step [`Graph`] and [`Bound`] binding and build the
+//! computation.
+
+use lm4db_tensor::{init, Bound, Graph, ParamId, ParamStore, Rand, Tensor, Var};
+
+use crate::config::ModelConfig;
+
+/// A dense layer `y = x W + b`.
+#[derive(Debug, Clone, Copy)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+}
+
+impl Linear {
+    /// Registers a `[d_in, d_out]` weight (Xavier) and zero bias.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        rng: &mut Rand,
+    ) -> Self {
+        Linear {
+            w: store.add(format!("{name}.w"), init::xavier(&[d_in, d_out], rng)),
+            b: store.add(format!("{name}.b"), Tensor::zeros(&[d_out])),
+        }
+    }
+
+    /// Applies the layer to `x` of shape `[.., d_in]`.
+    pub fn forward(&self, g: &mut Graph, bound: &Bound, x: Var) -> Var {
+        let y = g.matmul(x, bound.var(self.w));
+        g.add_bcast(y, bound.var(self.b))
+    }
+
+    /// Inference-only application to one vector (no tape, no gradients) —
+    /// the fast path used by the KV-cache incremental decoder.
+    pub fn apply_slice(&self, store: &ParamStore, x: &[f32]) -> Vec<f32> {
+        let w = store.get(self.w);
+        let b = store.get(self.b);
+        let (d_in, d_out) = (w.shape()[0], w.shape()[1]);
+        assert_eq!(x.len(), d_in, "apply_slice input width mismatch");
+        let mut y = b.data().to_vec();
+        let wd = w.data();
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            let row = &wd[i * d_out..(i + 1) * d_out];
+            for (yj, &wij) in y.iter_mut().zip(row.iter()) {
+                *yj += xi * wij;
+            }
+        }
+        y
+    }
+}
+
+/// Layer-norm parameters (gain initialized to 1, bias to 0).
+#[derive(Debug, Clone, Copy)]
+pub struct LayerNorm {
+    gain: ParamId,
+    bias: ParamId,
+}
+
+impl LayerNorm {
+    /// Registers `[d]` gain and bias.
+    pub fn new(store: &mut ParamStore, name: &str, d: usize) -> Self {
+        LayerNorm {
+            gain: store.add(format!("{name}.gain"), Tensor::full(&[d], 1.0)),
+            bias: store.add(format!("{name}.bias"), Tensor::zeros(&[d])),
+        }
+    }
+
+    /// Normalizes `x` over its last dimension.
+    pub fn forward(&self, g: &mut Graph, bound: &Bound, x: Var) -> Var {
+        g.layer_norm(x, bound.var(self.gain), bound.var(self.bias), 1e-5)
+    }
+
+    /// Inference-only normalization of one vector.
+    pub fn apply_slice(&self, store: &ParamStore, x: &[f32]) -> Vec<f32> {
+        let gain = store.get(self.gain);
+        let bias = store.get(self.bias);
+        let d = x.len();
+        let mean = x.iter().sum::<f32>() / d as f32;
+        let var = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + 1e-5).sqrt();
+        x.iter()
+            .zip(gain.data().iter().zip(bias.data().iter()))
+            .map(|(&v, (&g, &b))| (v - mean) * istd * g + b)
+            .collect()
+    }
+}
+
+/// Multi-head self-attention with separate Q/K/V/O projections.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    n_heads: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers the four projections.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &ModelConfig, rng: &mut Rand) -> Self {
+        let d = cfg.d_model;
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), d, d, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), d, d, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), d, d, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), d, d, rng),
+            n_heads: cfg.n_heads,
+            head_dim: cfg.head_dim(),
+        }
+    }
+
+    /// Self-attention over `x` of shape `[b, t, d]`.
+    ///
+    /// `mask` is an optional additive attention mask of shape `[b, h, t, t]`
+    /// (0 where attention is allowed, a large negative number where it is
+    /// forbidden); build one with [`causal_mask`] or [`padding_mask`].
+    pub fn forward(&self, g: &mut Graph, bound: &Bound, x: Var, mask: Option<Var>) -> Var {
+        let shape = g.value(x).shape().to_vec();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let (h, hd) = (self.n_heads, self.head_dim);
+
+        let split = |g: &mut Graph, v: Var| {
+            let v = g.reshape(v, &[b, t, h, hd]);
+            g.transpose(v, 1, 2) // [b, h, t, hd]
+        };
+        let q = self.wq.forward(g, bound, x);
+        let q = split(g, q);
+        let k = self.wk.forward(g, bound, x);
+        let k = split(g, k);
+        let v = self.wv.forward(g, bound, x);
+        let v = split(g, v);
+
+        let kt = g.transpose(k, 2, 3); // [b, h, hd, t]
+        let scores = g.matmul(q, kt); // [b, h, t, t]
+        let scores = g.scale(scores, 1.0 / (hd as f32).sqrt());
+        let scores = match mask {
+            Some(m) => g.add(scores, m),
+            None => scores,
+        };
+        let attn = g.softmax_last(scores);
+        let ctx = g.matmul(attn, v); // [b, h, t, hd]
+        let ctx = g.transpose(ctx, 1, 2); // [b, t, h, hd]
+        let ctx = g.reshape(ctx, &[b, t, d]);
+        self.wo.forward(g, bound, ctx)
+    }
+}
+
+/// Per-layer key/value cache for incremental decoding: keys and values of
+/// all past positions, stored as consecutive `[n_heads * head_dim]` slices.
+#[derive(Debug, Clone, Default)]
+pub struct AttnCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    t: usize,
+}
+
+impl AttnCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AttnCache::default()
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.t
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.t == 0
+    }
+
+    /// Clears the cache (restart decoding).
+    pub fn clear(&mut self) {
+        self.k.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+impl MultiHeadAttention {
+    /// Incremental self-attention: consumes ONE new position `x` (`[d]`),
+    /// appends its key/value to `cache`, and attends over all cached
+    /// positions. Causality is implicit — only the past is in the cache.
+    pub fn step(&self, store: &ParamStore, x: &[f32], cache: &mut AttnCache) -> Vec<f32> {
+        let (h, hd) = (self.n_heads, self.head_dim);
+        let d = h * hd;
+        let q = self.wq.apply_slice(store, x);
+        let k = self.wk.apply_slice(store, x);
+        let v = self.wv.apply_slice(store, x);
+        cache.k.extend_from_slice(&k);
+        cache.v.extend_from_slice(&v);
+        cache.t += 1;
+
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut ctx = vec![0.0f32; d];
+        let mut scores = vec![0.0f32; cache.t];
+        for head in 0..h {
+            let off = head * hd;
+            let qh = &q[off..off + hd];
+            for (t, s) in scores.iter_mut().enumerate() {
+                let kh = &cache.k[t * d + off..t * d + off + hd];
+                *s = qh.iter().zip(kh.iter()).map(|(a, b)| a * b).sum::<f32>() * scale;
+            }
+            // Softmax in place.
+            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for s in scores.iter_mut() {
+                *s = (*s - max).exp();
+                sum += *s;
+            }
+            let inv = 1.0 / sum;
+            for (t, &s) in scores.iter().enumerate() {
+                let p = s * inv;
+                let vh = &cache.v[t * d + off..t * d + off + hd];
+                for (c, &vv) in ctx[off..off + hd].iter_mut().zip(vh.iter()) {
+                    *c += p * vv;
+                }
+            }
+        }
+        self.wo.apply_slice(store, &ctx)
+    }
+}
+
+/// Two-layer feed-forward network with GELU.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedForward {
+    up: Linear,
+    down: Linear,
+}
+
+impl FeedForward {
+    /// Registers the up/down projections.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &ModelConfig, rng: &mut Rand) -> Self {
+        FeedForward {
+            up: Linear::new(store, &format!("{name}.up"), cfg.d_model, cfg.d_ff, rng),
+            down: Linear::new(store, &format!("{name}.down"), cfg.d_ff, cfg.d_model, rng),
+        }
+    }
+
+    /// Applies `down(gelu(up(x)))`.
+    pub fn forward(&self, g: &mut Graph, bound: &Bound, x: Var) -> Var {
+        let h = self.up.forward(g, bound, x);
+        let h = g.gelu(h);
+        self.down.forward(g, bound, h)
+    }
+
+    /// Inference-only application to one vector.
+    pub fn apply_slice(&self, store: &ParamStore, x: &[f32]) -> Vec<f32> {
+        let mut h = self.up.apply_slice(store, x);
+        for v in h.iter_mut() {
+            *v = lm4db_tensor::tensor::gelu(*v);
+        }
+        self.down.apply_slice(store, &h)
+    }
+}
+
+/// A pre-norm transformer block: `x + attn(ln1(x))`, then `x + ffn(ln2(x))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Block {
+    ln1: LayerNorm,
+    attn: MultiHeadAttention,
+    ln2: LayerNorm,
+    ffn: FeedForward,
+}
+
+impl Block {
+    /// Registers all block parameters.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &ModelConfig, rng: &mut Rand) -> Self {
+        Block {
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), cfg.d_model),
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), cfg, rng),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), cfg.d_model),
+            ffn: FeedForward::new(store, &format!("{name}.ffn"), cfg, rng),
+        }
+    }
+
+    /// Applies the block to `x` `[b, t, d]` with an optional attention mask.
+    pub fn forward(
+        &self,
+        g: &mut Graph,
+        bound: &Bound,
+        x: Var,
+        mask: Option<Var>,
+        dropout: f32,
+        rng: Option<&mut Rand>,
+    ) -> Var {
+        let normed = self.ln1.forward(g, bound, x);
+        let attn_out = self.attn.forward(g, bound, normed, mask);
+        let x = g.add(x, attn_out);
+        let normed = self.ln2.forward(g, bound, x);
+        let mut ffn_out = self.ffn.forward(g, bound, normed);
+        if dropout > 0.0 {
+            if let Some(rng) = rng {
+                let n = g.value(ffn_out).len();
+                let mask = rng.uniform_vec(n);
+                ffn_out = g.dropout(ffn_out, dropout, &mask);
+            }
+        }
+        g.add(x, ffn_out)
+    }
+
+    /// Incremental (inference-only) application to one new position.
+    pub fn step(&self, store: &ParamStore, x: &[f32], cache: &mut AttnCache) -> Vec<f32> {
+        let normed = self.ln1.apply_slice(store, x);
+        let attn = self.attn.step(store, &normed, cache);
+        let x1: Vec<f32> = x.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
+        let normed = self.ln2.apply_slice(store, &x1);
+        let ffn = self.ffn.apply_slice(store, &normed);
+        x1.iter().zip(ffn.iter()).map(|(a, b)| a + b).collect()
+    }
+}
+
+/// Additive causal mask of shape `[b, h, t, t]`: position `i` may attend to
+/// positions `<= i`.
+pub fn causal_mask(b: usize, h: usize, t: usize) -> Tensor {
+    let mut data = vec![0.0f32; b * h * t * t];
+    for chunk in data.chunks_mut(t * t) {
+        for i in 0..t {
+            for j in (i + 1)..t {
+                chunk[i * t + j] = f32::NEG_INFINITY;
+            }
+        }
+    }
+    Tensor::new(vec![b, h, t, t], data)
+}
+
+/// Additive padding mask of shape `[b, h, t, t]` built from per-sequence
+/// lengths: keys at positions `>= len` are masked for every query.
+pub fn padding_mask(lengths: &[usize], h: usize, t: usize) -> Tensor {
+    let b = lengths.len();
+    let mut data = vec![0.0f32; b * h * t * t];
+    for (bi, &len) in lengths.iter().enumerate() {
+        assert!(len <= t, "length {len} exceeds seq len {t}");
+        for hi in 0..h {
+            let base = (bi * h + hi) * t * t;
+            for i in 0..t {
+                for j in len..t {
+                    data[base + i * t + j] = f32::NEG_INFINITY;
+                }
+            }
+        }
+    }
+    Tensor::new(vec![b, h, t, t], data)
+}
+
+/// Combines two additive masks (element-wise minimum keeps `-inf`s).
+pub fn combine_masks(a: &Tensor, b: &Tensor) -> Tensor {
+    a.zip(b, f32::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_tensor::Bound;
+
+    fn setup() -> (ModelConfig, ParamStore, Rand) {
+        (ModelConfig::test(), ParamStore::new(), Rand::seeded(42))
+    }
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let (_, mut store, mut rng) = setup();
+        let lin = Linear::new(&mut store, "l", 4, 3, &mut rng);
+        let mut g = Graph::new();
+        let bound = Bound::bind(&store, &mut g);
+        let x = g.input(Tensor::zeros(&[2, 5, 4]));
+        let y = lin.forward(&mut g, &bound, x);
+        assert_eq!(g.value(y).shape(), &[2, 5, 3]);
+        // Zero input -> output equals (zero) bias everywhere.
+        assert!(g.value(y).data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn attention_output_shape() {
+        let (cfg, mut store, mut rng) = setup();
+        let mha = MultiHeadAttention::new(&mut store, "attn", &cfg, &mut rng);
+        let mut g = Graph::new();
+        let bound = Bound::bind(&store, &mut g);
+        let x = g.input(init::normal(&[2, 5, cfg.d_model], 1.0, &mut rng));
+        let y = mha.forward(&mut g, &bound, x, None);
+        assert_eq!(g.value(y).shape(), &[2, 5, cfg.d_model]);
+        assert!(g.value(y).data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        let m = causal_mask(1, 1, 3);
+        let d = m.data();
+        // Row 0 can see only position 0.
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[1], f32::NEG_INFINITY);
+        assert_eq!(d[2], f32::NEG_INFINITY);
+        // Row 2 sees everything.
+        assert_eq!(&d[6..9], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn causal_attention_ignores_future_tokens() {
+        // Changing a future token must not change earlier positions' output.
+        let (cfg, mut store, mut rng) = setup();
+        let mha = MultiHeadAttention::new(&mut store, "attn", &cfg, &mut rng);
+        let x1 = init::normal(&[1, 4, cfg.d_model], 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        // Perturb the last position.
+        let d = cfg.d_model;
+        for j in 0..d {
+            x2.data_mut()[3 * d + j] += 5.0;
+        }
+        let run = |x: Tensor| {
+            let mut g = Graph::new();
+            let bound = Bound::bind(&store, &mut g);
+            let xv = g.input(x);
+            let m = g.input(causal_mask(1, cfg.n_heads, 4));
+            let y = mha.forward(&mut g, &bound, xv, Some(m));
+            g.value(y).clone()
+        };
+        let y1 = run(x1);
+        let y2 = run(x2);
+        // Positions 0..3 identical; position 3 differs.
+        let upto = 3 * d;
+        for i in 0..upto {
+            assert!((y1.data()[i] - y2.data()[i]).abs() < 1e-5, "pos {i} leaked");
+        }
+        let last_diff: f32 = (upto..4 * d)
+            .map(|i| (y1.data()[i] - y2.data()[i]).abs())
+            .sum();
+        assert!(last_diff > 1e-3, "perturbation had no effect at all");
+    }
+
+    #[test]
+    fn padding_mask_blocks_padded_keys() {
+        let m = padding_mask(&[2, 3], 1, 3);
+        // Batch 0 (len 2): key 2 masked for every query.
+        assert_eq!(m.data()[2], f32::NEG_INFINITY);
+        assert_eq!(m.data()[5], f32::NEG_INFINITY);
+        assert_eq!(m.data()[8], f32::NEG_INFINITY);
+        assert_eq!(m.data()[0], 0.0);
+        // Batch 1 (len 3): nothing masked.
+        assert!(m.data()[9..18].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn combine_masks_keeps_neg_inf() {
+        let a = causal_mask(1, 1, 2);
+        let b = padding_mask(&[1], 1, 2);
+        let c = combine_masks(&a, &b);
+        assert_eq!(c.data()[1], f32::NEG_INFINITY); // from causal
+        assert_eq!(c.data()[3], f32::NEG_INFINITY); // from padding
+        assert_eq!(c.data()[0], 0.0);
+    }
+
+    #[test]
+    fn block_is_differentiable_end_to_end() {
+        let (cfg, mut store, mut rng) = setup();
+        let block = Block::new(&mut store, "b0", &cfg, &mut rng);
+        let mut g = Graph::new();
+        let bound = Bound::bind(&store, &mut g);
+        let x = g.input(init::normal(&[1, 3, cfg.d_model], 1.0, &mut rng));
+        let y = block.forward(&mut g, &bound, x, None, 0.0, None);
+        let loss = g.mean_all(y);
+        g.backward(loss);
+        let grads = bound.grads(&store, &g);
+        let nonzero = grads
+            .iter()
+            .filter(|t| t.data().iter().any(|&v| v != 0.0))
+            .count();
+        assert!(
+            nonzero > grads.len() / 2,
+            "most parameters should receive gradient, got {nonzero}/{}",
+            grads.len()
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The LM side of DB-BERT: real manuals rarely name knobs literally — they
+//! say "memory used for caching pages" instead of `buffer_pool_mb`. A
+//! fine-tuned classifier maps a sentence to the knob it discusses (or to
+//! "no knob"), recovering hints the keyword extractor misses.
+
+use lm4db_lm::{FineTunedClassifier, TextClassifier};
+use lm4db_tensor::Rand;
+use lm4db_tokenize::Bpe;
+use lm4db_transformer::ModelConfig;
+
+use crate::cost::Workload;
+use crate::knobs::KNOBS;
+use crate::manual::{Hint, ManualSentence};
+
+/// Natural-language descriptions manuals use instead of knob names,
+/// index-aligned with [`KNOBS`].
+pub const KNOB_PHRASES: [&str; 8] = [
+    "the memory used for caching data pages",
+    "the number of parallel query workers",
+    "the seconds between checkpoint flushes",
+    "the size of the write ahead log buffer",
+    "the fraction of memory reserved for the result cache",
+    "the level of page compression",
+    "the pages fetched ahead during scans",
+    "the cost budget for background cleanup",
+];
+
+/// Rewrites hint sentences to use the NL phrase instead of the knob name
+/// with probability `rate` (gold hints unchanged).
+pub fn paraphrase_manual(
+    manual: &[ManualSentence],
+    rate: f32,
+    seed: u64,
+) -> Vec<ManualSentence> {
+    let mut rng = Rand::seeded(seed);
+    manual
+        .iter()
+        .map(|s| {
+            let mut out = s.clone();
+            if let Some(h) = &s.hint {
+                if rng.uniform() < rate {
+                    out.text = out.text.replace(KNOBS[h.knob].name, KNOB_PHRASES[h.knob]);
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// A fine-tuned sentence → knob classifier (`KNOBS.len()` classes plus a
+/// "none" class for filler prose).
+pub struct LmHintExtractor {
+    clf: FineTunedClassifier<Bpe>,
+    none_class: usize,
+}
+
+impl LmHintExtractor {
+    /// Trains on a labeled manual (labels derived from the gold hints the
+    /// generator attaches — in the real system these come from annotated
+    /// manual snippets).
+    pub fn train(cfg: ModelConfig, manual: &[ManualSentence], epochs: usize, seed: u64) -> Self {
+        let bpe = Bpe::train(manual.iter().map(|s| s.text.as_str()), 700);
+        let mut labels: Vec<String> = KNOBS.iter().map(|k| k.name.to_string()).collect();
+        labels.push("none".into());
+        let none_class = labels.len() - 1;
+        let mut clf = FineTunedClassifier::new(cfg, bpe, labels, seed);
+        let examples: Vec<(String, usize)> = manual
+            .iter()
+            .map(|s| {
+                let label = s.hint.as_ref().map(|h| h.knob).unwrap_or(none_class);
+                (s.text.clone(), label)
+            })
+            .collect();
+        clf.fit(&examples, epochs, 8, 2e-3);
+        LmHintExtractor { clf, none_class }
+    }
+
+    /// Extracts a hint from one sentence: classify the knob, parse the
+    /// value and workload lexically.
+    pub fn extract(&mut self, sentence: &str) -> Option<Hint> {
+        let knob = self.clf.classify(sentence);
+        if knob == self.none_class {
+            return None;
+        }
+        let value = sentence
+            .split_whitespace()
+            .find_map(|w| w.parse::<f64>().ok())?;
+        let workload = if sentence.contains("oltp") {
+            Workload::Oltp
+        } else if sentence.contains("olap") {
+            Workload::Olap
+        } else {
+            Workload::Mixed
+        };
+        Some(Hint {
+            knob,
+            value,
+            workload,
+        })
+    }
+
+    /// Fraction of gold hints recovered with the correct knob.
+    pub fn recall(&mut self, manual: &[ManualSentence]) -> f32 {
+        let gold: Vec<&ManualSentence> = manual.iter().filter(|s| s.hint.is_some()).collect();
+        if gold.is_empty() {
+            return 0.0;
+        }
+        let hits = gold
+            .iter()
+            .filter(|s| {
+                self.extract(&s.text)
+                    .map(|h| h.knob == s.hint.as_ref().unwrap().knob)
+                    .unwrap_or(false)
+            })
+            .count();
+        hits as f32 / gold.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manual::{extract_keyword, generate_manual};
+
+    #[test]
+    fn paraphrasing_removes_knob_names() {
+        let manual = generate_manual(30, 0.0, 1);
+        let para = paraphrase_manual(&manual, 1.0, 2);
+        let with_name = para
+            .iter()
+            .filter(|s| s.hint.is_some())
+            .filter(|s| {
+                let h = s.hint.as_ref().unwrap();
+                s.text.contains(KNOBS[h.knob].name)
+            })
+            .count();
+        assert_eq!(with_name, 0, "knob names survived paraphrasing");
+    }
+
+    #[test]
+    fn keyword_extractor_misses_paraphrased_hints() {
+        let manual = generate_manual(30, 0.0, 3);
+        let para = paraphrase_manual(&manual, 1.0, 4);
+        let recovered = para
+            .iter()
+            .filter(|s| s.hint.is_some())
+            .filter(|s| {
+                extract_keyword(&s.text)
+                    .map(|h| h.knob == s.hint.as_ref().unwrap().knob)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert_eq!(recovered, 0, "keyword extractor should miss paraphrases");
+    }
+
+    #[test]
+    fn lm_extractor_recovers_paraphrased_hints() {
+        // Train on a paraphrased manual, test on a *different* paraphrased
+        // manual (same phrase inventory, different sentences/values).
+        let train = paraphrase_manual(&generate_manual(60, 0.0, 5), 0.5, 6);
+        let test = paraphrase_manual(&generate_manual(30, 0.0, 7), 1.0, 8);
+        let cfg = ModelConfig {
+            max_seq_len: 40,
+            ..ModelConfig::test()
+        };
+        let mut lm = LmHintExtractor::train(cfg, &train, 20, 9);
+        let lm_recall = lm.recall(&test);
+        // Keyword recall on the same test set is zero (previous test).
+        assert!(
+            lm_recall > 0.3,
+            "LM extractor recall too low: {lm_recall}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The simulated DBMS's tunable knobs and configurations.
+
+/// One tunable parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnobSpec {
+    /// Knob name as it appears in the manual.
+    pub name: &'static str,
+    /// Smallest legal value.
+    pub min: f64,
+    /// Largest legal value.
+    pub max: f64,
+    /// Shipping default.
+    pub default: f64,
+}
+
+impl KnobSpec {
+    /// Clamps a value into the legal range.
+    pub fn clamp(&self, v: f64) -> f64 {
+        v.clamp(self.min, self.max)
+    }
+
+    /// Normalizes a value to `[0, 1]` within the knob's range.
+    pub fn normalize(&self, v: f64) -> f64 {
+        (self.clamp(v) - self.min) / (self.max - self.min)
+    }
+}
+
+/// The eight knobs of the simulated system (names modeled on PostgreSQL's
+/// most-tuned parameters, which DB-BERT's manuals discuss).
+pub const KNOBS: [KnobSpec; 8] = [
+    KnobSpec {
+        name: "buffer_pool_mb",
+        min: 64.0,
+        max: 16384.0,
+        default: 128.0,
+    },
+    KnobSpec {
+        name: "worker_threads",
+        min: 1.0,
+        max: 64.0,
+        default: 4.0,
+    },
+    KnobSpec {
+        name: "checkpoint_interval_s",
+        min: 30.0,
+        max: 3600.0,
+        default: 300.0,
+    },
+    KnobSpec {
+        name: "wal_buffer_kb",
+        min: 64.0,
+        max: 16384.0,
+        default: 512.0,
+    },
+    KnobSpec {
+        name: "cache_ratio",
+        min: 0.0,
+        max: 1.0,
+        default: 0.25,
+    },
+    KnobSpec {
+        name: "compression_level",
+        min: 0.0,
+        max: 9.0,
+        default: 0.0,
+    },
+    KnobSpec {
+        name: "prefetch_pages",
+        min: 0.0,
+        max: 512.0,
+        default: 16.0,
+    },
+    KnobSpec {
+        name: "vacuum_cost_limit",
+        min: 100.0,
+        max: 10000.0,
+        default: 200.0,
+    },
+];
+
+/// Index of a knob by name.
+pub fn knob_index(name: &str) -> Option<usize> {
+    KNOBS.iter().position(|k| k.name == name)
+}
+
+/// A complete configuration: one value per knob, always within range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    values: [f64; 8],
+}
+
+impl Config {
+    /// The shipping default configuration.
+    pub fn default_config() -> Self {
+        let mut values = [0.0; 8];
+        for (i, k) in KNOBS.iter().enumerate() {
+            values[i] = k.default;
+        }
+        Config { values }
+    }
+
+    /// Value of knob `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// Sets knob `i`, clamping into range.
+    pub fn set(&mut self, i: usize, v: f64) {
+        self.values[i] = KNOBS[i].clamp(v);
+    }
+
+    /// Returns a copy with knob `i` set.
+    pub fn with(&self, i: usize, v: f64) -> Config {
+        let mut c = self.clone();
+        c.set(i, v);
+        c
+    }
+
+    /// All normalized values (for the cost model).
+    pub fn normalized(&self) -> [f64; 8] {
+        let mut out = [0.0; 8];
+        for (i, k) in KNOBS.iter().enumerate() {
+            out[i] = k.normalize(self.values[i]);
+        }
+        out
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::default_config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_within_range() {
+        for k in KNOBS {
+            assert!(k.min <= k.default && k.default <= k.max, "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = Config::default_config();
+        c.set(0, 1e9);
+        assert_eq!(c.get(0), KNOBS[0].max);
+        c.set(0, -5.0);
+        assert_eq!(c.get(0), KNOBS[0].min);
+    }
+
+    #[test]
+    fn normalize_is_unit_interval() {
+        let k = KNOBS[0];
+        assert_eq!(k.normalize(k.min), 0.0);
+        assert_eq!(k.normalize(k.max), 1.0);
+        assert!(k.normalize(k.default) > 0.0);
+    }
+
+    #[test]
+    fn knob_index_by_name() {
+        assert_eq!(knob_index("buffer_pool_mb"), Some(0));
+        assert_eq!(knob_index("worker_threads"), Some(1));
+        assert_eq!(knob_index("nope"), None);
+    }
+
+    #[test]
+    fn with_copies_without_mutating() {
+        let c = Config::default_config();
+        let c2 = c.with(1, 32.0);
+        assert_eq!(c.get(1), KNOBS[1].default);
+        assert_eq!(c2.get(1), 32.0);
+    }
+}

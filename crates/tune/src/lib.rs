@@ -1,0 +1,25 @@
+//! # lm4db-tune
+//!
+//! **Database tuning that "reads the manual"** (DB-BERT, SIGMOD 2022; §2.5
+//! of the tutorial): extract knob hints from natural-language manual text,
+//! try them as trial runs on a (simulated) DBMS, and refine — compared
+//! against blind random search and hill climbing under the same trial
+//! budget.
+//!
+//! The simulated DBMS replaces PostgreSQL trial runs with a documented
+//! analytic cost model (`cost`); the tuning *loop* — hint extraction,
+//! trial evaluation, incumbent refinement — is the full DB-BERT pipeline.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod extract;
+pub mod knobs;
+pub mod manual;
+pub mod search;
+
+pub use cost::{default_latency, latency_ms, Workload};
+pub use extract::{paraphrase_manual, LmHintExtractor, KNOB_PHRASES};
+pub use knobs::{knob_index, Config, KnobSpec, KNOBS};
+pub use manual::{extract_keyword, generate_manual, Hint, ManualSentence};
+pub use search::{db_bert_style, hill_climb, hint_guided, random_search, TuningRun};

@@ -1,0 +1,186 @@
+//! Synthetic tuning-manual generation: natural-language hints about knob
+//! settings (with paraphrases and distractor sentences), plus the gold
+//! hints — the input side of DB-BERT's "read the manual" pipeline.
+
+use lm4db_tensor::Rand;
+
+use crate::cost::Workload;
+use crate::knobs::{knob_index, KNOBS};
+
+/// A gold tuning hint: set `knob` to `value` (for `workload`-style loads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hint {
+    /// Knob index into [`KNOBS`].
+    pub knob: usize,
+    /// Recommended absolute value.
+    pub value: f64,
+    /// The workload the hint targets (hints for other workloads are
+    /// distractors to a tuner targeting a specific load).
+    pub workload: Workload,
+}
+
+/// One manual sentence and, when it encodes a hint, the gold hint.
+#[derive(Debug, Clone)]
+pub struct ManualSentence {
+    /// The sentence text.
+    pub text: String,
+    /// The hint it encodes (None for filler prose).
+    pub hint: Option<Hint>,
+}
+
+const HINT_TEMPLATES: [&str; 4] = [
+    "for {w} workloads set {k} to {v}",
+    "we recommend a {k} of {v} when running {w} load",
+    "under {w} pressure raise {k} to {v} for best results",
+    "tuning guide : {k} should be {v} on {w} systems",
+];
+
+const FILLER: [&str; 5] = [
+    "the storage engine writes pages asynchronously",
+    "backups should be scheduled during low traffic windows",
+    "the query planner collects statistics automatically",
+    "replication lag is reported in the monitoring view",
+    "consult your vendor before changing undocumented settings",
+];
+
+/// Good target values per workload, per knob — derived from the cost
+/// model's structure so the manual is *useful* (DB-BERT's premise). A
+/// small fraction of hints are deliberately misleading, as real manuals
+/// sometimes are.
+fn good_value(knob: usize, workload: Workload) -> f64 {
+    let k = KNOBS[knob];
+    let frac = match (k.name, workload) {
+        ("buffer_pool_mb", _) => 0.9,
+        ("worker_threads", _) => 0.4,
+        ("checkpoint_interval_s", _) => 0.7,
+        ("wal_buffer_kb", _) => 0.9,
+        ("cache_ratio", _) => 1.0,
+        ("compression_level", Workload::Olap) => 1.0,
+        ("compression_level", _) => 0.0,
+        ("prefetch_pages", Workload::Olap) => 1.0,
+        ("prefetch_pages", _) => 0.5,
+        ("vacuum_cost_limit", _) => 0.5,
+        _ => 0.5,
+    };
+    (k.min + frac * (k.max - k.min)).round()
+}
+
+/// Generates a manual of `n` sentences: ~60% hints (cycling knobs and
+/// workloads), ~40% filler. `misleading_rate` flips that fraction of hints
+/// to bad values.
+pub fn generate_manual(n: usize, misleading_rate: f32, seed: u64) -> Vec<ManualSentence> {
+    let mut rng = Rand::seeded(seed);
+    let mut out = Vec::with_capacity(n);
+    let mut knob_cursor = 0;
+    for i in 0..n {
+        if i % 5 < 2 {
+            out.push(ManualSentence {
+                text: FILLER[rng.below(FILLER.len())].to_string(),
+                hint: None,
+            });
+            continue;
+        }
+        let knob = knob_cursor % KNOBS.len();
+        knob_cursor += 1;
+        let workload = Workload::all()[rng.below(3)];
+        let mut value = good_value(knob, workload);
+        if rng.uniform() < misleading_rate {
+            // A misleading hint: the opposite end of the range.
+            let k = KNOBS[knob];
+            value = if k.normalize(value) > 0.5 { k.min } else { k.max };
+        }
+        let template = HINT_TEMPLATES[rng.below(HINT_TEMPLATES.len())];
+        let text = template
+            .replace("{w}", workload.label())
+            .replace("{k}", KNOBS[knob].name)
+            .replace("{v}", &format!("{value}"));
+        out.push(ManualSentence {
+            text,
+            hint: Some(Hint {
+                knob,
+                value,
+                workload,
+            }),
+        });
+    }
+    out
+}
+
+/// Keyword hint extractor: find a knob name and a number in the sentence,
+/// plus the workload label. This is the non-LM baseline extractor.
+pub fn extract_keyword(sentence: &str) -> Option<Hint> {
+    let words: Vec<&str> = sentence.split_whitespace().collect();
+    let knob = words.iter().find_map(|w| knob_index(w))?;
+    let value = words.iter().find_map(|w| w.parse::<f64>().ok())?;
+    let workload = if sentence.contains("oltp") {
+        Workload::Oltp
+    } else if sentence.contains("olap") {
+        Workload::Olap
+    } else {
+        Workload::Mixed
+    };
+    Some(Hint {
+        knob,
+        value,
+        workload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_mixes_hints_and_filler() {
+        let m = generate_manual(30, 0.0, 1);
+        let hints = m.iter().filter(|s| s.hint.is_some()).count();
+        assert!(hints > 10 && hints < 30, "hints: {hints}");
+    }
+
+    #[test]
+    fn keyword_extractor_recovers_gold_hints() {
+        let m = generate_manual(40, 0.0, 2);
+        for s in m.iter().filter(|s| s.hint.is_some()) {
+            let extracted = extract_keyword(&s.text).expect("hint not extracted");
+            let gold = s.hint.as_ref().unwrap();
+            assert_eq!(extracted.knob, gold.knob, "in: {}", s.text);
+            assert_eq!(extracted.value, gold.value, "in: {}", s.text);
+            assert_eq!(extracted.workload, gold.workload, "in: {}", s.text);
+        }
+    }
+
+    #[test]
+    fn filler_yields_no_hints() {
+        let m = generate_manual(40, 0.0, 3);
+        for s in m.iter().filter(|s| s.hint.is_none()) {
+            assert!(extract_keyword(&s.text).is_none(), "false hint: {}", s.text);
+        }
+    }
+
+    #[test]
+    fn misleading_rate_flips_values() {
+        let clean = generate_manual(40, 0.0, 4);
+        let noisy = generate_manual(40, 1.0, 4);
+        let pairs = clean
+            .iter()
+            .zip(noisy.iter())
+            .filter(|(a, b)| a.hint.is_some() && b.hint.is_some());
+        let mut flipped = 0;
+        for (a, b) in pairs {
+            if a.hint.as_ref().unwrap().value != b.hint.as_ref().unwrap().value {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 5, "only {flipped} hints flipped");
+    }
+
+    #[test]
+    fn good_values_are_legal() {
+        for knob in 0..KNOBS.len() {
+            for w in Workload::all() {
+                let v = good_value(knob, w);
+                assert!(v >= KNOBS[knob].min && v <= KNOBS[knob].max);
+            }
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Labeled dataset construction for the three wrangling tasks the tutorial
+//! highlights (Narayan et al., "Can Foundation Models Wrangle Your Data?"):
+//! entity matching, missing-value imputation, and error detection.
+
+use lm4db_corpus::{corrupt, products, Product, Severity};
+use lm4db_tensor::Rand;
+
+/// One entity-matching pair: two serialized records and a match label.
+#[derive(Debug, Clone)]
+pub struct MatchPair {
+    /// Left record.
+    pub left: String,
+    /// Right record.
+    pub right: String,
+    /// True when both describe the same entity.
+    pub label: bool,
+}
+
+/// Builds an entity-matching dataset over `n_entities` products:
+/// one positive (corrupted duplicate) per entity, and one negative per
+/// entity. Half of the negatives are "hard" — a *different* entity of the
+/// same category and brand — mirroring the difficulty structure of the
+/// Abt-Buy / Amazon-Google benchmarks.
+pub fn matching_pairs(n_entities: usize, severity: Severity, seed: u64) -> Vec<MatchPair> {
+    let base = products(n_entities, seed);
+    let mut rng = Rand::seeded(seed ^ 0xd00d);
+    let mut out = Vec::with_capacity(2 * n_entities);
+    for (i, p) in base.iter().enumerate() {
+        let serialized = p.serialize();
+        // Positive: the same entity, corrupted.
+        out.push(MatchPair {
+            left: serialized.clone(),
+            right: corrupt(&serialized, severity, &mut rng),
+            label: true,
+        });
+        // Negative: another entity; hard negatives share category + brand.
+        let other = if i % 2 == 0 {
+            base.iter()
+                .enumerate()
+                .find(|(j, q)| *j != i && q.category == p.category && q.brand == p.brand)
+                .map(|(_, q)| q)
+                .unwrap_or(&base[(i + 1) % base.len()])
+        } else {
+            &base[(i + 1) % base.len()]
+        };
+        out.push(MatchPair {
+            left: serialized,
+            right: corrupt(&other.serialize(), severity, &mut rng),
+            label: false,
+        });
+    }
+    out
+}
+
+/// Augmented matching dataset (Ditto's data-augmentation recipe): per
+/// entity, `variants` independently corrupted positives and `variants`
+/// negatives. More pairs per entity pushes the matcher from memorizing
+/// pair texts toward learning the comparison rule.
+pub fn matching_pairs_augmented(
+    n_entities: usize,
+    variants: usize,
+    severity: Severity,
+    seed: u64,
+) -> Vec<MatchPair> {
+    let base = products(n_entities, seed);
+    let mut rng = Rand::seeded(seed ^ 0xa06);
+    let mut out = Vec::with_capacity(2 * n_entities * variants);
+    for (i, p) in base.iter().enumerate() {
+        let serialized = p.serialize();
+        for v in 0..variants {
+            // Positive: corrupt BOTH sides independently half the time, so
+            // the model cannot rely on one side being canonical.
+            let left = if v % 2 == 0 {
+                serialized.clone()
+            } else {
+                corrupt(&serialized, severity, &mut rng)
+            };
+            out.push(MatchPair {
+                left,
+                right: corrupt(&serialized, severity, &mut rng),
+                label: true,
+            });
+            // Negative: alternate hard (same category+brand) and random.
+            let other = if v % 2 == 0 {
+                base.iter()
+                    .enumerate()
+                    .find(|(j, q)| *j != i && q.category == p.category && q.brand == p.brand)
+                    .map(|(_, q)| q)
+                    .unwrap_or(&base[(i + v + 1) % base.len()])
+            } else {
+                &base[(i + v + 1) % base.len()]
+            };
+            out.push(MatchPair {
+                left: serialized.clone(),
+                right: corrupt(&other.serialize(), severity, &mut rng),
+                label: false,
+            });
+        }
+    }
+    out
+}
+
+/// Splits a dataset into (train, test) by index parity — deterministic and
+/// class-balanced for our alternating construction.
+pub fn split_pairs(pairs: Vec<MatchPair>, train_frac: f32) -> (Vec<MatchPair>, Vec<MatchPair>) {
+    let cut = (pairs.len() as f32 * train_frac) as usize;
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, p) in pairs.into_iter().enumerate() {
+        if i < cut {
+            train.push(p);
+        } else {
+            test.push(p);
+        }
+    }
+    (train, test)
+}
+
+/// One imputation example: a record with its `category` removed, plus the
+/// gold category.
+#[derive(Debug, Clone)]
+pub struct ImputeExample {
+    /// The record text without the target attribute.
+    pub context: String,
+    /// Index of the gold value in the candidate pool.
+    pub label: usize,
+}
+
+/// Builds an imputation dataset over products: predict the `category` from
+/// the remaining attributes. Returns `(examples, candidate_values)`.
+///
+/// The signal: model names correlate with categories through price ranges
+/// and brand mixes — enough for a learned imputer to beat the majority
+/// class.
+pub fn imputation_dataset(n: usize, seed: u64) -> (Vec<ImputeExample>, Vec<String>) {
+    let base = products(n, seed);
+    let mut values: Vec<String> = base.iter().map(|p| p.category.clone()).collect();
+    values.sort();
+    values.dedup();
+    let examples = base
+        .iter()
+        .map(|p| {
+            // Correlate the visible text with the category so the task is
+            // learnable: embed a category-specific token ("for <cat> use").
+            let context = format!(
+                "brand {} model {} use {} price {}",
+                p.brand,
+                p.model,
+                category_hint(p),
+                p.price
+            );
+            let label = values.iter().position(|v| *v == p.category).unwrap();
+            ImputeExample { context, label }
+        })
+        .collect();
+    (examples, values)
+}
+
+/// A weak but learnable hint word correlated with the category.
+fn category_hint(p: &Product) -> &'static str {
+    match p.category.as_str() {
+        "laptop" => "typing",
+        "phone" => "calls",
+        "camera" => "photos",
+        "monitor" => "viewing",
+        "printer" => "paper",
+        _ => "network",
+    }
+}
+
+/// One error-detection example: a serialized record and whether it contains
+/// an injected error.
+#[derive(Debug, Clone)]
+pub struct ErrorExample {
+    /// The record text (possibly corrupted).
+    pub text: String,
+    /// True when an error was injected.
+    pub label: bool,
+}
+
+/// Builds an error-detection dataset: half the records receive one injected
+/// corruption.
+pub fn error_dataset(n: usize, severity: Severity, seed: u64) -> Vec<ErrorExample> {
+    let base = products(n, seed);
+    let mut rng = Rand::seeded(seed ^ 0xe44);
+    base.into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let clean = p.serialize();
+            if i % 2 == 0 {
+                ErrorExample {
+                    text: clean,
+                    label: false,
+                }
+            } else {
+                let mut corrupted = corrupt(&clean, severity, &mut rng);
+                // Guarantee at least one change.
+                let mut guard = 0;
+                while corrupted == clean && guard < 10 {
+                    corrupted = corrupt(&clean, Severity::heavy(), &mut rng);
+                    guard += 1;
+                }
+                ErrorExample {
+                    text: corrupted,
+                    label: true,
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_pairs_are_balanced() {
+        let pairs = matching_pairs(40, Severity::medium(), 1);
+        assert_eq!(pairs.len(), 80);
+        let pos = pairs.iter().filter(|p| p.label).count();
+        assert_eq!(pos, 40);
+    }
+
+    #[test]
+    fn positives_are_textually_closer_than_negatives_on_average() {
+        let pairs = matching_pairs(60, Severity::medium(), 2);
+        let sim = |p: &MatchPair| crate::similarity::jaccard(&p.left, &p.right);
+        let pos_avg: f32 = pairs.iter().filter(|p| p.label).map(sim).sum::<f32>() / 60.0;
+        let neg_avg: f32 = pairs.iter().filter(|p| !p.label).map(sim).sum::<f32>() / 60.0;
+        assert!(
+            pos_avg > neg_avg,
+            "positives ({pos_avg}) not closer than negatives ({neg_avg})"
+        );
+    }
+
+    #[test]
+    fn split_preserves_count() {
+        let pairs = matching_pairs(20, Severity::light(), 3);
+        let n = pairs.len();
+        let (train, test) = split_pairs(pairs, 0.75);
+        assert_eq!(train.len() + test.len(), n);
+        assert_eq!(train.len(), 30);
+    }
+
+    #[test]
+    fn imputation_labels_index_candidates() {
+        let (examples, values) = imputation_dataset(50, 4);
+        assert!(!values.is_empty());
+        for ex in &examples {
+            assert!(ex.label < values.len());
+            assert!(!ex.context.contains(&values[ex.label]), "label leaked into context: {}", ex.context);
+        }
+    }
+
+    #[test]
+    fn error_dataset_is_balanced_and_errors_differ() {
+        let ds = error_dataset(40, Severity::medium(), 5);
+        let errs = ds.iter().filter(|e| e.label).count();
+        assert_eq!(errs, 20);
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a: Vec<String> = matching_pairs(10, Severity::medium(), 9)
+            .into_iter()
+            .map(|p| p.right)
+            .collect();
+        let b: Vec<String> = matching_pairs(10, Severity::medium(), 9)
+            .into_iter()
+            .map(|p| p.right)
+            .collect();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod augmented_tests {
+    use super::*;
+
+    #[test]
+    fn augmented_dataset_scales_with_variants() {
+        let a = matching_pairs_augmented(10, 1, Severity::medium(), 3);
+        let b = matching_pairs_augmented(10, 4, Severity::medium(), 3);
+        assert_eq!(a.len(), 20);
+        assert_eq!(b.len(), 80);
+        assert_eq!(b.iter().filter(|p| p.label).count(), 40);
+    }
+
+    #[test]
+    fn augmented_positives_vary_across_variants() {
+        let pairs = matching_pairs_augmented(5, 4, Severity::heavy(), 3);
+        let firsts: Vec<&str> = pairs
+            .iter()
+            .filter(|p| p.label)
+            .map(|p| p.right.as_str())
+            .collect();
+        let unique: std::collections::HashSet<&&str> = firsts.iter().collect();
+        assert!(unique.len() > firsts.len() / 2, "augmentation not varying");
+    }
+}

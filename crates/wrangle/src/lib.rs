@@ -1,0 +1,32 @@
+//! # lm4db-wrangle
+//!
+//! LM-based **data wrangling** — the data preparation and integration
+//! applications of §2.5: entity matching (Ditto-style pair serialization +
+//! fine-tuned encoder), missing-value imputation, and error detection, each
+//! with the classical baselines they are compared against (Jaccard /
+//! Levenshtein / TF-IDF threshold matchers, majority-class imputation,
+//! dictionary-based error detection), plus NLP-enhanced data profiling
+//! (predicting column correlations from names, [`profile`]).
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod matcher;
+pub mod metrics;
+pub mod profile;
+pub mod similarity;
+
+pub use datasets::{
+    error_dataset, imputation_dataset, matching_pairs, matching_pairs_augmented, split_pairs,
+    ErrorExample, ImputeExample, MatchPair,
+};
+pub use matcher::{
+    majority_baseline, serialize_pair, serialize_pair_aligned, DictionaryDetector,
+    LmErrorDetector, LmImputer, LmMatcher,
+};
+pub use metrics::Confusion;
+pub use profile::{
+    column_pairs, name_similarity_baseline, recall_at_budget, ColumnPair, CorrelationPredictor,
+    NAME_CLUSTERS,
+};
+pub use similarity::{jaccard, levenshtein, levenshtein_sim, TfIdf, ThresholdMatcher};

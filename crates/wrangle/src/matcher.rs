@@ -1,0 +1,374 @@
+//! LM-based wranglers: a Ditto-style fine-tuned entity matcher, an LM
+//! imputer, and an LM error detector — each a thin task adapter over the
+//! shared classification machinery in `lm4db-lm`.
+
+use lm4db_lm::{FineTunedClassifier, TextClassifier};
+use lm4db_tokenize::Bpe;
+use lm4db_transformer::ModelConfig;
+
+use crate::datasets::{ErrorExample, ImputeExample, MatchPair};
+use crate::metrics::Confusion;
+
+/// Serializes an entity pair the way Ditto does: both records in one
+/// sequence with explicit record markers.
+pub fn serialize_pair(left: &str, right: &str) -> String {
+    format!("record a {left} record b {right}")
+}
+
+/// Attribute keys the generators emit (products and citations).
+const ATTR_KEYS: [&str; 8] = [
+    "brand", "model", "category", "price", "title", "authors", "venue", "year",
+];
+
+/// Splits a record string into `(attribute, value-words)` segments by
+/// scanning for known attribute keys. Corrupted keys fall into the
+/// preceding segment (best effort).
+fn segment(record: &str) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for tok in record.split_whitespace() {
+        if ATTR_KEYS.contains(&tok) {
+            out.push((tok.to_string(), String::new()));
+        } else if let Some(last) = out.last_mut() {
+            if !last.1.is_empty() {
+                last.1.push(' ');
+            }
+            last.1.push_str(tok);
+        } else {
+            out.push(("_".to_string(), tok.to_string()));
+        }
+    }
+    out
+}
+
+/// Ditto-style *aligned* serialization: attributes of both records are
+/// interleaved so that corresponding values sit next to each other —
+/// turning cross-record comparison into a local pattern a small encoder
+/// can learn (Ditto's serialization ablation shows structure matters).
+pub fn serialize_pair_aligned(left: &str, right: &str) -> String {
+    let ls = segment(left);
+    let rs = segment(right);
+    let mut keys: Vec<&str> = ls.iter().map(|(k, _)| k.as_str()).collect();
+    for (k, _) in &rs {
+        if !keys.contains(&k.as_str()) {
+            keys.push(k);
+        }
+    }
+    let find = |segs: &[(String, String)], key: &str| -> String {
+        segs.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| "missing".to_string())
+    };
+    let mut parts = Vec::with_capacity(keys.len());
+    for k in keys {
+        parts.push(format!("{k} a {} b {}", find(&ls, k), find(&rs, k)));
+    }
+    parts.join(" ; ")
+}
+
+/// A fine-tuned LM entity matcher (Ditto-style: serialize the pair, let a
+/// pre-trained encoder classify match / no-match).
+pub struct LmMatcher {
+    clf: FineTunedClassifier<Bpe>,
+    serializer: fn(&str, &str) -> String,
+}
+
+impl LmMatcher {
+    /// Builds the matcher: trains a BPE tokenizer on the pair texts and
+    /// fine-tunes a BERT-style encoder on the labeled pairs.
+    pub fn train(
+        cfg: ModelConfig,
+        train: &[MatchPair],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Self {
+        Self::train_with_serializer(cfg, train, epochs, lr, seed, serialize_pair)
+    }
+
+    /// Like [`LmMatcher::train`] but with an explicit pair serializer —
+    /// used to ablate Ditto's aligned serialization
+    /// ([`serialize_pair_aligned`]) against naive concatenation.
+    pub fn train_with_serializer(
+        cfg: ModelConfig,
+        train: &[MatchPair],
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+        serializer: fn(&str, &str) -> String,
+    ) -> Self {
+        let texts: Vec<String> = train
+            .iter()
+            .map(|p| serializer(&p.left, &p.right))
+            .collect();
+        let bpe = Bpe::train(texts.iter().map(String::as_str), 700);
+        let mut clf = FineTunedClassifier::new(
+            cfg,
+            bpe,
+            vec!["no-match".into(), "match".into()],
+            seed,
+        );
+        let examples: Vec<(String, usize)> = train
+            .iter()
+            .map(|p| (serializer(&p.left, &p.right), usize::from(p.label)))
+            .collect();
+        clf.fit(&examples, epochs, 8, lr);
+        LmMatcher { clf, serializer }
+    }
+
+    /// Predicts whether two records match.
+    pub fn matches(&mut self, left: &str, right: &str) -> bool {
+        self.clf.classify(&(self.serializer)(left, right)) == 1
+    }
+
+    /// Evaluates on labeled pairs.
+    pub fn evaluate(&mut self, pairs: &[MatchPair]) -> Confusion {
+        let mut c = Confusion::default();
+        for p in pairs {
+            c.record(self.matches(&p.left, &p.right), p.label);
+        }
+        c
+    }
+}
+
+/// An LM value imputer: classify the missing attribute value from the
+/// record's remaining text.
+pub struct LmImputer {
+    clf: FineTunedClassifier<Bpe>,
+}
+
+impl LmImputer {
+    /// Fine-tunes the imputer on `(context, value index)` examples.
+    pub fn train(
+        cfg: ModelConfig,
+        train: &[ImputeExample],
+        values: &[String],
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        let bpe = Bpe::train(train.iter().map(|e| e.context.as_str()), 600);
+        let mut clf = FineTunedClassifier::new(cfg, bpe, values.to_vec(), seed);
+        let examples: Vec<(String, usize)> = train
+            .iter()
+            .map(|e| (e.context.clone(), e.label))
+            .collect();
+        clf.fit(&examples, epochs, 8, 2e-3);
+        LmImputer { clf }
+    }
+
+    /// Predicts the value index for a record context.
+    pub fn impute(&mut self, context: &str) -> usize {
+        self.clf.classify(context)
+    }
+
+    /// Accuracy on held-out examples.
+    pub fn accuracy(&mut self, test: &[ImputeExample]) -> f32 {
+        if test.is_empty() {
+            return 0.0;
+        }
+        let correct = test
+            .iter()
+            .filter(|e| self.impute(&e.context) == e.label)
+            .count();
+        correct as f32 / test.len() as f32
+    }
+}
+
+/// Majority-class imputation baseline.
+pub fn majority_baseline(train: &[ImputeExample], test: &[ImputeExample]) -> f32 {
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for e in train {
+        *counts.entry(e.label).or_insert(0) += 1;
+    }
+    let majority = counts
+        .into_iter()
+        .max_by_key(|&(label, n)| (n, usize::MAX - label))
+        .map(|(l, _)| l)
+        .unwrap_or(0);
+    let correct = test.iter().filter(|e| e.label == majority).count();
+    correct as f32 / test.len().max(1) as f32
+}
+
+/// An LM error detector: classify whether a record contains a corruption.
+pub struct LmErrorDetector {
+    clf: FineTunedClassifier<Bpe>,
+}
+
+impl LmErrorDetector {
+    /// Fine-tunes on labeled records.
+    pub fn train(cfg: ModelConfig, train: &[ErrorExample], epochs: usize, seed: u64) -> Self {
+        let bpe = Bpe::train(train.iter().map(|e| e.text.as_str()), 600);
+        let mut clf =
+            FineTunedClassifier::new(cfg, bpe, vec!["clean".into(), "error".into()], seed);
+        let examples: Vec<(String, usize)> = train
+            .iter()
+            .map(|e| (e.text.clone(), usize::from(e.label)))
+            .collect();
+        clf.fit(&examples, epochs, 8, 2e-3);
+        LmErrorDetector { clf }
+    }
+
+    /// Predicts whether `text` contains an error.
+    pub fn has_error(&mut self, text: &str) -> bool {
+        self.clf.classify(text) == 1
+    }
+
+    /// Evaluates on labeled records.
+    pub fn evaluate(&mut self, test: &[ErrorExample]) -> Confusion {
+        let mut c = Confusion::default();
+        for e in test {
+            c.record(self.has_error(&e.text), e.label);
+        }
+        c
+    }
+}
+
+/// Dictionary error-detection baseline: flag any record containing a token
+/// never seen in the clean vocabulary.
+pub struct DictionaryDetector {
+    vocabulary: std::collections::HashSet<String>,
+}
+
+impl DictionaryDetector {
+    /// Builds the dictionary from known-clean records.
+    pub fn from_clean<'a>(clean: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut vocabulary = std::collections::HashSet::new();
+        for text in clean {
+            for tok in text.split_whitespace() {
+                // Numbers are open-class; only words go in the dictionary.
+                if !tok.chars().all(|c| c.is_ascii_digit()) {
+                    vocabulary.insert(tok.to_string());
+                }
+            }
+        }
+        DictionaryDetector { vocabulary }
+    }
+
+    /// Flags records containing out-of-dictionary word tokens.
+    pub fn has_error(&self, text: &str) -> bool {
+        text.split_whitespace()
+            .any(|t| !t.chars().all(|c| c.is_ascii_digit()) && !self.vocabulary.contains(t))
+    }
+
+    /// Evaluates on labeled records.
+    pub fn evaluate(&self, test: &[ErrorExample]) -> Confusion {
+        let mut c = Confusion::default();
+        for e in test {
+            c.record(self.has_error(&e.text), e.label);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::{error_dataset, imputation_dataset, matching_pairs, split_pairs};
+    use lm4db_corpus::Severity;
+
+    fn tiny_cfg() -> ModelConfig {
+        ModelConfig {
+            max_seq_len: 48,
+            ..ModelConfig::test()
+        }
+    }
+
+    #[test]
+    fn aligned_serialization_pairs_attribute_values() {
+        let s = serialize_pair_aligned(
+            "brand acme model pro 450 price 100",
+            "brand acme model pro 451 price 99",
+        );
+        assert!(s.contains("brand a acme b acme"), "{s}");
+        assert!(s.contains("model a pro 450 b pro 451"), "{s}");
+        assert!(s.contains("price a 100 b 99"), "{s}");
+    }
+
+    #[test]
+    fn aligned_serialization_handles_missing_attributes() {
+        let s = serialize_pair_aligned("brand acme", "model pro");
+        assert!(s.contains("brand a acme b missing"), "{s}");
+        assert!(s.contains("model a missing b pro"), "{s}");
+    }
+
+    #[test]
+    fn serialize_pair_marks_records() {
+        let s = serialize_pair("x 1", "y 2");
+        assert!(s.contains("record a x 1"));
+        assert!(s.contains("record b y 2"));
+    }
+
+    #[test]
+    fn lm_matcher_fits_its_training_pairs() {
+        // Unit-level check: the fine-tuning machinery can fit the task. The
+        // generalization claim (held-out F1 vs. baselines across corruption
+        // severities) is measured by the Exp D bench harness at a realistic
+        // scale, not here.
+        let pairs = matching_pairs(12, Severity::light(), 11);
+        let (train, _) = split_pairs(pairs, 1.0);
+        let mut m = LmMatcher::train(tiny_cfg(), &train, 30, 2e-3, 3);
+        let c = m.evaluate(&train);
+        assert!(
+            c.accuracy() > 0.8,
+            "matcher failed to fit training pairs: {:?} acc {}",
+            c,
+            c.accuracy()
+        );
+    }
+
+    #[test]
+    fn majority_baseline_counts_correctly() {
+        let train = vec![
+            ImputeExample { context: "a".into(), label: 1 },
+            ImputeExample { context: "b".into(), label: 1 },
+            ImputeExample { context: "c".into(), label: 0 },
+        ];
+        let test = vec![
+            ImputeExample { context: "d".into(), label: 1 },
+            ImputeExample { context: "e".into(), label: 0 },
+        ];
+        assert_eq!(majority_baseline(&train, &test), 0.5);
+    }
+
+    #[test]
+    fn dictionary_detector_flags_unseen_tokens() {
+        let det = DictionaryDetector::from_clean(["brand acme model pro", "brand zenith"]);
+        assert!(!det.has_error("brand acme"));
+        assert!(det.has_error("brand acqe")); // typo token
+        assert!(!det.has_error("brand acme 12345")); // numbers allowed
+    }
+
+    #[test]
+    fn dictionary_detector_catches_typos_in_generated_data() {
+        let ds = error_dataset(60, Severity::heavy(), 7);
+        let clean: Vec<&str> = ds
+            .iter()
+            .filter(|e| !e.label)
+            .map(|e| e.text.as_str())
+            .collect();
+        let det = DictionaryDetector::from_clean(clean.iter().copied());
+        let c = det.evaluate(&ds);
+        // Perfect precision is impossible (number perturbations pass), but
+        // recall on word corruptions should beat chance clearly.
+        assert!(c.accuracy() > 0.6, "dictionary accuracy {}", c.accuracy());
+    }
+
+    #[test]
+    fn imputer_learns_hinted_categories() {
+        let (examples, values) = imputation_dataset(40, 13);
+        let (train, test): (Vec<_>, Vec<_>) = {
+            let cut = 30;
+            (
+                examples[..cut].to_vec(),
+                examples[cut..].to_vec(),
+            )
+        };
+        let mut imputer = LmImputer::train(tiny_cfg(), &train, &values, 15, 5);
+        let lm_acc = imputer.accuracy(&test);
+        let base_acc = majority_baseline(&train, &test);
+        assert!(
+            lm_acc >= base_acc,
+            "imputer ({lm_acc}) worse than majority ({base_acc})"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Precision / recall / F1 for binary matching tasks.
+
+/// Confusion counts for a binary classifier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Accumulates one `(predicted, actual)` outcome.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Builds a confusion matrix from parallel outcome slices.
+    pub fn from_outcomes(predicted: &[bool], actual: &[bool]) -> Confusion {
+        assert_eq!(predicted.len(), actual.len(), "outcome length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual.iter()) {
+            c.record(p, a);
+        }
+        c
+    }
+
+    /// Precision: TP / (TP + FP); 0 when no positive predictions.
+    pub fn precision(&self) -> f32 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f32 / (self.tp + self.fp) as f32
+        }
+    }
+
+    /// Recall: TP / (TP + FN); 0 when no actual positives.
+    pub fn recall(&self) -> f32 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f32 / (self.tp + self.fn_) as f32
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f32 / total as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let c = Confusion::from_outcomes(&[true, false, true], &[true, false, true]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn all_positive_predictions_have_low_precision() {
+        let c = Confusion::from_outcomes(&[true; 4], &[true, false, false, false]);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.precision(), 0.25);
+        assert!(c.f1() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_matrix() {
+        let c = Confusion {
+            tp: 6,
+            fp: 2,
+            fn_: 3,
+            tn: 9,
+        };
+        assert!((c.precision() - 0.75).abs() < 1e-6);
+        assert!((c.recall() - 6.0 / 9.0).abs() < 1e-6);
+        assert!((c.accuracy() - 0.75).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,215 @@
+//! String-similarity baselines for entity matching: token Jaccard,
+//! normalized Levenshtein, and TF-IDF cosine — the pre-LM toolbox the
+//! tutorial's wrangling section contrasts with foundation-model matchers.
+
+use std::collections::{HashMap, HashSet};
+
+/// Token-set Jaccard similarity (whitespace tokens, lowercase).
+pub fn jaccard(a: &str, b: &str) -> f32 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f32 / union as f32
+}
+
+/// Levenshtein edit distance (characters).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity normalized to `[0, 1]`.
+pub fn levenshtein_sim(a: &str, b: &str) -> f32 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f32 / max_len as f32
+}
+
+/// A TF-IDF vectorizer fitted on a corpus of records.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    idf: HashMap<String, f32>,
+    n_docs: usize,
+}
+
+impl TfIdf {
+    /// Fits document frequencies on `docs`.
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut n_docs = 0;
+        for doc in docs {
+            n_docs += 1;
+            let tokens: HashSet<&str> = doc.split_whitespace().collect();
+            for t in tokens {
+                *df.entry(t.to_string()).or_insert(0) += 1;
+            }
+        }
+        let idf = df
+            .into_iter()
+            .map(|(t, d)| (t, ((1.0 + n_docs as f32) / (1.0 + d as f32)).ln() + 1.0))
+            .collect();
+        TfIdf { idf, n_docs }
+    }
+
+    /// Number of documents seen at fit time.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    fn vectorize(&self, doc: &str) -> HashMap<&str, f32> {
+        let mut tf: HashMap<&str, f32> = HashMap::new();
+        for t in doc.split_whitespace() {
+            if let Some((key, _)) = self.idf.get_key_value(t) {
+                *tf.entry(key.as_str()).or_insert(0.0) += 1.0;
+            }
+        }
+        for (t, v) in tf.iter_mut() {
+            *v *= self.idf[*t];
+        }
+        tf
+    }
+
+    /// Cosine similarity of two documents in TF-IDF space. Out-of-vocabulary
+    /// tokens are ignored.
+    pub fn cosine(&self, a: &str, b: &str) -> f32 {
+        let va = self.vectorize(a);
+        let vb = self.vectorize(b);
+        let dot: f32 = va
+            .iter()
+            .filter_map(|(t, x)| vb.get(t).map(|y| x * y))
+            .sum();
+        let na: f32 = va.values().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.values().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+}
+
+/// A thresholded similarity classifier with threshold selection on a
+/// labeled training set (maximizing F1 over a grid).
+pub struct ThresholdMatcher<F: Fn(&str, &str) -> f32> {
+    sim: F,
+    threshold: f32,
+}
+
+impl<F: Fn(&str, &str) -> f32> ThresholdMatcher<F> {
+    /// Creates a matcher with a fixed threshold.
+    pub fn with_threshold(sim: F, threshold: f32) -> Self {
+        ThresholdMatcher { sim, threshold }
+    }
+
+    /// Fits the threshold on labeled pairs by grid search over 0.05 steps.
+    pub fn fit(sim: F, pairs: &[(String, String, bool)]) -> Self {
+        let mut best = (0.5f32, -1.0f32);
+        for step in 1..20 {
+            let threshold = step as f32 * 0.05;
+            let mut c = crate::metrics::Confusion::default();
+            for (a, b, label) in pairs {
+                c.record(sim(a, b) >= threshold, *label);
+            }
+            let f1 = c.f1();
+            if f1 > best.1 {
+                best = (threshold, f1);
+            }
+        }
+        ThresholdMatcher {
+            sim,
+            threshold: best.0,
+        }
+    }
+
+    /// The fitted threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Predicts whether `a` and `b` refer to the same entity.
+    pub fn matches(&self, a: &str, b: &str) -> bool {
+        (self.sim)(a, b) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_identity_and_disjoint() {
+        assert_eq!(jaccard("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard("a b", "c d"), 0.0);
+        assert!((jaccard("a b c", "b c d") - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn levenshtein_known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_sim("same", "same"), 1.0);
+        assert_eq!(levenshtein_sim("", ""), 1.0);
+        let s = levenshtein_sim("abcd", "wxyz");
+        assert!((0.0..0.01).contains(&s));
+    }
+
+    #[test]
+    fn tfidf_downweights_common_tokens() {
+        let docs = [
+            "brand acme model pro",
+            "brand zenith model air",
+            "brand orion model max",
+        ];
+        let tfidf = TfIdf::fit(docs);
+        // "brand" appears everywhere → low idf; "acme" once → high idf.
+        // Two docs sharing only "brand model" are less similar than docs
+        // sharing "acme".
+        let common = tfidf.cosine("brand model", "brand model zzz");
+        let rare = tfidf.cosine("acme pro", "acme pro zzz");
+        assert!(rare >= common, "rare-token match should score higher");
+        assert!(tfidf.cosine("acme", "acme") > 0.99);
+    }
+
+    #[test]
+    fn tfidf_oov_similarity_is_zero() {
+        let tfidf = TfIdf::fit(["hello world"]);
+        assert_eq!(tfidf.cosine("zzz", "yyy"), 0.0);
+    }
+
+    #[test]
+    fn threshold_matcher_fits_separable_data() {
+        let pairs = vec![
+            ("a b c d".to_string(), "a b c d".to_string(), true),
+            ("a b c d".to_string(), "a b c x".to_string(), true),
+            ("a b c d".to_string(), "w x y z".to_string(), false),
+            ("p q".to_string(), "r s".to_string(), false),
+        ];
+        let m = ThresholdMatcher::fit(jaccard, &pairs);
+        assert!(m.matches("a b c d", "a b c d"));
+        assert!(!m.matches("a b", "x y"));
+        assert!(m.threshold() > 0.0 && m.threshold() < 1.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! # lm4db-zoo
+//!
+//! The static exhibits of the paper: the registry of published language
+//! models with architecture specs and parameter-count formulas that
+//! regenerates **Figure 1** (the growth chart from BERT's 110M to PaLM's
+//! 540B parameters), and the tutorial schedule of **Table 1**.
+
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod tutorial;
+
+pub use registry::{figure1_models, ArchSpec, Family, ModelEntry};
+pub use tutorial::{render_table, schedule, total_minutes, SchedulePart};

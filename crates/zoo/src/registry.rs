@@ -1,0 +1,459 @@
+//! Registry of the published language models that Figure 1 of the tutorial
+//! plots (parameter counts over time, log scale), with architecture
+//! hyper-parameters and closed-form parameter-count estimates.
+//!
+//! Published totals are taken from the cited papers; the `computed` estimate
+//! comes from the same closed-form formulas our own models use, validating
+//! that the formulas extrapolate from our laptop-scale models to the
+//! hundred-billion-parameter regime the tutorial charts.
+
+use serde::Serialize;
+
+/// Architectural family of a published model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Family {
+    /// Bidirectional encoder (BERT-style).
+    Encoder,
+    /// Decoder-only causal LM (GPT-style).
+    Decoder,
+    /// Encoder-decoder (T5-style).
+    EncoderDecoder,
+    /// Sparse mixture-of-experts (Switch-style); parameter count is not
+    /// comparable to dense models via the dense formula.
+    SparseMoe,
+}
+
+/// Core transformer hyper-parameters of a published model.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ArchSpec {
+    /// Number of layers (decoder blocks, or encoder blocks for encoders).
+    pub n_layers: usize,
+    /// Model width.
+    pub d_model: usize,
+    /// Attention heads.
+    pub n_heads: usize,
+    /// Feed-forward width.
+    pub d_ff: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Context length.
+    pub max_seq_len: usize,
+    /// Whether input and output embeddings are tied.
+    pub tied_embeddings: bool,
+}
+
+impl ArchSpec {
+    /// Dense-transformer parameter estimate: per-block attention + FFN +
+    /// layer norms, plus embeddings (and an untied LM head if applicable).
+    pub fn param_estimate(&self) -> u64 {
+        let d = self.d_model as u64;
+        let dff = self.d_ff as u64;
+        let v = self.vocab_size as u64;
+        let l = self.n_layers as u64;
+        let per_block = 4 * (d * d + d) + (d * dff + dff) + (dff * d + d) + 4 * d;
+        let embeddings = v * d + self.max_seq_len as u64 * d;
+        let head = if self.tied_embeddings { 0 } else { v * d };
+        embeddings + l * per_block + 2 * d + head
+    }
+}
+
+/// One entry of the Figure 1 chart.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelEntry {
+    /// Model name as the paper brands it.
+    pub name: &'static str,
+    /// Publication year (as plotted on Figure 1's x-axis).
+    pub year: u32,
+    /// Fractional position within the year for plotting (0.0–0.99).
+    pub month: u32,
+    /// Parameter count reported by the paper.
+    pub published_params: u64,
+    /// Architectural family.
+    pub family: Family,
+    /// Architecture, when the paper discloses it.
+    pub spec: Option<ArchSpec>,
+    /// Citation key in the tutorial's bibliography.
+    pub reference: &'static str,
+}
+
+impl ModelEntry {
+    /// Closed-form estimate from the architecture (None for undisclosed or
+    /// sparse architectures).
+    pub fn computed_params(&self) -> Option<u64> {
+        if self.family == Family::SparseMoe {
+            return None;
+        }
+        self.spec.map(|s| {
+            let dense = s.param_estimate();
+            if self.family == Family::EncoderDecoder {
+                // `n_layers` counts one stack; an encoder-decoder has a
+                // second (decoder) stack whose layers additionally carry
+                // cross-attention. T5-11B is further dominated by its very
+                // wide attention (128 heads x 128 dims despite d_model 1024)
+                // which the dense formula under-counts; the estimate is a
+                // documented lower bound for this family.
+                let d = s.d_model as u64;
+                let dff = s.d_ff as u64;
+                let l = s.n_layers as u64;
+                let decoder_stack = l * (8 * (d * d + d) + (d * dff + dff) + (dff * d + d) + 6 * d);
+                dense + decoder_stack
+            } else {
+                dense
+            }
+        })
+    }
+}
+
+/// The models Figure 1 charts, in chronological order.
+pub fn figure1_models() -> Vec<ModelEntry> {
+    vec![
+        ModelEntry {
+            name: "BERT-base",
+            year: 2018,
+            month: 10,
+            published_params: 110_000_000,
+            family: Family::Encoder,
+            spec: Some(ArchSpec {
+                n_layers: 12,
+                d_model: 768,
+                n_heads: 12,
+                d_ff: 3072,
+                vocab_size: 30_522,
+                max_seq_len: 512,
+                tied_embeddings: true,
+            }),
+            reference: "[15]",
+        },
+        ModelEntry {
+            name: "BERT-large",
+            year: 2018,
+            month: 10,
+            published_params: 340_000_000,
+            family: Family::Encoder,
+            spec: Some(ArchSpec {
+                n_layers: 24,
+                d_model: 1024,
+                n_heads: 16,
+                d_ff: 4096,
+                vocab_size: 30_522,
+                max_seq_len: 512,
+                tied_embeddings: true,
+            }),
+            reference: "[15]",
+        },
+        ModelEntry {
+            name: "GPT-2",
+            year: 2019,
+            month: 2,
+            published_params: 1_500_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 48,
+                d_model: 1600,
+                n_heads: 25,
+                d_ff: 6400,
+                vocab_size: 50_257,
+                max_seq_len: 1024,
+                tied_embeddings: true,
+            }),
+            reference: "[63]",
+        },
+        ModelEntry {
+            name: "Megatron-LM",
+            year: 2019,
+            month: 9,
+            published_params: 8_300_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 72,
+                d_model: 3072,
+                n_heads: 32,
+                d_ff: 12_288,
+                vocab_size: 51_200,
+                max_seq_len: 1024,
+                tied_embeddings: true,
+            }),
+            reference: "[73]",
+        },
+        ModelEntry {
+            name: "T5-11B",
+            year: 2019,
+            month: 10,
+            published_params: 11_000_000_000,
+            family: Family::EncoderDecoder,
+            spec: Some(ArchSpec {
+                n_layers: 24,
+                d_model: 1024,
+                n_heads: 128,
+                d_ff: 65_536,
+                vocab_size: 32_128,
+                max_seq_len: 512,
+                tied_embeddings: true,
+            }),
+            reference: "[65]",
+        },
+        ModelEntry {
+            name: "Turing-NLG",
+            year: 2020,
+            month: 2,
+            published_params: 17_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 78,
+                d_model: 4256,
+                n_heads: 28,
+                d_ff: 17_024,
+                vocab_size: 50_257,
+                max_seq_len: 1024,
+                tied_embeddings: true,
+            }),
+            reference: "[73]",
+        },
+        ModelEntry {
+            name: "GPT-3",
+            year: 2020,
+            month: 5,
+            published_params: 175_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 96,
+                d_model: 12_288,
+                n_heads: 96,
+                d_ff: 49_152,
+                vocab_size: 50_257,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[5, 18]",
+        },
+        ModelEntry {
+            name: "Switch Transformer",
+            year: 2021,
+            month: 1,
+            published_params: 1_600_000_000_000,
+            family: Family::SparseMoe,
+            spec: None,
+            reference: "[17]",
+        },
+        ModelEntry {
+            name: "GPT-3 Codex",
+            year: 2021,
+            month: 7,
+            published_params: 12_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 40,
+                d_model: 5140,
+                n_heads: 40,
+                d_ff: 20_560,
+                vocab_size: 50_257,
+                max_seq_len: 4096,
+                tied_embeddings: true,
+            }),
+            reference: "[9]",
+        },
+        ModelEntry {
+            name: "Jurassic-1",
+            year: 2021,
+            month: 8,
+            published_params: 178_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 76,
+                d_model: 13_824,
+                n_heads: 96,
+                d_ff: 55_296,
+                vocab_size: 256_000,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[50]",
+        },
+        ModelEntry {
+            name: "Gopher",
+            year: 2021,
+            month: 12,
+            published_params: 280_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 80,
+                d_model: 16_384,
+                n_heads: 128,
+                d_ff: 65_536,
+                vocab_size: 32_000,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[64]",
+        },
+        ModelEntry {
+            name: "LaMDA",
+            year: 2022,
+            month: 1,
+            published_params: 137_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 64,
+                d_model: 8192,
+                n_heads: 128,
+                d_ff: 65_536,
+                vocab_size: 32_000,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[76]",
+        },
+        ModelEntry {
+            name: "MT-NLG 530B",
+            year: 2022,
+            month: 1,
+            published_params: 530_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 105,
+                d_model: 20_480,
+                n_heads: 128,
+                d_ff: 81_920,
+                vocab_size: 50_257,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[73]",
+        },
+        ModelEntry {
+            name: "Chinchilla",
+            year: 2022,
+            month: 3,
+            published_params: 70_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 80,
+                d_model: 8192,
+                n_heads: 64,
+                d_ff: 32_768,
+                vocab_size: 32_000,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[27]",
+        },
+        ModelEntry {
+            name: "PaLM",
+            year: 2022,
+            month: 4,
+            published_params: 540_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 118,
+                d_model: 18_432,
+                n_heads: 48,
+                d_ff: 73_728,
+                vocab_size: 256_000,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[13]",
+        },
+        ModelEntry {
+            name: "OPT-175B",
+            year: 2022,
+            month: 5,
+            published_params: 175_000_000_000,
+            family: Family::Decoder,
+            spec: Some(ArchSpec {
+                n_layers: 96,
+                d_model: 12_288,
+                n_heads: 96,
+                d_ff: 49_152,
+                vocab_size: 50_272,
+                max_seq_len: 2048,
+                tied_embeddings: true,
+            }),
+            reference: "[103]",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_is_chronological() {
+        let models = figure1_models();
+        let times: Vec<(u32, u32)> = models.iter().map(|m| (m.year, m.month)).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+    }
+
+    #[test]
+    fn covers_bert_to_codex() {
+        let models = figure1_models();
+        let names: Vec<&str> = models.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"BERT-base"));
+        assert!(names.contains(&"GPT-3"));
+        assert!(names.contains(&"GPT-3 Codex"));
+        assert!(names.contains(&"PaLM"));
+    }
+
+    #[test]
+    fn growth_spans_three_orders_of_magnitude() {
+        // The point of Figure 1: exponential growth 2018 -> 2022.
+        let models = figure1_models();
+        let first = models.first().unwrap().published_params;
+        let max = models.iter().map(|m| m.published_params).max().unwrap();
+        assert!(max / first > 1000, "growth only {}x", max / first);
+    }
+
+    #[test]
+    fn computed_estimates_match_published_counts() {
+        // Closed-form dense estimates must land within 40% of the published
+        // totals (papers differ in what they count: tied heads, relative
+        // position parameters, etc.).
+        for m in figure1_models() {
+            let Some(computed) = m.computed_params() else {
+                continue;
+            };
+            let ratio = computed as f64 / m.published_params as f64;
+            assert!(
+                (0.6..=1.4).contains(&ratio),
+                "{}: computed {computed} vs published {} (ratio {ratio:.2})",
+                m.name,
+                m.published_params
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_models_have_no_dense_estimate() {
+        let switch = figure1_models()
+            .into_iter()
+            .find(|m| m.family == Family::SparseMoe)
+            .unwrap();
+        assert!(switch.computed_params().is_none());
+    }
+
+    #[test]
+    fn our_formula_agrees_with_transformer_crate_at_small_scale() {
+        // The same closed form, applied to our own test config, must equal
+        // the transformer crate's exact count minus the untied-head delta.
+        use lm4db_transformer::ModelConfig;
+        let cfg = ModelConfig::test();
+        let spec = ArchSpec {
+            n_layers: cfg.n_layers,
+            d_model: cfg.d_model,
+            n_heads: cfg.n_heads,
+            d_ff: cfg.d_ff,
+            vocab_size: cfg.vocab_size,
+            max_seq_len: cfg.max_seq_len,
+            tied_embeddings: false,
+        };
+        // The crate's decoder has a bias on the LM head; the estimate omits
+        // only that bias term.
+        assert_eq!(
+            spec.param_estimate() + cfg.vocab_size as u64,
+            cfg.param_count_decoder() as u64
+        );
+    }
+}

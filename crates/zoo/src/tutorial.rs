@@ -1,0 +1,98 @@
+//! Table 1 of the paper: the tutorial's organization (parts and durations).
+
+use serde::Serialize;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SchedulePart {
+    /// Tutorial part title.
+    pub part: &'static str,
+    /// Duration in minutes.
+    pub minutes: u32,
+}
+
+/// The tutorial schedule exactly as Table 1 lists it.
+pub fn schedule() -> Vec<SchedulePart> {
+    vec![
+        SchedulePart {
+            part: "Welcome and introduction",
+            minutes: 5,
+        },
+        SchedulePart {
+            part: "Rise of the Transformer",
+            minutes: 10,
+        },
+        SchedulePart {
+            part: "Pre-trained language models",
+            minutes: 10,
+        },
+        SchedulePart {
+            part: "Fine-tuning and prompting",
+            minutes: 10,
+        },
+        SchedulePart {
+            part: "APIs and libraries",
+            minutes: 20,
+        },
+        SchedulePart {
+            part: "Applications in data management",
+            minutes: 25,
+        },
+        SchedulePart {
+            part: "Final discussion and conclusion",
+            minutes: 10,
+        },
+    ]
+}
+
+/// Total tutorial duration in minutes (the paper states 1.5 hours).
+pub fn total_minutes() -> u32 {
+    schedule().iter().map(|p| p.minutes).sum()
+}
+
+/// Renders Table 1 as aligned text.
+pub fn render_table() -> String {
+    let rows = schedule();
+    let width = rows.iter().map(|p| p.part.len()).max().unwrap_or(0);
+    let mut out = format!("{:<width$} | Duration\n", "Part");
+    out.push_str(&format!("{}-+---------\n", "-".repeat(width)));
+    for p in rows {
+        out.push_str(&format!("{:<width$} | {:>3} min\n", p.part, p.minutes));
+    }
+    out.push_str(&format!("{:<width$} | {:>3} min\n", "Total", total_minutes()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_has_seven_parts() {
+        assert_eq!(schedule().len(), 7);
+    }
+
+    #[test]
+    fn total_is_ninety_minutes() {
+        // "The total duration of the tutorial is 1.5 hours."
+        assert_eq!(total_minutes(), 90);
+    }
+
+    #[test]
+    fn applications_part_is_longest() {
+        let longest = schedule()
+            .into_iter()
+            .max_by_key(|p| p.minutes)
+            .unwrap();
+        assert_eq!(longest.part, "Applications in data management");
+    }
+
+    #[test]
+    fn rendered_table_lists_every_part() {
+        let table = render_table();
+        for p in schedule() {
+            assert!(table.contains(p.part));
+        }
+        assert!(table.contains("90 min"));
+    }
+}

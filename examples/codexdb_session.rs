@@ -1,0 +1,60 @@
+//! A CodexDB-style session: describe data processing in plain language,
+//! get a synthesized pipeline program, and run it — comparing constrained
+//! decoding against the retry loop.
+//!
+//! ```sh
+//! cargo run --release --example codexdb_session
+//! ```
+
+use lm4db::codegen::{enumerate_programs, generate_tasks, run_pipeline, Synthesizer};
+use lm4db::corpus::{make_domain, DomainKind};
+use lm4db::transformer::ModelConfig;
+
+fn main() {
+    let domain = make_domain(DomainKind::Products, 20, 11);
+    let catalog = domain.catalog();
+    let tasks = generate_tasks(&domain, 90, 1);
+    let programs = enumerate_programs(&domain);
+    println!(
+        "instruction corpus: {} tasks; program space: {} pipelines",
+        tasks.len(),
+        programs.len()
+    );
+
+    let cfg = ModelConfig {
+        max_seq_len: 96,
+        ..ModelConfig::tiny(0)
+    };
+    let mut synth = Synthesizer::new(cfg, &tasks, &programs, 9);
+    let loss = synth.fit(&tasks, 12, 8, 3e-3);
+    println!("fine-tuned (final loss {loss:.3})\n");
+
+    for instruction in [
+        "load the products table and return the pname column",
+        "count the products whose category is laptop",
+        "find the product with the largest price and return the pname column",
+    ] {
+        println!("instruction: {instruction}");
+        let constrained = synth.synthesize_constrained(instruction, &catalog);
+        match &constrained.pipeline {
+            Some(p) => {
+                println!("  constrained -> {p}");
+                let rs = run_pipeline(p, &catalog).unwrap();
+                println!("  result: {} row(s)", rs.rows.len());
+            }
+            None => println!("  constrained -> failed (raw: {})", constrained.raw),
+        }
+        let retried = synth.synthesize_with_retries(instruction, &catalog, 4);
+        match &retried.pipeline {
+            Some(p) => println!(
+                "  unconstrained -> {p} (succeeded on attempt {})",
+                retried.attempts
+            ),
+            None => println!(
+                "  unconstrained -> no runnable program after {} attempts (last: {})",
+                retried.attempts, retried.raw
+            ),
+        }
+        println!();
+    }
+}

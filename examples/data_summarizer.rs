@@ -1,0 +1,33 @@
+//! Goal-driven data summarization (BABOONS-style): mine insights from a
+//! table, then ask for summaries focused on different NL goals.
+//!
+//! ```sh
+//! cargo run --release --example data_summarizer
+//! ```
+
+use lm4db::corpus::{make_domain, DomainKind};
+use lm4db::summarize::{greedy_summary, mine_insights, KeywordScorer};
+
+fn main() {
+    let domain = make_domain(DomainKind::Employees, 60, 7);
+    let insights = mine_insights(&domain);
+    println!(
+        "mined {} candidate insights from {} rows\n",
+        insights.len(),
+        domain.table.len()
+    );
+    println!("sample candidates:");
+    for i in insights.iter().take(3) {
+        println!("  {}", i.text);
+    }
+
+    for goal in [
+        "focus on salary differences across dept groups",
+        "focus on age differences across city groups",
+    ] {
+        println!("\ngoal: {goal}");
+        let summary = greedy_summary(goal, &insights, 3, &mut KeywordScorer);
+        println!("{}", summary.render(&insights));
+        println!("(utility {:.2})", summary.utility);
+    }
+}

@@ -1,0 +1,70 @@
+//! Data wrangling with foundation models, miniature edition: entity
+//! matching, error detection, and value imputation over dirty product
+//! records — LM vs. classical baselines.
+//!
+//! ```sh
+//! cargo run --release --example data_wrangler
+//! ```
+
+use lm4db::corpus::Severity;
+use lm4db::transformer::ModelConfig;
+use lm4db::wrangle::{
+    error_dataset, imputation_dataset, jaccard, majority_baseline, matching_pairs, split_pairs,
+    Confusion, DictionaryDetector, LmImputer, LmMatcher, ThresholdMatcher,
+};
+
+fn main() {
+    let cfg = ModelConfig {
+        max_seq_len: 128,
+        ..ModelConfig::tiny(0)
+    };
+
+    println!("== entity matching ==");
+    let pairs = matching_pairs(60, Severity::medium(), 7);
+    println!("example positive pair:");
+    let pos = pairs.iter().find(|p| p.label).unwrap();
+    println!("  left:  {}", pos.left);
+    println!("  right: {}", pos.right);
+    let (train, test) = split_pairs(pairs, 0.7);
+
+    let labeled: Vec<(String, String, bool)> = train
+        .iter()
+        .map(|p| (p.left.clone(), p.right.clone(), p.label))
+        .collect();
+    let jac = ThresholdMatcher::fit(jaccard, &labeled);
+    let mut jc = Confusion::default();
+    for p in &test {
+        jc.record(jac.matches(&p.left, &p.right), p.label);
+    }
+    println!(
+        "jaccard baseline:  F1 {:.2} (threshold {:.2})",
+        jc.f1(),
+        jac.threshold()
+    );
+
+    let mut lm = LmMatcher::train(cfg.clone(), &train, 15, 2e-3, 3);
+    let lc = lm.evaluate(&test);
+    println!("LM matcher:        F1 {:.2}", lc.f1());
+
+    println!("\n== error detection ==");
+    let errors = error_dataset(60, Severity::medium(), 9);
+    let clean: Vec<&str> = errors
+        .iter()
+        .filter(|e| !e.label)
+        .map(|e| e.text.as_str())
+        .collect();
+    let dict = DictionaryDetector::from_clean(clean.iter().copied());
+    let dc = dict.evaluate(&errors);
+    println!("dictionary detector: accuracy {:.2}", dc.accuracy());
+
+    println!("\n== value imputation ==");
+    let (examples, values) = imputation_dataset(60, 11);
+    let cut = 45;
+    let (itrain, itest) = (examples[..cut].to_vec(), examples[cut..].to_vec());
+    let base = majority_baseline(&itrain, &itest);
+    let mut imputer = LmImputer::train(cfg, &itrain, &values, 15, 5);
+    let lm_acc = imputer.accuracy(&itest);
+    println!("candidate values: {values:?}");
+    println!("majority baseline: {base:.2}");
+    println!("LM imputer:        {lm_acc:.2}");
+}

@@ -1,0 +1,61 @@
+//! A neural database: store facts as sentences, query them — and watch
+//! paraphrased storage defeat the exact reader while template/LM readers
+//! keep answering.
+//!
+//! ```sh
+//! cargo run --release --example neural_database
+//! ```
+
+use lm4db::corpus::{facts_from_table, make_domain, DomainKind};
+use lm4db::neuraldb::{AllTemplatesExtractor, ExactExtractor, NeuralDb};
+use lm4db::tensor::Rand;
+
+fn main() {
+    let domain = make_domain(DomainKind::Employees, 15, 5);
+    let mut rng = Rand::seeded(1);
+    let facts = facts_from_table(&domain.table, &domain.key_col, 0.7, &mut rng);
+    let sentences: Vec<String> = facts.iter().map(|f| f.text.clone()).collect();
+    println!("the database IS these sentences (first 5 of {}):", sentences.len());
+    for s in sentences.iter().take(5) {
+        println!("  \"{s}\"");
+    }
+
+    let exact = NeuralDb::ingest(sentences.clone(), &mut ExactExtractor);
+    let neural = NeuralDb::ingest(sentences, &mut AllTemplatesExtractor);
+    println!(
+        "\nread rates: exact reader {:.0}% | template reader {:.0}%",
+        exact.read_rate() * 100.0,
+        neural.read_rate() * 100.0
+    );
+
+    let subject = facts[0].subject.clone();
+    println!("\nqueries (template reader):");
+    println!(
+        "  lookup  salary of {subject}: {:?}",
+        neural.lookup(&subject, "salary")
+    );
+    let dept = neural.lookup(&subject, "dept").unwrap_or("?").to_string();
+    println!(
+        "  count   employees with dept = {dept}: {}",
+        neural.count("dept", &dept)
+    );
+    println!(
+        "  extreme highest salary: {:?}",
+        neural.extreme("salary", true)
+    );
+    println!(
+        "  join    cities of employees in {dept}: {:?}",
+        neural.join("dept", &dept, "city")
+    );
+
+    println!("\nthe exact reader answers fewer queries:");
+    println!(
+        "  lookup  salary of {subject}: {:?}",
+        exact.lookup(&subject, "salary")
+    );
+    println!(
+        "  count   employees with dept = {dept}: {} (true count {})",
+        exact.count("dept", &dept),
+        neural.count("dept", &dept)
+    );
+}

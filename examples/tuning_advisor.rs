@@ -1,0 +1,41 @@
+//! A DB-BERT-style tuning advisor: read a (synthetic) manual, extract knob
+//! hints, and tune the simulated DBMS — against blind baselines.
+//!
+//! ```sh
+//! cargo run --release --example tuning_advisor
+//! ```
+
+use lm4db::tune::{
+    db_bert_style, default_latency, generate_manual, hill_climb, random_search, Workload, KNOBS,
+};
+
+fn main() {
+    let manual = generate_manual(40, 0.1, 3);
+    println!("manual excerpt:");
+    for s in manual.iter().take(5) {
+        println!("  \"{}\"", s.text);
+    }
+
+    let budget = 25;
+    for workload in Workload::all() {
+        println!("\n== workload: {} ==", workload.label());
+        println!("default latency: {:.2} ms", default_latency(workload));
+        let guided = db_bert_style(&manual, workload, budget, 5);
+        let random = random_search(workload, budget, 5);
+        let climb = hill_climb(workload, budget);
+        println!("after {budget} trial runs:");
+        println!("  manual-guided (DB-BERT style): {:.2} ms", guided.final_latency());
+        println!("  hill climbing:                 {:.2} ms", climb.final_latency());
+        println!("  random search:                 {:.2} ms", random.final_latency());
+        print!("  best config found: ");
+        let cfg = &guided.best_config;
+        let interesting = ["buffer_pool_mb", "worker_threads", "compression_level"];
+        let parts: Vec<String> = KNOBS
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| interesting.contains(&k.name))
+            .map(|(i, k)| format!("{}={}", k.name, cfg.get(i).round()))
+            .collect();
+        println!("{}", parts.join(", "));
+    }
+}

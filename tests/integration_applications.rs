@@ -1,0 +1,101 @@
+//! Cross-crate integration of the data-management applications: each app
+//! wired to the corpus generators and the SQL substrate end to end.
+
+use lm4db::corpus::{make_domain, DomainKind, Severity};
+use lm4db::factcheck::{evaluate as factcheck_eval, generate_claims, KeywordMapper};
+use lm4db::sql::run_sql;
+use lm4db::text2sql::{
+    evaluate as t2s_eval, generate, paraphrase_examples, SqlTrie, TemplateBaseline,
+};
+use lm4db::tune::{db_bert_style, default_latency, generate_manual, Workload};
+use lm4db::wrangle::{jaccard, matching_pairs, split_pairs, Confusion, ThresholdMatcher};
+
+#[test]
+fn text2sql_baseline_evaluated_on_every_domain() {
+    for kind in DomainKind::all() {
+        let d = make_domain(kind, 20, 13);
+        let cat = d.catalog();
+        let exs = generate(&d, 24, 1);
+        let baseline = TemplateBaseline::new(&d);
+        let (m, by_tier) = t2s_eval(|ex| baseline.translate(&ex.question), &exs, &cat);
+        assert!(
+            m.exec_acc() > 0.8,
+            "domain {}: baseline exec acc {}",
+            d.name,
+            m.exec_acc()
+        );
+        assert_eq!(by_tier.values().map(|t| t.total).sum::<usize>(), 24);
+    }
+}
+
+#[test]
+fn text2sql_baseline_degrades_under_paraphrase() {
+    let d = make_domain(DomainKind::Employees, 20, 13);
+    let cat = d.catalog();
+    let exs = generate(&d, 24, 2);
+    let para = paraphrase_examples(&exs, 1.0, 7);
+    let baseline = TemplateBaseline::new(&d);
+    let (canon, _) = t2s_eval(|ex| baseline.translate(&ex.question), &exs, &cat);
+    let (parap, _) = t2s_eval(|ex| baseline.translate(&ex.question), &para, &cat);
+    assert!(
+        parap.exec_acc() < canon.exec_acc(),
+        "paraphrase did not hurt baseline: {} vs {}",
+        parap.exec_acc(),
+        canon.exec_acc()
+    );
+}
+
+#[test]
+fn constrained_trie_space_is_executable_across_domains() {
+    for kind in DomainKind::all() {
+        let d = make_domain(kind, 15, 3);
+        let cat = d.catalog();
+        let trie = SqlTrie::for_domain(&d);
+        for sql in trie.all_queries().iter().step_by(7) {
+            assert!(run_sql(sql, &cat).is_ok(), "{}: {sql}", d.name);
+        }
+    }
+}
+
+#[test]
+fn factchecking_discriminates_true_from_false_claims() {
+    let d = make_domain(DomainKind::Products, 25, 5);
+    let claims = generate_claims(&d, 30, 0.0, 2);
+    let acc = factcheck_eval(&d, &claims, &mut KeywordMapper);
+    assert!(acc > 0.8, "fact-checking accuracy {acc}");
+}
+
+#[test]
+fn entity_matching_baseline_pipeline() {
+    let pairs = matching_pairs(50, Severity::light(), 3);
+    let (train, test) = split_pairs(pairs, 0.6);
+    let labeled: Vec<(String, String, bool)> = train
+        .iter()
+        .map(|p| (p.left.clone(), p.right.clone(), p.label))
+        .collect();
+    let matcher = ThresholdMatcher::fit(jaccard, &labeled);
+    let mut c = Confusion::default();
+    for p in &test {
+        c.record(matcher.matches(&p.left, &p.right), p.label);
+    }
+    assert!(
+        c.f1() > 0.6,
+        "jaccard baseline too weak on light corruption: F1 {}",
+        c.f1()
+    );
+}
+
+#[test]
+fn tuning_improves_latency_on_all_workloads() {
+    let manual = generate_manual(40, 0.0, 4);
+    for w in Workload::all() {
+        let run = db_bert_style(&manual, w, 25, 7);
+        assert!(
+            run.final_latency() < default_latency(w) * 0.9,
+            "{:?}: tuned {} vs default {}",
+            w,
+            run.final_latency(),
+            default_latency(w)
+        );
+    }
+}

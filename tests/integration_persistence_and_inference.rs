@@ -1,0 +1,103 @@
+//! Integration of the production-path features: model checkpointing across
+//! the training/inference boundary, KV-cache decoding inside applications,
+//! and whole-summary fact checking.
+
+use lm4db::corpus::{make_domain, DomainKind};
+use lm4db::factcheck::{verify_summary, synthetic_summary, KeywordMapper, Verdict};
+use lm4db::tokenize::{Bpe, Tokenizer, BOS, EOS};
+use lm4db::transformer::{
+    greedy, greedy_cached, pack_corpus, pretrain_gpt, GptModel, IncrementalSession, ModelConfig,
+    NextToken, TrainOptions, Unconstrained,
+};
+
+#[test]
+fn checkpoint_survives_pretraining_and_matches_generation() {
+    let lines = lm4db::corpus::corpus(120, 5);
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let bpe = Bpe::train(refs.iter().copied(), 250);
+    let stream = pack_corpus(refs.iter().copied(), &bpe);
+    let mut model = GptModel::new(
+        ModelConfig {
+            vocab_size: bpe.vocab().len(),
+            ..ModelConfig::test()
+        },
+        3,
+    );
+    pretrain_gpt(
+        &mut model,
+        &stream,
+        &TrainOptions {
+            steps: 40,
+            batch_size: 4,
+            seq_len: 12,
+            ..Default::default()
+        },
+    );
+    let json = model.to_json();
+    let mut restored = GptModel::from_json(&json).expect("restore");
+
+    let mut prefix = vec![BOS];
+    prefix.extend(bpe.encode("the optimizer"));
+    let original = greedy(&mut model, &prefix, 6, EOS, &Unconstrained);
+    let after = greedy(&mut restored, &prefix, 6, EOS, &Unconstrained);
+    assert_eq!(original, after, "restored model generates differently");
+}
+
+#[test]
+fn kv_cache_session_agrees_with_model_after_training() {
+    let lines = lm4db::corpus::corpus(80, 9);
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let bpe = Bpe::train(refs.iter().copied(), 250);
+    let stream = pack_corpus(refs.iter().copied(), &bpe);
+    let mut model = GptModel::new(
+        ModelConfig {
+            vocab_size: bpe.vocab().len(),
+            ..ModelConfig::test()
+        },
+        4,
+    );
+    pretrain_gpt(
+        &mut model,
+        &stream,
+        &TrainOptions {
+            steps: 30,
+            batch_size: 4,
+            seq_len: 12,
+            ..Default::default()
+        },
+    );
+    let mut prefix = vec![BOS];
+    prefix.extend(bpe.encode("the database"));
+    // Cached greedy equals uncached greedy on a trained model.
+    let uncached = greedy(&mut model, &prefix, 8, EOS, &Unconstrained);
+    let cached = greedy_cached(&model, &prefix, 8, EOS);
+    assert_eq!(uncached, cached);
+    // And the session's NextToken impl matches the model's logits.
+    let full = model.next_logits(&prefix);
+    let mut session = IncrementalSession::new(&model);
+    let inc = session.next_logits(&prefix);
+    let max_diff = full
+        .iter()
+        .zip(inc.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_diff < 1e-2, "session/model divergence {max_diff}");
+}
+
+#[test]
+fn summary_verification_catches_planted_errors() {
+    let domain = make_domain(DomainKind::Products, 30, 13);
+    let (summary, claims) = synthetic_summary(&domain, 12, 7);
+    let report = verify_summary(&domain, &summary, &mut KeywordMapper);
+    assert_eq!(report.sentences.len(), 12);
+    // Every refuted sentence is genuinely false, and at least a few of the
+    // planted falsehoods are caught.
+    let mut caught = 0;
+    for (sv, claim) in report.sentences.iter().zip(claims.iter()) {
+        if sv.verdict == Verdict::Refuted {
+            assert!(!claim.is_true, "refuted a true claim: {}", sv.sentence);
+            caught += 1;
+        }
+    }
+    assert!(caught >= 3, "only {caught} planted errors caught");
+}
