@@ -1,51 +1,73 @@
 //! Criterion: transformer forward/backward cost vs. sequence length —
 //! the quadratic attention profile the tutorial's architecture section
-//! discusses.
+//! discusses — at 1 thread and at all cores.
+//!
+//! The 1-thread groups run first so `set_threads` can still raise the
+//! count afterwards (the pool is only created on first parallel use).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lm4db::tensor::set_threads;
 use lm4db::transformer::{GptModel, ModelConfig, NextToken};
 
-fn bench_forward_backward(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpt_train_step");
-    for seq_len in [8usize, 16, 32] {
-        let cfg = ModelConfig {
-            vocab_size: 256,
-            max_seq_len: seq_len + 1,
-            d_model: 32,
-            n_heads: 4,
-            n_layers: 2,
-            d_ff: 128,
-            dropout: 0.0,
-        };
-        let mut model = GptModel::new(cfg, 1);
-        let mut opt = model.optimizer(1e-3);
-        let batch: Vec<Vec<usize>> = (0..4)
-            .map(|b| (0..seq_len).map(|i| 10 + (b * 7 + i) % 200).collect())
-            .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(seq_len), &seq_len, |bench, _| {
-            bench.iter(|| model.train_step(&batch, &mut opt))
-        });
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
     }
-    group.finish();
+}
 
-    let mut group = c.benchmark_group("gpt_next_logits");
-    for seq_len in [8usize, 32] {
-        let cfg = ModelConfig {
-            vocab_size: 256,
-            max_seq_len: seq_len + 1,
-            d_model: 32,
-            n_heads: 4,
-            n_layers: 2,
-            d_ff: 128,
-            dropout: 0.0,
-        };
-        let mut model = GptModel::new(cfg, 1);
-        let prefix: Vec<usize> = (0..seq_len).map(|i| 10 + i % 200).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(seq_len), &seq_len, |bench, _| {
-            bench.iter(|| model.next_logits(&prefix))
-        });
+fn bench_forward_backward(c: &mut Criterion) {
+    for threads in thread_counts() {
+        set_threads(threads);
+        let mut group = c.benchmark_group(format!("gpt_train_step/t{threads}"));
+        for seq_len in [8usize, 16, 32] {
+            let cfg = ModelConfig {
+                vocab_size: 256,
+                max_seq_len: seq_len + 1,
+                d_model: 32,
+                n_heads: 4,
+                n_layers: 2,
+                d_ff: 128,
+                dropout: 0.0,
+            };
+            let mut model = GptModel::new(cfg, 1);
+            let mut opt = model.optimizer(1e-3);
+            let batch: Vec<Vec<usize>> = (0..4)
+                .map(|b| (0..seq_len).map(|i| 10 + (b * 7 + i) % 200).collect())
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(seq_len),
+                &seq_len,
+                |bench, _| bench.iter(|| model.train_step(&batch, &mut opt)),
+            );
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("gpt_next_logits/t{threads}"));
+        for seq_len in [8usize, 32] {
+            let cfg = ModelConfig {
+                vocab_size: 256,
+                max_seq_len: seq_len + 1,
+                d_model: 32,
+                n_heads: 4,
+                n_layers: 2,
+                d_ff: 128,
+                dropout: 0.0,
+            };
+            let mut model = GptModel::new(cfg, 1);
+            let prefix: Vec<usize> = (0..seq_len).map(|i| 10 + i % 200).collect();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(seq_len),
+                &seq_len,
+                |bench, _| bench.iter(|| model.next_logits(&prefix)),
+            );
+        }
+        group.finish();
     }
-    group.finish();
 }
 
 criterion_group!(benches, bench_forward_backward);

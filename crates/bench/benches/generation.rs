@@ -1,52 +1,72 @@
 //! Criterion: decoding latency — greedy vs. beam, unconstrained vs.
-//! trie-constrained (the PICARD overhead the text-to-SQL papers report).
+//! trie-constrained (the PICARD overhead the text-to-SQL papers report) —
+//! at 1 thread and at all cores.
+//!
+//! The 1-thread pass runs first so `set_threads` can still raise the
+//! count afterwards (the pool is only created on first parallel use).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lm4db::corpus::{make_domain, DomainKind};
+use lm4db::tensor::set_threads;
 use lm4db::text2sql::{generate, DecodeMode, SemanticParser, SqlTrie};
 use lm4db::tokenize::{BOS, EOS};
 use lm4db::transformer::{beam, greedy, greedy_cached, GptModel, ModelConfig, Unconstrained};
 
-fn bench_generation(c: &mut Criterion) {
-    // Raw decoding cost on a standalone model.
-    let cfg = ModelConfig {
-        vocab_size: 300,
-        max_seq_len: 48,
-        d_model: 32,
-        n_heads: 4,
-        n_layers: 2,
-        d_ff: 128,
-        dropout: 0.0,
-    };
-    let mut model = GptModel::new(cfg, 1);
-    let prefix = vec![BOS, 10, 11, 12];
-    c.bench_function("decode/greedy_16_tokens", |b| {
-        b.iter(|| greedy(&mut model, &prefix, 16, EOS, &Unconstrained))
-    });
-    // Ablation: the KV-cache fast path vs. full recompute per step.
-    c.bench_function("decode/greedy_16_tokens_kv_cache", |b| {
-        b.iter(|| greedy_cached(&model, &prefix, 16, EOS))
-    });
-    c.bench_function("decode/beam3_16_tokens", |b| {
-        b.iter(|| beam(&mut model, &prefix, 3, 16, EOS, &Unconstrained))
-    });
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
+    }
+}
 
-    // Constrained vs. unconstrained through the full semantic parser.
-    let domain = make_domain(DomainKind::Employees, 20, 7);
-    let train = generate(&domain, 24, 1);
-    let trie = SqlTrie::for_domain(&domain);
-    let pcfg = ModelConfig {
-        max_seq_len: 96,
-        ..ModelConfig::tiny(0)
-    };
-    let mut parser = SemanticParser::new(pcfg, &train, trie, 5, 600);
-    let question = "show the name of all employees";
-    c.bench_function("text2sql/constrained_beam", |b| {
-        b.iter(|| parser.predict(question, DecodeMode::Constrained))
-    });
-    c.bench_function("text2sql/unconstrained_beam", |b| {
-        b.iter(|| parser.predict(question, DecodeMode::Unconstrained))
-    });
+fn bench_generation(c: &mut Criterion) {
+    for threads in thread_counts() {
+        set_threads(threads);
+        // Raw decoding cost on a standalone model.
+        let cfg = ModelConfig {
+            vocab_size: 300,
+            max_seq_len: 48,
+            d_model: 32,
+            n_heads: 4,
+            n_layers: 2,
+            d_ff: 128,
+            dropout: 0.0,
+        };
+        let mut model = GptModel::new(cfg, 1);
+        let prefix = vec![BOS, 10, 11, 12];
+        c.bench_function(&format!("decode/greedy_16_tokens/t{threads}"), |b| {
+            b.iter(|| greedy(&mut model, &prefix, 16, EOS, &Unconstrained))
+        });
+        // Ablation: the KV-cache fast path vs. full recompute per step.
+        c.bench_function(
+            &format!("decode/greedy_16_tokens_kv_cache/t{threads}"),
+            |b| b.iter(|| greedy_cached(&model, &prefix, 16, EOS)),
+        );
+        c.bench_function(&format!("decode/beam3_16_tokens/t{threads}"), |b| {
+            b.iter(|| beam(&mut model, &prefix, 3, 16, EOS, &Unconstrained))
+        });
+
+        // Constrained vs. unconstrained through the full semantic parser.
+        let domain = make_domain(DomainKind::Employees, 20, 7);
+        let train = generate(&domain, 24, 1);
+        let trie = SqlTrie::for_domain(&domain);
+        let pcfg = ModelConfig {
+            max_seq_len: 96,
+            ..ModelConfig::tiny(0)
+        };
+        let mut parser = SemanticParser::new(pcfg, &train, trie, 5, 600);
+        let question = "show the name of all employees";
+        c.bench_function(&format!("text2sql/constrained_beam/t{threads}"), |b| {
+            b.iter(|| parser.predict(question, DecodeMode::Constrained))
+        });
+        c.bench_function(&format!("text2sql/unconstrained_beam/t{threads}"), |b| {
+            b.iter(|| parser.predict(question, DecodeMode::Unconstrained))
+        });
+    }
 }
 
 criterion_group!(benches, bench_generation);

@@ -24,7 +24,11 @@ fn bench_tokenizers(c: &mut Criterion) {
 
     let ids = bpe.encode(&text);
     c.bench_function("bpe/decode_corpus", |b| {
-        b.iter_batched(|| ids.clone(), |ids| bpe.decode(&ids), BatchSize::SmallInput)
+        b.iter_batched(
+            || ids.clone(),
+            |ids| bpe.decode(&ids),
+            BatchSize::SmallInput,
+        )
     });
 }
 

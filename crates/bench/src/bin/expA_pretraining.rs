@@ -10,8 +10,7 @@ use lm4db::corpus;
 use lm4db::lm::NGramLm;
 use lm4db::tokenize::{Bpe, Tokenizer};
 use lm4db::transformer::{
-    evaluate_perplexity, pack_corpus, pretrain_gpt, BertModel, GptModel, ModelConfig,
-    TrainOptions,
+    evaluate_perplexity, pack_corpus, pretrain_gpt, BertModel, GptModel, ModelConfig, TrainOptions,
 };
 use lm4db_bench::{f, print_table};
 
@@ -20,10 +19,7 @@ fn main() {
     let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
     let bpe = Bpe::train(refs.iter().copied(), 400);
     let stream = pack_corpus(refs.iter().copied(), &bpe);
-    let held_out = pack_corpus(
-        corpus::corpus(200, 99).iter().map(String::as_str),
-        &bpe,
-    );
+    let held_out = pack_corpus(corpus::corpus(200, 99).iter().map(String::as_str), &bpe);
     let v = bpe.vocab().len();
     println!("corpus: {} tokens, vocab {}", stream.len(), v);
 
@@ -110,7 +106,9 @@ fn main() {
     ]);
     print_table(
         "Exp A — held-out perplexity vs. training steps and model size (causal LM)",
-        &["model", "params", "step 0", "step 100", "step 200", "step 400"],
+        &[
+            "model", "params", "step 0", "step 100", "step 200", "step 400",
+        ],
         &rows,
     );
 

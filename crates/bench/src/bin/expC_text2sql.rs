@@ -65,13 +65,7 @@ fn main() {
                 parser
                     .predict(&ex.question, DecodeMode::Unconstrained)
                     .sql
-                    .or_else(|| {
-                        Some(
-                            parser
-                                .predict(&ex.question, DecodeMode::Unconstrained)
-                                .raw,
-                        )
-                    })
+                    .or_else(|| Some(parser.predict(&ex.question, DecodeMode::Unconstrained).raw))
             },
             set,
             &catalog,

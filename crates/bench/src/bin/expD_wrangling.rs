@@ -11,10 +11,10 @@
 use lm4db::corpus::Severity;
 use lm4db::transformer::ModelConfig;
 use lm4db::wrangle::{
-    column_pairs, error_dataset, imputation_dataset, jaccard, levenshtein_sim,
-    majority_baseline, matching_pairs, name_similarity_baseline, recall_at_budget,
-    serialize_pair_aligned, split_pairs, Confusion, CorrelationPredictor, DictionaryDetector,
-    LmErrorDetector, LmImputer, LmMatcher, TfIdf, ThresholdMatcher,
+    column_pairs, error_dataset, imputation_dataset, jaccard, levenshtein_sim, majority_baseline,
+    matching_pairs, name_similarity_baseline, recall_at_budget, serialize_pair_aligned,
+    split_pairs, Confusion, CorrelationPredictor, DictionaryDetector, LmErrorDetector, LmImputer,
+    LmMatcher, TfIdf, ThresholdMatcher,
 };
 use lm4db_bench::{pct, print_table};
 
@@ -184,7 +184,11 @@ fn main() {
         "Exp D — profiling: correlated-column discovery from names",
         &["method", "pair accuracy", "recall@budget"],
         &[
-            vec!["string similarity".into(), "-".into(), pct(str_recall as f64)],
+            vec![
+                "string similarity".into(),
+                "-".into(),
+                pct(str_recall as f64),
+            ],
             vec![
                 "LM name predictor".into(),
                 pct(acc as f64),

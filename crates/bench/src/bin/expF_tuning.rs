@@ -47,7 +47,13 @@ fn main() {
     }
     print_table(
         "Exp F — workload latency (ms) after 30 trial runs (mean over 5 seeds)",
-        &["workload", "default", "manual-guided (DB-BERT)", "hill climb", "random"],
+        &[
+            "workload",
+            "default",
+            "manual-guided (DB-BERT)",
+            "hill climb",
+            "random",
+        ],
         &rows,
     );
 
@@ -87,9 +93,10 @@ fn main() {
     };
     let mut lm = LmHintExtractor::train(cfg, &train_manual, 25, 9);
     let lm_recall = lm.recall(&para);
-    let kw_guided = mean(seeds.iter().map(|&s| {
-        hint_guided(&para, extract_keyword, Workload::Olap, budget, s).final_latency()
-    }));
+    let kw_guided =
+        mean(seeds.iter().map(|&s| {
+            hint_guided(&para, extract_keyword, Workload::Olap, budget, s).final_latency()
+        }));
     let lm_guided = mean(seeds.iter().map(|&s| {
         hint_guided(&para, |t| lm.extract(t), Workload::Olap, budget, s).final_latency()
     }));

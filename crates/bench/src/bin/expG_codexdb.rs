@@ -82,7 +82,11 @@ fn main() {
 
     // Semantic quality: execution accuracy vs. gold results.
     let acc_con = execution_accuracy(
-        |t| synth.synthesize_constrained(&t.instruction, &catalog).pipeline,
+        |t| {
+            synth
+                .synthesize_constrained(&t.instruction, &catalog)
+                .pipeline
+        },
         &test,
         &catalog,
     );

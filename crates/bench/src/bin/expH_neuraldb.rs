@@ -129,7 +129,13 @@ fn main() {
     }
     print_table(
         "Exp H — neural-database accuracy vs. paraphrase rate of stored facts",
-        &["paraphrase", "reader", "read rate", "lookup acc", "count acc"],
+        &[
+            "paraphrase",
+            "reader",
+            "read rate",
+            "lookup acc",
+            "count acc",
+        ],
         &rows,
     );
 }

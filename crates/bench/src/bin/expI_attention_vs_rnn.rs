@@ -138,7 +138,11 @@ fn main() {
     }
     print_table(
         "Exp I — key-value recall accuracy vs. cue-answer distance",
-        &["episode size", "transformer (attention)", "RNN (recurrence)"],
+        &[
+            "episode size",
+            "transformer (attention)",
+            "RNN (recurrence)",
+        ],
         &rows,
     );
     println!("chance level: {}", pct(1.0 / VALS.len() as f64));

@@ -10,8 +10,8 @@
 
 use lm4db::corpus::{make_domain, DomainKind};
 use lm4db::summarize::{
-    exhaustive_summary, greedy_summary, mine_insights, random_summary, render_goal,
-    KeywordScorer, LmScorer, RelevanceScorer,
+    exhaustive_summary, greedy_summary, mine_insights, random_summary, render_goal, KeywordScorer,
+    LmScorer, RelevanceScorer,
 };
 use lm4db::tensor::Rand;
 use lm4db::transformer::ModelConfig;
@@ -69,9 +69,9 @@ fn main() {
                 total += 1;
                 let top_by =
                     |scorer: &mut dyn RelevanceScorer| -> Option<&lm4db::summarize::Insight> {
-                        insights
-                            .iter()
-                            .max_by(|a, b| scorer.score(&goal, a).total_cmp(&scorer.score(&goal, b)))
+                        insights.iter().max_by(|a, b| {
+                            scorer.score(&goal, a).total_cmp(&scorer.score(&goal, b))
+                        })
                     };
                 let hit = |i: Option<&lm4db::summarize::Insight>| {
                     i.map(|i| i.measure == *measure && i.dim_col == *dim)
@@ -86,7 +86,12 @@ fn main() {
             }
         }
         rows.push(vec![
-            if paraphrase { "paraphrased" } else { "canonical" }.to_string(),
+            if paraphrase {
+                "paraphrased"
+            } else {
+                "canonical"
+            }
+            .to_string(),
             format!("{kw_hits}/{total}"),
             format!("{lm_hits}/{total}"),
         ]);

@@ -1,0 +1,114 @@
+//! **Exp K** (compute substrate): throughput of the data-parallel runtime —
+//! tokens/sec for batched training and KV-cache generation at 1 thread vs.
+//! all cores, with a bit-identical-output check across thread counts.
+//!
+//! The 1-thread pass runs first: with `set_threads(1)` every kernel takes
+//! the inline path and the worker pool is never created, so the later
+//! `set_threads(n)` call still takes full effect.
+
+use std::time::Instant;
+
+use lm4db::tensor::set_threads;
+use lm4db::transformer::{greedy_cached, GptModel, ModelConfig};
+use lm4db_bench::print_table;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        vocab_size: 512,
+        max_seq_len: 96,
+        d_model: 128,
+        n_heads: 4,
+        n_layers: 4,
+        d_ff: 512,
+        dropout: 0.0,
+    }
+}
+
+/// Trains for `steps` batches; returns (tokens/sec, per-step losses).
+fn train_run(steps: usize) -> (f64, Vec<f32>) {
+    let mut model = GptModel::new(cfg(), 11);
+    let mut opt = model.optimizer(1e-3);
+    let (batch_size, seq_len) = (8usize, 64usize);
+    let batch: Vec<Vec<usize>> = (0..batch_size)
+        .map(|b| (0..=seq_len).map(|i| 10 + (b * 13 + i * 7) % 500).collect())
+        .collect();
+    let start = Instant::now();
+    let mut losses = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        losses.push(model.train_step(&batch, &mut opt));
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ((batch_size * seq_len * steps) as f64 / secs, losses)
+}
+
+/// Generates with the KV cache; returns (tokens/sec, generated ids).
+fn generate_run(rounds: usize) -> (f64, Vec<usize>) {
+    let model = GptModel::new(cfg(), 11);
+    let prefix = vec![lm4db::tokenize::BOS, 10, 11, 12];
+    let new_tokens = 64usize;
+    let start = Instant::now();
+    let mut out = Vec::new();
+    for _ in 0..rounds {
+        out = greedy_cached(&model, &prefix, new_tokens, usize::MAX);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ((new_tokens * rounds) as f64 / secs, out)
+}
+
+fn main() {
+    // Honor LM4DB_THREADS so the comparison point is configurable (and so
+    // determinism can be exercised with real pool threads even on few cores).
+    let max_threads = std::env::var("LM4DB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    let (train_steps, gen_rounds) = (8, 6);
+
+    set_threads(1);
+    let (train_tps_1, losses_1) = train_run(train_steps);
+    let (gen_tps_1, ids_1) = generate_run(gen_rounds);
+
+    set_threads(max_threads);
+    let (train_tps_n, losses_n) = train_run(train_steps);
+    let (gen_tps_n, ids_n) = generate_run(gen_rounds);
+
+    assert_eq!(
+        losses_1, losses_n,
+        "training losses diverged across thread counts"
+    );
+    assert_eq!(
+        ids_1, ids_n,
+        "generated tokens diverged across thread counts"
+    );
+
+    let rows = vec![
+        vec![
+            "train_step (batch 8 x seq 64)".into(),
+            format!("{train_tps_1:.0}"),
+            format!("{train_tps_n:.0}"),
+            format!("{:.2}x", train_tps_n / train_tps_1),
+        ],
+        vec![
+            "greedy_cached (64 new tokens)".into(),
+            format!("{gen_tps_1:.0}"),
+            format!("{gen_tps_n:.0}"),
+            format!("{:.2}x", gen_tps_n / gen_tps_1),
+        ],
+    ];
+    print_table(
+        &format!("Exp K — tokens/sec, 1 thread vs {max_threads} threads"),
+        &[
+            "workload",
+            "tok/s @ 1 thread",
+            &format!("tok/s @ {max_threads} threads"),
+            "speedup",
+        ],
+        &rows,
+    );
+    println!("output check: losses and generated tokens bit-identical across thread counts");
+}

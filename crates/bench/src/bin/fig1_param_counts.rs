@@ -26,7 +26,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 1 — parameter counts of language models over time",
-        &["date", "model", "published", "computed from architecture", "ref"],
+        &[
+            "date",
+            "model",
+            "published",
+            "computed from architecture",
+            "ref",
+        ],
         &rows,
     );
 

@@ -10,8 +10,15 @@ fn main() {
         .iter()
         .map(|p| vec![p.part.to_string(), format!("{} min", p.minutes)])
         .collect();
-    print_table("Table 1 — tutorial organization overview", &["Part", "Duration"], &rows);
+    print_table(
+        "Table 1 — tutorial organization overview",
+        &["Part", "Duration"],
+        &rows,
+    );
     println!("{}", render_table());
     assert_eq!(total_minutes(), 90, "paper states a 1.5 hour total");
-    println!("total: {} minutes (= the paper's stated 1.5 hours)", total_minutes());
+    println!(
+        "total: {} minutes (= the paper's stated 1.5 hours)",
+        total_minutes()
+    );
 }

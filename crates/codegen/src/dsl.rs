@@ -239,10 +239,7 @@ pub fn parse_pipeline(text: &str) -> Result<Pipeline, String> {
                 _ => return Err("usage: sort <col> asc|desc".into()),
             },
             "limit" => match words[..] {
-                [_, n] => Step::Limit(
-                    n.parse::<usize>()
-                        .map_err(|_| format!("bad limit '{n}'"))?,
-                ),
+                [_, n] => Step::Limit(n.parse::<usize>().map_err(|_| format!("bad limit '{n}'"))?),
                 _ => return Err("usage: limit <n>".into()),
             },
             "count" => {
@@ -252,10 +249,9 @@ pub fn parse_pipeline(text: &str) -> Result<Pipeline, String> {
                 Step::Count
             }
             "groupby" => match words[..] {
-                [_, key, kw, agg, col] if kw == "agg" => Step::GroupAgg {
+                [_, key, "agg", agg, col] => Step::GroupAgg {
                     key: key.to_string(),
-                    agg: AggFn::from_name(agg)
-                        .ok_or_else(|| format!("bad aggregate '{agg}'"))?,
+                    agg: AggFn::from_name(agg).ok_or_else(|| format!("bad aggregate '{agg}'"))?,
                     col: col.to_string(),
                 },
                 _ => return Err("usage: groupby <key> agg <fn> <col>".into()),
@@ -322,7 +318,10 @@ mod tests {
     #[test]
     fn select_multiple_columns() {
         let p = parse_pipeline("load t | select a , b , c").unwrap();
-        assert_eq!(p.steps[1], Step::Select(vec!["a".into(), "b".into(), "c".into()]));
+        assert_eq!(
+            p.steps[1],
+            Step::Select(vec!["a".into(), "b".into(), "c".into()])
+        );
     }
 
     #[test]
@@ -349,18 +348,36 @@ mod proptests {
 
     fn step() -> impl Strategy<Value = Step> {
         prop_oneof![
-            (ident(), prop_oneof![Just(FilterOp::Eq), Just(FilterOp::Gt), Just(FilterOp::Lt)],
-             prop_oneof![(-999i64..999).prop_map(Literal::Int), ident().prop_map(Literal::Word)])
+            (
+                ident(),
+                prop_oneof![Just(FilterOp::Eq), Just(FilterOp::Gt), Just(FilterOp::Lt)],
+                prop_oneof![
+                    (-999i64..999).prop_map(Literal::Int),
+                    ident().prop_map(Literal::Word)
+                ]
+            )
                 .prop_map(|(col, op, value)| Step::Filter { col, op, value }),
             prop::collection::vec(ident(), 1..4).prop_map(Step::Select),
             (ident(), any::<bool>()).prop_map(|(col, desc)| Step::Sort { col, desc }),
             (0usize..1000).prop_map(Step::Limit),
             Just(Step::Count),
-            (ident(),
-             prop_oneof![Just(AggFn::Avg), Just(AggFn::Sum), Just(AggFn::Min), Just(AggFn::Max), Just(AggFn::Count)],
-             ident())
+            (
+                ident(),
+                prop_oneof![
+                    Just(AggFn::Avg),
+                    Just(AggFn::Sum),
+                    Just(AggFn::Min),
+                    Just(AggFn::Max),
+                    Just(AggFn::Count)
+                ],
+                ident()
+            )
                 .prop_map(|(key, agg, col)| Step::GroupAgg { key, agg, col }),
-            (ident(), ident(), ident()).prop_map(|(table, left, right)| Step::Join { table, left, right }),
+            (ident(), ident(), ident()).prop_map(|(table, left, right)| Step::Join {
+                table,
+                left,
+                right
+            }),
         ]
     }
 

@@ -99,9 +99,7 @@ pub fn generate_tasks(domain: &Domain, n: usize, seed: u64) -> Vec<Task> {
                     ("smallest", "asc")
                 };
                 task(
-                    format!(
-                        "find the {entity} with the {word} {num} and return the {key} column"
-                    ),
+                    format!("find the {entity} with the {word} {num} and return the {key} column"),
                     format!("load {table} | sort {num} {dir} | limit 1 | select {key}"),
                 )
             }
@@ -197,8 +195,14 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let d = make_domain(DomainKind::Employees, 25, 7);
-        let a: Vec<String> = generate_tasks(&d, 12, 5).into_iter().map(|t| t.program).collect();
-        let b: Vec<String> = generate_tasks(&d, 12, 5).into_iter().map(|t| t.program).collect();
+        let a: Vec<String> = generate_tasks(&d, 12, 5)
+            .into_iter()
+            .map(|t| t.program)
+            .collect();
+        let b: Vec<String> = generate_tasks(&d, 12, 5)
+            .into_iter()
+            .map(|t| t.program)
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -117,7 +117,11 @@ fn apply_step(step: &Step, frame: Option<Frame>, catalog: &Catalog) -> Result<Fr
                 }),
                 Step::GroupAgg { key, agg, col } => {
                     let kidx = f.col(key)?;
-                    let cidx = if *agg == AggFn::Count { kidx } else { f.col(col)? };
+                    let cidx = if *agg == AggFn::Count {
+                        kidx
+                    } else {
+                        f.col(col)?
+                    };
                     // Insertion-ordered grouping.
                     let mut order: Vec<Value> = Vec::new();
                     let mut groups: Vec<Vec<&Row>> = Vec::new();
@@ -132,10 +136,8 @@ fn apply_step(step: &Step, frame: Option<Frame>, catalog: &Catalog) -> Result<Fr
                     }
                     let mut rows = Vec::with_capacity(groups.len());
                     for (k, members) in order.into_iter().zip(groups) {
-                        let vals: Vec<f64> = members
-                            .iter()
-                            .filter_map(|r| r[cidx].as_f64())
-                            .collect();
+                        let vals: Vec<f64> =
+                            members.iter().filter_map(|r| r[cidx].as_f64()).collect();
                         let out = match agg {
                             AggFn::Count => Value::Int(members.len() as i64),
                             AggFn::Avg => {
@@ -149,17 +151,13 @@ fn apply_step(step: &Step, frame: Option<Frame>, catalog: &Catalog) -> Result<Fr
                             AggFn::Min => vals
                                 .iter()
                                 .copied()
-                                .fold(None::<f64>, |acc, v| {
-                                    Some(acc.map_or(v, |a| a.min(v)))
-                                })
+                                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.min(v))))
                                 .map(|v| Value::Int(v as i64))
                                 .unwrap_or(Value::Null),
                             AggFn::Max => vals
                                 .iter()
                                 .copied()
-                                .fold(None::<f64>, |acc, v| {
-                                    Some(acc.map_or(v, |a| a.max(v)))
-                                })
+                                .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
                                 .map(|v| Value::Int(v as i64))
                                 .unwrap_or(Value::Null),
                         };
@@ -268,7 +266,12 @@ mod tests {
             &cat,
         )
         .unwrap();
-        assert!(pipe.same_bag(&sql), "pipe:\n{}\nsql:\n{}", pipe.to_ascii(), sql.to_ascii());
+        assert!(
+            pipe.same_bag(&sql),
+            "pipe:\n{}\nsql:\n{}",
+            pipe.to_ascii(),
+            sql.to_ascii()
+        );
     }
 
     #[test]

@@ -5,11 +5,9 @@
 
 use lm4db_sql::Catalog;
 use lm4db_tensor::Rand;
-use lm4db_tokenize::{Bpe, Tokenizer, BOS, EOS};
-use lm4db_transformer::{
-    beam, sample, GptModel, ModelConfig, SampleOptions, Unconstrained,
-};
 use lm4db_text2sql::{decode_units, SqlTrie, TrieConstraint};
+use lm4db_tokenize::{Bpe, Tokenizer, BOS, EOS};
+use lm4db_transformer::{beam, sample, GptModel, ModelConfig, SampleOptions, Unconstrained};
 
 use crate::dsl::{parse_pipeline, Pipeline};
 use crate::instructions::Task;
@@ -108,7 +106,18 @@ impl Synthesizer {
     pub fn synthesize_constrained(&mut self, instruction: &str, catalog: &Catalog) -> Synthesis {
         let prompt = self.prompt_ids(instruction);
         let constraint = TrieConstraint::new(&self.bpe, &self.trie, prompt.len());
-        let hyps = beam(&mut self.gpt, &prompt, 3, 48, EOS, &constraint);
+        // Budget enough steps to reach a leaf of the deepest trie path, so
+        // constrained decoding is complete: every beam can finish a program.
+        // Worst case the model spells a program one character per token, so
+        // size the budget by character count, not compact tokenization.
+        let max_new = self
+            .trie
+            .all_queries()
+            .iter()
+            .map(|q| q.len() + 2)
+            .max()
+            .unwrap_or(48);
+        let hyps = beam(&mut self.gpt, &prompt, 3, max_new, EOS, &constraint);
         let best = hyps.iter().find(|h| h.finished).or_else(|| hyps.first());
         let Some(best) = best else {
             return Synthesis {
@@ -191,7 +200,10 @@ impl Synthesizer {
 /// the few detokenization quirks (tight commas) so near-miss outputs get a
 /// fair parse attempt.
 fn normalize_program(raw: &str) -> String {
-    raw.replace(" ,", " , ").split_whitespace().collect::<Vec<_>>().join(" ")
+    raw.replace(" ,", " , ")
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Execution-accuracy evaluation: fraction of tasks whose synthesized
@@ -210,8 +222,10 @@ pub fn execution_accuracy(
             let Some(p) = synthesize(t) else {
                 return false;
             };
-            let (Ok(pred), Ok(gold)) = (run_pipeline(&p, catalog), run_pipeline(&t.pipeline, catalog))
-            else {
+            let (Ok(pred), Ok(gold)) = (
+                run_pipeline(&p, catalog),
+                run_pipeline(&t.pipeline, catalog),
+            ) else {
                 return false;
             };
             pred.same_bag(&gold)

@@ -87,9 +87,22 @@ impl Citation {
 }
 
 const TITLE_WORDS: [&str; 16] = [
-    "efficient", "scalable", "adaptive", "learned", "robust", "parallel", "distributed",
-    "incremental", "query", "index", "join", "storage", "transaction", "optimization",
-    "processing", "tuning",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "learned",
+    "robust",
+    "parallel",
+    "distributed",
+    "incremental",
+    "query",
+    "index",
+    "join",
+    "storage",
+    "transaction",
+    "optimization",
+    "processing",
+    "tuning",
 ];
 const SURNAMES: [&str; 12] = [
     "chen", "garcia", "kim", "mueller", "patel", "rossi", "sato", "singh", "smith", "wang",

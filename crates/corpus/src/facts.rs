@@ -128,10 +128,7 @@ mod tests {
         let d = make_domain(DomainKind::Employees, 10, 3);
         let mut rng = Rand::seeded(2);
         let facts = facts_from_table(&d.table, &d.key_col, 1.0, &mut rng);
-        let canonical = facts
-            .iter()
-            .filter(|f| f.text.starts_with("the "))
-            .count();
+        let canonical = facts.iter().filter(|f| f.text.starts_with("the ")).count();
         assert!(canonical < facts.len() / 2);
     }
 

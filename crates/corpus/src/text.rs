@@ -9,22 +9,47 @@
 use lm4db_tensor::Rand;
 
 const SUBJECTS: [&str; 12] = [
-    "the optimizer", "the database", "the query", "the index", "the planner", "the executor",
-    "the system", "the user", "the table", "the transaction", "the buffer", "the scheduler",
+    "the optimizer",
+    "the database",
+    "the query",
+    "the index",
+    "the planner",
+    "the executor",
+    "the system",
+    "the user",
+    "the table",
+    "the transaction",
+    "the buffer",
+    "the scheduler",
 ];
 
 const VERBS: [&str; 10] = [
-    "scans", "reads", "writes", "updates", "joins", "sorts", "filters", "caches", "loads",
-    "stores",
+    "scans", "reads", "writes", "updates", "joins", "sorts", "filters", "caches", "loads", "stores",
 ];
 
 const OBJECTS: [&str; 12] = [
-    "the rows", "the data", "the pages", "the tuples", "the results", "the partitions",
-    "the records", "the columns", "the statistics", "the plan", "the log", "the snapshot",
+    "the rows",
+    "the data",
+    "the pages",
+    "the tuples",
+    "the results",
+    "the partitions",
+    "the records",
+    "the columns",
+    "the statistics",
+    "the plan",
+    "the log",
+    "the snapshot",
 ];
 
 const MODIFIERS: [&str; 8] = [
-    "quickly", "slowly", "in parallel", "in order", "at night", "on disk", "in memory",
+    "quickly",
+    "slowly",
+    "in parallel",
+    "in order",
+    "at night",
+    "on disk",
+    "in memory",
     "twice",
 ];
 

@@ -1,0 +1,266 @@
+//! Std-only micro-benchmark harness.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal `criterion` under the same crate name. It implements the API the
+//! repository's benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros — with simple wall-clock timing: a short warmup, then a fixed
+//! measurement budget, reporting mean time per iteration.
+//!
+//! Budgets are intentionally small (`CRITERION_MEASURE_MS`, default 300 ms
+//! per benchmark) so `cargo bench` over the whole workspace stays quick.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, matching criterion's helper.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Batch sizing hint for `iter_batched`. The shim times per-iteration
+/// regardless of the hint, so variants only exist for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input: setup cost amortized per call.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Each iteration gets exactly one fresh input.
+    PerIteration,
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    /// Accumulated (elapsed, iterations) samples.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, running it repeatedly within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-call cost estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let per_call = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = measure_budget();
+        let calls_in_budget = (budget.as_nanos() / per_call.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..calls_in_budget {
+            black_box(routine());
+        }
+        self.samples.push((start.elapsed(), calls_in_budget));
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let per_call = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = measure_budget();
+        let calls_in_budget = (budget.as_nanos() / per_call.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..calls_in_budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push((total, calls_in_budget));
+    }
+
+    fn report(&self, name: &str) {
+        let (elapsed, iters): (Duration, u64) = self
+            .samples
+            .iter()
+            .fold((Duration::ZERO, 0), |(d, n), (sd, sn)| (d + *sd, n + sn));
+        if iters == 0 {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        println!(
+            "{name:<40} {:>12}/iter  ({iters} iters)",
+            format_time(per_iter)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new();
+        f(&mut bencher, input);
+        bencher.report(&full);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget for subsequent benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        let _ = &self.criterion;
+        std::env::set_var("CRITERION_MEASURE_MS", d.as_millis().to_string());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Declares a benchmark group runner, like the real criterion macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &n| b.iter(|| n * 2));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

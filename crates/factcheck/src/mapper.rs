@@ -64,7 +64,11 @@ impl ClaimMapper for KeywordMapper {
         }
         Some(ClaimMeaning {
             agg,
-            num_col: if agg == ClaimAgg::Count { None } else { num_col },
+            num_col: if agg == ClaimAgg::Count {
+                None
+            } else {
+                num_col
+            },
             filter,
         })
     }

@@ -67,7 +67,11 @@ impl SummaryReport {
 /// Splits a summary into claim sentences and verifies each against the
 /// domain's data. Sentences are separated by ` . ` (period with spaces), so
 /// decimal values like `87.5` inside a claim are not split.
-pub fn verify_summary(domain: &Domain, summary: &str, mapper: &mut dyn ClaimMapper) -> SummaryReport {
+pub fn verify_summary(
+    domain: &Domain,
+    summary: &str,
+    mapper: &mut dyn ClaimMapper,
+) -> SummaryReport {
     let sentences = summary
         .split(" . ")
         .map(|s| s.trim().trim_end_matches(" .").trim_end_matches('.').trim())

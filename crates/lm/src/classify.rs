@@ -156,7 +156,13 @@ impl<T: Tokenizer> FineTunedClassifier<T> {
 
     /// Fine-tunes on labeled text for `epochs` passes with batches of
     /// `batch_size`. Returns the mean loss of the final epoch.
-    pub fn fit(&mut self, examples: &[(String, usize)], epochs: usize, batch_size: usize, lr: f32) -> f32 {
+    pub fn fit(
+        &mut self,
+        examples: &[(String, usize)],
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+    ) -> f32 {
         assert!(!examples.is_empty(), "fit() needs at least one example");
         let mut opt = self.clf.optimizer(lr);
         let encoded: Vec<(Vec<usize>, usize)> = examples
@@ -261,10 +267,7 @@ mod tests {
         );
         assert_eq!(clf.classify("great good nice"), 0);
         assert_eq!(clf.classify("bad awful poor"), 1);
-        let acc = clf.accuracy(&[
-            ("great good nice".into(), 0),
-            ("bad awful poor".into(), 1),
-        ]);
+        let acc = clf.accuracy(&[("great good nice".into(), 0), ("bad awful poor".into(), 1)]);
         assert_eq!(acc, 1.0);
     }
 

@@ -61,7 +61,10 @@ impl Prompt {
                 self.input_prefix, i, self.output_prefix, o
             ));
         }
-        out.push_str(&format!("{} {query} {}", self.input_prefix, self.output_prefix));
+        out.push_str(&format!(
+            "{} {query} {}",
+            self.input_prefix, self.output_prefix
+        ));
         out
     }
 }

@@ -29,21 +29,17 @@ pub fn extract_with_template(sentence: &str, template: usize) -> Option<Extracte
     let w: Vec<&str> = sentence.split_whitespace().collect();
     match template {
         // "the {a} of {s} is {v}"
-        0 if w.len() == 6 && w[0] == "the" && w[2] == "of" && w[4] == "is" => {
-            Some(ExtractedFact {
-                attribute: w[1].into(),
-                subject: w[3].into(),
-                value: w[5].into(),
-            })
-        }
+        0 if w.len() == 6 && w[0] == "the" && w[2] == "of" && w[4] == "is" => Some(ExtractedFact {
+            attribute: w[1].into(),
+            subject: w[3].into(),
+            value: w[5].into(),
+        }),
         // "{s} has a {a} of {v}"
-        1 if w.len() == 6 && w[1] == "has" && w[2] == "a" && w[4] == "of" => {
-            Some(ExtractedFact {
-                subject: w[0].into(),
-                attribute: w[3].into(),
-                value: w[5].into(),
-            })
-        }
+        1 if w.len() == 6 && w[1] == "has" && w[2] == "a" && w[4] == "of" => Some(ExtractedFact {
+            subject: w[0].into(),
+            attribute: w[3].into(),
+            value: w[5].into(),
+        }),
         // "{s} 's {a} is {v}"
         2 if w.len() == 5 && w[1] == "'s" && w[3] == "is" => Some(ExtractedFact {
             subject: w[0].into(),

@@ -81,13 +81,7 @@ impl NeuralDb {
         let idxs = self.by_attr.get(attribute)?;
         let best = idxs
             .iter()
-            .filter_map(|&i| {
-                self.facts[i]
-                    .value
-                    .parse::<f64>()
-                    .ok()
-                    .map(|v| (i, v))
-            })
+            .filter_map(|&i| self.facts[i].value.parse::<f64>().ok().map(|v| (i, v)))
             .reduce(|a, b| {
                 let better = if max { b.1 > a.1 } else { b.1 < a.1 };
                 if better {

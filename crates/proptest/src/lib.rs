@@ -1,0 +1,642 @@
+//! Std-only property-testing shim.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal `proptest` under the same crate name. It implements the API
+//! surface the repository's tests use — the `proptest!` macro, `Strategy`
+//! with `prop_map`, ranges, regex-subset string strategies, tuples,
+//! `prop::collection::vec`, `prop::sample::select`, `any::<T>()`, `Just`,
+//! `prop_oneof!`, and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from the real crate: generation is purely random (no
+//! shrinking of failing cases), and each test runs a fixed number of cases
+//! (`PROPTEST_CASES` env var, default 32) from a deterministic per-test
+//! seed, so failures reproduce exactly.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Number of cases each property runs (reads `PROPTEST_CASES`, default 32).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Deterministic test RNG (xorshift64*), seeded from the test's full path.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    pub fn for_test(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: seed | 1, // xorshift state must be non-zero
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A failing or rejected test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// A genuine assertion failure.
+    pub fn fail(message: String) -> Self {
+        TestCaseError {
+            message,
+            reject: false,
+        }
+    }
+
+    /// A rejected case (`prop_assume!` was false); skipped, not failed.
+    pub fn reject() -> Self {
+        TestCaseError {
+            message: String::new(),
+            reject: true,
+        }
+    }
+
+    /// True when the case should simply be skipped.
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+
+    /// Failure message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+// Strategies are passed by value or reference interchangeably in tests.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    Class(Vec<char>),
+    Any,
+    Literal(char),
+}
+
+struct Quantified {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the pattern subset used in this workspace: literal characters,
+/// `.`, character classes `[a-z0-9 ]`, and `{m}` / `{m,n}` quantifiers.
+fn parse_pattern(pattern: &str) -> Vec<Quantified> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern}");
+                i += 1; // consume ']'
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push(Quantified { atom, min, max });
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const PRINTABLE: Range<u32> = 0x20..0x7f;
+        let mut out = String::new();
+        for q in parse_pattern(self) {
+            let count = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &q.atom {
+                    Atom::Class(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                    Atom::Any => {
+                        let code = PRINTABLE.start
+                            + rng.below(u64::from(PRINTABLE.end - PRINTABLE.start)) as u32;
+                        out.push(char::from_u32(code).unwrap());
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical unconstrained strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy wrapper for [`Arbitrary`] types.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// Object-safe strategy view, used to erase heterogeneous `prop_oneof!` arms.
+pub trait DynStrategy<T> {
+    /// Draws one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<T, S: Strategy<Value = T>> DynStrategy<T> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate_dyn(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prop:: modules
+// ---------------------------------------------------------------------------
+
+/// Mirrors `proptest::prop` — collection and sampling strategies.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Anything usable as a size specification for [`vec`].
+        pub trait IntoSizeRange {
+            /// Draws a concrete length.
+            fn sample_len(&self, rng: &mut TestRng) -> usize;
+        }
+
+        impl IntoSizeRange for usize {
+            fn sample_len(&self, _rng: &mut TestRng) -> usize {
+                *self
+            }
+        }
+
+        impl IntoSizeRange for std::ops::Range<usize> {
+            fn sample_len(&self, rng: &mut TestRng) -> usize {
+                assert!(self.start < self.end, "empty size range");
+                self.start + rng.below((self.end - self.start) as u64) as usize
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a random length.
+        pub struct VecStrategy<S, L> {
+            element: S,
+            len: L,
+        }
+
+        /// `prop::collection::vec(element, len)`.
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.len.sample_len(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform `bool` strategy (`prop::bool::ANY`).
+        pub struct Any;
+
+        /// Mirrors `proptest::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.below(2) == 1
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniform choice from a fixed list.
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        /// `prop::sample::select(options)`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select() of empty list");
+            Select { options }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Each function parameter draws from a strategy;
+/// the body runs for [`cases`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let total = $crate::cases();
+                let mut rng =
+                    $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..total {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(e) if e.is_reject() => {}
+                        ::std::result::Result::Err(e) => panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            total,
+                            e.message()
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property, failing the current case on falsehood.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($arm) as Box<dyn $crate::DynStrategy<_>>),+])
+    };
+}
+
+/// The glob-import module tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, Just, Strategy, TestCaseError, TestRng, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn pattern_strategy_respects_class_and_count() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn generated_ranges_are_in_bounds(x in -5i64..5, y in 0usize..10) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0i64..10).prop_map(|x| x * 2),
+            Just(1i64),
+        ]) {
+            let v: i64 = v;
+            prop_assert!(v == 1 || (v % 2 == 0 && v < 20));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(pairs in prop::collection::vec((0i64..3, "[ab]{1,2}"), 0..6)) {
+            prop_assert!(pairs.len() < 6);
+            for (n, s) in pairs {
+                prop_assert!((0..3).contains(&n));
+                prop_assert!(!s.is_empty());
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build environment
+//! has no crates.io access, so `syn`/`quote` are unavailable). Supports the
+//! shapes this repository actually derives on:
+//!
+//! * structs with named fields (with optional `#[serde(skip)]` fields),
+//! * enums whose variants are units or carry unnamed (tuple) payloads.
+//!
+//! Generated code follows the real serde's externally-tagged JSON layout:
+//! unit variants serialize to their name as a string, payload variants to
+//! `{"Name": payload}` (multi-payload variants wrap payloads in an array).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Splits a token sequence on commas that are not nested inside `<...>`.
+/// Delimited groups (parens, brackets, braces) are single trees, so only
+/// angle brackets need explicit depth tracking.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consumes leading `#[...]` attributes, returning whether any of them is
+/// `#[serde(skip)]`.
+fn take_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#');
+        let bracket = match &tokens[i + 1] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => Some(g),
+            _ => None,
+        };
+        match (is_hash, bracket) {
+            (true, Some(g)) => {
+                let text = g.stream().to_string();
+                if text.starts_with("serde") && text.contains("skip") {
+                    skip = true;
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+fn parse_fields(group_tokens: Vec<TokenTree>) -> Vec<Field> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level_commas(&group_tokens) {
+        let (mut i, skip) = take_attrs(&chunk, 0);
+        // Skip a visibility modifier: `pub` optionally followed by `(...)`.
+        if matches!(&chunk.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = chunk.get(i) else {
+            continue; // trailing comma artifact
+        };
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(group_tokens: Vec<TokenTree>) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level_commas(&group_tokens) {
+        let (i, _) = take_attrs(&chunk, 0);
+        let Some(TokenTree::Ident(name)) = chunk.get(i) else {
+            continue;
+        };
+        let arity = match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+                if payload.is_empty() {
+                    0
+                } else {
+                    split_top_level_commas(&payload).len()
+                }
+            }
+            _ => 0,
+        };
+        variants.push(Variant {
+            name: name.to_string(),
+            arity,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        let (ni, _) = take_attrs(&tokens, i);
+        i = ni;
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let Some(TokenTree::Ident(name)) = tokens.get(i + 1) else {
+        return Err("expected item name".to_string());
+    };
+    let name = name.to_string();
+    // Generic items are not supported (and not used in this workspace).
+    if matches!(tokens.get(i + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("cannot derive for generic type {name}"));
+    }
+    let body = tokens.iter().skip(i + 2).find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    });
+    let Some(body) = body else {
+        return Err(format!("no braced body found for {name}"));
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }),
+        other => Err(format!("cannot derive for {other} items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "m.insert({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut m = ::std::collections::BTreeMap::new();\n\
+                     {inserts}\
+                     ::serde::Value::Object(m)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match v.arity {
+                    0 => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    1 => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{\n\
+                           let mut m = ::std::collections::BTreeMap::new();\n\
+                           m.insert({vn:?}.to_string(), ::serde::Serialize::to_value(x0));\n\
+                           ::serde::Value::Object(m)\n\
+                         }}\n"
+                    )),
+                    arity => {
+                        let binders: Vec<String> = (0..arity).map(|k| format!("x{k}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                               let mut m = ::std::collections::BTreeMap::new();\n\
+                               m.insert({vn:?}.to_string(), ::serde::Value::Array(vec![{}]));\n\
+                               ::serde::Value::Object(m)\n\
+                             }}\n",
+                            binders.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: ::serde::Deserialize::from_value(v.get({n:?})\
+                           .ok_or_else(|| ::serde::de_error(concat!(\"missing field \", {n:?})))?)?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match v.arity {
+                    0 => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    1 => payload_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}(\
+                           ::serde::Deserialize::from_value(pv)?)),\n"
+                    )),
+                    arity => {
+                        let elems: Vec<String> = (0..arity)
+                            .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                               if let ::serde::Value::Array(items) = pv {{\n\
+                                 if items.len() == {arity} {{\n\
+                                   return ::std::result::Result::Ok({name}::{vn}({}));\n\
+                                 }}\n\
+                               }}\n\
+                               return ::std::result::Result::Err(::serde::de_error(\
+                                 concat!(\"bad payload for variant \", {vn:?})));\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     if let ::serde::Value::Str(s) = v {{\n\
+                       match s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                     if let ::serde::Value::Object(m) = v {{\n\
+                       if m.len() == 1 {{\n\
+                         let (k, pv) = m.iter().next().unwrap();\n\
+                         let _ = pv;\n\
+                         match k.as_str() {{\n{payload_arms}_ => {{}}\n}}\n\
+                       }}\n\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::de_error(\
+                       concat!(\"no variant of \", {name:?}, \" matches\")))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

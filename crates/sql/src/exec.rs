@@ -171,6 +171,9 @@ fn dedup_rows(rows: &mut Vec<Row>) {
 }
 
 /// Aggregate pipeline: group, aggregate, having, order, project, limit.
+/// Sort key paired with a group's (key values, member rows).
+type KeyedGroups = Vec<(Vec<Value>, (Vec<Value>, Vec<Row>))>;
+
 fn execute_aggregate(q: &Query, env: &Env, rows: Vec<Row>) -> Result<ResultSet> {
     if q.items.iter().any(|i| matches!(i, SelectItem::Star)) {
         return Err(SqlError::Plan(
@@ -236,12 +239,15 @@ fn execute_aggregate(q: &Query, env: &Env, rows: Vec<Row>) -> Result<ResultSet> 
     let alias_index = alias_map(q);
     // ORDER BY over groups.
     if !q.order_by.is_empty() {
-        let mut keyed: Vec<(Vec<Value>, (Vec<Value>, Vec<Row>))> = Vec::new();
+        let mut keyed: KeyedGroups = Vec::new();
         for (key, members) in kept {
             let mut sort_key = Vec::new();
             for (e, _) in &q.order_by {
                 let target = resolve_alias(e, &alias_index, q).unwrap_or(e);
-                sort_key.push(eval_in_group(target, &ctx_for(env, &group_printed, &key, &members))?);
+                sort_key.push(eval_in_group(
+                    target,
+                    &ctx_for(env, &group_printed, &key, &members),
+                )?);
             }
             keyed.push((sort_key, (key, members)));
         }
@@ -280,10 +286,7 @@ fn execute_aggregate(q: &Query, env: &Env, rows: Vec<Row>) -> Result<ResultSet> 
 fn alias_map(q: &Query) -> HashMap<String, usize> {
     let mut m = HashMap::new();
     for (i, item) in q.items.iter().enumerate() {
-        if let SelectItem::Expr {
-            alias: Some(a), ..
-        } = item
-        {
+        if let SelectItem::Expr { alias: Some(a), .. } = item {
             m.insert(a.clone(), i);
         }
     }
@@ -292,11 +295,7 @@ fn alias_map(q: &Query) -> HashMap<String, usize> {
 
 /// If `e` is a bare column naming a select alias, returns the aliased
 /// expression instead.
-fn resolve_alias<'q>(
-    e: &Expr,
-    aliases: &HashMap<String, usize>,
-    q: &'q Query,
-) -> Option<&'q Expr> {
+fn resolve_alias<'q>(e: &Expr, aliases: &HashMap<String, usize>, q: &'q Query) -> Option<&'q Expr> {
     if let Expr::Column { table: None, name } = e {
         if let Some(&i) = aliases.get(name) {
             if let SelectItem::Expr { expr, .. } = &q.items[i] {
@@ -336,15 +335,16 @@ pub(crate) fn eval_scalar(expr: &Expr, env: &Env, row: &Row) -> Result<Value> {
         Expr::Not(e) => match eval_scalar(e, env, row)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
             Value::Null => Ok(Value::Null),
-            other => Err(SqlError::Exec(format!("NOT applied to non-boolean {other}"))),
+            other => Err(SqlError::Exec(format!(
+                "NOT applied to non-boolean {other}"
+            ))),
         },
         Expr::Neg(e) => Value::Int(0).sub(&eval_scalar(e, env, row)?),
         Expr::Agg { .. } => Err(SqlError::Plan(
             "aggregate used outside an aggregate context".into(),
         )),
         Expr::Func { name, args } => {
-            let vals: Result<Vec<Value>> =
-                args.iter().map(|a| eval_scalar(a, env, row)).collect();
+            let vals: Result<Vec<Value>> = args.iter().map(|a| eval_scalar(a, env, row)).collect();
             eval_func(name, &vals?)
         }
         Expr::IsNull { expr, negated } => {
@@ -528,12 +528,13 @@ fn eval_in_group(expr: &Expr, ctx: &GroupCtx<'_>) -> Result<Value> {
         Expr::Not(e) => match eval_in_group(e, ctx)? {
             Value::Bool(b) => Ok(Value::Bool(!b)),
             Value::Null => Ok(Value::Null),
-            other => Err(SqlError::Exec(format!("NOT applied to non-boolean {other}"))),
+            other => Err(SqlError::Exec(format!(
+                "NOT applied to non-boolean {other}"
+            ))),
         },
         Expr::Neg(e) => Value::Int(0).sub(&eval_in_group(e, ctx)?),
         Expr::Func { name, args } => {
-            let vals: Result<Vec<Value>> =
-                args.iter().map(|a| eval_in_group(a, ctx)).collect();
+            let vals: Result<Vec<Value>> = args.iter().map(|a| eval_in_group(a, ctx)).collect();
             eval_func(name, &vals?)
         }
         Expr::Column { .. } => Err(SqlError::Plan(format!(
@@ -643,7 +644,8 @@ mod tests {
             Schema::new(vec![("dname", DataType::Text), ("floor", DataType::Int)]),
         );
         for (d, f) in [("eng", 3), ("ops", 1), ("hr", 2)] {
-            dept.insert(vec![Value::Str(d.into()), Value::Int(f)]).unwrap();
+            dept.insert(vec![Value::Str(d.into()), Value::Int(f)])
+                .unwrap();
         }
         let mut c = Catalog::new();
         c.register(emp);
@@ -796,17 +798,26 @@ mod tests {
 
     #[test]
     fn like_in_between() {
-        assert_eq!(run("SELECT name FROM emp WHERE name LIKE 'a%'").rows.len(), 1);
         assert_eq!(
-            run("SELECT name FROM emp WHERE dept IN ('eng', 'hr')").rows.len(),
+            run("SELECT name FROM emp WHERE name LIKE 'a%'").rows.len(),
+            1
+        );
+        assert_eq!(
+            run("SELECT name FROM emp WHERE dept IN ('eng', 'hr')")
+                .rows
+                .len(),
             3
         );
         assert_eq!(
-            run("SELECT name FROM emp WHERE salary BETWEEN 60 AND 80").rows.len(),
+            run("SELECT name FROM emp WHERE salary BETWEEN 60 AND 80")
+                .rows
+                .len(),
             3
         );
         assert_eq!(
-            run("SELECT name FROM emp WHERE salary NOT BETWEEN 60 AND 80").rows.len(),
+            run("SELECT name FROM emp WHERE salary NOT BETWEEN 60 AND 80")
+                .rows
+                .len(),
             2
         );
     }
@@ -814,16 +825,16 @@ mod tests {
     #[test]
     fn scalar_functions_in_projection() {
         let rs = run("SELECT upper(name), length(dept) FROM emp WHERE name = 'ada'");
-        assert_eq!(
-            rs.rows[0],
-            vec![Value::Str("ADA".into()), Value::Int(3)]
-        );
+        assert_eq!(rs.rows[0], vec![Value::Str("ADA".into()), Value::Int(3)]);
     }
 
     #[test]
     fn errors_surface() {
         assert!(matches!(run_err("SELECT * FROM nope"), SqlError::Plan(_)));
-        assert!(matches!(run_err("SELECT missing FROM emp"), SqlError::Plan(_)));
+        assert!(matches!(
+            run_err("SELECT missing FROM emp"),
+            SqlError::Plan(_)
+        ));
         assert!(matches!(
             run_err("SELECT name FROM emp WHERE SUM(salary) > 1"),
             SqlError::Plan(_)
@@ -878,13 +889,8 @@ mod tests {
     fn left_join_keeps_unmatched_left_rows() {
         // Join dept -> emp on a value with no match ("legal" is absent).
         let mut cat = catalog();
-        let mut lonely = Table::new(
-            "lonely",
-            Schema::new(vec![("dname", DataType::Text)]),
-        );
-        lonely
-            .insert(vec![Value::Str("legal".into())])
-            .unwrap();
+        let mut lonely = Table::new("lonely", Schema::new(vec![("dname", DataType::Text)]));
+        lonely.insert(vec![Value::Str("legal".into())]).unwrap();
         lonely.insert(vec![Value::Str("eng".into())]).unwrap();
         cat.register(lonely);
         let rs = execute(
@@ -908,10 +914,7 @@ mod tests {
     #[test]
     fn inner_join_drops_unmatched_rows() {
         let mut cat = catalog();
-        let mut lonely = Table::new(
-            "lonely",
-            Schema::new(vec![("dname", DataType::Text)]),
-        );
+        let mut lonely = Table::new("lonely", Schema::new(vec![("dname", DataType::Text)]));
         lonely.insert(vec![Value::Str("legal".into())]).unwrap();
         cat.register(lonely);
         let rs = execute(
@@ -924,9 +927,8 @@ mod tests {
 
     #[test]
     fn group_by_expression_key() {
-        let rs = run(
-            "SELECT salary / 50, COUNT(*) FROM emp GROUP BY salary / 50 ORDER BY salary / 50",
-        );
+        let rs =
+            run("SELECT salary / 50, COUNT(*) FROM emp GROUP BY salary / 50 ORDER BY salary / 50");
         // Buckets: 50/50=1 (eve, cas(60→1), dan(70→1)), 80/50=1... compute:
         // 100/50=2, 80/50=1, 60/50=1, 70/50=1, 50/50=1 → bucket 1 ×4, 2 ×1.
         assert_eq!(rs.rows.len(), 2);

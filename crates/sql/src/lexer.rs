@@ -47,9 +47,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
             while i < chars.len() && chars[i].is_ascii_digit() {
                 i += 1;
             }
-            let is_float = i + 1 < chars.len()
-                && chars[i] == '.'
-                && chars[i + 1].is_ascii_digit();
+            let is_float = i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit();
             if is_float {
                 i += 1;
                 while i < chars.len() && chars[i].is_ascii_digit() {
@@ -169,7 +167,10 @@ mod tests {
         let toks = lex("MyTable my_col2").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Ident("mytable".into()), Token::Ident("my_col2".into())]
+            vec![
+                Token::Ident("mytable".into()),
+                Token::Ident("my_col2".into())
+            ]
         );
     }
 

@@ -94,7 +94,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(name)) => Ok(name),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -112,7 +114,11 @@ impl Parser {
             let inner = self.eat_keyword("INNER");
             let left = !inner && self.eat_keyword("LEFT");
             if self.eat_keyword("JOIN") {
-                let kind = if left { JoinKind::Left } else { JoinKind::Inner };
+                let kind = if left {
+                    JoinKind::Left
+                } else {
+                    JoinKind::Inner
+                };
                 let table = self.table_ref()?;
                 self.expect_keyword("ON")?;
                 let on = self.expr()?;

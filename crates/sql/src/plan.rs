@@ -57,7 +57,13 @@ pub fn explain(q: &Query) -> String {
             JoinKind::Inner => "Join",
             JoinKind::Left => "LeftJoin",
         };
-        let _ = writeln!(out, "{}{kw} {} ON {}", "  ".repeat(depth), join.table, join.on);
+        let _ = writeln!(
+            out,
+            "{}{kw} {} ON {}",
+            "  ".repeat(depth),
+            join.table,
+            join.on
+        );
         depth += 1;
     }
     let _ = writeln!(out, "{}Scan {}", "  ".repeat(depth), q.from);
@@ -91,7 +97,10 @@ mod tests {
         )
         .unwrap();
         let plan = explain(&q);
-        let idx = |needle: &str| plan.find(needle).unwrap_or_else(|| panic!("missing {needle} in:\n{plan}"));
+        let idx = |needle: &str| {
+            plan.find(needle)
+                .unwrap_or_else(|| panic!("missing {needle} in:\n{plan}"))
+        };
         assert!(idx("Limit") < idx("Sort"));
         assert!(idx("Sort") < idx("Project"));
         assert!(idx("Project") < idx("Having"));

@@ -99,8 +99,8 @@ impl Table {
         }
         for (v, c) in row.iter().zip(self.schema.columns()) {
             if let Some(dt) = v.data_type() {
-                let compatible = dt == c.dtype
-                    || (dt == DataType::Int && c.dtype == DataType::Float);
+                let compatible =
+                    dt == c.dtype || (dt == DataType::Int && c.dtype == DataType::Float);
                 if !compatible {
                     return Err(SqlError::Exec(format!(
                         "value {v} has type {dt} but column {} is {}",
@@ -218,7 +218,13 @@ impl ResultSet {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in rendered {
             let line: Vec<String> = row
@@ -261,8 +267,10 @@ mod tests {
             "People",
             Schema::new(vec![("name", DataType::Text), ("age", DataType::Int)]),
         );
-        t.insert(vec![Value::Str("ada".into()), Value::Int(36)]).unwrap();
-        t.insert(vec![Value::Str("bob".into()), Value::Null]).unwrap();
+        t.insert(vec![Value::Str("ada".into()), Value::Int(36)])
+            .unwrap();
+        t.insert(vec![Value::Str("bob".into()), Value::Null])
+            .unwrap();
         t
     }
 
@@ -288,9 +296,7 @@ mod tests {
     #[test]
     fn insert_validates_types() {
         let mut t = people();
-        assert!(t
-            .insert(vec![Value::Int(5), Value::Int(1)])
-            .is_err());
+        assert!(t.insert(vec![Value::Int(5), Value::Int(1)]).is_err());
         // NULL fits anywhere.
         assert!(t.insert(vec![Value::Null, Value::Null]).is_ok());
     }

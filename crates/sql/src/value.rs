@@ -111,9 +111,9 @@ impl Value {
         }
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
-            _ => tag(self).cmp(&tag(other)).then_with(|| {
-                self.compare(other).unwrap_or(Ordering::Equal)
-            }),
+            _ => tag(self)
+                .cmp(&tag(other))
+                .then_with(|| self.compare(other).unwrap_or(Ordering::Equal)),
         }
     }
 
@@ -184,9 +184,7 @@ fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[char], p: &[char]) -> bool {
         match p.split_first() {
             None => s.is_empty(),
-            Some(('%', rest)) => {
-                (0..=s.len()).any(|k| rec(&s[k..], rest))
-            }
+            Some(('%', rest)) => (0..=s.len()).any(|k| rec(&s[k..], rest)),
             Some(('_', rest)) => !s.is_empty() && rec(&s[1..], rest),
             Some((c, rest)) => s.first() == Some(c) && rec(&s[1..], rest),
         }

@@ -79,21 +79,15 @@ impl LmScorer {
                     // synonym appears with both labels during training.
                     for paraphrase in [false, true, true] {
                         let goal = render_goal(measure, dim, paraphrase, &mut rng);
-                        examples.push((
-                            format!("{goal} ; {}", insight.text),
-                            usize::from(relevant),
-                        ));
+                        examples
+                            .push((format!("{goal} ; {}", insight.text), usize::from(relevant)));
                     }
                 }
             }
         }
         let bpe = Bpe::train(examples.iter().map(|(t, _)| t.as_str()), 800);
-        let mut clf = FineTunedClassifier::new(
-            cfg,
-            bpe,
-            vec!["irrelevant".into(), "relevant".into()],
-            seed,
-        );
+        let mut clf =
+            FineTunedClassifier::new(cfg, bpe, vec!["irrelevant".into(), "relevant".into()], seed);
         clf.fit(&examples, 12, 8, 2e-3);
         LmScorer { clf }
     }
@@ -129,7 +123,10 @@ mod tests {
         let mut s = KeywordScorer;
         let i = sample_insight("salary", "dept");
         assert!(s.score("focus on salary differences across dept groups", &i) > 0.9);
-        assert_eq!(s.score("focus on age differences across city groups", &i), 0.0);
+        assert_eq!(
+            s.score("focus on age differences across city groups", &i),
+            0.0
+        );
     }
 
     #[test]
@@ -138,7 +135,10 @@ mod tests {
         let i = sample_insight("salary", "dept");
         // "pay" means salary but the keyword scorer scores only the dim.
         let score = s.score("focus on pay differences across dept groups", &i);
-        assert!(score < 0.5, "keyword scorer should miss the synonym: {score}");
+        assert!(
+            score < 0.5,
+            "keyword scorer should miss the synonym: {score}"
+        );
     }
 
     #[test]

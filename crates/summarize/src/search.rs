@@ -46,15 +46,16 @@ pub fn greedy_summary(
     k: usize,
     scorer: &mut dyn RelevanceScorer,
 ) -> Summary {
-    let utilities: Vec<f64> = insights
-        .iter()
-        .map(|i| utility(goal, i, scorer))
-        .collect();
+    let utilities: Vec<f64> = insights.iter().map(|i| utility(goal, i, scorer)).collect();
     let mut chosen: Vec<usize> = Vec::new();
     while chosen.len() < k {
         let best = (0..insights.len())
             .filter(|i| !chosen.contains(i))
-            .filter(|&i| !chosen.iter().any(|&c| redundant(&insights[c], &insights[i])))
+            .filter(|&i| {
+                !chosen
+                    .iter()
+                    .any(|&c| redundant(&insights[c], &insights[i]))
+            })
             .max_by(|&a, &b| utilities[a].total_cmp(&utilities[b]));
         match best {
             Some(i) if utilities[i] > 0.0 => chosen.push(i),
@@ -84,7 +85,10 @@ pub fn random_summary(
         if chosen.len() >= k {
             break;
         }
-        if !chosen.iter().any(|&c| redundant(&insights[c], &insights[i])) {
+        if !chosen
+            .iter()
+            .any(|&c| redundant(&insights[c], &insights[i]))
+        {
             chosen.push(i);
         }
     }
@@ -105,10 +109,7 @@ pub fn exhaustive_summary(
     k: usize,
     scorer: &mut dyn RelevanceScorer,
 ) -> Summary {
-    let utilities: Vec<f64> = insights
-        .iter()
-        .map(|i| utility(goal, i, scorer))
-        .collect();
+    let utilities: Vec<f64> = insights.iter().map(|i| utility(goal, i, scorer)).collect();
     let n = insights.len();
     assert!(k <= 3, "exhaustive search is for validation at tiny k");
     let mut best = Summary {
@@ -220,7 +221,12 @@ mod tests {
     #[test]
     fn zero_utility_goal_yields_empty_summary() {
         let (insights, _) = setup();
-        let s = greedy_summary("completely unrelated topic", &insights, 3, &mut KeywordScorer);
+        let s = greedy_summary(
+            "completely unrelated topic",
+            &insights,
+            3,
+            &mut KeywordScorer,
+        );
         assert!(s.chosen.is_empty());
         assert_eq!(s.utility, 0.0);
     }

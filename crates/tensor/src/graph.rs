@@ -18,6 +18,13 @@ use crate::tensor::{gelu, gelu_grad, Tensor};
 /// Target index that is skipped by [`Graph::cross_entropy`].
 pub const IGNORE_INDEX: usize = usize::MAX;
 
+/// Minimum elements a row-parallel backward chunk should cover; below this
+/// the dispatch overhead outweighs the work.
+const ROW_MIN_ELEMS: usize = 2_048;
+
+/// Minimum elements per chunk for broadcast add / reduce passes.
+const BCAST_MIN_ELEMS: usize = 16_384;
+
 /// Handle to a node in a [`Graph`]. Cheap to copy; only valid for the graph
 /// that created it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,19 +170,39 @@ impl Graph {
         let chunk = numel(vb.shape());
         let b_shape = vb.shape().to_vec();
         let mut out = va.data().to_vec();
-        for c in out.chunks_mut(chunk) {
-            for (o, &x) in c.iter_mut().zip(vb.data().iter()) {
-                *o += x;
-            }
+        let reps = out.len() / chunk.max(1);
+        {
+            let vb_data = vb.data();
+            crate::pool::parallel_rows_mut(
+                &mut out,
+                reps.max(1),
+                (BCAST_MIN_ELEMS / chunk.max(1)).max(1),
+                |_, block| {
+                    for c in block.chunks_mut(chunk) {
+                        for (o, &x) in c.iter_mut().zip(vb_data.iter()) {
+                            *o += x;
+                        }
+                    }
+                },
+            );
         }
         let value = Tensor::new(va.shape().to_vec(), out);
         self.binary(a, b, value, move |g| {
             let mut gb = vec![0.0f32; chunk];
-            for c in g.data().chunks(chunk) {
-                for (o, &x) in gb.iter_mut().zip(c.iter()) {
-                    *o += x;
-                }
-            }
+            // Column-parallel reduction: each column sums its repeats in
+            // ascending order, matching the serial accumulation exactly.
+            crate::pool::parallel_rows_mut(
+                &mut gb,
+                chunk,
+                (BCAST_MIN_ELEMS / reps.max(1)).max(1),
+                |first, block| {
+                    for c in g.data().chunks(chunk) {
+                        for (o, &x) in block.iter_mut().zip(c[first..].iter()) {
+                            *o += x;
+                        }
+                    }
+                },
+            );
             (g.clone(), Tensor::new(b_shape.clone(), gb))
         })
     }
@@ -187,11 +214,8 @@ impl Graph {
         let value = va.matmul(&vb);
         let rhs_broadcast = vb.rank() == 2 && va.rank() > 2;
         self.binary(a, b, value, move |g| {
-            let rank_b = vb.rank();
-            let rank_a = va.rank();
-            // dA = dC @ B^T
-            let bt = vb.transpose(rank_b - 2, rank_b - 1);
-            let ga = g.matmul(&bt);
+            // dA = dC @ B^T, without materializing the transpose.
+            let ga = g.matmul_bt(&vb);
             // dB = A^T @ dC (summed over batch when B was broadcast)
             let gb = if rhs_broadcast {
                 let k = *va.shape().last().unwrap();
@@ -199,9 +223,9 @@ impl Graph {
                 let rows = numel(va.shape()) / k;
                 let a2 = va.reshape(&[rows, k]);
                 let g2 = g.reshape(&[rows, n]);
-                a2.transpose(0, 1).matmul(&g2)
+                a2.matmul_tn_acc(&g2)
             } else {
-                va.transpose(rank_a - 2, rank_a - 1).matmul(g)
+                va.matmul_tn(g)
             };
             (ga, gb)
         })
@@ -226,17 +250,24 @@ impl Graph {
         let y = value.clone();
         self.unary(a, value, move |g| {
             let d = *y.shape().last().unwrap();
+            let rows = g.data().len() / d.max(1);
             let mut out = vec![0.0f32; g.data().len()];
-            for ((orow, grow), yrow) in out
-                .chunks_mut(d)
-                .zip(g.data().chunks(d))
-                .zip(y.data().chunks(d))
-            {
-                let dot: f32 = grow.iter().zip(yrow.iter()).map(|(&a, &b)| a * b).sum();
-                for ((o, &gi), &yi) in orow.iter_mut().zip(grow.iter()).zip(yrow.iter()) {
-                    *o = (gi - dot) * yi;
-                }
-            }
+            crate::pool::parallel_rows_mut(
+                &mut out,
+                rows.max(1),
+                (ROW_MIN_ELEMS / d.max(1)).max(1),
+                |first, block| {
+                    for (r, orow) in block.chunks_mut(d).enumerate() {
+                        let off = (first + r) * d;
+                        let grow = &g.data()[off..off + d];
+                        let yrow = &y.data()[off..off + d];
+                        let dot: f32 = grow.iter().zip(yrow.iter()).map(|(&a, &b)| a * b).sum();
+                        for ((o, &gi), &yi) in orow.iter_mut().zip(grow.iter()).zip(yrow.iter()) {
+                            *o = (gi - dot) * yi;
+                        }
+                    }
+                },
+            );
             Tensor::new(y.shape().to_vec(), out)
         })
     }
@@ -245,9 +276,7 @@ impl Graph {
     pub fn gelu(&mut self, a: Var) -> Var {
         let x = self.value(a).clone();
         let value = x.map(gelu);
-        self.unary(a, value, move |g| {
-            g.zip(&x, |gi, xi| gi * gelu_grad(xi))
-        })
+        self.unary(a, value, move |g| g.zip(&x, |gi, xi| gi * gelu_grad(xi)))
     }
 
     /// ReLU activation.
@@ -276,22 +305,42 @@ impl Graph {
         assert_eq!(vgain.shape(), [d], "layer_norm gain must be [{d}]");
         assert_eq!(vbias.shape(), [d], "layer_norm bias must be [{d}]");
 
+        let rows = vx.len() / d;
+        let min_rows = (ROW_MIN_ELEMS / d.max(1)).max(1);
         let mut xhat = vec![0.0f32; vx.len()];
-        let mut inv_std = vec![0.0f32; vx.len() / d];
-        for (r, (row, xh)) in vx.data().chunks(d).zip(xhat.chunks_mut(d)).enumerate() {
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for (o, &v) in xh.iter_mut().zip(row.iter()) {
-                *o = (v - mean) * istd;
-            }
-        }
+        let mut inv_std = vec![0.0f32; rows];
+        crate::pool::parallel_rows_mut2(
+            &mut xhat,
+            &mut inv_std,
+            rows.max(1),
+            min_rows,
+            |first, xh_block, istd_block| {
+                for (r, (xh, istd)) in xh_block
+                    .chunks_mut(d)
+                    .zip(istd_block.iter_mut())
+                    .enumerate()
+                {
+                    let row = &vx.data()[(first + r) * d..(first + r + 1) * d];
+                    let mean = row.iter().sum::<f32>() / d as f32;
+                    let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                    *istd = 1.0 / (var + eps).sqrt();
+                    for (o, &v) in xh.iter_mut().zip(row.iter()) {
+                        *o = (v - mean) * *istd;
+                    }
+                }
+            },
+        );
         let mut out = vec![0.0f32; vx.len()];
-        for (orow, xrow) in out.chunks_mut(d).zip(xhat.chunks(d)) {
-            for j in 0..d {
-                orow[j] = xrow[j] * vgain.data()[j] + vbias.data()[j];
-            }
+        {
+            let xhat = &xhat;
+            crate::pool::parallel_rows_mut(&mut out, rows.max(1), min_rows, |first, block| {
+                for (r, orow) in block.chunks_mut(d).enumerate() {
+                    let xrow = &xhat[(first + r) * d..(first + r + 1) * d];
+                    for j in 0..d {
+                        orow[j] = xrow[j] * vgain.data()[j] + vbias.data()[j];
+                    }
+                }
+            });
         }
         let value = Tensor::new(vx.shape().to_vec(), out);
         let xhat = Tensor::new(vx.shape().to_vec(), xhat);
@@ -306,33 +355,57 @@ impl Graph {
             parents: vec![x.0, gain.0, bias.0],
             backward: requires_grad.then(|| -> BackwardFn {
                 Box::new(move |g| {
+                    let rows = g.data().len() / d;
+                    let min_rows = (ROW_MIN_ELEMS / d.max(1)).max(1);
                     let mut dx = vec![0.0f32; g.data().len()];
+                    crate::pool::parallel_rows_mut(
+                        &mut dx,
+                        rows.max(1),
+                        min_rows,
+                        |first, block| {
+                            for (r, dxrow) in block.chunks_mut(d).enumerate() {
+                                let off = (first + r) * d;
+                                let grow = &g.data()[off..off + d];
+                                let xrow = &xhat.data()[off..off + d];
+                                let istd = inv_std[first + r];
+                                let mut sum_dxhat = 0.0f32;
+                                let mut sum_dxhat_xhat = 0.0f32;
+                                for j in 0..d {
+                                    let dxhat = grow[j] * vgain.data()[j];
+                                    sum_dxhat += dxhat;
+                                    sum_dxhat_xhat += dxhat * xrow[j];
+                                }
+                                let inv_d = 1.0 / d as f32;
+                                for j in 0..d {
+                                    let dxhat = grow[j] * vgain.data()[j];
+                                    dxrow[j] = istd
+                                        * (dxhat
+                                            - inv_d * sum_dxhat
+                                            - inv_d * xrow[j] * sum_dxhat_xhat);
+                                }
+                            }
+                        },
+                    );
+                    // Column-parallel: each column accumulates its rows in
+                    // ascending order — the same order as a serial sweep.
                     let mut dgain = vec![0.0f32; d];
                     let mut dbias = vec![0.0f32; d];
-                    for (r, ((grow, xrow), dxrow)) in g
-                        .data()
-                        .chunks(d)
-                        .zip(xhat.data().chunks(d))
-                        .zip(dx.chunks_mut(d))
-                        .enumerate()
-                    {
-                        let istd = inv_std[r];
-                        let mut sum_dxhat = 0.0f32;
-                        let mut sum_dxhat_xhat = 0.0f32;
-                        for j in 0..d {
-                            let dxhat = grow[j] * vgain.data()[j];
-                            sum_dxhat += dxhat;
-                            sum_dxhat_xhat += dxhat * xrow[j];
-                            dgain[j] += grow[j] * xrow[j];
-                            dbias[j] += grow[j];
-                        }
-                        let inv_d = 1.0 / d as f32;
-                        for j in 0..d {
-                            let dxhat = grow[j] * vgain.data()[j];
-                            dxrow[j] =
-                                istd * (dxhat - inv_d * sum_dxhat - inv_d * xrow[j] * sum_dxhat_xhat);
-                        }
-                    }
+                    crate::pool::parallel_rows_mut2(
+                        &mut dgain,
+                        &mut dbias,
+                        d,
+                        (ROW_MIN_ELEMS / rows.max(1)).max(1),
+                        |first, gblock, bblock| {
+                            for (grow, xrow) in g.data().chunks(d).zip(xhat.data().chunks(d)) {
+                                for (j, (dg, db)) in
+                                    gblock.iter_mut().zip(bblock.iter_mut()).enumerate()
+                                {
+                                    *dg += grow[first + j] * xrow[first + j];
+                                    *db += grow[first + j];
+                                }
+                            }
+                        },
+                    );
                     vec![
                         Tensor::new(shape.clone(), dx),
                         Tensor::new(vec![d], dgain),
@@ -398,9 +471,7 @@ impl Graph {
         let shape = self.value(a).shape().to_vec();
         let n = numel(&shape).max(1) as f32;
         let value = self.value(a).mean_all();
-        self.unary(a, value, move |g| {
-            Tensor::full(&shape, g.item() / n)
-        })
+        self.unary(a, value, move |g| Tensor::full(&shape, g.item() / n))
     }
 
     /// Sum of all elements (scalar output).
@@ -536,10 +607,7 @@ mod tests {
             };
             let fd = (eval(plus) - eval(minus)) / (2.0 * eps);
             let a = analytic.data()[i];
-            assert!(
-                (a - fd).abs() < tol,
-                "grad[{i}]: analytic {a} vs fd {fd}"
-            );
+            assert!((a - fd).abs() < tol, "grad[{i}]: analytic {a} vs fd {fd}");
         }
     }
 

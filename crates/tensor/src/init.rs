@@ -1,48 +1,86 @@
 //! Seeded parameter initialization.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::shape::numel;
 use crate::tensor::Tensor;
 
 /// Deterministic random source for initialization and data shuffling.
 ///
-/// A thin wrapper so downstream crates do not depend on `rand` directly.
+/// Self-contained splitmix64/xoshiro256** generator, so the workspace has no
+/// external RNG dependency and streams are stable across toolchains.
 pub struct Rand {
-    rng: SmallRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl Rand {
     /// Creates a generator from a fixed seed.
     pub fn seeded(seed: u64) -> Self {
+        let mut s = seed;
         Rand {
-            rng: SmallRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut n = [s0, s1, s2, s3];
+        n[2] ^= n[0];
+        n[3] ^= n[1];
+        n[1] ^= n[2];
+        n[0] ^= n[3];
+        n[2] ^= t;
+        n[3] = n[3].rotate_left(45);
+        self.state = n;
+        result
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f32 {
-        self.rng.gen::<f32>()
+        // 24 high bits give every representable step of 2^-24 in [0, 1).
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is undefined");
-        self.rng.gen_range(0..n)
+        // Debiased multiply-shift (Lemire); the rejection loop terminates
+        // quickly for any n far below 2^64.
+        let n = n as u64;
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return (x % n) as usize;
+            }
+        }
     }
 
     /// Standard normal sample (Box-Muller).
     pub fn normal(&mut self) -> f32 {
-        let u1: f32 = self.rng.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.rng.gen();
+        let u1: f32 = f32::EPSILON + (1.0 - f32::EPSILON) * self.uniform();
+        let u2: f32 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
     /// Fisher-Yates shuffle.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i + 1);
             items.swap(i, j);
         }
     }
@@ -52,7 +90,7 @@ impl Rand {
     pub fn weighted(&mut self, weights: &[f32]) -> usize {
         let total: f32 = weights.iter().sum();
         assert!(total > 0.0, "weighted() requires positive total weight");
-        let mut x = self.rng.gen::<f32>() * total;
+        let mut x = self.uniform() * total;
         for (i, &w) in weights.iter().enumerate() {
             if x < w {
                 return i;
@@ -99,11 +137,35 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut rng = Rand::seeded(11);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x), "uniform out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut rng = Rand::seeded(12);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "below(7) missed a residue");
+    }
+
+    #[test]
     fn normal_has_roughly_right_std() {
         let mut rng = Rand::seeded(1);
         let t = normal(&[10_000], 0.02, &mut rng);
         let mean: f32 = t.data().iter().sum::<f32>() / 10_000.0;
-        let var: f32 = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 1e-3, "mean {mean}");
         assert!((var.sqrt() - 0.02).abs() < 2e-3, "std {}", var.sqrt());
     }

@@ -76,7 +76,10 @@ impl ParamStore {
 
     /// Iterates over `(name, tensor)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
-        self.names.iter().map(String::as_str).zip(self.values.iter())
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter())
     }
 }
 
@@ -160,8 +163,16 @@ impl Adam {
             eps: 1e-8,
             weight_decay: 0.0,
             step: 0,
-            m: store.values.iter().map(|t| Tensor::zeros(t.shape())).collect(),
-            v: store.values.iter().map(|t| Tensor::zeros(t.shape())).collect(),
+            m: store
+                .values
+                .iter()
+                .map(|t| Tensor::zeros(t.shape()))
+                .collect(),
+            v: store
+                .values
+                .iter()
+                .map(|t| Tensor::zeros(t.shape()))
+                .collect(),
         }
     }
 
@@ -187,8 +198,8 @@ impl Adam {
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
-        for i in 0..grads.len() {
-            let g = grads[i].data();
+        for (i, grad) in grads.iter().enumerate() {
+            let g = grad.data();
             let m = self.m[i].data_mut();
             let v = self.v[i].data_mut();
             let p = store.values[i].data_mut();
@@ -217,9 +228,8 @@ impl Sgd {
     /// Applies one update step.
     pub fn step(&mut self, store: &mut ParamStore, grads: &[Tensor]) {
         assert_eq!(grads.len(), store.values.len(), "gradient count mismatch");
-        for i in 0..grads.len() {
-            let lr = self.lr;
-            store.values[i].add_scaled_assign(&grads[i], -lr);
+        for (value, grad) in store.values.iter_mut().zip(grads.iter()) {
+            value.add_scaled_assign(grad, -self.lr);
         }
     }
 }
@@ -252,8 +262,8 @@ impl LrSchedule {
         if t >= self.total_steps {
             return self.min_lr;
         }
-        let progress = (t - self.warmup_steps) as f32
-            / (self.total_steps - self.warmup_steps).max(1) as f32;
+        let progress =
+            (t - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps).max(1) as f32;
         let cos = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
         self.min_lr + (self.peak_lr - self.min_lr) * cos
     }

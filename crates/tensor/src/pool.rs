@@ -1,0 +1,376 @@
+//! A persistent worker pool for data-parallel tensor kernels.
+//!
+//! Design goal: **bit-identical results at any thread count.** Work is cut
+//! into chunks whose boundaries depend only on the problem size and the
+//! requested granularity — never on how many threads happen to execute
+//! them. Each chunk touches a disjoint slice of the output, floating-point
+//! accumulation order inside a chunk is serial, and reductions over chunk
+//! partials combine them in fixed chunk order. Threads only decide *who*
+//! runs a chunk, never *what* a chunk computes.
+//!
+//! The pool is created lazily on first use. Thread count comes from
+//! [`set_threads`] when called before first use, else the `LM4DB_THREADS`
+//! environment variable, else `std::thread::available_parallelism()`.
+//! `parallel_for` calls from inside a worker run inline, so nested
+//! parallelism cannot deadlock.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on chunks per `parallel_for`. A constant (never the thread
+/// count!) so chunk boundaries — and therefore float accumulation groups —
+/// are identical no matter how many threads execute them.
+const MAX_CHUNKS: usize = 64;
+
+/// Desired thread count; 0 means "not yet resolved".
+static DESIRED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True inside a pool worker; nested parallel_for then runs inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("LM4DB_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Sets the worker thread count. Takes full effect when called before the
+/// pool's first use; afterwards it can lower (but not raise) parallelism.
+pub fn set_threads(n: usize) {
+    DESIRED_THREADS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The thread count `parallel_for` will use.
+pub fn threads() -> usize {
+    let n = DESIRED_THREADS.load(Ordering::SeqCst);
+    if n != 0 {
+        return n;
+    }
+    let resolved = default_threads();
+    // Racing initializers resolve to the same value; keep whichever landed.
+    let _ = DESIRED_THREADS.compare_exchange(0, resolved, Ordering::SeqCst, Ordering::SeqCst);
+    DESIRED_THREADS.load(Ordering::SeqCst)
+}
+
+/// One dispatched `parallel_for`: a type-erased chunk function plus the
+/// fixed chunk layout and completion tracking.
+struct Job {
+    /// The chunk body. Lifetime is erased; the dispatching caller blocks
+    /// until `done == chunks`, so the borrow outlives every worker access.
+    func: *const (dyn Fn(Range<usize>) + Sync),
+    n: usize,
+    chunk_size: usize,
+    chunks: usize,
+    next: AtomicUsize,
+    done: Mutex<usize>,
+    finished: Condvar,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `func` points at a `Sync` closure that the dispatching thread
+// keeps alive until the job completes.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Runs chunks until none remain. Called by workers and the dispatcher.
+    fn run(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                return;
+            }
+            let start = c * self.chunk_size;
+            let end = (start + self.chunk_size).min(self.n);
+            // A panic in one chunk must still report completion, or the
+            // dispatcher would wait forever.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: see `Job::func`.
+                (unsafe { &*self.func })(start..end);
+            }));
+            if result.is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut done = self.done.lock().unwrap();
+            *done += 1;
+            if *done == self.chunks {
+                self.finished.notify_all();
+            }
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while *done < self.chunks {
+            done = self.finished.wait(done).unwrap();
+        }
+    }
+}
+
+struct PoolState {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    available: Condvar,
+    workers: usize,
+}
+
+static POOL: OnceLock<PoolState> = OnceLock::new();
+
+fn pool() -> &'static PoolState {
+    POOL.get_or_init(|| {
+        let workers = threads().saturating_sub(1); // dispatcher participates
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("lm4db-pool-{w}"))
+                .spawn(worker_loop)
+                .expect("failed to spawn pool worker");
+        }
+        PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            workers,
+        }
+    })
+}
+
+fn worker_loop() {
+    IN_WORKER.with(|w| w.set(true));
+    let state = pool();
+    loop {
+        let job = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = state.available.wait(queue).unwrap();
+            }
+        };
+        job.run();
+    }
+}
+
+/// Runs `f` over `0..n`, split into chunks of at least `min_chunk` items.
+///
+/// Chunk boundaries depend only on `n` and `min_chunk`, so any output
+/// computed per-chunk is bit-identical regardless of thread count. `f` must
+/// be safe to call concurrently on disjoint ranges.
+pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F) {
+    if n == 0 {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    let chunk_size = min_chunk.max(n.div_ceil(MAX_CHUNKS));
+    let chunks = n.div_ceil(chunk_size);
+    let inline = chunks <= 1 || threads() <= 1 || IN_WORKER.with(|w| w.get());
+    if inline {
+        f(0..n);
+        return;
+    }
+    let state = pool();
+    if state.workers == 0 {
+        f(0..n);
+        return;
+    }
+    // Erase the closure's lifetime: the dispatcher blocks in `job.wait()`
+    // below, so `f` outlives every worker access through this pointer.
+    let func: *const (dyn Fn(Range<usize>) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), &'static (dyn Fn(Range<usize>) + Sync)>(
+            &f,
+        )
+    };
+    let job = Arc::new(Job {
+        func,
+        n,
+        chunk_size,
+        chunks,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        finished: Condvar::new(),
+        panicked: AtomicBool::new(false),
+    });
+    // Enqueue one handle per helper we want active (capped by chunk count);
+    // surplus copies drain as no-ops once the chunk counter is exhausted.
+    let helpers = state
+        .workers
+        .min(threads().saturating_sub(1))
+        .min(chunks - 1);
+    {
+        let mut queue = state.queue.lock().unwrap();
+        for _ in 0..helpers {
+            queue.push_back(Arc::clone(&job));
+        }
+    }
+    state.available.notify_all();
+    job.run(); // dispatcher participates
+    job.wait();
+    if job.panicked.load(Ordering::SeqCst) {
+        panic!("parallel_for: a worker chunk panicked");
+    }
+}
+
+/// Splits `data` into consecutive row-blocks of `rows * width` elements and
+/// runs `f(first_row, block)` for each, in parallel. `data.len()` must be
+/// `rows * width`. Blocks are at least `min_rows` rows.
+///
+/// This is the safe mutable fan-out used by the tensor kernels: each block
+/// is a disjoint `&mut` slice of the output.
+pub fn parallel_rows_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    rows: usize,
+    min_rows: usize,
+    f: F,
+) {
+    if rows == 0 {
+        return;
+    }
+    assert_eq!(data.len() % rows, 0, "data length not divisible by rows");
+    let width = data.len() / rows;
+    let base = SendPtr(data.as_mut_ptr());
+    parallel_for(rows, min_rows, |range| {
+        let start = range.start;
+        let len = (range.end - range.start) * width;
+        // SAFETY: ranges from parallel_for are disjoint, so each block is
+        // an exclusive sub-slice of `data`, alive for the whole call.
+        let block = unsafe { std::slice::from_raw_parts_mut(base.get().add(start * width), len) };
+        f(start, block);
+    });
+}
+
+/// Like [`parallel_rows_mut`], but fans out two output buffers sharing the
+/// same row count (each with its own width). `f` receives the first row
+/// index and the matching blocks of both buffers.
+pub fn parallel_rows_mut2<T: Send, U: Send, F: Fn(usize, &mut [T], &mut [U]) + Sync>(
+    a: &mut [T],
+    b: &mut [U],
+    rows: usize,
+    min_rows: usize,
+    f: F,
+) {
+    if rows == 0 {
+        return;
+    }
+    assert_eq!(a.len() % rows, 0, "first buffer not divisible by rows");
+    assert_eq!(b.len() % rows, 0, "second buffer not divisible by rows");
+    let wa = a.len() / rows;
+    let wb = b.len() / rows;
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    parallel_for(rows, min_rows, |range| {
+        let start = range.start;
+        let count = range.end - range.start;
+        // SAFETY: ranges are disjoint; each block is an exclusive sub-slice.
+        let block_a =
+            unsafe { std::slice::from_raw_parts_mut(pa.get().add(start * wa), count * wa) };
+        let block_b =
+            unsafe { std::slice::from_raw_parts_mut(pb.get().add(start * wb), count * wb) };
+        f(start, block_a, block_b);
+    });
+}
+
+/// A raw pointer that may cross threads. Used to hand each chunk its
+/// disjoint output slice.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Accessed via a method so closures capture the whole (Sync) wrapper,
+    /// not the raw pointer field.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let n = 10_007;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(n, 16, |range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_rows_mut_writes_disjoint_blocks() {
+        let rows = 257;
+        let width = 31;
+        let mut data = vec![0.0f32; rows * width];
+        parallel_rows_mut(&mut data, rows, 4, |first_row, block| {
+            for (r, row) in block.chunks_mut(width).enumerate() {
+                for (c, x) in row.iter_mut().enumerate() {
+                    *x = (first_row + r) as f32 * 1000.0 + c as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..width {
+                assert_eq!(data[r * width + c], r as f32 * 1000.0 + c as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_parallel_for_runs_inline() {
+        let outer = 64;
+        let total = AtomicUsize::new(0);
+        parallel_for(outer, 1, |range| {
+            for _ in range {
+                parallel_for(100, 1, |inner| {
+                    total.fetch_add(inner.len(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), outer * 100);
+    }
+
+    #[test]
+    fn zero_and_tiny_sizes_are_fine() {
+        parallel_for(0, 8, |_| panic!("must not run"));
+        let count = AtomicUsize::new(0);
+        parallel_for(3, 8, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn chunk_layout_is_thread_count_independent() {
+        // The chunk boundaries are a pure function of (n, min_chunk); record
+        // them via the ranges each call observes.
+        let collect = |n: usize, min_chunk: usize| {
+            let ranges = Mutex::new(Vec::new());
+            parallel_for(n, min_chunk, |r| {
+                ranges.lock().unwrap().push((r.start, r.end))
+            });
+            let mut v = ranges.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        let a = collect(1000, 10);
+        let b = collect(1000, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.first().map(|r| r.0), Some(0));
+        assert_eq!(a.last().map(|r| r.1), Some(1000));
+    }
+}

@@ -11,6 +11,21 @@ use std::sync::Arc;
 
 use crate::shape::{assert_same_shape, batch_dims, numel, strides};
 
+/// Minimum rows per parallel chunk so a chunk amortizes dispatch overhead:
+/// roughly 32k multiply-adds of work per chunk.
+fn matmul_min_rows(_m: usize, n: usize, k: usize) -> usize {
+    (32_768 / (n * k).max(1)).max(1)
+}
+
+/// Minimum elements per chunk for cheap elementwise kernels.
+const ELEMWISE_MIN_CHUNK: usize = 16_384;
+
+/// Minimum rows per chunk for softmax-style row kernels (a few passes of
+/// exp/log per element).
+fn softmax_min_rows(d: usize) -> usize {
+    (2_048 / d.max(1)).max(1)
+}
+
 /// A dense, row-major, `f32` tensor.
 ///
 /// Cloning is O(1): the buffer is shared until a mutation forces a copy
@@ -129,26 +144,37 @@ impl Tensor {
         }
     }
 
-    /// Element-wise map into a new tensor.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+    /// Element-wise map into a new tensor. Large tensors map in parallel;
+    /// each element is a pure function of one input, so chunking cannot
+    /// change the result.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let src = &self.data;
+        let mut out = vec![0.0f32; src.len()];
+        crate::pool::parallel_rows_mut(&mut out, src.len(), ELEMWISE_MIN_CHUNK, |first, block| {
+            for (o, &x) in block.iter_mut().zip(src[first..].iter()) {
+                *o = f(x);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+            data: Arc::new(out),
         }
     }
 
-    /// Element-wise combination of two same-shaped tensors.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    /// Element-wise combination of two same-shaped tensors (parallel for
+    /// large tensors, like [`Tensor::map`]).
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         assert_same_shape("zip", &self.shape, &other.shape);
-        let data = self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let (a, b) = (&self.data, &other.data);
+        let mut out = vec![0.0f32; a.len()];
+        crate::pool::parallel_rows_mut(&mut out, a.len(), ELEMWISE_MIN_CHUNK, |first, block| {
+            for (i, o) in block.iter_mut().enumerate() {
+                *o = f(a[first + i], b[first + i]);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: Arc::new(data),
+            data: Arc::new(out),
         }
     }
 
@@ -195,11 +221,20 @@ impl Tensor {
             self.shape
         );
         let mut out = self.as_ref().to_vec();
-        for chunk in out.chunks_mut(d) {
-            for (o, &b) in chunk.iter_mut().zip(row.data.iter()) {
-                *o += b;
-            }
-        }
+        let rows = out.len() / d.max(1);
+        let bias = &row.data;
+        crate::pool::parallel_rows_mut(
+            &mut out,
+            rows,
+            (ELEMWISE_MIN_CHUNK / d.max(1)).max(1),
+            |_, block| {
+                for chunk in block.chunks_mut(d) {
+                    for (o, &b) in chunk.iter_mut().zip(bias.iter()) {
+                        *o += b;
+                    }
+                }
+            },
+        );
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(out),
@@ -227,11 +262,18 @@ impl Tensor {
             self.shape
         );
         let mut out = vec![0.0f32; d];
-        for chunk in self.data.chunks(d) {
-            for (o, &x) in out.iter_mut().zip(chunk.iter()) {
-                *o += x;
+        let data = &self.data;
+        let rows = data.len() / d.max(1);
+        // Parallel over output columns; every column still accumulates its
+        // rows in ascending order, exactly like the serial loop.
+        let min_cols = (ELEMWISE_MIN_CHUNK / rows.max(1)).max(1);
+        crate::pool::parallel_rows_mut(&mut out, d, min_cols, |first, block| {
+            for chunk in data.chunks(d) {
+                for (o, &x) in block.iter_mut().zip(chunk[first..].iter()) {
+                    *o += x;
+                }
             }
-        }
+        });
         Tensor::new(vec![d], out)
     }
 
@@ -284,55 +326,201 @@ impl Tensor {
         assert!(
             ab == bb || broadcast_rhs,
             "matmul batch dims differ: {:?} x {:?}",
-            self.shape, other.shape
+            self.shape,
+            other.shape
         );
         let mut out = vec![0.0f32; ab * m * n];
         let a = &self.data;
         let b = &other.data;
-        for batch in 0..ab {
-            let a_off = batch * m * k;
-            let b_off = if broadcast_rhs { 0 } else { batch * k * n };
-            let o_off = batch * m * n;
-            // ikj loop order: stream over contiguous rows of b and out.
-            for i in 0..m {
-                let a_row = &a[a_off + i * k..a_off + (i + 1) * k];
-                let o_row = &mut out[o_off + i * n..o_off + (i + 1) * n];
-                for (p, &a_ip) in a_row.iter().enumerate() {
-                    if a_ip == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[b_off + p * n..b_off + (p + 1) * n];
-                    for (o, &b_pj) in o_row.iter_mut().zip(b_row.iter()) {
-                        *o += a_ip * b_pj;
+        // Parallel over output rows (batch x m). Each row is produced by
+        // exactly one chunk with a fixed serial accumulation order, so the
+        // result is bit-identical at any thread count. The inner kernel is
+        // ikj (axpy over contiguous rows of b) with the k loop blocked so a
+        // panel of b rows stays cache-resident across the row block.
+        const K_BLOCK: usize = 64;
+        crate::pool::parallel_rows_mut(
+            &mut out,
+            ab * m,
+            matmul_min_rows(m, n, k),
+            |first, block| {
+                for (r, o_row) in block.chunks_mut(n).enumerate() {
+                    let row = first + r;
+                    let (batch, i) = (row / m, row % m);
+                    let a_row = &a[batch * m * k + i * k..][..k];
+                    let b_off = if broadcast_rhs { 0 } else { batch * k * n };
+                    for p0 in (0..k).step_by(K_BLOCK) {
+                        let p1 = (p0 + K_BLOCK).min(k);
+                        for (p, &a_ip) in a_row[p0..p1].iter().enumerate() {
+                            let b_row = &b[b_off + (p0 + p) * n..][..n];
+                            for (o, &b_pj) in o_row.iter_mut().zip(b_row.iter()) {
+                                *o += a_ip * b_pj;
+                            }
+                        }
                     }
                 }
-            }
-        }
+            },
+        );
         let mut shape = self.shape[..self.rank() - 2].to_vec();
         shape.push(m);
         shape.push(n);
         Tensor::new(shape, out)
     }
 
+    /// Batched `A x B^T` without materializing the transpose: accepts
+    /// `[.., m, k] x [.., n, k]` and yields `[.., m, n]`. Row-major `B`
+    /// makes every inner product a contiguous dot product, which is why the
+    /// backward pass prefers this over `transpose` + [`Tensor::matmul`].
+    pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let (ab, m, k) = batch_dims(&self.shape);
+        let (bb, n, k2) = batch_dims(&other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul_bt inner dims differ: {:?} x {:?}",
+            self.shape, other.shape
+        );
+        let broadcast_rhs = other.rank() == 2 && self.rank() > 2;
+        assert!(
+            ab == bb || broadcast_rhs,
+            "matmul_bt batch dims differ: {:?} x {:?}",
+            self.shape,
+            other.shape
+        );
+        let mut out = vec![0.0f32; ab * m * n];
+        let a = &self.data;
+        let b = &other.data;
+        crate::pool::parallel_rows_mut(
+            &mut out,
+            ab * m,
+            matmul_min_rows(m, n, k),
+            |first, block| {
+                for (r, o_row) in block.chunks_mut(n).enumerate() {
+                    let row = first + r;
+                    let (batch, i) = (row / m, row % m);
+                    let a_row = &a[batch * m * k + i * k..][..k];
+                    let b_off = if broadcast_rhs { 0 } else { batch * n * k };
+                    for (j, o) in o_row.iter_mut().enumerate() {
+                        let b_row = &b[b_off + j * k..][..k];
+                        let mut acc = 0.0f32;
+                        for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                            acc += x * y;
+                        }
+                        *o = acc;
+                    }
+                }
+            },
+        );
+        let mut shape = self.shape[..self.rank() - 2].to_vec();
+        shape.push(m);
+        shape.push(n);
+        Tensor::new(shape, out)
+    }
+
+    /// Batched `A^T x B` without materializing the transpose: accepts
+    /// `[.., m, k] x [.., m, n]` and yields `[.., k, n]` per batch. Used by
+    /// the matmul backward pass for batched (non-broadcast) right-hand
+    /// sides.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let (ab, m, k) = batch_dims(&self.shape);
+        let (bb, m2, n) = batch_dims(&other.shape);
+        assert_eq!(
+            (ab, m),
+            (bb, m2),
+            "matmul_tn leading dims differ: {:?} x {:?}",
+            self.shape,
+            other.shape
+        );
+        let mut out = vec![0.0f32; ab * k * n];
+        let a = &self.data;
+        let b = &other.data;
+        crate::pool::parallel_rows_mut(
+            &mut out,
+            ab * k,
+            matmul_min_rows(k, n, m),
+            |first, block| {
+                for (r, o_row) in block.chunks_mut(n).enumerate() {
+                    let row = first + r;
+                    let (batch, p) = (row / k, row % k);
+                    // out[batch, p, :] = sum_i a[batch, i, p] * b[batch, i, :],
+                    // i ascending — identical to the serial ikj order on a
+                    // materialized transpose.
+                    let a_off = batch * m * k;
+                    let b_off = batch * m * n;
+                    for i in 0..m {
+                        let a_ip = a[a_off + i * k + p];
+                        let b_row = &b[b_off + i * n..][..n];
+                        for (o, &b_ij) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o += a_ip * b_ij;
+                        }
+                    }
+                }
+            },
+        );
+        let mut shape = self.shape[..self.rank() - 2].to_vec();
+        shape.push(k);
+        shape.push(n);
+        Tensor::new(shape, out)
+    }
+
+    /// `A^T x B` summed over every batch: accepts `[.., m, k] x [.., m, n]`
+    /// and yields `[k, n]`, i.e. `sum_batch A_b^T B_b`. This is exactly the
+    /// gradient of a broadcast weight in `X x W`, computed without
+    /// materializing any transpose. Parallel over the `k` output rows.
+    pub fn matmul_tn_acc(&self, other: &Tensor) -> Tensor {
+        let (ab, m, k) = batch_dims(&self.shape);
+        let (bb, m2, n) = batch_dims(&other.shape);
+        assert_eq!(
+            (ab, m),
+            (bb, m2),
+            "matmul_tn_acc leading dims differ: {:?} x {:?}",
+            self.shape,
+            other.shape
+        );
+        let mut out = vec![0.0f32; k * n];
+        let a = &self.data;
+        let b = &other.data;
+        crate::pool::parallel_rows_mut(
+            &mut out,
+            k,
+            matmul_min_rows(k, n, ab * m),
+            |first, block| {
+                for (r, o_row) in block.chunks_mut(n).enumerate() {
+                    let p = first + r;
+                    // out[p, :] = sum over (batch, i) of a[batch, i, p] * b[batch, i, :]
+                    // in ascending (batch, i) order — the same order a serial
+                    // accumulation over batches and rows would use.
+                    for bi in 0..ab * m {
+                        let a_ip = a[bi * k + p];
+                        let b_row = &b[bi * n..][..n];
+                        for (o, &b_ij) in o_row.iter_mut().zip(b_row.iter()) {
+                            *o += a_ip * b_ij;
+                        }
+                    }
+                }
+            },
+        );
+        Tensor::new(vec![k, n], out)
+    }
+
     /// Softmax over the last dimension, numerically stabilized.
     pub fn softmax_last(&self) -> Tensor {
-        let d = *self
-            .shape
-            .last()
-            .expect("softmax_last requires rank >= 1");
+        let d = *self.shape.last().expect("softmax_last requires rank >= 1");
         let mut out = self.as_ref().to_vec();
-        for row in out.chunks_mut(d) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
-                sum += *x;
+        let rows = out.len() / d.max(1);
+        // Rows are independent, so row-parallelism is exact.
+        crate::pool::parallel_rows_mut(&mut out, rows, softmax_min_rows(d), |_, block| {
+            for row in block.chunks_mut(d) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for x in row.iter_mut() {
+                    *x = (*x - max).exp();
+                    sum += *x;
+                }
+                let inv = 1.0 / sum;
+                for x in row.iter_mut() {
+                    *x *= inv;
+                }
             }
-            let inv = 1.0 / sum;
-            for x in row.iter_mut() {
-                *x *= inv;
-            }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(out),
@@ -346,13 +534,16 @@ impl Tensor {
             .last()
             .expect("log_softmax_last requires rank >= 1");
         let mut out = self.as_ref().to_vec();
-        for row in out.chunks_mut(d) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-            for x in row.iter_mut() {
-                *x -= logsum;
+        let rows = out.len() / d.max(1);
+        crate::pool::parallel_rows_mut(&mut out, rows, softmax_min_rows(d), |_, block| {
+            for row in block.chunks_mut(d) {
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+                for x in row.iter_mut() {
+                    *x -= logsum;
+                }
             }
-        }
+        });
         Tensor {
             shape: self.shape.clone(),
             data: Arc::new(out),

@@ -1,0 +1,213 @@
+//! Parallel/serial parity: the threaded kernels must produce bit-identical
+//! output at any thread count.
+//!
+//! Two layers of coverage:
+//! 1. In-process: every matmul-family kernel is compared against a naive
+//!    serial reference that replicates the documented accumulation order,
+//!    with *exact* float equality — including a proptest over random shapes.
+//! 2. Cross-thread-count: a fingerprint test re-runs this binary as a
+//!    subprocess under `LM4DB_THREADS` ∈ {1, 2, 7} and asserts the bit
+//!    pattern of a full forward/backward suite is identical.
+
+use lm4db_tensor::{Graph, Rand, Tensor};
+use proptest::prelude::*;
+
+/// Naive batched matmul with the same per-element fold order as the
+/// parallel kernel: `out[i][j]` accumulates over `p` ascending.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[a.rank() - 2], a.shape()[a.rank() - 1]);
+    let n = b.shape()[b.rank() - 1];
+    let ab: usize = a.shape()[..a.rank() - 2].iter().product();
+    let broadcast = b.rank() == 2 && a.rank() > 2;
+    let mut out = vec![0.0f32; ab * m * n];
+    for batch in 0..ab {
+        let b_off = if broadcast { 0 } else { batch * k * n };
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a.data()[batch * m * k + i * k + p] * b.data()[b_off + p * n + j];
+                }
+                out[batch * m * n + i * n + j] = acc;
+            }
+        }
+    }
+    let mut shape = a.shape()[..a.rank() - 2].to_vec();
+    shape.push(m);
+    shape.push(n);
+    Tensor::new(shape, out)
+}
+
+fn rand_tensor(shape: &[usize], rng: &mut Rand) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data: Vec<f32> = rng.uniform_vec(n).into_iter().map(|u| u - 0.5).collect();
+    Tensor::new(shape.to_vec(), data)
+}
+
+#[test]
+fn matmul_matches_naive_reference_exactly() {
+    let mut rng = Rand::seeded(99);
+    for (sa, sb) in [
+        (vec![3usize, 5], vec![5usize, 4]),
+        (vec![2, 7, 65], vec![65, 9]), // broadcast rhs, k > K_BLOCK
+        (vec![2, 3, 6, 70], vec![2, 3, 70, 5]), // batched, k > K_BLOCK
+        (vec![1, 130, 33], vec![33, 64]), // many rows -> many chunks
+    ] {
+        let a = rand_tensor(&sa, &mut rng);
+        let b = rand_tensor(&sb, &mut rng);
+        assert_eq!(a.matmul(&b).data(), naive_matmul(&a, &b).data());
+    }
+}
+
+#[test]
+fn matmul_bt_matches_transposed_reference_exactly() {
+    let mut rng = Rand::seeded(7);
+    for (sa, sb) in [
+        (vec![4usize, 6], vec![5usize, 6]),
+        (vec![3, 8, 70], vec![9, 70]), // broadcast rhs
+        (vec![2, 2, 8, 70], vec![2, 2, 9, 70]),
+    ] {
+        let a = rand_tensor(&sa, &mut rng);
+        let b = rand_tensor(&sb, &mut rng);
+        let rb = b.rank();
+        let bt = b.transpose(rb - 2, rb - 1);
+        assert_eq!(a.matmul_bt(&b).data(), naive_matmul(&a, &bt).data());
+    }
+}
+
+#[test]
+fn matmul_tn_matches_transposed_reference_exactly() {
+    let mut rng = Rand::seeded(13);
+    for (sa, sb) in [
+        (vec![2usize, 6, 5], vec![2usize, 6, 7]),
+        (vec![3, 2, 70, 8], vec![3, 2, 70, 9]),
+    ] {
+        let a = rand_tensor(&sa, &mut rng);
+        let b = rand_tensor(&sb, &mut rng);
+        let ra = a.rank();
+        let at = a.transpose(ra - 2, ra - 1);
+        assert_eq!(a.matmul_tn(&b).data(), naive_matmul(&at, &b).data());
+    }
+}
+
+#[test]
+fn matmul_tn_acc_matches_batch_summed_reference_exactly() {
+    // out[p][j] folds over (batch, i) ascending — replicate exactly.
+    let mut rng = Rand::seeded(17);
+    let a = rand_tensor(&[3, 70, 6], &mut rng);
+    let b = rand_tensor(&[3, 70, 8], &mut rng);
+    let (bt, m, k, n) = (3, 70, 6, 8);
+    let mut expect = vec![0.0f32; k * n];
+    for p in 0..k {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for batch in 0..bt {
+                for i in 0..m {
+                    acc +=
+                        a.data()[batch * m * k + i * k + p] * b.data()[batch * m * n + i * n + j];
+                }
+            }
+            expect[p * n + j] = acc;
+        }
+    }
+    assert_eq!(a.matmul_tn_acc(&b).data(), &expect[..]);
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_naive_on_random_shapes(
+        batch in 1usize..4,
+        m in 1usize..16,
+        k in 1usize..96,
+        n in 1usize..12,
+        broadcast in prop::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rand::seeded(seed);
+        let a = rand_tensor(&[batch, m, k], &mut rng);
+        let b = if broadcast {
+            rand_tensor(&[k, n], &mut rng)
+        } else {
+            rand_tensor(&[batch, k, n], &mut rng)
+        };
+        let got = a.matmul(&b);
+        let want = naive_matmul(&a, &b);
+        prop_assert_eq!(got.data(), want.data());
+    }
+}
+
+/// A forward/backward sweep through every parallelized graph op; returns an
+/// FNV-1a hash over the exact bit patterns of the value and all gradients.
+fn suite_fingerprint() -> u64 {
+    let mut rng = Rand::seeded(2024);
+    let mut g = Graph::new();
+    let x = g.param(rand_tensor(&[4, 33, 48], &mut rng));
+    let w = g.param(rand_tensor(&[48, 64], &mut rng));
+    let gain = g.param(Tensor::full(&[64], 1.0));
+    let bias = g.param(Tensor::zeros(&[64]));
+    let b = g.param(rand_tensor(&[64], &mut rng));
+    let h = g.matmul(x, w); // broadcast rhs
+    let h = g.add_bcast(h, b);
+    let h = g.layer_norm(h, gain, bias, 1e-5);
+    let h = g.gelu(h);
+    let a = g.softmax_last(h);
+    let w2 = g.param(rand_tensor(&[4, 64, 64], &mut rng));
+    let h = g.matmul(a, w2); // batched rhs
+    let loss = g.mean_all(h);
+    g.backward(loss);
+
+    let mut fp = 0xcbf29ce484222325u64;
+    let mut eat = |t: &Tensor| {
+        for &v in t.data() {
+            fp ^= v.to_bits() as u64;
+            fp = fp.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(g.value(loss));
+    for var in [x, w, gain, bias, b, w2] {
+        eat(g.grad(var).expect("param has grad"));
+    }
+    fp
+}
+
+/// Child half of the cross-thread-count check: prints the fingerprint.
+/// Run directly it is a plain (always-passing) test; the parent test below
+/// spawns it under different `LM4DB_THREADS` values and compares output.
+#[test]
+fn parity_child_fingerprint() {
+    println!("PARITY_FP={:016x}", suite_fingerprint());
+}
+
+#[test]
+fn parity_across_thread_counts() {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut fingerprints = Vec::new();
+    for threads in ["1", "2", "7"] {
+        let out = std::process::Command::new(&exe)
+            .args(["parity_child_fingerprint", "--exact", "--nocapture"])
+            .env("LM4DB_THREADS", threads)
+            .output()
+            .expect("spawn parity child");
+        assert!(
+            out.status.success(),
+            "child failed at LM4DB_THREADS={threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        // libtest may print its own prefix on the same line; search by
+        // substring rather than line start.
+        let fp = stdout
+            .split("PARITY_FP=")
+            .nth(1)
+            .map(|rest| rest.chars().take(16).collect::<String>())
+            .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"));
+        fingerprints.push((threads, fp));
+    }
+    let first = &fingerprints[0].1;
+    for (threads, fp) in &fingerprints {
+        assert_eq!(
+            fp, first,
+            "output at LM4DB_THREADS={threads} differs from LM4DB_THREADS=1"
+        );
+    }
+}

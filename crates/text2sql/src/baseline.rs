@@ -107,18 +107,14 @@ impl<'a> TemplateBaseline<'a> {
             let ncol = self.find_col(q, &d.num_cols)?;
             let t = self.find_number(q)?;
             let op = if q.contains("more than") { ">" } else { "<" };
-            return Some(format!(
-                "SELECT {key} FROM {table} WHERE ({ncol} {op} {t})"
-            ));
+            return Some(format!("SELECT {key} FROM {table} WHERE ({ncol} {op} {t})"));
         }
 
         // Equality filter: "whose <tcol> is <v>".
         if q.contains("whose") && q.contains(" is ") {
             let tcol = self.find_col(q, &d.text_cols)?;
             let v = self.find_value(q, &tcol)?;
-            return Some(format!(
-                "SELECT {key} FROM {table} WHERE ({tcol} = '{v}')"
-            ));
+            return Some(format!("SELECT {key} FROM {table} WHERE ({tcol} = '{v}')"));
         }
 
         // Catch-all projection: "show the <key> of all ...".

@@ -58,9 +58,7 @@ pub fn score_one(prediction: Option<&str>, gold: &Example, catalog: &Catalog) ->
     };
     m.valid = 1;
     let canonical = pred_ast.to_string();
-    let gold_canonical = parse(&gold.sql)
-        .expect("gold SQL must parse")
-        .to_string();
+    let gold_canonical = parse(&gold.sql).expect("gold SQL must parse").to_string();
     if canonical == gold_canonical {
         m.exact = 1;
     }

@@ -10,7 +10,10 @@ use crate::workload::Example;
 /// `(canonical phrase, paraphrases)` substitution table.
 const SUBSTITUTIONS: [(&str, &[&str]); 6] = [
     ("show the", &["list the", "give me the", "display the"]),
-    ("how many", &["count the number of", "what is the number of"]),
+    (
+        "how many",
+        &["count the number of", "what is the number of"],
+    ),
     ("more than", &["exceeding", "above"]),
     ("less than", &["below", "under"]),
     ("for each", &["per", "grouped by"]),
@@ -71,7 +74,10 @@ mod tests {
             assert_eq!(a.sql, b.sql);
             assert_eq!(a.tier, b.tier);
         }
-        assert!(exs.iter().zip(para.iter()).any(|(a, b)| a.question != b.question));
+        assert!(exs
+            .iter()
+            .zip(para.iter())
+            .any(|(a, b)| a.question != b.question));
     }
 
     #[test]

@@ -59,6 +59,39 @@ impl<'a> TrieConstraint<'a> {
     }
 }
 
+/// True when `suffix` can be spelled by vocabulary tokens such that the
+/// word ends with an end-of-word token — i.e. a partially decoded unit can
+/// actually be finished. Dynamic program over byte positions of `suffix`.
+fn suffix_completable(bpe: &Bpe, suffix: &str) -> bool {
+    let n = suffix.len();
+    if n == 0 {
+        return false;
+    }
+    // ok[i]: suffix[i..] splits into vocab tokens with the last one EOW.
+    let mut ok = vec![false; n + 1];
+    for i in (0..n).rev() {
+        if !suffix.is_char_boundary(i) {
+            continue;
+        }
+        for j in (i + 1)..=n {
+            if !suffix.is_char_boundary(j) {
+                continue;
+            }
+            let piece = &suffix[i..j];
+            let fits = if j == n {
+                bpe.vocab().id(&format!("{piece}{}", crate::EOW)).is_some()
+            } else {
+                ok[j] && bpe.vocab().id(piece).is_some()
+            };
+            if fits {
+                ok[i] = true;
+                break;
+            }
+        }
+    }
+    ok[0]
+}
+
 impl Constraint for TrieConstraint<'_> {
     fn allowed(&self, prefix: &[usize], token: usize) -> bool {
         let generated = &prefix[self.prompt_len.min(prefix.len())..];
@@ -72,7 +105,16 @@ impl Constraint for TrieConstraint<'_> {
         let mut ids = generated.to_vec();
         ids.push(token);
         let (units, partial) = decode_units(self.bpe, &ids);
-        self.trie.is_valid_prefix(&units, partial.as_deref())
+        match partial.as_deref() {
+            None => self.trie.is_valid_prefix(&units, None),
+            // A partial word must not only prefix some next unit — the
+            // remainder must be spellable with vocab tokens, or the beam
+            // would be admitted into a dead end it can never complete
+            // (e.g. a bare ">" token when only "></w>" finishes the word).
+            Some(p) => self.trie.next_words(&units).iter().any(|w| {
+                w.len() > p.len() && w.starts_with(p) && suffix_completable(self.bpe, &w[p.len()..])
+            }),
+        }
     }
 }
 
@@ -212,10 +254,7 @@ impl SemanticParser {
             ),
         };
         // Prefer finished hypotheses; beam() already sorts by score.
-        let best = hyps
-            .iter()
-            .find(|h| h.finished)
-            .or_else(|| hyps.first());
+        let best = hyps.iter().find(|h| h.finished).or_else(|| hyps.first());
         let Some(best) = best else {
             return Prediction {
                 sql: None,

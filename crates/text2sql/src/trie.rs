@@ -79,7 +79,9 @@ impl SqlTrie {
 
     /// May a query legally end after `units`?
     pub fn is_complete(&self, units: &[String]) -> bool {
-        self.walk(units).map(|n| n.terminal.is_some()).unwrap_or(false)
+        self.walk(units)
+            .map(|n| n.terminal.is_some())
+            .unwrap_or(false)
     }
 
     /// The canonical SQL for an exactly-matching unit sequence.
@@ -129,9 +131,7 @@ pub fn enumerate_queries(domain: &Domain) -> Vec<String> {
     out.push(format!("SELECT {key} FROM {table}"));
     for tcol in &domain.text_cols {
         for v in domain.distinct_text_values(tcol) {
-            out.push(format!(
-                "SELECT {key} FROM {table} WHERE ({tcol} = '{v}')"
-            ));
+            out.push(format!("SELECT {key} FROM {table} WHERE ({tcol} = '{v}')"));
             out.push(format!(
                 "SELECT COUNT(*) FROM {table} WHERE ({tcol} = '{v}')"
             ));
@@ -140,9 +140,7 @@ pub fn enumerate_queries(domain: &Domain) -> Vec<String> {
     for ncol in &domain.num_cols {
         for t in THRESHOLDS {
             for op in ["<", ">"] {
-                out.push(format!(
-                    "SELECT {key} FROM {table} WHERE ({ncol} {op} {t})"
-                ));
+                out.push(format!("SELECT {key} FROM {table} WHERE ({ncol} {op} {t})"));
             }
         }
         for gcol in &domain.text_cols {

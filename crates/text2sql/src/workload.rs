@@ -162,9 +162,7 @@ fn example_for(domain: &Domain, tier: Tier, rng: &mut Rand) -> Example {
             let lk = pick(&lnum, rng).clone();
             let t = *pick(&THRESHOLDS, rng);
             make(
-                format!(
-                    "show the {key} of {entity}s whose {jcol} has {lk} greater than {t}"
-                ),
+                format!("show the {key} of {entity}s whose {jcol} has {lk} greater than {t}"),
                 format!(
                     "SELECT t.{key} FROM {table} AS t JOIN {lookup} AS j ON (t.{jcol} = j.{lcol}) \
                      WHERE (j.{lk} > {t})"

@@ -161,10 +161,7 @@ impl Bpe {
         loop {
             let mut best: Option<(usize, usize)> = None; // (rank, position)
             for i in 0..syms.len().saturating_sub(1) {
-                if let Some(&rank) = self
-                    .ranks
-                    .get(&(syms[i].clone(), syms[i + 1].clone()))
-                {
+                if let Some(&rank) = self.ranks.get(&(syms[i].clone(), syms[i + 1].clone())) {
                     if best.map(|(r, _)| rank < r).unwrap_or(true) {
                         best = Some((rank, i));
                     }
@@ -294,7 +291,10 @@ mod tests {
         let json = serde_json::to_string(&bpe).unwrap();
         let mut back: Bpe = serde_json::from_str(&json).unwrap();
         back.rebuild_index();
-        assert_eq!(back.encode("lower the better"), bpe.encode("lower the better"));
+        assert_eq!(
+            back.encode("lower the better"),
+            bpe.encode("lower the better")
+        );
     }
 
     #[test]

@@ -41,8 +41,11 @@ pub fn pretokenize(text: &str) -> Vec<String> {
 pub fn detokenize(units: &[String]) -> String {
     let mut out = String::new();
     for u in units {
-        let is_tight_punct =
-            u.len() == 1 && matches!(u.chars().next(), Some(',' | '.' | ';' | ':' | '?' | '!' | ')'));
+        let is_tight_punct = u.len() == 1
+            && matches!(
+                u.chars().next(),
+                Some(',' | '.' | ';' | ':' | '?' | '!' | ')')
+            );
         if !out.is_empty() && !is_tight_punct {
             out.push(' ');
         }

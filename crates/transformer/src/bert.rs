@@ -41,10 +41,7 @@ impl BertModel {
             "pos_emb",
             init::normal(&[cfg.max_seq_len, cfg.d_model], 0.02, &mut rng),
         );
-        let seg_emb = store.add(
-            "seg_emb",
-            init::normal(&[2, cfg.d_model], 0.02, &mut rng),
-        );
+        let seg_emb = store.add("seg_emb", init::normal(&[2, cfg.d_model], 0.02, &mut rng));
         let blocks = (0..cfg.n_layers)
             .map(|i| Block::new(&mut store, &format!("block{i}"), &cfg, &mut rng))
             .collect();
@@ -92,6 +89,7 @@ impl BertModel {
     ///
     /// `segments` assigns each position to segment 0 or 1 (BERT's sentence
     /// A/B); pass all zeros for single-segment input.
+    #[allow(clippy::too_many_arguments)]
     fn encode(
         &mut self,
         g: &mut Graph,
@@ -375,7 +373,10 @@ mod tests {
         let masked = corrupted.iter().filter(|&&c| c == MASK).count();
         // ~80% of selected become [MASK].
         let mask_frac = masked as f32 / selected as f32;
-        assert!((0.65..0.95).contains(&mask_frac), "mask fraction {mask_frac}");
+        assert!(
+            (0.65..0.95).contains(&mask_frac),
+            "mask fraction {mask_frac}"
+        );
     }
 
     #[test]
@@ -403,7 +404,9 @@ mod tests {
                 s
             })
             .collect();
-        let losses: Vec<f32> = (0..40).map(|_| m.mlm_train_step(&batch, &mut opt)).collect();
+        let losses: Vec<f32> = (0..40)
+            .map(|_| m.mlm_train_step(&batch, &mut opt))
+            .collect();
         let early: f32 = losses[..5].iter().sum::<f32>() / 5.0;
         let late: f32 = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
         assert!(late < early, "MLM loss did not drop: {early} -> {late}");

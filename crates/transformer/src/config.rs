@@ -98,7 +98,7 @@ impl ModelConfig {
         self.param_count_decoder()
             + 2 * d            // segment embeddings
             + d * d + d        // MLM transform dense
-            + 2 * d            // MLM transform layer norm
+            + 2 * d // MLM transform layer norm
     }
 }
 

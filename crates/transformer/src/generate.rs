@@ -216,7 +216,13 @@ pub fn beam(
         let gen_len = (h.ids.len() - prefix.len() + usize::from(h.finished)).max(1);
         h.log_prob / gen_len as f32
     };
-    done.sort_by(|a, b| norm(b).total_cmp(&norm(a)));
+    // Finished hypotheses outrank unfinished ones: truncation must never
+    // drop a complete sequence in favor of a higher-scoring prefix.
+    done.sort_by(|a, b| {
+        b.finished
+            .cmp(&a.finished)
+            .then_with(|| norm(b).total_cmp(&norm(a)))
+    });
     done.truncate(width);
     done
 }

@@ -6,8 +6,7 @@
 //! laptop-sized.
 
 use lm4db_tensor::{
-    clip_grad_norm, init, Adam, Bound, Graph, ParamId, ParamStore, Rand, Tensor, Var,
-    IGNORE_INDEX,
+    clip_grad_norm, init, Adam, Bound, Graph, ParamId, ParamStore, Rand, Tensor, Var, IGNORE_INDEX,
 };
 use lm4db_tokenize::PAD;
 
@@ -75,8 +74,9 @@ impl GptModel {
 
     /// Forward pass over a padded batch, returning the logits node
     /// `[b, t, vocab]`. `lengths` gives each row's true length.
+    #[allow(clippy::too_many_arguments)]
     fn forward(
-        &mut self,
+        &self,
         g: &mut Graph,
         bound: &Bound,
         ids: &[usize],
@@ -84,6 +84,7 @@ impl GptModel {
         t: usize,
         lengths: &[usize],
         train: bool,
+        mut rng: Option<&mut Rand>,
     ) -> Var {
         assert!(
             t <= self.cfg.max_seq_len,
@@ -107,7 +108,7 @@ impl GptModel {
 
         let dropout = if train { self.cfg.dropout } else { 0.0 };
         for block in &self.blocks {
-            x = block.forward(g, bound, x, Some(mask), dropout, Some(&mut self.rng));
+            x = block.forward(g, bound, x, Some(mask), dropout, rng.as_deref_mut());
         }
         let x = self.ln_f.forward(g, bound, x);
         self.head.forward(g, bound, x)
@@ -141,23 +142,75 @@ impl GptModel {
     }
 
     /// Builds the scalar causal-LM loss over a batch.
-    fn loss_graph(&mut self, batch: &[Vec<usize>], train: bool) -> (Graph, Bound, Var) {
+    fn loss_graph(
+        &self,
+        batch: &[Vec<usize>],
+        train: bool,
+        rng: Option<&mut Rand>,
+    ) -> (Graph, Bound, Var) {
         let (flat, b, t, lengths) = Self::pad_batch(batch);
         let targets = Self::causal_targets(&flat, b, t, &lengths);
         let mut g = Graph::new();
         let bound = Bound::bind(&self.store, &mut g);
-        let logits = self.forward(&mut g, &bound, &flat, b, t, &lengths, train);
+        let logits = self.forward(&mut g, &bound, &flat, b, t, &lengths, train, rng);
         let logits2 = g.reshape(logits, &[b * t, self.cfg.vocab_size]);
         let loss = g.cross_entropy(logits2, &targets);
         (g, bound, loss)
     }
 
     /// One optimizer step on a batch; returns the loss value.
+    ///
+    /// Data-parallel: each example becomes one shard with its own graph;
+    /// shards run across the worker pool and their gradients are reduced in
+    /// fixed shard order, weighted by scored-position count — so the update
+    /// equals the full-batch gradient and is bit-identical at any thread
+    /// count. Per-shard dropout seeds are drawn sequentially from the model
+    /// RNG *before* the parallel region, keeping the random stream
+    /// independent of execution order.
     pub fn train_step(&mut self, batch: &[Vec<usize>], opt: &mut Adam) -> f32 {
-        let (mut g, bound, loss) = self.loss_graph(batch, true);
-        let loss_val = g.value(loss).item();
-        g.backward(loss);
-        let mut grads = bound.grads(&self.store, &g);
+        assert!(!batch.is_empty(), "empty batch");
+        let seeds: Vec<u64> = batch.iter().map(|_| self.rng.next_u64()).collect();
+        let n = batch.len();
+        type Shard = Option<(f32, Vec<Tensor>, f32)>;
+        let mut shards: Vec<Shard> = vec![None; n];
+        let this = &*self;
+        lm4db_tensor::parallel_rows_mut(&mut shards, n, 1, |first, block| {
+            for (i, slot) in block.iter_mut().enumerate() {
+                let idx = first + i;
+                let shard = std::slice::from_ref(&batch[idx]);
+                let mut rng = Rand::seeded(seeds[idx]);
+                let (mut g, bound, loss) = this.loss_graph(shard, true, Some(&mut rng));
+                let loss_val = g.value(loss).item();
+                g.backward(loss);
+                let grads = bound.grads(&this.store, &g);
+                // Scored positions = tokens with a next-token target.
+                let weight = batch[idx].len().saturating_sub(1) as f32;
+                *slot = Some((loss_val, grads, weight));
+            }
+        });
+        let shards: Vec<(f32, Vec<Tensor>, f32)> =
+            shards.into_iter().map(|s| s.expect("shard ran")).collect();
+        let total_w: f32 = shards.iter().map(|s| s.2).sum();
+        let total_w = if total_w > 0.0 { total_w } else { 1.0 };
+        let loss_val: f32 = shards.iter().map(|s| s.0 * s.2).sum::<f32>() / total_w;
+        // Weighted-average gradients, parameter-parallel but shard-serial:
+        // element j of parameter p is folded over shards in ascending shard
+        // order no matter how threads are assigned.
+        let mut grads: Vec<Tensor> = shards[0]
+            .1
+            .iter()
+            .map(|t| Tensor::zeros(t.shape()))
+            .collect();
+        lm4db_tensor::parallel_rows_mut(&mut grads, shards[0].1.len(), 1, |first, block| {
+            for (p, out) in block.iter_mut().enumerate() {
+                for (_, g, w) in shards.iter() {
+                    let scale = w / total_w;
+                    for (o, &x) in out.data_mut().iter_mut().zip(g[first + p].data().iter()) {
+                        *o += scale * x;
+                    }
+                }
+            }
+        });
         clip_grad_norm(&mut grads, 1.0);
         opt.step(&mut self.store, &grads);
         loss_val
@@ -165,7 +218,7 @@ impl GptModel {
 
     /// Mean causal-LM loss on a batch without updating parameters.
     pub fn eval_loss(&mut self, batch: &[Vec<usize>]) -> f32 {
-        let (g, _bound, loss) = self.loss_graph(batch, false);
+        let (g, _bound, loss) = self.loss_graph(batch, false, None);
         g.value(loss).item()
     }
 
@@ -185,7 +238,7 @@ impl GptModel {
         let mut g = Graph::new();
         let bound = Bound::bind(&self.store, &mut g);
         let t = ids.len();
-        let logits = self.forward(&mut g, &bound, ids, 1, t, &[t], false);
+        let logits = self.forward(&mut g, &bound, ids, 1, t, &[t], false, None);
         g.value(logits).reshape(&[t, self.cfg.vocab_size])
     }
 
@@ -211,7 +264,10 @@ impl NextToken for GptModel {
     }
 
     fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
-        assert!(!prefix.is_empty(), "next_logits requires a non-empty prefix");
+        assert!(
+            !prefix.is_empty(),
+            "next_logits requires a non-empty prefix"
+        );
         // Clamp the context window to the model's maximum.
         let start = prefix.len().saturating_sub(self.cfg.max_seq_len);
         let window = &prefix[start..];
@@ -276,8 +332,8 @@ mod tests {
         let mut m = tiny();
         let short = vec![BOS, 10, 11, 12];
         let long = vec![BOS, 20, 21, 22, 23, 24, 25, 26];
-        let solo = m.eval_loss(&[short.clone()]);
-        let long_solo = m.eval_loss(&[long.clone()]);
+        let solo = m.eval_loss(std::slice::from_ref(&short));
+        let long_solo = m.eval_loss(std::slice::from_ref(&long));
         let both = m.eval_loss(&[short.clone(), long.clone()]);
         // Mean of per-position losses: both has (3 + 7) scored positions.
         let expected = (solo * 3.0 + long_solo * 7.0) / 10.0;
@@ -310,10 +366,13 @@ mod tests {
         let seq = vec![BOS, 10, 11, 12, 13, 14];
         let before = m.log_prob(&seq);
         for _ in 0..40 {
-            m.train_step(&[seq.clone()], &mut opt);
+            m.train_step(std::slice::from_ref(&seq), &mut opt);
         }
         let after = m.log_prob(&seq);
-        assert!(after > before, "log prob did not increase: {before} -> {after}");
+        assert!(
+            after > before,
+            "log prob did not increase: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl NextToken for IncrementalSession<'_> {
     }
 
     fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
-        assert!(!prefix.is_empty(), "next_logits requires a non-empty prefix");
+        assert!(
+            !prefix.is_empty(),
+            "next_logits requires a non-empty prefix"
+        );
         // Clamp long prefixes the same way GptModel does.
         let start = prefix.len().saturating_sub(self.model.cfg.max_seq_len);
         let window = &prefix[start..];

@@ -46,15 +46,17 @@ impl Linear {
         assert_eq!(x.len(), d_in, "apply_slice input width mismatch");
         let mut y = b.data().to_vec();
         let wd = w.data();
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
+        // Column-parallel: each column accumulates input rows in ascending
+        // order, so the result is bit-identical at any thread count.
+        let min_cols = (8_192 / d_in.max(1)).max(1);
+        lm4db_tensor::parallel_rows_mut(&mut y, d_out, min_cols, |first, block| {
+            for (i, &xi) in x.iter().enumerate() {
+                let row = &wd[i * d_out + first..i * d_out + first + block.len()];
+                for (yj, &wij) in block.iter_mut().zip(row.iter()) {
+                    *yj += xi * wij;
+                }
             }
-            let row = &wd[i * d_out..(i + 1) * d_out];
-            for (yj, &wij) in y.iter_mut().zip(row.iter()) {
-                *yj += xi * wij;
-            }
-        }
+        });
         y
     }
 }
@@ -205,30 +207,37 @@ impl MultiHeadAttention {
 
         let scale = 1.0 / (hd as f32).sqrt();
         let mut ctx = vec![0.0f32; d];
-        let mut scores = vec![0.0f32; cache.t];
-        for head in 0..h {
-            let off = head * hd;
-            let qh = &q[off..off + hd];
-            for (t, s) in scores.iter_mut().enumerate() {
-                let kh = &cache.k[t * d + off..t * d + off + hd];
-                *s = qh.iter().zip(kh.iter()).map(|(a, b)| a * b).sum::<f32>() * scale;
-            }
-            // Softmax in place.
-            let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for s in scores.iter_mut() {
-                *s = (*s - max).exp();
-                sum += *s;
-            }
-            let inv = 1.0 / sum;
-            for (t, &s) in scores.iter().enumerate() {
-                let p = s * inv;
-                let vh = &cache.v[t * d + off..t * d + off + hd];
-                for (c, &vv) in ctx[off..off + hd].iter_mut().zip(vh.iter()) {
-                    *c += p * vv;
+        // Heads are independent and each owns a disjoint `hd`-wide slice of
+        // `ctx`, so they fan out across the pool. Tiny caches run inline
+        // (min_heads = h forces a single chunk).
+        let min_heads = if cache.t * hd >= 4_096 { 1 } else { h };
+        let (ck, cv, t_cached) = (&cache.k, &cache.v, cache.t);
+        lm4db_tensor::parallel_rows_mut(&mut ctx, h, min_heads, |first_head, block| {
+            let mut scores = vec![0.0f32; t_cached];
+            for (hh, ctx_h) in block.chunks_mut(hd).enumerate() {
+                let off = (first_head + hh) * hd;
+                let qh = &q[off..off + hd];
+                for (t, s) in scores.iter_mut().enumerate() {
+                    let kh = &ck[t * d + off..t * d + off + hd];
+                    *s = qh.iter().zip(kh.iter()).map(|(a, b)| a * b).sum::<f32>() * scale;
+                }
+                // Softmax in place.
+                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for s in scores.iter_mut() {
+                    *s = (*s - max).exp();
+                    sum += *s;
+                }
+                let inv = 1.0 / sum;
+                for (t, &s) in scores.iter().enumerate() {
+                    let p = s * inv;
+                    let vh = &cv[t * d + off..t * d + off + hd];
+                    for (c, &vv) in ctx_h.iter_mut().zip(vh.iter()) {
+                        *c += p * vv;
+                    }
                 }
             }
-        }
+        });
         self.wo.apply_slice(store, &ctx)
     }
 }

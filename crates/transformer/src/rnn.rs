@@ -156,7 +156,10 @@ impl NextToken for RnnLm {
     }
 
     fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
-        assert!(!prefix.is_empty(), "next_logits requires a non-empty prefix");
+        assert!(
+            !prefix.is_empty(),
+            "next_logits requires a non-empty prefix"
+        );
         let mut g = Graph::new();
         let bound = Bound::bind(&self.store, &mut g);
         let logits = self.unroll(&mut g, &bound, &[prefix.to_vec()]);
@@ -199,7 +202,7 @@ mod tests {
         let mut opt = m.optimizer(5e-3);
         let seq = vec![BOS, 10, 11, 12, 13];
         for _ in 0..150 {
-            m.train_step(&[seq.clone()], &mut opt);
+            m.train_step(std::slice::from_ref(&seq), &mut opt);
         }
         let out = greedy(&mut m, &[BOS, 10], 3, 999, &Unconstrained);
         assert_eq!(out, vec![11, 12, 13]);

@@ -27,11 +27,7 @@ pub const KNOB_PHRASES: [&str; 8] = [
 
 /// Rewrites hint sentences to use the NL phrase instead of the knob name
 /// with probability `rate` (gold hints unchanged).
-pub fn paraphrase_manual(
-    manual: &[ManualSentence],
-    rate: f32,
-    seed: u64,
-) -> Vec<ManualSentence> {
+pub fn paraphrase_manual(manual: &[ManualSentence], rate: f32, seed: u64) -> Vec<ManualSentence> {
     let mut rng = Rand::seeded(seed);
     manual
         .iter()
@@ -166,9 +162,6 @@ mod tests {
         let mut lm = LmHintExtractor::train(cfg, &train, 20, 9);
         let lm_recall = lm.recall(&test);
         // Keyword recall on the same test set is zero (previous test).
-        assert!(
-            lm_recall > 0.3,
-            "LM extractor recall too low: {lm_recall}"
-        );
+        assert!(lm_recall > 0.3, "LM extractor recall too low: {lm_recall}");
     }
 }

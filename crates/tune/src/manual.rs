@@ -87,7 +87,11 @@ pub fn generate_manual(n: usize, misleading_rate: f32, seed: u64) -> Vec<ManualS
         if rng.uniform() < misleading_rate {
             // A misleading hint: the opposite end of the range.
             let k = KNOBS[knob];
-            value = if k.normalize(value) > 0.5 { k.min } else { k.max };
+            value = if k.normalize(value) > 0.5 {
+                k.min
+            } else {
+                k.max
+            };
         }
         let template = HINT_TEMPLATES[rng.below(HINT_TEMPLATES.len())];
         let text = template
@@ -176,10 +180,10 @@ mod tests {
 
     #[test]
     fn good_values_are_legal() {
-        for knob in 0..KNOBS.len() {
+        for (knob, spec) in KNOBS.iter().enumerate() {
             for w in Workload::all() {
                 let v = good_value(knob, w);
-                assert!(v >= KNOBS[knob].min && v <= KNOBS[knob].max);
+                assert!(v >= spec.min && v <= spec.max);
             }
         }
     }

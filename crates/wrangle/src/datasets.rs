@@ -248,7 +248,11 @@ mod tests {
         assert!(!values.is_empty());
         for ex in &examples {
             assert!(ex.label < values.len());
-            assert!(!ex.context.contains(&values[ex.label]), "label leaked into context: {}", ex.context);
+            assert!(
+                !ex.context.contains(&values[ex.label]),
+                "label leaked into context: {}",
+                ex.context
+            );
         }
     }
 

@@ -21,8 +21,8 @@ pub use datasets::{
     ErrorExample, ImputeExample, MatchPair,
 };
 pub use matcher::{
-    majority_baseline, serialize_pair, serialize_pair_aligned, DictionaryDetector,
-    LmErrorDetector, LmImputer, LmMatcher,
+    majority_baseline, serialize_pair, serialize_pair_aligned, DictionaryDetector, LmErrorDetector,
+    LmImputer, LmMatcher,
 };
 pub use metrics::Confusion;
 pub use profile::{

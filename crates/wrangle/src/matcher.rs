@@ -76,13 +76,7 @@ pub struct LmMatcher {
 impl LmMatcher {
     /// Builds the matcher: trains a BPE tokenizer on the pair texts and
     /// fine-tunes a BERT-style encoder on the labeled pairs.
-    pub fn train(
-        cfg: ModelConfig,
-        train: &[MatchPair],
-        epochs: usize,
-        lr: f32,
-        seed: u64,
-    ) -> Self {
+    pub fn train(cfg: ModelConfig, train: &[MatchPair], epochs: usize, lr: f32, seed: u64) -> Self {
         Self::train_with_serializer(cfg, train, epochs, lr, seed, serialize_pair)
     }
 
@@ -102,12 +96,8 @@ impl LmMatcher {
             .map(|p| serializer(&p.left, &p.right))
             .collect();
         let bpe = Bpe::train(texts.iter().map(String::as_str), 700);
-        let mut clf = FineTunedClassifier::new(
-            cfg,
-            bpe,
-            vec!["no-match".into(), "match".into()],
-            seed,
-        );
+        let mut clf =
+            FineTunedClassifier::new(cfg, bpe, vec!["no-match".into(), "match".into()], seed);
         let examples: Vec<(String, usize)> = train
             .iter()
             .map(|p| (serializer(&p.left, &p.right), usize::from(p.label)))
@@ -148,10 +138,8 @@ impl LmImputer {
     ) -> Self {
         let bpe = Bpe::train(train.iter().map(|e| e.context.as_str()), 600);
         let mut clf = FineTunedClassifier::new(cfg, bpe, values.to_vec(), seed);
-        let examples: Vec<(String, usize)> = train
-            .iter()
-            .map(|e| (e.context.clone(), e.label))
-            .collect();
+        let examples: Vec<(String, usize)> =
+            train.iter().map(|e| (e.context.clone(), e.label)).collect();
         clf.fit(&examples, epochs, 8, 2e-3);
         LmImputer { clf }
     }
@@ -319,13 +307,28 @@ mod tests {
     #[test]
     fn majority_baseline_counts_correctly() {
         let train = vec![
-            ImputeExample { context: "a".into(), label: 1 },
-            ImputeExample { context: "b".into(), label: 1 },
-            ImputeExample { context: "c".into(), label: 0 },
+            ImputeExample {
+                context: "a".into(),
+                label: 1,
+            },
+            ImputeExample {
+                context: "b".into(),
+                label: 1,
+            },
+            ImputeExample {
+                context: "c".into(),
+                label: 0,
+            },
         ];
         let test = vec![
-            ImputeExample { context: "d".into(), label: 1 },
-            ImputeExample { context: "e".into(), label: 0 },
+            ImputeExample {
+                context: "d".into(),
+                label: 1,
+            },
+            ImputeExample {
+                context: "e".into(),
+                label: 0,
+            },
         ];
         assert_eq!(majority_baseline(&train, &test), 0.5);
     }
@@ -358,10 +361,7 @@ mod tests {
         let (examples, values) = imputation_dataset(40, 13);
         let (train, test): (Vec<_>, Vec<_>) = {
             let cut = 30;
-            (
-                examples[..cut].to_vec(),
-                examples[cut..].to_vec(),
-            )
+            (examples[..cut].to_vec(), examples[cut..].to_vec())
         };
         let mut imputer = LmImputer::train(tiny_cfg(), &train, &values, 15, 5);
         let lm_acc = imputer.accuracy(&test);

@@ -188,12 +188,13 @@ mod tests {
         let pairs = column_pairs(40, 5);
         // An oracle scorer gets perfect recall at budget = #positives.
         let positives = pairs.iter().filter(|p| p.correlated).count();
-        let oracle =
-            |a: &str, b: &str| {
-                f32::from(NAME_CLUSTERS.iter().any(|c| {
-                    c.contains(&a) && c.contains(&b)
-                }))
-            };
+        let oracle = |a: &str, b: &str| {
+            f32::from(
+                NAME_CLUSTERS
+                    .iter()
+                    .any(|c| c.contains(&a) && c.contains(&b)),
+            )
+        };
         assert_eq!(recall_at_budget(&pairs, oracle, positives), 1.0);
         // The string baseline does worse at the same budget.
         let base = recall_at_budget(&pairs, name_similarity_baseline, positives);

@@ -59,7 +59,11 @@ pub fn render_table() -> String {
     for p in rows {
         out.push_str(&format!("{:<width$} | {:>3} min\n", p.part, p.minutes));
     }
-    out.push_str(&format!("{:<width$} | {:>3} min\n", "Total", total_minutes()));
+    out.push_str(&format!(
+        "{:<width$} | {:>3} min\n",
+        "Total",
+        total_minutes()
+    ));
     out
 }
 
@@ -80,10 +84,7 @@ mod tests {
 
     #[test]
     fn applications_part_is_longest() {
-        let longest = schedule()
-            .into_iter()
-            .max_by_key(|p| p.minutes)
-            .unwrap();
+        let longest = schedule().into_iter().max_by_key(|p| p.minutes).unwrap();
         assert_eq!(longest.part, "Applications in data management");
     }
 

@@ -15,7 +15,10 @@ fn main() {
     let mut rng = Rand::seeded(1);
     let facts = facts_from_table(&domain.table, &domain.key_col, 0.7, &mut rng);
     let sentences: Vec<String> = facts.iter().map(|f| f.text.clone()).collect();
-    println!("the database IS these sentences (first 5 of {}):", sentences.len());
+    println!(
+        "the database IS these sentences (first 5 of {}):",
+        sentences.len()
+    );
     for s in sentences.iter().take(5) {
         println!("  \"{s}\"");
     }

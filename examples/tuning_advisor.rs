@@ -24,9 +24,18 @@ fn main() {
         let random = random_search(workload, budget, 5);
         let climb = hill_climb(workload, budget);
         println!("after {budget} trial runs:");
-        println!("  manual-guided (DB-BERT style): {:.2} ms", guided.final_latency());
-        println!("  hill climbing:                 {:.2} ms", climb.final_latency());
-        println!("  random search:                 {:.2} ms", random.final_latency());
+        println!(
+            "  manual-guided (DB-BERT style): {:.2} ms",
+            guided.final_latency()
+        );
+        println!(
+            "  hill climbing:                 {:.2} ms",
+            climb.final_latency()
+        );
+        println!(
+            "  random search:                 {:.2} ms",
+            random.final_latency()
+        );
         print!("  best config found: ");
         let cfg = &guided.best_config;
         let interesting = ["buffer_pool_mb", "worker_threads", "compression_level"];

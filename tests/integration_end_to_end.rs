@@ -1,9 +1,7 @@
 //! Heavyweight end-to-end flows: fine-tune real (tiny) models and drive
 //! the full constrained-decoding pipelines.
 
-use lm4db::codegen::{
-    enumerate_programs, generate_tasks, run_pipeline, Synthesizer,
-};
+use lm4db::codegen::{enumerate_programs, generate_tasks, run_pipeline, Synthesizer};
 use lm4db::corpus::{facts_from_table, make_domain, DomainKind};
 use lm4db::neuraldb::{AllTemplatesExtractor, ExactExtractor, NeuralDb};
 use lm4db::sql::run_sql;
@@ -56,7 +54,10 @@ fn neuraldb_agrees_with_sql_on_counts() {
     let cat = d.catalog();
     let mut rng = Rand::seeded(2);
     let facts = facts_from_table(&d.table, &d.key_col, 0.0, &mut rng);
-    let db = NeuralDb::ingest(facts.into_iter().map(|f| f.text).collect(), &mut ExactExtractor);
+    let db = NeuralDb::ingest(
+        facts.into_iter().map(|f| f.text).collect(),
+        &mut ExactExtractor,
+    );
     for v in d.distinct_text_values("dept") {
         let sql = run_sql(
             &format!("SELECT COUNT(*) FROM employees WHERE dept = '{v}'"),

@@ -4,8 +4,8 @@
 use lm4db::lm::NGramLm;
 use lm4db::tokenize::{Bpe, Tokenizer, WordPiece, BOS, EOS};
 use lm4db::transformer::{
-    beam, evaluate_perplexity, greedy, pack_corpus, pretrain_gpt, BertModel, GptModel,
-    ModelConfig, NextToken, TrainOptions, Unconstrained,
+    beam, evaluate_perplexity, greedy, pack_corpus, pretrain_gpt, BertModel, GptModel, ModelConfig,
+    NextToken, TrainOptions, Unconstrained,
 };
 
 fn corpus() -> Vec<String> {
@@ -123,7 +123,9 @@ fn bert_mlm_pretraining_runs_on_wordpiece_corpus() {
             ids
         })
         .collect();
-    let losses: Vec<f32> = (0..25).map(|_| model.mlm_train_step(&batch, &mut opt)).collect();
+    let losses: Vec<f32> = (0..25)
+        .map(|_| model.mlm_train_step(&batch, &mut opt))
+        .collect();
     let early: f32 = losses[..5].iter().sum::<f32>() / 5.0;
     let late: f32 = losses[losses.len() - 5..].iter().sum::<f32>() / 5.0;
     assert!(late < early, "MLM loss did not drop on real corpus");

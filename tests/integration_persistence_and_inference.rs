@@ -3,7 +3,7 @@
 //! and whole-summary fact checking.
 
 use lm4db::corpus::{make_domain, DomainKind};
-use lm4db::factcheck::{verify_summary, synthetic_summary, KeywordMapper, Verdict};
+use lm4db::factcheck::{synthetic_summary, verify_summary, KeywordMapper, Verdict};
 use lm4db::tokenize::{Bpe, Tokenizer, BOS, EOS};
 use lm4db::transformer::{
     greedy, greedy_cached, pack_corpus, pretrain_gpt, GptModel, IncrementalSession, ModelConfig,
