@@ -58,7 +58,7 @@ fn bench_generation(c: &mut Criterion) {
             max_seq_len: 96,
             ..ModelConfig::tiny(0)
         };
-        let mut parser = SemanticParser::new(pcfg, &train, trie, 5, 600);
+        let parser = SemanticParser::new(pcfg, &train, trie, 5, 600);
         let question = "show the name of all employees";
         c.bench_function(&format!("text2sql/constrained_beam/t{threads}"), |b| {
             b.iter(|| parser.predict(question, DecodeMode::Constrained))

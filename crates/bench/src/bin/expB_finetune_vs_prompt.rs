@@ -104,13 +104,15 @@ fn main() {
         let mut model = Some(model);
         for shots in [0usize, 1, 4] {
             let m = model.take().unwrap();
-            let mut clf = PromptClassifier::new(
+            let clf = PromptClassifier::new(
                 m,
                 bpe.clone(),
                 few_shot_prompt(shots, 31),
                 LABELS.iter().map(|s| s.to_string()).collect(),
             );
-            accs.push(clf.accuracy(&test));
+            // Batched scoring through the serving engine: the shared
+            // few-shot prompt prefills once per text via the prefix cache.
+            accs.push(clf.accuracy_batch(&test));
             model = Some(clf.into_model());
         }
         rows.push(vec![

@@ -3,11 +3,12 @@
 //! retried with stochastic re-sampling — or avoided entirely with
 //! grammar-constrained decoding.
 
+use lm4db_serve::Engine;
 use lm4db_sql::Catalog;
 use lm4db_tensor::Rand;
 use lm4db_text2sql::{decode_units, SqlTrie, TrieConstraint};
 use lm4db_tokenize::{Bpe, Tokenizer, BOS, EOS};
-use lm4db_transformer::{beam, sample, GptModel, ModelConfig, SampleOptions, Unconstrained};
+use lm4db_transformer::{sample, GptModel, ModelConfig, SampleOptions, Unconstrained};
 
 use crate::dsl::{parse_pipeline, Pipeline};
 use crate::instructions::Task;
@@ -117,7 +118,7 @@ impl Synthesizer {
             .map(|q| q.len() + 2)
             .max()
             .unwrap_or(48);
-        let hyps = beam(&mut self.gpt, &prompt, 3, max_new, EOS, &constraint);
+        let hyps = Engine::new(&self.gpt).beam(&prompt, 3, max_new, EOS, Some(&constraint));
         let best = hyps.iter().find(|h| h.finished).or_else(|| hyps.first());
         let Some(best) = best else {
             return Synthesis {
@@ -152,7 +153,7 @@ impl Synthesizer {
         let mut last_raw = String::new();
         for attempt in 1..=max_retries.max(1) {
             let ids = if attempt == 1 {
-                let hyps = beam(&mut self.gpt, &prompt, 3, 48, EOS, &Unconstrained);
+                let hyps = Engine::new(&self.gpt).beam(&prompt, 3, 48, EOS, None);
                 match hyps.iter().find(|h| h.finished).or_else(|| hyps.first()) {
                     Some(h) => h.ids.clone(),
                     None => continue,

@@ -12,6 +12,7 @@
 //! | [`tokenize`] | Trainable BPE (GPT-style) and WordPiece (BERT-style) |
 //! | [`transformer`] | GPT & BERT models, RNN baseline, constrained decoding |
 //! | [`lm`] | N-gram baseline, prompting, LM classification |
+//! | [`serve`] | Batched inference engine with KV/prefix caching |
 //! | [`corpus`] | Seeded synthetic text / entity / table generators |
 //! | [`sql`] | In-memory SQL engine (parser, planner, executor) |
 //! | [`text2sql`] | NL→SQL with PICARD-style constrained decoding |
@@ -40,6 +41,7 @@ pub use lm4db_corpus as corpus;
 pub use lm4db_factcheck as factcheck;
 pub use lm4db_lm as lm;
 pub use lm4db_neuraldb as neuraldb;
+pub use lm4db_serve as serve;
 pub use lm4db_sql as sql;
 pub use lm4db_summarize as summarize;
 pub use lm4db_tensor as tensor;

@@ -7,8 +7,9 @@
 //! * **Fine-tuning** ([`FineTunedClassifier`]): wrap a BERT encoder with a
 //!   classification head and train on labeled examples.
 
+use lm4db_serve::{Engine, Request};
 use lm4db_tokenize::Tokenizer;
-use lm4db_transformer::{BertClassifier, BertModel, ModelConfig, NextToken};
+use lm4db_transformer::{BertClassifier, BertModel, GptModel, ModelConfig, NextToken};
 
 use crate::prompt::Prompt;
 
@@ -98,6 +99,69 @@ impl<M: NextToken, T: Tokenizer> PromptClassifier<M, T> {
     /// Consumes the classifier, returning the model.
     pub fn into_model(self) -> M {
         self.model
+    }
+}
+
+impl<T: Tokenizer> PromptClassifier<GptModel, T> {
+    /// Scores every text × label pair in one pass through the batched
+    /// inference engine: all continuations decode concurrently, and the
+    /// rendered prompt (instruction + demonstrations + input) prefills
+    /// once per text via the engine's prefix cache instead of once per
+    /// label. Scores match [`PromptClassifier::scores`] up to the ~1e-3
+    /// float divergence between the incremental and full-forward paths.
+    pub fn scores_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        let mut engine = Engine::new(&self.model);
+        let mut reqs = Vec::new();
+        for text in texts {
+            let rendered = self.prompt.render(text);
+            let mut prefix = vec![lm4db_tokenize::BOS];
+            prefix.extend(self.tokenizer.encode(&rendered));
+            for cont in &self.label_ids {
+                reqs.push(Request::score(&prefix, cont));
+            }
+        }
+        let responses = engine.generate_batch(reqs);
+        responses
+            .chunks(self.label_ids.len())
+            .map(|per_text| {
+                per_text
+                    .iter()
+                    .zip(&self.label_ids)
+                    // Length-normalize exactly like the sequential path.
+                    .map(|(r, cont)| r.score / cont.len().max(1) as f32)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Batched [`TextClassifier::classify`]: predicted label index per text.
+    pub fn classify_batch(&self, texts: &[&str]) -> Vec<usize> {
+        self.scores_batch(texts)
+            .into_iter()
+            .map(|scores| {
+                scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Batched [`TextClassifier::accuracy`] over a labeled evaluation set.
+    pub fn accuracy_batch(&self, examples: &[(String, usize)]) -> f32 {
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let texts: Vec<&str> = examples.iter().map(|(t, _)| t.as_str()).collect();
+        let correct = self
+            .classify_batch(&texts)
+            .iter()
+            .zip(examples)
+            .filter(|(got, (_, want))| *got == want)
+            .count();
+        correct as f32 / examples.len() as f32
     }
 }
 
@@ -269,6 +333,51 @@ mod tests {
         assert_eq!(clf.classify("bad awful poor"), 1);
         let acc = clf.accuracy(&[("great good nice".into(), 0), ("bad awful poor".into(), 1)]);
         assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn batched_prompt_scoring_agrees_with_sequential() {
+        use lm4db_transformer::{pretrain_gpt, GptModel, ModelConfig, TrainOptions};
+        let corpus = sentiment_corpus();
+        let refs: Vec<&str> = corpus.iter().map(String::as_str).collect();
+        let bpe = Bpe::train(refs.iter().copied(), 300);
+        let stream = pack_corpus(refs.iter().copied(), &bpe);
+        let cfg = ModelConfig {
+            vocab_size: bpe.vocab().len(),
+            ..ModelConfig::tiny(0)
+        };
+        let mut gpt = GptModel::new(cfg, 9);
+        pretrain_gpt(
+            &mut gpt,
+            &stream,
+            &TrainOptions {
+                steps: 40,
+                batch_size: 4,
+                seq_len: 12,
+                ..Default::default()
+            },
+        );
+        let mut clf = PromptClassifier::new(
+            gpt,
+            bpe,
+            sentiment_prompt(),
+            vec!["positive".into(), "negative".into()],
+        );
+        let texts = ["great good nice", "bad awful poor"];
+        let batched = clf.scores_batch(&texts);
+        for (text, scores) in texts.iter().zip(&batched) {
+            let sequential = clf.scores(text);
+            for (b, s) in scores.iter().zip(&sequential) {
+                assert!(
+                    (b - s).abs() < 1e-2,
+                    "batched {b} vs sequential {s} for {text:?}"
+                );
+            }
+        }
+        assert_eq!(
+            clf.classify_batch(&texts),
+            texts.iter().map(|t| clf.classify(t)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

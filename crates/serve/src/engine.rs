@@ -1,0 +1,1086 @@
+//! The continuous-batching scheduler.
+//!
+//! One [`Engine`] borrows a frozen [`GptModel`] and serves any number of
+//! requests through a synchronous API: submit, then `step()` (or `run()`)
+//! until responses appear. Internally every scheduler step
+//!
+//! 1. **admits** queued requests into the dynamic batch while slots are
+//!    free, restoring any shared prompt prefix from the trie cache,
+//! 2. **feeds** every live sequence's pending tokens through the model —
+//!    sequences fan out across the worker pool ([`parallel_rows_mut`]), and
+//!    each sequence touches only its own [`KvCache`], so the computation
+//!    for one request is independent of what else is in the batch,
+//! 3. **selects** the next token(s) for each request serially, in
+//!    submission order, with the exact float operations of the
+//!    single-request decoders in `lm4db_transformer::generate`, and
+//! 4. **retires** finished, cancelled, and deadline-expired requests
+//!    without blocking the rest.
+//!
+//! Steps 2–3 are why output is bit-identical to single-request decoding at
+//! any batch size and thread count: no arithmetic ever crosses sequences,
+//! and selection is deterministic and sequential.
+//!
+//! [`parallel_rows_mut`]: lm4db_tensor::parallel_rows_mut
+
+use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
+
+use lm4db_transformer::generate::{apply_constraint, argmax, log_softmax};
+use lm4db_transformer::{Constraint, GptModel, Hypothesis, KvCache};
+
+use crate::prefix::PrefixCache;
+use crate::stats::Stats;
+
+/// Engine-assigned request handle, increasing in submission order.
+pub type RequestId = u64;
+
+/// When the engine must give up on a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Deadline {
+    /// Run to completion.
+    #[default]
+    None,
+    /// Survive at most this many scheduler steps, then retire with partial
+    /// results. Deterministic (counts steps, not time).
+    Steps(u64),
+    /// Retire at this wall-clock instant — inherently non-deterministic;
+    /// use [`Deadline::Steps`] when reproducibility matters.
+    Wall(Instant),
+}
+
+/// What to do with a request's prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decode {
+    /// Greedy decoding, mirroring [`lm4db_transformer::greedy`].
+    Greedy {
+        /// Maximum number of generated tokens.
+        max_new: usize,
+        /// Stop token (never emitted).
+        stop: usize,
+    },
+    /// Beam search, mirroring [`lm4db_transformer::beam`].
+    Beam {
+        /// Number of beams.
+        width: usize,
+        /// Maximum number of expansion rounds.
+        max_new: usize,
+        /// Stop token.
+        stop: usize,
+    },
+    /// Teacher-forced scoring: the prompt is `prefix ++ continuation` and
+    /// the response carries the total log-probability of the continuation,
+    /// mirroring `lm4db_lm::score_continuation` over a KV-cached session.
+    Score {
+        /// Length of the conditioning prefix inside the prompt.
+        prefix_len: usize,
+    },
+}
+
+/// One unit of work for the engine.
+pub struct Request<'a> {
+    /// Prompt token ids (non-empty, at most `max_seq_len`).
+    pub prompt: Vec<usize>,
+    /// Decoding strategy.
+    pub decode: Decode,
+    /// Optional PICARD-style decoding constraint.
+    pub constraint: Option<&'a dyn Constraint>,
+    /// Optional deadline.
+    pub deadline: Deadline,
+}
+
+impl<'a> Request<'a> {
+    /// A greedy-decoding request.
+    pub fn greedy(prompt: Vec<usize>, max_new: usize, stop: usize) -> Self {
+        Request {
+            prompt,
+            decode: Decode::Greedy { max_new, stop },
+            constraint: None,
+            deadline: Deadline::None,
+        }
+    }
+
+    /// A beam-search request.
+    pub fn beam(prompt: Vec<usize>, width: usize, max_new: usize, stop: usize) -> Self {
+        Request {
+            prompt,
+            decode: Decode::Beam {
+                width,
+                max_new,
+                stop,
+            },
+            constraint: None,
+            deadline: Deadline::None,
+        }
+    }
+
+    /// A continuation-scoring request.
+    pub fn score(prefix: &[usize], continuation: &[usize]) -> Self {
+        let mut prompt = prefix.to_vec();
+        prompt.extend_from_slice(continuation);
+        Request {
+            prompt,
+            decode: Decode::Score {
+                prefix_len: prefix.len(),
+            },
+            constraint: None,
+            deadline: Deadline::None,
+        }
+    }
+
+    /// Attaches a decoding constraint.
+    pub fn with_constraint(mut self, c: &'a dyn Constraint) -> Self {
+        self.constraint = Some(c);
+        self
+    }
+
+    /// Attaches a deadline.
+    pub fn with_deadline(mut self, d: Deadline) -> Self {
+        self.deadline = d;
+        self
+    }
+}
+
+/// How a request left the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Ran to its natural end (stop token, budget, or dead end).
+    Finished,
+    /// Cancelled via [`Engine::cancel`]; results are partial.
+    Cancelled,
+    /// Retired by its deadline; results are partial.
+    DeadlineExpired,
+}
+
+/// The engine's answer to one request.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The id returned by [`Engine::submit`].
+    pub id: RequestId,
+    /// How the request ended.
+    pub outcome: Outcome,
+    /// Generated tokens: the greedy output, or the top hypothesis's
+    /// generated part for beam requests (empty for scoring).
+    pub tokens: Vec<usize>,
+    /// All beam hypotheses, sorted exactly like [`lm4db_transformer::beam`]
+    /// (empty for other request kinds).
+    pub hyps: Vec<Hypothesis>,
+    /// Continuation log-probability (scoring requests only).
+    pub score: f32,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Maximum number of concurrently decoding requests.
+    pub max_batch: usize,
+    /// Prefix-cache budget in token positions; `0` disables the cache.
+    pub prefix_cache_tokens: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            max_batch: 8,
+            prefix_cache_tokens: 4096,
+        }
+    }
+}
+
+/// One live sequence (a greedy/score request has one; a beam request has
+/// up to `width`).
+struct Seq {
+    cache: KvCache,
+    /// Full token sequence: prompt plus chosen continuations.
+    ids: Vec<usize>,
+    /// How many of `ids` are scheduled for feeding; the unfed span is
+    /// `ids[cache.len()..sched]`.
+    sched: usize,
+    log_prob: f32,
+}
+
+/// Scheduler-side state of one admitted request.
+struct Active<'a> {
+    id: RequestId,
+    prompt_len: usize,
+    decode: Decode,
+    constraint: Option<&'a dyn Constraint>,
+    steps_left: Option<u64>,
+    wall: Option<Instant>,
+    live: Vec<Seq>,
+    /// Finished beam hypotheses.
+    done: Vec<Hypothesis>,
+    /// Beam expansion rounds completed.
+    rounds: usize,
+    /// Greedy output so far.
+    out: Vec<usize>,
+    /// Accumulated continuation log-probability (scoring).
+    score: f32,
+    /// Next continuation index to score.
+    score_pos: usize,
+    /// Whether this request's prefill was inserted into the prefix cache.
+    inserted: bool,
+}
+
+impl Active<'_> {
+    /// Number of leading prompt positions that must be fed before any
+    /// selection: the whole prompt, except for scoring requests where the
+    /// continuation is fed one token at a time.
+    fn prefill_target(&self) -> usize {
+        match self.decode {
+            Decode::Score { prefix_len } => prefix_len,
+            _ => self.prompt_len,
+        }
+    }
+}
+
+/// The batched inference engine. See the [module docs](self).
+pub struct Engine<'a> {
+    model: &'a GptModel,
+    opts: EngineOptions,
+    queue: VecDeque<(RequestId, Request<'a>)>,
+    cancelled: HashSet<RequestId>,
+    active: Vec<Active<'a>>,
+    finished: Vec<Response>,
+    prefix: PrefixCache,
+    stats: Stats,
+    next_id: RequestId,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine with default options.
+    pub fn new(model: &'a GptModel) -> Self {
+        Engine::with_options(model, EngineOptions::default())
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(model: &'a GptModel, opts: EngineOptions) -> Self {
+        assert!(opts.max_batch >= 1, "max_batch must be at least 1");
+        Engine {
+            model,
+            prefix: PrefixCache::new(opts.prefix_cache_tokens),
+            opts,
+            queue: VecDeque::new(),
+            cancelled: HashSet::new(),
+            active: Vec::new(),
+            finished: Vec::new(),
+            stats: Stats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// The model this engine serves.
+    pub fn model(&self) -> &'a GptModel {
+        self.model
+    }
+
+    /// Enqueues a request; it is admitted into the batch on a later
+    /// [`Engine::step`]. Requests are admitted and answered in FIFO order
+    /// of their ids.
+    pub fn submit(&mut self, req: Request<'a>) -> RequestId {
+        assert!(!req.prompt.is_empty(), "prompt must be non-empty");
+        assert!(
+            req.prompt.len() <= self.model.config().max_seq_len,
+            "prompt length {} exceeds max_seq_len {}",
+            req.prompt.len(),
+            self.model.config().max_seq_len
+        );
+        match req.decode {
+            Decode::Beam { width, .. } => assert!(width > 0, "beam width must be positive"),
+            Decode::Score { prefix_len } => assert!(
+                prefix_len >= 1 && prefix_len < req.prompt.len(),
+                "scoring needs a non-empty prefix and continuation"
+            ),
+            Decode::Greedy { .. } => {}
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stats.submitted += 1;
+        self.queue.push_back((id, req));
+        id
+    }
+
+    /// Cancels a queued or active request; it retires with partial results
+    /// and [`Outcome::Cancelled`] on the next step.
+    pub fn cancel(&mut self, id: RequestId) {
+        self.cancelled.insert(id);
+    }
+
+    /// A snapshot of the engine counters.
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats.clone();
+        s.queued = self.queue.len();
+        s.active = self.active.len();
+        s.prefix_cache_nodes = self.prefix.nodes();
+        s
+    }
+
+    /// Responses completed so far, drained in submission order.
+    pub fn take_responses(&mut self) -> Vec<Response> {
+        let mut out = std::mem::take(&mut self.finished);
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Runs one scheduler step; returns whether any work remains.
+    pub fn step(&mut self) -> bool {
+        self.admit();
+        self.sweep_cancelled_and_expired();
+        if self.active.is_empty() {
+            return !self.queue.is_empty();
+        }
+        self.run_work();
+        self.insert_prefixes();
+        self.stats.steps += 1;
+        self.stats.batch_occupancy_sum +=
+            self.active.iter().map(|a| a.live.len()).sum::<usize>() as u64;
+        self.stats.peak_batch = self.stats.peak_batch.max(self.active.len());
+        let mut i = 0;
+        while i < self.active.len() {
+            if let Some(resp) = select_request(&mut self.active[i], self.model) {
+                self.retire(i, resp);
+            } else {
+                i += 1;
+            }
+        }
+        !(self.active.is_empty() && self.queue.is_empty())
+    }
+
+    /// Steps until idle and returns all completed responses in submission
+    /// order.
+    pub fn run(&mut self) -> Vec<Response> {
+        while self.step() {}
+        self.take_responses()
+    }
+
+    /// Submits every request, runs to completion, and returns their
+    /// responses in the given order. Responses to other outstanding
+    /// requests stay buffered for [`Engine::take_responses`].
+    pub fn generate_batch(&mut self, reqs: Vec<Request<'a>>) -> Vec<Response> {
+        let ids: Vec<RequestId> = reqs.into_iter().map(|r| self.submit(r)).collect();
+        let idset: HashSet<RequestId> = ids.iter().copied().collect();
+        let mut mine = Vec::new();
+        for r in self.run() {
+            if idset.contains(&r.id) {
+                mine.push(r);
+            } else {
+                self.finished.push(r);
+            }
+        }
+        mine
+    }
+
+    /// Convenience: greedy-decode one prompt to completion. Equivalent to
+    /// [`lm4db_transformer::greedy_cached`].
+    pub fn greedy(&mut self, prompt: &[usize], max_new: usize, stop: usize) -> Vec<usize> {
+        let id = self.submit(Request::greedy(prompt.to_vec(), max_new, stop));
+        self.run_for(id).tokens
+    }
+
+    /// Convenience: beam-search one prompt to completion, with an optional
+    /// constraint. Hypotheses are ordered exactly like
+    /// [`lm4db_transformer::beam`] over a KV-cached session.
+    pub fn beam(
+        &mut self,
+        prompt: &[usize],
+        width: usize,
+        max_new: usize,
+        stop: usize,
+        constraint: Option<&'a dyn Constraint>,
+    ) -> Vec<Hypothesis> {
+        let mut req = Request::beam(prompt.to_vec(), width, max_new, stop);
+        if let Some(c) = constraint {
+            req = req.with_constraint(c);
+        }
+        let id = self.submit(req);
+        self.run_for(id).hyps
+    }
+
+    /// Convenience: total log-probability of `continuation` after `prefix`.
+    pub fn score(&mut self, prefix: &[usize], continuation: &[usize]) -> f32 {
+        assert!(!continuation.is_empty(), "continuation must be non-empty");
+        let id = self.submit(Request::score(prefix, continuation));
+        self.run_for(id).score
+    }
+
+    /// Drives the engine until `id` completes; other responses completed
+    /// along the way stay buffered.
+    fn run_for(&mut self, id: RequestId) -> Response {
+        let mut target = None;
+        for r in self.run() {
+            if r.id == id {
+                target = Some(r);
+            } else {
+                self.finished.push(r);
+            }
+        }
+        target.expect("submitted request always completes")
+    }
+
+    /// Moves queued requests into free batch slots.
+    fn admit(&mut self) {
+        while self.active.len() < self.opts.max_batch {
+            let Some((id, req)) = self.queue.pop_front() else {
+                break;
+            };
+            if self.cancelled.remove(&id) {
+                self.stats.cancelled += 1;
+                self.finished.push(Response {
+                    id,
+                    outcome: Outcome::Cancelled,
+                    tokens: Vec::new(),
+                    hyps: Vec::new(),
+                    score: 0.0,
+                });
+                continue;
+            }
+            let target = match req.decode {
+                Decode::Score { prefix_len } => prefix_len,
+                _ => req.prompt.len(),
+            };
+            let mut cache = KvCache::new(self.model);
+            // Always leave at least the last prefill token to feed live, so
+            // the sequence has logits to select from.
+            let limit = target.saturating_sub(1);
+            let restored = self
+                .prefix
+                .restore_into(self.model, &req.prompt[..limit], &mut cache);
+            self.stats.cached_prefix_tokens += restored as u64;
+            let (steps_left, wall) = match req.deadline {
+                Deadline::None => (None, None),
+                Deadline::Steps(s) => (Some(s), None),
+                Deadline::Wall(t) => (None, Some(t)),
+            };
+            let prompt_len = req.prompt.len();
+            self.active.push(Active {
+                id,
+                prompt_len,
+                decode: req.decode,
+                constraint: req.constraint,
+                steps_left,
+                wall,
+                live: vec![Seq {
+                    cache,
+                    ids: req.prompt,
+                    sched: target,
+                    log_prob: 0.0,
+                }],
+                done: Vec::new(),
+                rounds: 0,
+                out: Vec::new(),
+                score: 0.0,
+                score_pos: target,
+                inserted: false,
+            });
+        }
+    }
+
+    /// Retires cancelled and deadline-expired active requests with partial
+    /// results, and ticks step deadlines.
+    fn sweep_cancelled_and_expired(&mut self) {
+        let mut i = 0;
+        while i < self.active.len() {
+            let id = self.active[i].id;
+            let cancel = self.cancelled.remove(&id);
+            let act = &mut self.active[i];
+            let expired = !cancel
+                && (matches!(act.steps_left, Some(0))
+                    || act.wall.is_some_and(|t| Instant::now() >= t));
+            if cancel || expired {
+                let outcome = if cancel {
+                    Outcome::Cancelled
+                } else {
+                    Outcome::DeadlineExpired
+                };
+                let resp = response_for(&mut self.active[i], outcome);
+                self.retire(i, resp);
+                continue;
+            }
+            if let Some(s) = &mut act.steps_left {
+                *s -= 1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Feeds every live sequence's pending tokens through the model, with
+    /// sequences fanned out across the worker pool. Each sequence mutates
+    /// only its own cache, and the per-sequence arithmetic is itself
+    /// bit-identical at any thread count, so the result does not depend on
+    /// batch composition or parallelism.
+    fn run_work(&mut self) {
+        let model = self.model;
+        let mut prefill = 0u64;
+        let mut decoded = 0u64;
+        let mut works: Vec<(&mut Seq, Vec<usize>)> = Vec::new();
+        for act in self.active.iter_mut() {
+            let prompt_len = act.prompt_len;
+            for seq in act.live.iter_mut() {
+                let fed = seq.cache.len();
+                if seq.sched > fed {
+                    let toks = seq.ids[fed..seq.sched].to_vec();
+                    let pf = prompt_len.saturating_sub(fed).min(toks.len());
+                    prefill += pf as u64;
+                    decoded += (toks.len() - pf) as u64;
+                    works.push((seq, toks));
+                }
+            }
+        }
+        if !works.is_empty() {
+            let n = works.len();
+            lm4db_tensor::parallel_rows_mut(&mut works, n, 1, |_, block| {
+                for (seq, toks) in block.iter_mut() {
+                    seq.cache.feed_all(model, toks);
+                }
+            });
+        }
+        self.stats.prefill_tokens += prefill;
+        self.stats.decoded_tokens += decoded;
+    }
+
+    /// After a request's prefill completes, shares its prompt positions
+    /// through the prefix trie so later requests with the same header skip
+    /// recomputing them.
+    fn insert_prefixes(&mut self) {
+        if !self.prefix.enabled() {
+            return;
+        }
+        for act in self.active.iter_mut() {
+            if act.inserted {
+                continue;
+            }
+            let target = act.prefill_target();
+            let Some(seq) = act.live.first() else {
+                continue;
+            };
+            if seq.cache.len() >= target {
+                self.prefix.insert(self.model, &seq.cache, target);
+                act.inserted = true;
+            }
+        }
+    }
+
+    /// Books a finished response and frees its batch slot.
+    fn retire(&mut self, i: usize, resp: Response) {
+        match resp.outcome {
+            Outcome::Finished => self.stats.completed += 1,
+            Outcome::Cancelled => self.stats.cancelled += 1,
+            Outcome::DeadlineExpired => self.stats.expired += 1,
+        }
+        self.finished.push(resp);
+        self.active.remove(i);
+    }
+}
+
+/// `log p(idx)` under a softmax over `logits` — the same float operations
+/// as `lm4db_lm::classify::log_softmax_at`.
+fn log_softmax_at(logits: &[f32], idx: usize) -> f32 {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let logsum = logits.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+    logits[idx] - logsum
+}
+
+/// Builds the final response for `act` with whatever it has produced.
+fn response_for(act: &mut Active<'_>, outcome: Outcome) -> Response {
+    match act.decode {
+        Decode::Greedy { .. } => Response {
+            id: act.id,
+            outcome,
+            tokens: std::mem::take(&mut act.out),
+            hyps: Vec::new(),
+            score: 0.0,
+        },
+        Decode::Beam { .. } => {
+            let hyps = finish_hyps(act);
+            let tokens = hyps
+                .first()
+                .map(|h| h.ids[act.prompt_len.min(h.ids.len())..].to_vec())
+                .unwrap_or_default();
+            Response {
+                id: act.id,
+                outcome,
+                tokens,
+                hyps,
+                score: 0.0,
+            }
+        }
+        Decode::Score { .. } => Response {
+            id: act.id,
+            outcome,
+            tokens: Vec::new(),
+            hyps: Vec::new(),
+            score: act.score,
+        },
+    }
+}
+
+/// Merges live and finished hypotheses with the exact ranking of
+/// [`lm4db_transformer::beam`]: finished first, then by length-normalized
+/// log-probability, truncated to the beam width.
+fn finish_hyps(act: &mut Active<'_>) -> Vec<Hypothesis> {
+    let mut done = std::mem::take(&mut act.done);
+    done.extend(act.live.drain(..).map(|s| Hypothesis {
+        ids: s.ids,
+        log_prob: s.log_prob,
+        finished: false,
+    }));
+    let prompt_len = act.prompt_len;
+    let norm = |h: &Hypothesis| {
+        let gen_len = (h.ids.len() - prompt_len + usize::from(h.finished)).max(1);
+        h.log_prob / gen_len as f32
+    };
+    done.sort_by(|a, b| {
+        b.finished
+            .cmp(&a.finished)
+            .then_with(|| norm(b).total_cmp(&norm(a)))
+    });
+    if let Decode::Beam { width, .. } = act.decode {
+        done.truncate(width);
+    }
+    done
+}
+
+/// One selection round for one request: consume the freshly computed
+/// logits, choose continuations, and either schedule more work (`None`) or
+/// finish (`Some(response)`). Runs serially — constraints need not be
+/// thread-safe, and the choice never depends on other requests.
+fn select_request(act: &mut Active<'_>, model: &GptModel) -> Option<Response> {
+    let max_seq_len = model.config().max_seq_len;
+    match act.decode {
+        Decode::Greedy { max_new, stop } => {
+            if act.out.len() >= max_new {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            let seq = &mut act.live[0];
+            let mut logits = seq.cache.last_logits().to_vec();
+            let allowed = match act.constraint {
+                Some(c) => apply_constraint(&mut logits, &seq.ids, c),
+                None => logits.len(),
+            };
+            if allowed == 0 {
+                // Dead end: `generate::greedy` stops and returns the
+                // output so far.
+                return Some(response_for(act, Outcome::Finished));
+            }
+            let tok = argmax(&logits);
+            if tok == stop || seq.ids.len() >= max_seq_len {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            seq.ids.push(tok);
+            seq.sched = seq.ids.len();
+            act.out.push(tok);
+            if act.out.len() >= max_new {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            None
+        }
+        Decode::Beam {
+            width,
+            max_new,
+            stop,
+        } => {
+            if act.rounds >= max_new {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            // Expansion candidates (parent, token, log-prob), built in the
+            // same order `generate::beam` builds its candidate list so the
+            // stable sort below ties identically.
+            let mut specs: Vec<(usize, usize, f32)> = Vec::new();
+            for (si, seq) in act.live.iter().enumerate() {
+                let mut logits = seq.cache.last_logits().to_vec();
+                let allowed = match act.constraint {
+                    Some(c) => apply_constraint(&mut logits, &seq.ids, c),
+                    None => logits.len(),
+                };
+                if allowed == 0 {
+                    continue; // dead end — drop this beam
+                }
+                let log_probs = log_softmax(&logits);
+                let mut order: Vec<usize> = (0..log_probs.len())
+                    .filter(|&t| log_probs[t].is_finite())
+                    .collect();
+                order.sort_by(|&a, &b| log_probs[b].total_cmp(&log_probs[a]));
+                for &tok in order.iter().take(width) {
+                    let lp = seq.log_prob + log_probs[tok];
+                    if tok == stop {
+                        act.done.push(Hypothesis {
+                            ids: seq.ids.clone(),
+                            log_prob: lp,
+                            finished: true,
+                        });
+                    } else {
+                        specs.push((si, tok, lp));
+                    }
+                }
+            }
+            if specs.is_empty() {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            specs.sort_by(|a, b| b.2.total_cmp(&a.2));
+            specs.truncate(width);
+            let mut new_live = Vec::with_capacity(specs.len());
+            for (si, tok, lp) in specs {
+                let parent = &act.live[si];
+                let mut ids = parent.ids.clone();
+                ids.push(tok);
+                if parent.ids.len() >= max_seq_len {
+                    // The engine never slides the context window; a beam at
+                    // the length limit parks as an unfinished hypothesis.
+                    act.done.push(Hypothesis {
+                        ids,
+                        log_prob: lp,
+                        finished: false,
+                    });
+                    continue;
+                }
+                let sched = ids.len();
+                new_live.push(Seq {
+                    cache: parent.cache.clone(),
+                    ids,
+                    sched,
+                    log_prob: lp,
+                });
+            }
+            act.live = new_live;
+            act.rounds += 1;
+            if act.done.len() >= width || act.rounds >= max_new || act.live.is_empty() {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            None
+        }
+        Decode::Score { .. } => {
+            let seq = &mut act.live[0];
+            let tok = seq.ids[act.score_pos];
+            act.score += log_softmax_at(seq.cache.last_logits(), tok);
+            act.score_pos += 1;
+            if act.score_pos >= seq.ids.len() {
+                return Some(response_for(act, Outcome::Finished));
+            }
+            seq.sched = act.score_pos;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_tokenize::{BOS, EOS};
+    use lm4db_transformer::{
+        beam as beam_single, greedy_cached, IncrementalSession, ModelConfig, Unconstrained,
+    };
+
+    fn model() -> GptModel {
+        GptModel::new(ModelConfig::test(), 7)
+    }
+
+    /// A model trained enough that its next-token distributions are sharp.
+    fn trained_model() -> GptModel {
+        let mut m = model();
+        let mut opt = m.optimizer(3e-3);
+        let batch = vec![
+            vec![BOS, 10, 11, 12, 13, 14, EOS],
+            vec![BOS, 20, 21, 22, 23, 24, EOS],
+        ];
+        for _ in 0..30 {
+            m.train_step(&batch, &mut opt);
+        }
+        m
+    }
+
+    fn prompts() -> Vec<Vec<usize>> {
+        vec![
+            vec![BOS, 10],
+            vec![BOS, 10, 11],
+            vec![BOS, 20],
+            vec![BOS, 20, 21, 22],
+            vec![BOS, 10, 11, 12],
+            vec![BOS, 20, 21],
+            vec![BOS, 10, 11, 12, 13],
+            vec![BOS, 20, 21, 22, 23],
+        ]
+    }
+
+    #[test]
+    fn engine_greedy_matches_greedy_cached() {
+        let m = trained_model();
+        for p in prompts() {
+            let want = greedy_cached(&m, &p, 8, EOS);
+            let mut engine = Engine::new(&m);
+            assert_eq!(engine.greedy(&p, 8, EOS), want, "prompt {p:?}");
+        }
+    }
+
+    #[test]
+    fn engine_output_is_independent_of_batch_size_and_prefix_cache() {
+        let m = trained_model();
+        let ps = prompts();
+        let mut reference: Option<Vec<Vec<usize>>> = None;
+        for max_batch in [1, 3, 8] {
+            for cache_tokens in [0, 4096] {
+                let mut engine = Engine::with_options(
+                    &m,
+                    EngineOptions {
+                        max_batch,
+                        prefix_cache_tokens: cache_tokens,
+                    },
+                );
+                let reqs = ps
+                    .iter()
+                    .map(|p| Request::greedy(p.clone(), 8, EOS))
+                    .collect();
+                let out: Vec<Vec<usize>> = engine
+                    .generate_batch(reqs)
+                    .into_iter()
+                    .map(|r| r.tokens)
+                    .collect();
+                match &reference {
+                    None => reference = Some(out),
+                    Some(want) => assert_eq!(
+                        &out, want,
+                        "batch {max_batch} / cache {cache_tokens} diverged"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_beam_matches_single_request_beam() {
+        let m = trained_model();
+        for p in prompts().into_iter().take(4) {
+            // The reference is the seed beam over a KV-cached session —
+            // float-identical to the engine's compute path.
+            let mut session = IncrementalSession::new(&m);
+            let want = beam_single(&mut session, &p, 3, 6, EOS, &Unconstrained);
+            let mut engine = Engine::new(&m);
+            let got = engine.beam(&p, 3, 6, EOS, None);
+            assert_eq!(got.len(), want.len(), "prompt {p:?}");
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.ids, w.ids, "prompt {p:?}");
+                assert_eq!(g.finished, w.finished, "prompt {p:?}");
+                assert_eq!(g.log_prob.to_bits(), w.log_prob.to_bits(), "prompt {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_beam_respects_constraints() {
+        let m = trained_model();
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2) || t == EOS;
+        let p = vec![BOS, 10];
+        let mut session = IncrementalSession::new(&m);
+        let want = beam_single(&mut session, &p, 2, 5, EOS, &even);
+        let mut engine = Engine::new(&m);
+        let got = engine.beam(&p, 2, 5, EOS, Some(&even));
+        assert_eq!(
+            got.iter().map(|h| h.ids.clone()).collect::<Vec<_>>(),
+            want.iter().map(|h| h.ids.clone()).collect::<Vec<_>>()
+        );
+        for h in &got {
+            assert!(h.ids[2..].iter().all(|&t| t % 2 == 0), "{:?}", h.ids);
+        }
+    }
+
+    #[test]
+    fn engine_score_matches_sequential_scoring() {
+        let m = trained_model();
+        let prefix = vec![BOS, 10, 11];
+        let cont = vec![12, 13, 14];
+        // Reference: teacher-forced scoring over a KV-cached session.
+        let mut session = IncrementalSession::new(&m);
+        let mut seq = prefix.clone();
+        let mut want = 0.0;
+        for &tok in &cont {
+            use lm4db_transformer::NextToken;
+            let logits = session.next_logits(&seq);
+            want += log_softmax_at(&logits, tok);
+            seq.push(tok);
+        }
+        let mut engine = Engine::new(&m);
+        let got = engine.score(&prefix, &cont);
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn mixed_request_kinds_coexist_in_one_batch() {
+        let m = trained_model();
+        let mut engine = Engine::new(&m);
+        let g = engine.submit(Request::greedy(vec![BOS, 10], 6, EOS));
+        let b = engine.submit(Request::beam(vec![BOS, 20], 3, 6, EOS));
+        let s = engine.submit(Request::score(&[BOS, 10], &[11, 12]));
+        let responses = engine.run();
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].id, g);
+        assert_eq!(responses[1].id, b);
+        assert_eq!(responses[2].id, s);
+        assert_eq!(responses[0].tokens, greedy_cached(&m, &[BOS, 10], 6, EOS));
+        assert!(!responses[1].hyps.is_empty());
+        assert!(responses[2].score < 0.0);
+    }
+
+    #[test]
+    fn step_deadline_retires_with_partial_output() {
+        let m = trained_model();
+        let mut engine = Engine::new(&m);
+        let full = engine.greedy(&[BOS, 10], 8, EOS);
+        assert!(full.len() > 2, "test needs a few generated tokens");
+        let id =
+            engine.submit(Request::greedy(vec![BOS, 10], 8, EOS).with_deadline(Deadline::Steps(2)));
+        let resp = engine
+            .run()
+            .into_iter()
+            .find(|r| r.id == id)
+            .expect("deadline request completes");
+        assert_eq!(resp.outcome, Outcome::DeadlineExpired);
+        assert!(resp.tokens.len() < full.len());
+        assert_eq!(resp.tokens[..], full[..resp.tokens.len()]);
+        assert_eq!(engine.stats().expired, 1);
+    }
+
+    #[test]
+    fn cancellation_works_queued_and_active() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                max_batch: 1,
+                ..Default::default()
+            },
+        );
+        let a = engine.submit(Request::greedy(vec![BOS, 10], 8, EOS));
+        let b = engine.submit(Request::greedy(vec![BOS, 20], 8, EOS));
+        // One step: `a` is active, `b` still queued.
+        engine.step();
+        engine.cancel(a);
+        engine.cancel(b);
+        let responses = engine.run();
+        assert!(responses.iter().all(|r| r.outcome == Outcome::Cancelled));
+        assert_eq!(engine.stats().cancelled, 2);
+    }
+
+    #[test]
+    fn continuous_batching_admits_from_queue_as_slots_free() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                max_batch: 2,
+                ..Default::default()
+            },
+        );
+        let reqs = prompts()
+            .into_iter()
+            .map(|p| Request::greedy(p, 8, EOS))
+            .collect();
+        let responses = engine.generate_batch(reqs);
+        assert_eq!(responses.len(), 8);
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 8);
+        assert!(stats.peak_batch <= 2);
+        assert!(stats.decoded_tokens > 0);
+    }
+
+    #[test]
+    fn prefix_cache_reduces_prefill_work() {
+        let m = trained_model();
+        let header = vec![BOS, 10, 11, 12, 13];
+        let mut engine = Engine::new(&m);
+        // Warm the cache with the shared header.
+        engine.greedy(&header, 1, EOS);
+        let warm_before = engine.stats();
+        let mut p = header.clone();
+        p.push(14);
+        engine.greedy(&p, 1, EOS);
+        let after = engine.stats();
+        assert!(
+            after.cached_prefix_tokens > warm_before.cached_prefix_tokens,
+            "second request should hit the prefix cache"
+        );
+        // The second prompt has 6 tokens; at least 4 (header minus the
+        // always-live last prefill token boundary) come from the cache.
+        assert!(after.cached_prefix_tokens >= 4);
+    }
+
+    #[test]
+    fn stats_token_accounting_is_exact() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                prefix_cache_tokens: 0,
+                ..Default::default()
+            },
+        );
+        let p = vec![BOS, 10];
+        let out = engine.greedy(&p, 8, EOS);
+        let stats = engine.stats();
+        assert_eq!(stats.prefill_tokens, p.len() as u64);
+        // Every emitted token except the last one scheduled is fed back.
+        assert_eq!(stats.decoded_tokens, out.len() as u64);
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert!(stats.mean_batch_occupancy() >= 1.0);
+    }
+
+    #[test]
+    fn responses_arrive_in_submission_order_regardless_of_length() {
+        let m = trained_model();
+        let mut engine = Engine::new(&m);
+        let long = engine.submit(Request::greedy(vec![BOS, 10], 9, EOS));
+        let short = engine.submit(Request::greedy(vec![BOS, 20], 1, EOS));
+        let responses = engine.run();
+        assert_eq!(responses[0].id, long);
+        assert_eq!(responses[1].id, short);
+    }
+
+    #[test]
+    fn zero_budget_requests_return_empty() {
+        let m = trained_model();
+        let mut engine = Engine::new(&m);
+        assert!(engine.greedy(&[BOS, 10], 0, EOS).is_empty());
+        let hyps = engine.beam(&[BOS, 10], 2, 0, EOS, None);
+        assert_eq!(hyps.len(), 1);
+        assert_eq!(hyps[0].ids, vec![BOS, 10]);
+        assert!(!hyps[0].finished);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lm4db_tokenize::{BOS, EOS};
+    use lm4db_transformer::{greedy_cached, ModelConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Batch-size independence as a property: any mix of prompts, any
+        /// max_batch, with or without the prefix cache — the engine always
+        /// reproduces the single-request KV-cached greedy output.
+        #[test]
+        fn engine_always_matches_single_request_greedy(
+            prompts in prop::collection::vec(
+                prop::collection::vec(8usize..60, 1..6), 1..6),
+            max_batch in 1usize..5,
+            cache in any::<bool>(),
+        ) {
+            let m = GptModel::new(ModelConfig::test(), 13);
+            let mut engine = Engine::with_options(&m, EngineOptions {
+                max_batch,
+                prefix_cache_tokens: if cache { 512 } else { 0 },
+            });
+            let mut reqs = Vec::new();
+            for p in &prompts {
+                let mut prompt = vec![BOS];
+                prompt.extend_from_slice(p);
+                reqs.push(Request::greedy(prompt, 6, EOS));
+            }
+            let responses = engine.generate_batch(reqs);
+            for (p, r) in prompts.iter().zip(responses.iter()) {
+                let mut prompt = vec![BOS];
+                prompt.extend_from_slice(p);
+                let want = greedy_cached(&m, &prompt, 6, EOS);
+                prop_assert_eq!(&r.tokens, &want);
+            }
+        }
+    }
+}

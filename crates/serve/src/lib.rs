@@ -1,0 +1,42 @@
+//! # lm4db-serve
+//!
+//! A batched inference engine over the GPT decoder in `lm4db-transformer`,
+//! in the mold of the serving stacks that make "very large language models
+//! for data management" economical: the tutorial's applications (text-to-
+//! SQL, wrangling, CodexDB-style synthesis) funnel many small prompts with
+//! near-identical instruction/schema headers through one decoder, and that
+//! workload is exactly what continuous batching plus prefix caching exploit.
+//!
+//! The engine is synchronous-API, internally concurrent:
+//!
+//! * **Continuous batching** ([`Engine`]): requests are admitted into a
+//!   dynamic batch, all active sequences step together through the
+//!   pool-parallel kernels, and finished requests retire without blocking
+//!   the rest.
+//! * **KV caching** ([`lm4db_transformer::KvCache`]): each sequence decodes
+//!   in O(t) per token instead of the O(t²) full re-forward.
+//! * **Prefix caching** ([`PrefixCache`]): a trie keyed on token ids stores
+//!   the per-layer key/value rows of previously prefilled prompts, so a
+//!   request sharing an instruction/schema header skips re-prefilling the
+//!   common prefix. KV rows are pure functions of the token prefix, so the
+//!   restore is bitwise identical to recomputation.
+//! * **Deadlines & cancellation**: per-request step- or wall-clock
+//!   deadlines with graceful partial results, plus [`Engine::cancel`].
+//! * **Observability**: a [`Stats`] snapshot with queued/prefilled/decoded
+//!   token counters, prefix-cache hits, and batch occupancy.
+//!
+//! Output is bit-identical to the single-request KV-cached decode path at
+//! any batch size and thread count (see DESIGN.md §5c for the invariants),
+//! and token-identical to the full-forward `generate` path whenever the
+//! model's distributions are sharper than the ~1e-3 float divergence
+//! between the two forward implementations.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod prefix;
+pub mod stats;
+
+pub use engine::{Deadline, Decode, Engine, EngineOptions, Outcome, Request, RequestId, Response};
+pub use prefix::PrefixCache;
+pub use stats::Stats;

@@ -1,0 +1,310 @@
+//! The prompt prefix cache: a trie keyed on token ids whose nodes store the
+//! per-layer attention key/value rows of one position.
+//!
+//! Because a KV row is a pure function of the token prefix that produced it
+//! (causal attention only ever looks backward), any request whose prompt
+//! shares a prefix with a previously prefilled prompt can have those
+//! positions *restored* instead of recomputed — bitwise identically, as the
+//! rows are copied verbatim. This is what makes prefix caching invisible to
+//! the determinism guarantees: cached and uncached prefills produce the
+//! same logits bit for bit (property-tested below).
+//!
+//! Capacity is bounded by a token (= node) budget; when an insert exceeds
+//! it, least-recently-used leaves are evicted until the budget holds.
+//! Eviction only ever removes leaves, so every surviving node still
+//! represents a valid prefix. A [`std::collections::BTreeMap`] keyed on
+//! token ids keeps traversal order — and therefore eviction — fully
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use lm4db_transformer::{GptModel, KvCache};
+
+struct Node {
+    /// Flattened per-layer `[k, v]` rows for this position, in the layout
+    /// of [`KvCache::position_kv`].
+    kv: Vec<f32>,
+    children: BTreeMap<usize, Node>,
+    last_used: u64,
+}
+
+/// Trie of cached prompt prefixes. See the module docs.
+pub struct PrefixCache {
+    children: BTreeMap<usize, Node>,
+    max_tokens: usize,
+    stored: usize,
+    clock: u64,
+}
+
+impl PrefixCache {
+    /// An empty cache holding at most `max_tokens` positions; `0` disables
+    /// caching entirely.
+    pub fn new(max_tokens: usize) -> Self {
+        PrefixCache {
+            children: BTreeMap::new(),
+            max_tokens,
+            stored: 0,
+            clock: 0,
+        }
+    }
+
+    /// Whether the cache can hold anything at all.
+    pub fn enabled(&self) -> bool {
+        self.max_tokens > 0
+    }
+
+    /// Number of cached positions (trie nodes).
+    pub fn nodes(&self) -> usize {
+        self.stored
+    }
+
+    /// Restores the longest cached prefix of `tokens` into `cache` (which
+    /// must be empty) and returns the number of restored positions. Marks
+    /// every node on the path as recently used.
+    pub fn restore_into(
+        &mut self,
+        model: &GptModel,
+        tokens: &[usize],
+        cache: &mut KvCache,
+    ) -> usize {
+        assert!(cache.is_empty(), "restore_into requires an empty KvCache");
+        if !self.enabled() {
+            return 0;
+        }
+        let mut clock = self.clock;
+        let mut children = &mut self.children;
+        let mut restored = 0;
+        for &tok in tokens {
+            match children.get_mut(&tok) {
+                None => break,
+                Some(node) => {
+                    clock += 1;
+                    node.last_used = clock;
+                    cache.push_position(model, tok, &node.kv);
+                    restored += 1;
+                    children = &mut node.children;
+                }
+            }
+        }
+        self.clock = clock;
+        restored
+    }
+
+    /// Inserts the first `upto` positions of `cache` (which must have fed
+    /// at least that many tokens), extracting each position's key/value
+    /// rows into the trie. Existing nodes are refreshed, not overwritten —
+    /// their rows are identical by construction.
+    pub fn insert(&mut self, model: &GptModel, cache: &KvCache, upto: usize) {
+        if !self.enabled() {
+            return;
+        }
+        assert!(upto <= cache.len(), "insert beyond cache length");
+        let tokens = &cache.tokens()[..upto];
+        let mut clock = self.clock;
+        let mut stored = self.stored;
+        let mut children = &mut self.children;
+        for (t, &tok) in tokens.iter().enumerate() {
+            clock += 1;
+            let node = children.entry(tok).or_insert_with(|| {
+                stored += 1;
+                Node {
+                    kv: cache.position_kv(model, t),
+                    children: BTreeMap::new(),
+                    last_used: 0,
+                }
+            });
+            node.last_used = clock;
+            children = &mut node.children;
+        }
+        self.clock = clock;
+        self.stored = stored;
+        self.evict();
+    }
+
+    /// Evicts least-recently-used leaves until the token budget holds.
+    fn evict(&mut self) {
+        while self.stored > self.max_tokens {
+            let Some(age) = Self::oldest_leaf(&self.children) else {
+                break;
+            };
+            if Self::remove_leaf(&mut self.children, age) {
+                self.stored -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Age of the least-recently-used leaf in the forest, if any. Ages are
+    /// unique (the clock advances on every touch), so the minimum
+    /// identifies exactly one leaf.
+    fn oldest_leaf(children: &BTreeMap<usize, Node>) -> Option<u64> {
+        children
+            .values()
+            .map(|n| {
+                if n.children.is_empty() {
+                    n.last_used
+                } else {
+                    Self::oldest_leaf(&n.children).expect("non-empty subtree has a leaf")
+                }
+            })
+            .min()
+    }
+
+    /// Removes the unique leaf whose age is `age`; returns whether it was
+    /// found.
+    fn remove_leaf(children: &mut BTreeMap<usize, Node>, age: u64) -> bool {
+        let key = children
+            .iter()
+            .find(|(_, n)| {
+                let leaf_age = if n.children.is_empty() {
+                    n.last_used
+                } else {
+                    Self::oldest_leaf(&n.children).expect("non-empty subtree has a leaf")
+                };
+                leaf_age == age
+            })
+            .map(|(&k, _)| k);
+        let Some(k) = key else {
+            return false;
+        };
+        let node = children.get_mut(&k).expect("key just found");
+        if node.children.is_empty() {
+            children.remove(&k);
+            true
+        } else {
+            Self::remove_leaf(&mut node.children, age)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lm4db_tokenize::BOS;
+    use lm4db_transformer::ModelConfig;
+
+    fn model() -> GptModel {
+        GptModel::new(ModelConfig::test(), 7)
+    }
+
+    #[test]
+    fn restore_returns_longest_cached_prefix() {
+        let m = model();
+        let tokens = [BOS, 10, 11, 12, 13];
+        let mut full = KvCache::new(&m);
+        full.feed_all(&m, &tokens);
+        let mut pc = PrefixCache::new(64);
+        pc.insert(&m, &full, tokens.len());
+        assert_eq!(pc.nodes(), tokens.len());
+
+        // Exact prefix: all positions restored.
+        let mut c = KvCache::new(&m);
+        assert_eq!(pc.restore_into(&m, &tokens, &mut c), tokens.len());
+        assert_eq!(c.tokens(), &tokens);
+
+        // Diverging prompt: only the shared part is restored.
+        let mut c = KvCache::new(&m);
+        let n = pc.restore_into(&m, &[BOS, 10, 11, 40, 41], &mut c);
+        assert_eq!(n, 3);
+        assert_eq!(c.tokens(), &[BOS, 10, 11]);
+    }
+
+    #[test]
+    fn restored_prefill_is_bitwise_identical() {
+        let m = model();
+        let tokens = [BOS, 9, 10, 11, 12, 13];
+        let mut full = KvCache::new(&m);
+        full.feed_all(&m, &tokens);
+        let mut pc = PrefixCache::new(64);
+        pc.insert(&m, &full, 4);
+        let mut c = KvCache::new(&m);
+        let n = pc.restore_into(&m, &tokens[..4], &mut c);
+        assert_eq!(n, 4);
+        let logits = c.feed_all(&m, &tokens[4..]).to_vec();
+        assert_eq!(logits, full.last_logits(), "restored prefill diverged");
+    }
+
+    #[test]
+    fn disabled_cache_stores_and_restores_nothing() {
+        let m = model();
+        let mut full = KvCache::new(&m);
+        full.feed_all(&m, &[BOS, 10, 11]);
+        let mut pc = PrefixCache::new(0);
+        pc.insert(&m, &full, 3);
+        assert_eq!(pc.nodes(), 0);
+        let mut c = KvCache::new(&m);
+        assert_eq!(pc.restore_into(&m, &[BOS, 10, 11], &mut c), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_recently_used_paths() {
+        let m = model();
+        let a = [BOS, 10, 11, 12];
+        let b = [BOS, 20, 21, 22];
+        let mut ca = KvCache::new(&m);
+        ca.feed_all(&m, &a);
+        let mut cb = KvCache::new(&m);
+        cb.feed_all(&m, &b);
+
+        // Budget of 5: inserting both 4-token paths (7 distinct nodes —
+        // BOS is shared) must evict from the older path `a`.
+        let mut pc = PrefixCache::new(5);
+        pc.insert(&m, &ca, a.len());
+        pc.insert(&m, &cb, b.len());
+        assert!(pc.nodes() <= 5);
+        let mut c = KvCache::new(&m);
+        assert_eq!(
+            pc.restore_into(&m, &b, &mut c),
+            b.len(),
+            "LRU evicted the fresh path"
+        );
+    }
+
+    #[test]
+    fn eviction_only_removes_leaves() {
+        let m = model();
+        let mut ca = KvCache::new(&m);
+        ca.feed_all(&m, &[BOS, 10, 11, 12, 13, 14]);
+        let mut pc = PrefixCache::new(3);
+        pc.insert(&m, &ca, 6);
+        assert_eq!(pc.nodes(), 3);
+        // The survivors must be the path root — a valid prefix.
+        let mut c = KvCache::new(&m);
+        assert_eq!(pc.restore_into(&m, &[BOS, 10, 11, 12, 13, 14], &mut c), 3);
+        assert_eq!(c.tokens(), &[BOS, 10, 11]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lm4db_transformer::ModelConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The satellite property: ANY split of a prompt into cached-prefix
+        /// + live suffix yields logits identical (bit for bit) to an
+        /// uncached prefill of the whole prompt.
+        #[test]
+        fn any_prefix_split_matches_uncached_prefill(
+            tokens in prop::collection::vec(8usize..60, 2..14),
+            split_seed in 0usize..1000,
+        ) {
+            let m = GptModel::new(ModelConfig::test(), 11);
+            let split = 1 + split_seed % (tokens.len() - 1);
+
+            let mut full = KvCache::new(&m);
+            full.feed_all(&m, &tokens);
+
+            let mut pc = PrefixCache::new(1024);
+            pc.insert(&m, &full, split);
+
+            let mut c = KvCache::new(&m);
+            let restored = pc.restore_into(&m, &tokens[..split], &mut c);
+            prop_assert_eq!(restored, split);
+            let logits = c.feed_all(&m, &tokens[split..]).to_vec();
+            prop_assert_eq!(logits, full.last_logits().to_vec());
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Engine observability: a cheap, copyable counters snapshot.
+
+/// A point-in-time snapshot of the engine's counters, taken with
+/// [`crate::Engine::stats`]. All token counts are cumulative since engine
+/// construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Requests ever submitted.
+    pub submitted: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests cancelled before completion (including while queued).
+    pub cancelled: u64,
+    /// Requests retired by a deadline with partial results.
+    pub expired: u64,
+    /// Requests currently waiting for a batch slot.
+    pub queued: usize,
+    /// Requests currently decoding.
+    pub active: usize,
+    /// Prompt tokens fed through the model (cache misses during prefill).
+    pub prefill_tokens: u64,
+    /// Prompt tokens restored from the prefix cache instead of recomputed.
+    pub cached_prefix_tokens: u64,
+    /// Generated tokens fed back through the model.
+    pub decoded_tokens: u64,
+    /// Scheduler steps executed.
+    pub steps: u64,
+    /// Largest number of concurrently active requests observed.
+    pub peak_batch: usize,
+    /// Sum over steps of the number of live sequences (beam hypotheses
+    /// count individually); divide by `steps` for the mean occupancy.
+    pub batch_occupancy_sum: u64,
+    /// Nodes (= cached token positions) currently held by the prefix trie.
+    pub prefix_cache_nodes: usize,
+}
+
+impl Stats {
+    /// Mean number of live sequences per scheduler step.
+    pub fn mean_batch_occupancy(&self) -> f32 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.batch_occupancy_sum as f32 / self.steps as f32
+        }
+    }
+
+    /// Fraction of prompt tokens served from the prefix cache.
+    pub fn prefix_hit_rate(&self) -> f32 {
+        let total = self.prefill_tokens + self.cached_prefix_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.cached_prefix_tokens as f32 / total as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_zero_denominators() {
+        let s = Stats::default();
+        assert_eq!(s.mean_batch_occupancy(), 0.0);
+        assert_eq!(s.prefix_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn derived_rates_compute() {
+        let s = Stats {
+            steps: 4,
+            batch_occupancy_sum: 10,
+            prefill_tokens: 30,
+            cached_prefix_tokens: 10,
+            ..Stats::default()
+        };
+        assert_eq!(s.mean_batch_occupancy(), 2.5);
+        assert_eq!(s.prefix_hit_rate(), 0.25);
+    }
+}

@@ -56,6 +56,22 @@ mod proptests {
         (col, cmp, -5i64..5).prop_map(|(c, o, n)| format!("{c} {o} {n}"))
     }
 
+    /// Strategy producing one SQL-ish lexeme: a keyword, operator,
+    /// punctuation mark, literal, identifier, or a short burst of garbage.
+    fn sql_lexeme() -> impl Strategy<Value = String> {
+        prop_oneof![
+            prop::sample::select(vec![
+                "select", "distinct", "from", "where", "and", "or", "not", "group", "by", "order",
+                "asc", "desc", "limit", "count", "sum", "avg", "min", "max", "as", "(", ")", ",",
+                "*", "=", "<>", "<", "<=", ">", ">=", "+", "-", "/", ";", "''", "'a'", "'it''s'",
+                "0", "42", "-7", "3.5", ".", "..", "'",
+            ])
+            .prop_map(str::to_string),
+            "[a-z_]{1,8}".prop_map(|s| s),
+            "[ -~]{1,6}".prop_map(|s| s),
+        ]
+    }
+
     fn small_catalog(vals: &[(i64, i64)]) -> Catalog {
         let mut t = Table::new(
             "t",
@@ -127,6 +143,31 @@ mod proptests {
             let cat = small_catalog(&rows);
             let rs = run_sql(&format!("SELECT * FROM t LIMIT {k}"), &cat).unwrap();
             prop_assert_eq!(rs.rows.len(), rows.len().min(k));
+        }
+
+        /// Fuzz the lexer + parser with random token sequences: SQL-ish
+        /// lexemes, identifiers, literals, and raw garbage, in any order.
+        /// Malformed input must come back as `Err`, never as a panic.
+        #[test]
+        fn parser_never_panics_on_random_token_sequences(
+            lexemes in prop::collection::vec(sql_lexeme(), 0..14),
+        ) {
+            let sql = lexemes.join(" ");
+            let _ = parse(&sql);
+            // And the full pipeline stays panic-free too: executing whatever
+            // parsed against a small catalog may fail, but must not crash.
+            let cat = small_catalog(&[(1, 2), (3, 4)]);
+            let _ = run_sql(&sql, &cat);
+        }
+
+        /// Same fuzz without separating whitespace, so lexemes fuse into
+        /// new token shapes at the boundaries.
+        #[test]
+        fn parser_never_panics_on_fused_token_sequences(
+            lexemes in prop::collection::vec(sql_lexeme(), 0..10),
+        ) {
+            let sql = lexemes.concat();
+            let _ = parse(&sql);
         }
 
         #[test]

@@ -7,8 +7,9 @@
 //! schema-specialized [`SqlTrie`] — so the parser can only emit executable
 //! SQL.
 
+use lm4db_serve::{Engine, Request};
 use lm4db_tokenize::{vocab::SPECIAL_TOKENS, Bpe, Tokenizer, BOS, EOS};
-use lm4db_transformer::{beam, Constraint, GptModel, ModelConfig, Unconstrained};
+use lm4db_transformer::{Constraint, GptModel, Hypothesis, ModelConfig};
 
 use crate::trie::SqlTrie;
 use crate::workload::Example;
@@ -226,34 +227,43 @@ impl SemanticParser {
     }
 
     /// Translates a question into SQL.
-    pub fn predict(&mut self, question: &str, mode: DecodeMode) -> Prediction {
-        let prompt = self.prompt_ids(question);
-        let hyps = match mode {
-            DecodeMode::Constrained => {
-                let constraint = TrieConstraint {
-                    bpe: &self.bpe,
-                    trie: &self.trie,
-                    prompt_len: prompt.len(),
-                };
-                beam(
-                    &mut self.gpt,
-                    &prompt,
-                    self.beam_width,
-                    self.max_new,
-                    EOS,
-                    &constraint,
-                )
-            }
-            DecodeMode::Unconstrained => beam(
-                &mut self.gpt,
-                &prompt,
-                self.beam_width,
-                self.max_new,
-                EOS,
-                &Unconstrained,
-            ),
-        };
-        // Prefer finished hypotheses; beam() already sorts by score.
+    pub fn predict(&self, question: &str, mode: DecodeMode) -> Prediction {
+        self.predict_batch(&[question], mode)
+            .pop()
+            .expect("one question in, one prediction out")
+    }
+
+    /// Translates a batch of questions in one pass through the batched
+    /// inference engine: prompts decode concurrently, and their shared
+    /// `q :` / `a :` scaffold prefills once via the engine's prefix cache.
+    pub fn predict_batch(&self, questions: &[&str], mode: DecodeMode) -> Vec<Prediction> {
+        let prompts: Vec<Vec<usize>> = questions.iter().map(|q| self.prompt_ids(q)).collect();
+        let constraints: Vec<TrieConstraint> = prompts
+            .iter()
+            .map(|p| TrieConstraint::new(&self.bpe, &self.trie, p.len()))
+            .collect();
+        let mut engine = Engine::new(&self.gpt);
+        let reqs = prompts
+            .iter()
+            .zip(&constraints)
+            .map(|(p, c)| {
+                let req = Request::beam(p.clone(), self.beam_width, self.max_new, EOS);
+                match mode {
+                    DecodeMode::Constrained => req.with_constraint(c),
+                    DecodeMode::Unconstrained => req,
+                }
+            })
+            .collect();
+        engine
+            .generate_batch(reqs)
+            .into_iter()
+            .zip(&prompts)
+            .map(|(resp, prompt)| self.prediction_from_hyps(&resp.hyps, prompt.len()))
+            .collect()
+    }
+
+    fn prediction_from_hyps(&self, hyps: &[Hypothesis], prompt_len: usize) -> Prediction {
+        // Prefer finished hypotheses; the engine already sorts by score.
         let best = hyps.iter().find(|h| h.finished).or_else(|| hyps.first());
         let Some(best) = best else {
             return Prediction {
@@ -261,7 +271,7 @@ impl SemanticParser {
                 raw: String::new(),
             };
         };
-        let generated = &best.ids[prompt.len().min(best.ids.len())..];
+        let generated = &best.ids[prompt_len.min(best.ids.len())..];
         let (units, partial) = decode_units(&self.bpe, generated);
         let raw = {
             let mut parts = units.clone();
@@ -344,7 +354,7 @@ mod tests {
     #[test]
     fn constrained_predictions_always_execute() {
         // Even an UNTRAINED model must emit valid SQL under the constraint.
-        let (d, mut parser, _) = setup(8);
+        let (d, parser, _) = setup(8);
         let cat = d.catalog();
         for q in [
             "show the name of all employees",

@@ -96,11 +96,50 @@ mod proptests {
         prop::collection::vec("[abcdef]{1,8}", 1..8).prop_map(|ws| ws.join(" "))
     }
 
+    /// A training corpus that gives the BPE base vocabulary full printable-
+    /// ASCII coverage: every character as a standalone unit (its `</w>`
+    /// form), and every word character also in non-final position (its bare
+    /// form, via the doubled words) — so `encode` never needs `UNK`.
+    fn ascii_corpus() -> Vec<String> {
+        let singles: Vec<String> = ('!'..='~').map(|c| c.to_string()).collect();
+        let mut lines = vec![singles.join(" ")];
+        lines.push(
+            ('a'..='z')
+                .chain('0'..='9')
+                .chain(['_'])
+                .map(|c| format!("{c}{c}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        lines
+    }
+
     proptest! {
         #[test]
         fn bpe_roundtrips_known_alphabet(text in simple_text()) {
             let bpe = Bpe::train(["abcdef abc def fed cba"], 200);
             prop_assert_eq!(bpe.decode(&bpe.encode(&text)), text);
+        }
+
+        /// Encode→decode over ARBITRARY printable-ASCII strings recovers the
+        /// pre-tokenization normal form (lowercased, whitespace collapsed,
+        /// punctuation split) — encoding loses nothing beyond normalization.
+        #[test]
+        fn bpe_roundtrips_arbitrary_ascii_up_to_normalization(text in "[ -~]{0,40}") {
+            let corpus = ascii_corpus();
+            let bpe = Bpe::train(corpus.iter().map(String::as_str), 400);
+            let normalized = pretokenize::detokenize(&pretokenize::pretokenize(&text));
+            prop_assert_eq!(bpe.decode(&bpe.encode(&text)), normalized);
+        }
+
+        /// The normal form is a fixed point: encoding it again decodes to
+        /// itself exactly.
+        #[test]
+        fn bpe_normal_form_is_roundtrip_fixed_point(text in "[ -~]{0,40}") {
+            let corpus = ascii_corpus();
+            let bpe = Bpe::train(corpus.iter().map(String::as_str), 400);
+            let normalized = pretokenize::detokenize(&pretokenize::pretokenize(&text));
+            prop_assert_eq!(bpe.decode(&bpe.encode(&normalized)), normalized);
         }
 
         #[test]

@@ -62,7 +62,15 @@ impl Default for SampleOptions {
     }
 }
 
-fn apply_constraint(logits: &mut [f32], prefix: &[usize], constraint: &dyn Constraint) -> usize {
+/// Masks constraint-vetoed tokens to `-inf` in place; returns how many
+/// tokens remain allowed. Public so the batched engine (`lm4db-serve`)
+/// applies constraints with the exact same float operations as the
+/// single-request decoders here — a prerequisite for bit-identical output.
+pub fn apply_constraint(
+    logits: &mut [f32],
+    prefix: &[usize],
+    constraint: &dyn Constraint,
+) -> usize {
     let mut allowed = 0;
     for (tok, l) in logits.iter_mut().enumerate() {
         if constraint.allowed(prefix, tok) {
@@ -227,7 +235,9 @@ pub fn beam(
     done
 }
 
-fn argmax(xs: &[f32]) -> usize {
+/// Index of the maximum element (ties broken toward the lower index, the
+/// same way every decoder in this crate breaks them).
+pub fn argmax(xs: &[f32]) -> usize {
     xs.iter()
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
@@ -242,7 +252,9 @@ fn softmax(xs: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
-fn log_softmax(xs: &[f32]) -> Vec<f32> {
+/// Numerically stable log-softmax, shared with the batched engine so both
+/// paths normalize scores with identical float operations.
+pub fn log_softmax(xs: &[f32]) -> Vec<f32> {
     let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let logsum = xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
     xs.iter().map(|&x| x - logsum).collect()

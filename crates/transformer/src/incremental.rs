@@ -2,11 +2,17 @@
 //! attention keys/values across generation steps, turning the O(t²)
 //! recompute-everything decode loop into O(t) per new token.
 //!
-//! The session produces bit-compatible logits with the autograd forward
-//! pass (verified by parity tests) and implements [`NextToken`], so every
-//! decoding strategy can use it transparently: when a requested prefix
-//! extends the tokens already consumed, only the new suffix is processed;
-//! otherwise the cache resets.
+//! The per-request decode state lives in an explicit, snapshottable
+//! [`KvCache`]: per-layer attention caches plus the consumed tokens and the
+//! latest logits. A cache is a pure function of the token prefix, so it can
+//! be cloned to fork a beam, or its per-position rows can be extracted and
+//! re-materialized by a prefix cache (see `lm4db-serve`) — both bitwise
+//! identical to recomputing from scratch.
+//!
+//! [`IncrementalSession`] wraps a cache together with a model reference and
+//! implements [`NextToken`], so every decoding strategy can use it
+//! transparently: when a requested prefix extends the tokens already
+//! consumed, only the new suffix is processed; otherwise the cache resets.
 
 use lm4db_tokenize::PAD;
 
@@ -14,44 +20,196 @@ use crate::generate::NextToken;
 use crate::gpt::GptModel;
 use crate::layers::AttnCache;
 
-/// An incremental decoding session over a frozen [`GptModel`].
+/// The complete per-request decode state: per-layer attention key/value
+/// caches, the token prefix they encode, and the logits after the last fed
+/// token. Snapshot with `clone()`; share prefixes via [`KvCache::position_kv`]
+/// / [`KvCache::push_position`].
+///
+/// All buffers are preallocated to `max_seq_len` capacity at construction,
+/// so feeding a token performs a bounded number of allocations regardless
+/// of how much history the cache holds (verified by a regression test).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: Vec<AttnCache>,
+    tokens: Vec<usize>,
+    last_logits: Vec<f32>,
+}
+
+impl KvCache {
+    /// An empty cache sized for `model`: every per-layer key/value store is
+    /// reserved up front for `max_seq_len` positions.
+    pub fn new(model: &GptModel) -> Self {
+        let cfg = model.config();
+        let layers = (0..cfg.n_layers)
+            .map(|_| {
+                let mut c = AttnCache::new();
+                c.reserve(cfg.max_seq_len, cfg.d_model);
+                c
+            })
+            .collect();
+        KvCache {
+            layers,
+            tokens: Vec::with_capacity(cfg.max_seq_len),
+            last_logits: Vec::with_capacity(cfg.vocab_size),
+        }
+    }
+
+    /// Number of tokens fed so far.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no token has been fed.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The tokens this cache encodes, in feed order.
+    pub fn tokens(&self) -> &[usize] {
+        &self.tokens
+    }
+
+    /// Logits after the most recently fed token (empty before any feed).
+    pub fn last_logits(&self) -> &[f32] {
+        &self.last_logits
+    }
+
+    /// Resets to the empty prefix, keeping all allocations.
+    pub fn clear(&mut self) {
+        for c in &mut self.layers {
+            c.clear();
+        }
+        self.tokens.clear();
+        self.last_logits.clear();
+    }
+
+    /// Feeds one token through `model`, returning the next-token logits.
+    ///
+    /// # Panics
+    /// Panics when the context would exceed the model's `max_seq_len`, or
+    /// when `token` is out of vocabulary.
+    pub fn feed(&mut self, model: &GptModel, token: usize) -> &[f32] {
+        let m = model;
+        let pos = self.tokens.len();
+        assert!(
+            pos < m.cfg.max_seq_len,
+            "kv cache exceeded max_seq_len {}",
+            m.cfg.max_seq_len
+        );
+        assert!(token < m.cfg.vocab_size, "token {token} out of vocabulary");
+        let d = m.cfg.d_model;
+        let tok_emb = m.store.get(m.tok_emb);
+        let pos_emb = m.store.get(m.pos_emb);
+        // The position row is indexed directly by the cache length — no
+        // full-sequence recomputation per step.
+        let mut x: Vec<f32> = tok_emb.data()[token * d..(token + 1) * d]
+            .iter()
+            .zip(pos_emb.data()[pos * d..(pos + 1) * d].iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        for (block, cache) in m.blocks.iter().zip(self.layers.iter_mut()) {
+            x = block.step(&m.store, &x, cache);
+        }
+        let x = m.ln_f.apply_slice(&m.store, &x);
+        self.last_logits = m.head.apply_slice(&m.store, &x);
+        self.tokens.push(token);
+        &self.last_logits
+    }
+
+    /// Feeds several tokens; returns the logits after the last one.
+    pub fn feed_all(&mut self, model: &GptModel, tokens: &[usize]) -> &[f32] {
+        assert!(!tokens.is_empty(), "feed_all of empty token slice");
+        for &t in tokens {
+            self.feed(model, t);
+        }
+        &self.last_logits
+    }
+
+    /// Extracts the per-layer key/value rows of cached position `t` as one
+    /// flat vector laid out `[k₀, v₀, k₁, v₁, …]` (layer-major, `d_model`
+    /// per row). Together with [`KvCache::push_position`] this lets a
+    /// prefix cache store shared positions once and re-materialize them
+    /// into fresh caches bitwise-identically.
+    pub fn position_kv(&self, model: &GptModel, t: usize) -> Vec<f32> {
+        let d = model.cfg.d_model;
+        let mut out = Vec::with_capacity(self.layers.len() * 2 * d);
+        for layer in &self.layers {
+            let (k, v) = layer.position(t, d);
+            out.extend_from_slice(k);
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Appends one position previously extracted with
+    /// [`KvCache::position_kv`]. The cache must not have produced logits
+    /// yet (restoration happens before any live feed), so `last_logits`
+    /// stays empty until the first real [`KvCache::feed`].
+    pub fn push_position(&mut self, model: &GptModel, token: usize, kv: &[f32]) {
+        let d = model.cfg.d_model;
+        assert!(
+            self.tokens.len() < model.cfg.max_seq_len,
+            "kv cache exceeded max_seq_len {}",
+            model.cfg.max_seq_len
+        );
+        assert_eq!(
+            kv.len(),
+            self.layers.len() * 2 * d,
+            "position_kv row width mismatch"
+        );
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let base = i * 2 * d;
+            layer.push_position(&kv[base..base + d], &kv[base + d..base + 2 * d]);
+        }
+        self.tokens.push(token);
+    }
+}
+
+/// An incremental decoding session over a frozen [`GptModel`]: a
+/// [`KvCache`] bound to its model.
 pub struct IncrementalSession<'a> {
     model: &'a GptModel,
-    caches: Vec<AttnCache>,
-    consumed: Vec<usize>,
-    last_logits: Vec<f32>,
+    cache: KvCache,
 }
 
 impl<'a> IncrementalSession<'a> {
     /// Starts an empty session.
     pub fn new(model: &'a GptModel) -> Self {
-        let caches = (0..model.cfg.n_layers).map(|_| AttnCache::new()).collect();
         IncrementalSession {
             model,
-            caches,
-            consumed: Vec::new(),
-            last_logits: Vec::new(),
+            cache: KvCache::new(model),
         }
+    }
+
+    /// Wraps an existing cache (e.g. restored from a prefix cache).
+    pub fn from_cache(model: &'a GptModel, cache: KvCache) -> Self {
+        IncrementalSession { model, cache }
     }
 
     /// Tokens consumed so far.
     pub fn consumed(&self) -> &[usize] {
-        &self.consumed
+        self.cache.tokens()
+    }
+
+    /// The underlying decode state.
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+
+    /// Consumes the session, returning the decode state.
+    pub fn into_cache(self) -> KvCache {
+        self.cache
     }
 
     /// Resets the session to the empty prefix.
     pub fn reset(&mut self) {
-        for c in &mut self.caches {
-            c.clear();
-        }
-        self.consumed.clear();
-        self.last_logits.clear();
+        self.cache.clear();
     }
 
     /// Number of cache resets a fresh prefix would cost; exposed so beam
     /// search-style callers can reason about reuse.
     pub fn position(&self) -> usize {
-        self.consumed.len()
+        self.cache.len()
     }
 
     /// Feeds one token, returning the next-token logits.
@@ -59,38 +217,12 @@ impl<'a> IncrementalSession<'a> {
     /// # Panics
     /// Panics when the context would exceed the model's `max_seq_len`.
     pub fn feed(&mut self, token: usize) -> &[f32] {
-        let m = self.model;
-        let pos = self.consumed.len();
-        assert!(
-            pos < m.cfg.max_seq_len,
-            "incremental session exceeded max_seq_len {}",
-            m.cfg.max_seq_len
-        );
-        let d = m.cfg.d_model;
-        let tok_emb = m.store.get(m.tok_emb);
-        let pos_emb = m.store.get(m.pos_emb);
-        assert!(token < m.cfg.vocab_size, "token {token} out of vocabulary");
-        let mut x: Vec<f32> = tok_emb.data()[token * d..(token + 1) * d]
-            .iter()
-            .zip(pos_emb.data()[pos * d..(pos + 1) * d].iter())
-            .map(|(a, b)| a + b)
-            .collect();
-        for (block, cache) in m.blocks.iter().zip(self.caches.iter_mut()) {
-            x = block.step(&m.store, &x, cache);
-        }
-        let x = m.ln_f.apply_slice(&m.store, &x);
-        self.last_logits = m.head.apply_slice(&m.store, &x);
-        self.consumed.push(token);
-        &self.last_logits
+        self.cache.feed(self.model, token)
     }
 
     /// Feeds several tokens; returns the logits after the last one.
     pub fn feed_all(&mut self, tokens: &[usize]) -> &[f32] {
-        assert!(!tokens.is_empty(), "feed_all of empty token slice");
-        for &t in tokens {
-            self.feed(t);
-        }
-        &self.last_logits
+        self.cache.feed_all(self.model, tokens)
     }
 }
 
@@ -107,11 +239,11 @@ impl NextToken for IncrementalSession<'_> {
         // Clamp long prefixes the same way GptModel does.
         let start = prefix.len().saturating_sub(self.model.cfg.max_seq_len);
         let window = &prefix[start..];
-        let reusable = window.len() > self.consumed.len()
-            && window[..self.consumed.len()] == self.consumed[..]
-            && start == 0;
+        let consumed = self.cache.len();
+        let reusable =
+            window.len() > consumed && window[..consumed] == self.cache.tokens()[..] && start == 0;
         if reusable {
-            let new = window[self.consumed.len()..].to_vec();
+            let new = window[consumed..].to_vec();
             return self.feed_all(&new).to_vec();
         }
         self.reset();
@@ -247,6 +379,42 @@ mod tests {
         let mut session = IncrementalSession::new(&m);
         for t in 0..=m.config().max_seq_len {
             session.feed(10 + (t % 20));
+        }
+    }
+
+    #[test]
+    fn cloned_cache_continues_bitwise_identically() {
+        let m = model();
+        let mut a = KvCache::new(&m);
+        a.feed_all(&m, &[BOS, 10, 11, 12]);
+        let mut b = a.clone();
+        let la = a.feed(&m, 13).to_vec();
+        let lb = b.feed(&m, 13).to_vec();
+        // Exact equality: a fork must be indistinguishable from the
+        // original, bit for bit.
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn restored_positions_match_recomputed_cache_bitwise() {
+        let m = model();
+        let tokens = [BOS, 9, 10, 11, 12, 13];
+        let mut full = KvCache::new(&m);
+        full.feed_all(&m, &tokens);
+        for split in 1..tokens.len() {
+            // Restore the first `split` positions from extracted rows, feed
+            // the rest live, and compare against the straight-through cache.
+            let mut restored = KvCache::new(&m);
+            for (t, &tok) in tokens.iter().enumerate().take(split) {
+                let kv = full.position_kv(&m, t);
+                restored.push_position(&m, tok, &kv);
+            }
+            let logits = restored.feed_all(&m, &tokens[split..]).to_vec();
+            assert_eq!(
+                logits,
+                full.last_logits(),
+                "split at {split} diverged from uncached prefill"
+            );
         }
     }
 }

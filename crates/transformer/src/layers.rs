@@ -183,11 +183,35 @@ impl AttnCache {
         self.t == 0
     }
 
-    /// Clears the cache (restart decoding).
+    /// Clears the cache (restart decoding). Keeps the allocations.
     pub fn clear(&mut self) {
         self.k.clear();
         self.v.clear();
         self.t = 0;
+    }
+
+    /// Preallocates room for `positions` rows of width `d` in both the key
+    /// and the value store, so steady-state decoding never reallocates.
+    pub fn reserve(&mut self, positions: usize, d: usize) {
+        self.k.reserve(positions.saturating_mul(d));
+        self.v.reserve(positions.saturating_mul(d));
+    }
+
+    /// Key and value rows of cached position `t`, each `d` wide.
+    pub fn position(&self, t: usize, d: usize) -> (&[f32], &[f32]) {
+        assert!(t < self.t, "position {t} beyond cache length {}", self.t);
+        (&self.k[t * d..(t + 1) * d], &self.v[t * d..(t + 1) * d])
+    }
+
+    /// Appends one precomputed key/value row pair. This is how a prefix
+    /// cache restores shared positions without recomputing the projections;
+    /// rows are pure functions of the token prefix, so a restored cache is
+    /// bitwise identical to a recomputed one.
+    pub fn push_position(&mut self, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), v.len(), "key/value rows must have equal width");
+        self.k.extend_from_slice(k);
+        self.v.extend_from_slice(v);
+        self.t += 1;
     }
 }
 

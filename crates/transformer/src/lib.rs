@@ -27,10 +27,11 @@ pub use bert::{BertClassifier, BertModel};
 pub use checkpoint::{restore_store, snapshot_store, Checkpoint, ParamSnapshot};
 pub use config::ModelConfig;
 pub use generate::{
-    beam, greedy, sample, Constraint, Hypothesis, NextToken, SampleOptions, Unconstrained,
+    apply_constraint, argmax, beam, greedy, log_softmax, sample, Constraint, Hypothesis, NextToken,
+    SampleOptions, Unconstrained,
 };
 pub use gpt::GptModel;
-pub use incremental::{greedy_cached, IncrementalSession};
+pub use incremental::{greedy_cached, IncrementalSession, KvCache};
 pub use rnn::{RnnConfig, RnnLm};
 pub use train::{
     evaluate_perplexity, pack_corpus, pretrain_gpt, sample_windows, TrainOptions, TrainReport,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Prints the N (default 10) slowest tests in the workspace.
+#
+# Uses libtest's --report-time, which stable rustc gates behind
+# -Zunstable-options; RUSTC_BOOTSTRAP=1 lets libtest accept it without a
+# nightly toolchain. Per-test timing lines only appear in non-quiet output,
+# so this runs the full verbose harness, serially for honest numbers.
+set -euo pipefail
+
+N="${1:-10}"
+
+RUSTC_BOOTSTRAP=1 cargo test --workspace -- \
+    -Zunstable-options --report-time --test-threads=1 2>/dev/null |
+    # "test path::name ... ok <1.234s>"  ->  "1.234 path::name"
+    sed -n 's/^test \(.*\) \.\.\. ok <\([0-9.]*\)s>$/\2 \1/p' |
+    sort -rn |
+    head -n "$N" |
+    awk '{ printf "%8.3fs  %s\n", $1, $2 }'

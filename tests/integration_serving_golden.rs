@@ -1,0 +1,252 @@
+//! Golden determinism suite for decoding and serving.
+//!
+//! The files under `tests/golden/` pin the exact token output (and, for
+//! beam search, the exact score bits) of greedy and beam decoding on a
+//! fixed-seed model. The tests assert that
+//!
+//! * the single-request decode paths reproduce the goldens, and
+//! * the batched serving engine reproduces them **byte for byte** at batch
+//!   sizes 1, 3, and 8 — batching must be invisible in the output,
+//! * across worker-pool sizes: a subprocess matrix re-runs the engine
+//!   checks under `LM4DB_THREADS` ∈ {1, 4} and compares fingerprints.
+//!
+//! Regenerate the goldens after an intentional model/decoder change with
+//! `LM4DB_BLESS=1 cargo test -p lm4db --test integration_serving_golden`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+
+use lm4db::serve::{Engine, EngineOptions, Request};
+use lm4db::tokenize::{BOS, EOS};
+use lm4db::transformer::{
+    beam, greedy, greedy_cached, GptModel, IncrementalSession, ModelConfig, Unconstrained,
+};
+
+/// A fixed-seed model trained until its next-token distributions are sharp,
+/// so the full-forward and incremental paths agree token for token.
+fn golden_model() -> GptModel {
+    let mut m = GptModel::new(ModelConfig::test(), 7);
+    let mut opt = m.optimizer(3e-3);
+    let batch = vec![
+        vec![BOS, 10, 11, 12, 13, 14, EOS],
+        vec![BOS, 20, 21, 22, 23, 24, EOS],
+    ];
+    for _ in 0..30 {
+        m.train_step(&batch, &mut opt);
+    }
+    m
+}
+
+/// Eight prompts, several sharing a header so the engine's prefix cache is
+/// exercised by the batched runs.
+fn prompts() -> Vec<Vec<usize>> {
+    vec![
+        vec![BOS, 10],
+        vec![BOS, 10, 11],
+        vec![BOS, 10, 11, 12],
+        vec![BOS, 10, 11, 12, 13],
+        vec![BOS, 20],
+        vec![BOS, 20, 21],
+        vec![BOS, 20, 21, 22],
+        vec![BOS, 20, 21, 22, 23],
+    ]
+}
+
+const MAX_NEW: usize = 6;
+const BEAM_WIDTH: usize = 3;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+fn check_or_bless(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("LM4DB_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} (bless with LM4DB_BLESS=1): {e}"));
+    assert_eq!(
+        got, want,
+        "output diverged from golden {name}; bless with LM4DB_BLESS=1 if intentional"
+    );
+}
+
+fn render_greedy(outputs: &[Vec<usize>]) -> String {
+    let mut s = String::new();
+    for (i, out) in outputs.iter().enumerate() {
+        write!(s, "p{i}:").unwrap();
+        for t in out {
+            write!(s, " {t}").unwrap();
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders beam hypotheses with exact score bits, so a golden match really
+/// is bit-identical, not just same-tokens.
+fn render_beam(all: &[Vec<lm4db::transformer::Hypothesis>]) -> String {
+    let mut s = String::new();
+    for (i, hyps) in all.iter().enumerate() {
+        for (j, h) in hyps.iter().enumerate() {
+            write!(
+                s,
+                "p{i}.h{j}: fin={} lp={:08x} ids=",
+                u8::from(h.finished),
+                h.log_prob.to_bits()
+            )
+            .unwrap();
+            for t in &h.ids {
+                write!(s, " {t}").unwrap();
+            }
+            s.push('\n');
+        }
+    }
+    s
+}
+
+fn engine_greedy_all(m: &GptModel, max_batch: usize) -> String {
+    let mut engine = Engine::with_options(
+        m,
+        EngineOptions {
+            max_batch,
+            ..Default::default()
+        },
+    );
+    let reqs = prompts()
+        .into_iter()
+        .map(|p| Request::greedy(p, MAX_NEW, EOS))
+        .collect();
+    let outs: Vec<Vec<usize>> = engine
+        .generate_batch(reqs)
+        .into_iter()
+        .map(|r| r.tokens)
+        .collect();
+    render_greedy(&outs)
+}
+
+fn engine_beam_all(m: &GptModel, max_batch: usize) -> String {
+    let mut engine = Engine::with_options(
+        m,
+        EngineOptions {
+            max_batch,
+            ..Default::default()
+        },
+    );
+    let reqs = prompts()
+        .into_iter()
+        .map(|p| Request::beam(p, BEAM_WIDTH, MAX_NEW, EOS))
+        .collect();
+    let all: Vec<_> = engine
+        .generate_batch(reqs)
+        .into_iter()
+        .map(|r| r.hyps)
+        .collect();
+    render_beam(&all)
+}
+
+#[test]
+fn greedy_golden_single_request_paths() {
+    let m = golden_model();
+    let cached: Vec<Vec<usize>> = prompts()
+        .iter()
+        .map(|p| greedy_cached(&m, p, MAX_NEW, EOS))
+        .collect();
+    check_or_bless("greedy.txt", &render_greedy(&cached));
+
+    // The full-forward path must agree token for token (the model is sharp
+    // enough that the ~1e-3 float divergence never flips an argmax).
+    let mut m = m;
+    let full: Vec<Vec<usize>> = prompts()
+        .iter()
+        .map(|p| greedy(&mut m, p, MAX_NEW, EOS, &Unconstrained))
+        .collect();
+    assert_eq!(render_greedy(&full), render_greedy(&cached));
+}
+
+#[test]
+fn beam_golden_single_request_path() {
+    let m = golden_model();
+    let all: Vec<_> = prompts()
+        .iter()
+        .map(|p| {
+            let mut session = IncrementalSession::new(&m);
+            beam(&mut session, p, BEAM_WIDTH, MAX_NEW, EOS, &Unconstrained)
+        })
+        .collect();
+    check_or_bless("beam.txt", &render_beam(&all));
+}
+
+#[test]
+fn engine_reproduces_goldens_at_all_batch_sizes() {
+    let m = golden_model();
+    for max_batch in [1, 3, 8] {
+        check_or_bless("greedy.txt", &engine_greedy_all(&m, max_batch));
+        check_or_bless("beam.txt", &engine_beam_all(&m, max_batch));
+    }
+}
+
+/// Child of the thread matrix below: checks the engine against the goldens
+/// under whatever `LM4DB_THREADS` the parent set, and prints a fingerprint
+/// of the full rendered output for cross-process comparison.
+#[test]
+fn golden_child_fingerprint() {
+    let m = golden_model();
+    let mut all = String::new();
+    for max_batch in [1, 3, 8] {
+        let g = engine_greedy_all(&m, max_batch);
+        let b = engine_beam_all(&m, max_batch);
+        check_or_bless("greedy.txt", &g);
+        check_or_bless("beam.txt", &b);
+        all.push_str(&g);
+        all.push_str(&b);
+    }
+    // FNV-1a over the rendered bytes.
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in all.bytes() {
+        fp ^= u64::from(b);
+        fp = fp.wrapping_mul(0x1000_0000_01b3);
+    }
+    println!("SERVE_GOLDEN_FP={fp:016x}");
+}
+
+/// The batch-size sweep above runs in-process; this matrix re-runs it in
+/// subprocesses pinned to 1 and 4 worker threads and asserts the rendered
+/// outputs are identical — goldens hold at every (batch, threads) point.
+#[test]
+fn golden_outputs_stable_across_thread_counts() {
+    if std::env::var("LM4DB_BLESS").is_ok() {
+        return; // goldens are being rewritten; nothing stable to compare
+    }
+    let exe = std::env::current_exe().expect("current test binary");
+    let mut fps = Vec::new();
+    for threads in ["1", "4"] {
+        let out = Command::new(&exe)
+            .args(["golden_child_fingerprint", "--exact", "--nocapture"])
+            .env("LM4DB_THREADS", threads)
+            .output()
+            .expect("spawn child test");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "child failed with {threads} threads:\n{stdout}"
+        );
+        let fp = stdout
+            .split("SERVE_GOLDEN_FP=")
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
+            .to_string();
+        fps.push((threads, fp));
+    }
+    assert_eq!(
+        fps[0].1, fps[1].1,
+        "engine output depends on thread count: {fps:?}"
+    );
+}
