@@ -14,9 +14,13 @@
 //!
 //! Every path must produce identical tokens; the engine rows are expected
 //! to clear 2x the sequential full-forward baseline.
+//!
+//! Each strategy is timed through [`lm4db::obs::timed`], so the wall-clock
+//! numbers in the table below are the same measurements that land in the
+//! trace registry — run with `LM4DB_TRACE=1` to get the full snapshot
+//! (scheduler phases, kernel timers) appended after the table.
 
-use std::time::Instant;
-
+use lm4db::obs;
 use lm4db::serve::{Engine, EngineOptions, Request};
 use lm4db::tokenize::BOS;
 use lm4db::transformer::{greedy, greedy_cached, GptModel, ModelConfig, Unconstrained};
@@ -59,20 +63,20 @@ fn main() {
 
     // 1. Sequential, full forward pass per token.
     let mut full_model = GptModel::new(cfg(), 11);
-    let start = Instant::now();
-    let out_full: Vec<Vec<usize>> = ps
-        .iter()
-        .map(|p| greedy(&mut full_model, p, NEW_TOKENS, STOP, &Unconstrained))
-        .collect();
-    let secs_full = start.elapsed().as_secs_f64();
+    let (out_full, took_full) = obs::timed("bench/expL_full_forward", || {
+        ps.iter()
+            .map(|p| greedy(&mut full_model, p, NEW_TOKENS, STOP, &Unconstrained))
+            .collect::<Vec<Vec<usize>>>()
+    });
+    let secs_full = took_full.as_secs_f64();
 
     // 2. Sequential with the KV cache.
-    let start = Instant::now();
-    let out_kv: Vec<Vec<usize>> = ps
-        .iter()
-        .map(|p| greedy_cached(&model, p, NEW_TOKENS, STOP))
-        .collect();
-    let secs_kv = start.elapsed().as_secs_f64();
+    let (out_kv, took_kv) = obs::timed("bench/expL_kv_cache", || {
+        ps.iter()
+            .map(|p| greedy_cached(&model, p, NEW_TOKENS, STOP))
+            .collect::<Vec<Vec<usize>>>()
+    });
+    let secs_kv = took_kv.as_secs_f64();
 
     // 3. Engine, cold prefix cache.
     let mut engine = Engine::with_options(
@@ -82,31 +86,33 @@ fn main() {
             ..Default::default()
         },
     );
-    let start = Instant::now();
-    let out_cold: Vec<Vec<usize>> = engine
-        .generate_batch(
-            ps.iter()
-                .map(|p| Request::greedy(p.clone(), NEW_TOKENS, STOP))
-                .collect(),
-        )
-        .into_iter()
-        .map(|r| r.tokens)
-        .collect();
-    let secs_cold = start.elapsed().as_secs_f64();
+    let (out_cold, took_cold) = obs::timed("bench/expL_engine_cold", || {
+        engine
+            .generate_batch(
+                ps.iter()
+                    .map(|p| Request::greedy(p.clone(), NEW_TOKENS, STOP))
+                    .collect(),
+            )
+            .into_iter()
+            .map(|r| r.tokens)
+            .collect::<Vec<Vec<usize>>>()
+    });
+    let secs_cold = took_cold.as_secs_f64();
     let cold_stats = engine.stats();
 
     // 4. Engine again: the shared header now sits in the prefix trie.
-    let start = Instant::now();
-    let out_warm: Vec<Vec<usize>> = engine
-        .generate_batch(
-            ps.iter()
-                .map(|p| Request::greedy(p.clone(), NEW_TOKENS, STOP))
-                .collect(),
-        )
-        .into_iter()
-        .map(|r| r.tokens)
-        .collect();
-    let secs_warm = start.elapsed().as_secs_f64();
+    let (out_warm, took_warm) = obs::timed("bench/expL_engine_warm", || {
+        engine
+            .generate_batch(
+                ps.iter()
+                    .map(|p| Request::greedy(p.clone(), NEW_TOKENS, STOP))
+                    .collect(),
+            )
+            .into_iter()
+            .map(|r| r.tokens)
+            .collect::<Vec<Vec<usize>>>()
+    });
+    let secs_warm = took_warm.as_secs_f64();
     let warm_stats = engine.stats();
 
     assert_eq!(out_full, out_kv, "KV-cached output diverged");
@@ -155,4 +161,12 @@ fn main() {
         speedup >= 2.0,
         "acceptance: engine must clear 2x sequential full-forward, got {speedup:.2}x"
     );
+
+    // With LM4DB_TRACE=1 the timed() sections above were also recorded into
+    // the registry; print the merged snapshot so the table and the trace
+    // come from the same measurements.
+    if obs::enabled() {
+        println!("\n### Trace snapshot (LM4DB_TRACE=1)\n");
+        println!("```\n{}```", obs::snapshot().to_text());
+    }
 }

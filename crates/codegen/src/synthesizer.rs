@@ -105,6 +105,8 @@ impl Synthesizer {
     /// The result always parses and executes (or is `None` when the beam
     /// dies, which cannot happen on a consistent trie).
     pub fn synthesize_constrained(&mut self, instruction: &str, catalog: &Catalog) -> Synthesis {
+        let _span = lm4db_obs::span("codegen_constrained");
+        lm4db_obs::counter_add("codegen/attempts", 1);
         let prompt = self.prompt_ids(instruction);
         let constraint = TrieConstraint::new(&self.bpe, &self.trie, prompt.len());
         // Budget enough steps to reach a leaf of the deepest trie path, so
@@ -133,6 +135,11 @@ impl Synthesizer {
             .lookup(&units)
             .and_then(|p| parse_pipeline(p).ok())
             .filter(|p| run_pipeline(p, catalog).is_ok());
+        if pipeline.is_some() {
+            lm4db_obs::counter_add("codegen/accepted", 1);
+        } else {
+            lm4db_obs::counter_add("codegen/validation_failures", 1);
+        }
         Synthesis {
             pipeline,
             raw,
@@ -149,9 +156,11 @@ impl Synthesizer {
         catalog: &Catalog,
         max_retries: usize,
     ) -> Synthesis {
+        let _span = lm4db_obs::span("codegen_retries");
         let prompt = self.prompt_ids(instruction);
         let mut last_raw = String::new();
         for attempt in 1..=max_retries.max(1) {
+            lm4db_obs::counter_add("codegen/attempts", 1);
             let ids = if attempt == 1 {
                 let hyps = Engine::new(&self.gpt).beam(&prompt, 3, 48, EOS, None);
                 match hyps.iter().find(|h| h.finished).or_else(|| hyps.first()) {
@@ -181,6 +190,7 @@ impl Synthesizer {
             last_raw = raw.clone();
             if let Ok(pipeline) = parse_pipeline(&normalize_program(&raw)) {
                 if run_pipeline(&pipeline, catalog).is_ok() {
+                    lm4db_obs::counter_add("codegen/accepted", 1);
                     return Synthesis {
                         pipeline: Some(pipeline),
                         raw,
@@ -188,6 +198,9 @@ impl Synthesizer {
                     };
                 }
             }
+            // Candidate parsed-but-failed or failed to parse: both are
+            // validation failures that trigger CodexDB's re-sample.
+            lm4db_obs::counter_add("codegen/validation_failures", 1);
         }
         Synthesis {
             pipeline: None,

@@ -8,6 +8,7 @@
 //!
 //! | Module | What it is |
 //! |---|---|
+//! | [`obs`] | Std-only observability: metrics registry, spans, exporters |
 //! | [`tensor`] | CPU autograd engine (matmul, softmax, layernorm, Adam) |
 //! | [`tokenize`] | Trainable BPE (GPT-style) and WordPiece (BERT-style) |
 //! | [`transformer`] | GPT & BERT models, RNN baseline, constrained decoding |
@@ -41,6 +42,7 @@ pub use lm4db_corpus as corpus;
 pub use lm4db_factcheck as factcheck;
 pub use lm4db_lm as lm;
 pub use lm4db_neuraldb as neuraldb;
+pub use lm4db_obs as obs;
 pub use lm4db_serve as serve;
 pub use lm4db_sql as sql;
 pub use lm4db_summarize as summarize;

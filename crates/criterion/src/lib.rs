@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Std-only micro-benchmark harness.
 //!
 //! The build environment has no crates.io access, so this workspace ships a

@@ -1,0 +1,183 @@
+//! # lm4db-obs
+//!
+//! Std-only observability for the LM4DB stack: a global metrics registry
+//! (counters, gauges, log-bucketed latency timers), hierarchical timed
+//! spans with per-thread shards merged at snapshot time, and text/JSON
+//! exporters. CodexDB-style pipelines live or die by per-stage cost
+//! accounting — prompt construction, decoding, validation retries — and
+//! this crate is the one place every layer (kernels, training, serving,
+//! the text-to-SQL and synthesis applications) reports into.
+//!
+//! **Overhead contract.** Tracing is off unless the `LM4DB_TRACE`
+//! environment variable is set to `1`/`true`/`on` (or [`set_enabled`] is
+//! called). Every instrumentation point is gated on [`enabled`], a single
+//! relaxed atomic load plus a predictable branch, so instrumented hot
+//! loops run at full speed when tracing is off (`expM_observability`
+//! pins this at ≤ 1% on the threaded-matmul hot loop). Tracing is purely
+//! observational: it never changes results — the serving golden suite
+//! passes byte-exact with `LM4DB_TRACE=1`.
+//!
+//! **Thread model.** Each thread records into its own shard (an
+//! uncontended mutex), registered globally on first use; [`snapshot`]
+//! merges all shards, so spans recorded inside `lm4db-tensor` worker-pool
+//! threads aggregate with the dispatcher's. Span paths nest per thread
+//! (`train_step/reduce`); [`leaf`] timers skip the stack so hot kernels
+//! aggregate under one flat name no matter which thread ran them.
+//!
+//! # Examples
+//!
+//! ```
+//! // Tracing is explicit here so the example is environment-independent.
+//! lm4db_obs::set_enabled(true);
+//! lm4db_obs::reset();
+//!
+//! lm4db_obs::counter_add("requests", 3);
+//! lm4db_obs::gauge_set("queue_depth", 2.0);
+//! let answer = lm4db_obs::time("compute", || 6 * 7);
+//! assert_eq!(answer, 42);
+//!
+//! let snap = lm4db_obs::snapshot();
+//! assert_eq!(snap.counters["requests"], 3);
+//! assert_eq!(snap.timers["compute"].count, 1);
+//! assert!(snap.to_text().contains("requests"));
+//! assert!(snap.to_json().starts_with('{'));
+//! lm4db_obs::set_enabled(false);
+//! ```
+//!
+//! Spans nest hierarchically within a thread:
+//!
+//! ```
+//! lm4db_obs::set_enabled(true);
+//! lm4db_obs::reset();
+//! {
+//!     let _outer = lm4db_obs::span("pipeline");
+//!     let _inner = lm4db_obs::span("decode");
+//! } // guards drop in LIFO order, recording "pipeline/decode" then "pipeline"
+//! let snap = lm4db_obs::snapshot();
+//! assert!(snap.timers.contains_key("pipeline/decode"));
+//! lm4db_obs::set_enabled(false);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use export::{Snapshot, TimerStat};
+pub use registry::{counter_add, gauge_set, record_duration_ns, reset, snapshot};
+pub use span::{leaf, span, time, timed, Span};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Tri-state enable flag: 0 = unresolved, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether tracing is on. After the first call this is one relaxed atomic
+/// load and a branch — the entire cost of a disabled instrumentation point.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+/// Turns tracing on or off, overriding `LM4DB_TRACE`.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// Resolves the initial state from `LM4DB_TRACE` exactly once.
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("LM4DB_TRACE")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+        .unwrap_or(false);
+    // A racing set_enabled() wins: only replace the unresolved state.
+    let _ = STATE.compare_exchange(
+        0,
+        if on { 2 } else { 1 },
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+    STATE.load(Ordering::Relaxed) == 2
+}
+
+/// Tracing state and the registry are process-global; every test that
+/// toggles them holds this lock so parallel test threads don't race.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TEST_LOCK as GLOBAL;
+
+    #[test]
+    fn disabled_paths_record_nothing() {
+        let _lock = GLOBAL.lock().unwrap();
+        set_enabled(false);
+        reset();
+        counter_add("c", 1);
+        gauge_set("g", 1.0);
+        let s = span("s");
+        let l = leaf("l");
+        drop(s);
+        drop(l);
+        let snap = snapshot();
+        assert!(!snap.counters.contains_key("c"));
+        assert!(!snap.gauges.contains_key("g"));
+        assert!(!snap.timers.contains_key("s"));
+        assert!(!snap.timers.contains_key("l"));
+    }
+
+    #[test]
+    fn enabled_paths_record() {
+        let _lock = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter_add("hits", 2);
+        counter_add("hits", 3);
+        gauge_set("depth", 4.5);
+        time("work", || {
+            std::thread::sleep(std::time::Duration::from_micros(50))
+        });
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["hits"], 5);
+        assert_eq!(snap.gauges["depth"], 4.5);
+        let t = &snap.timers["work"];
+        assert_eq!(t.count, 1);
+        assert!(
+            t.total_ns >= 50_000,
+            "slept 50µs but recorded {}ns",
+            t.total_ns
+        );
+    }
+
+    #[test]
+    fn worker_thread_spans_merge_into_snapshot() {
+        let _lock = GLOBAL.lock().unwrap();
+        set_enabled(true);
+        reset();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _g = span("worker_job");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = span("main_job");
+        drop(g);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.timers["worker_job"].count, 3);
+        assert_eq!(snap.timers["main_job"].count, 1);
+        assert!(snap.threads >= 2, "expected shards from multiple threads");
+    }
+}

@@ -1,0 +1,219 @@
+//! The global metrics registry: per-thread shards merged at snapshot time.
+//!
+//! Counters and timers are recorded into a shard owned by the recording
+//! thread (an uncontended mutex, registered globally on first use), so
+//! instrumentation inside the `lm4db-tensor` worker pool never contends
+//! with the dispatcher. Gauges are last-write-wins and low-frequency, so
+//! they live in one global map. [`snapshot`] folds every shard together.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::export::{Snapshot, TimerStat};
+
+/// Number of log₂ latency buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket absorbs everything ≥ ~4s.
+pub const BUCKETS: usize = 32;
+
+/// One timer's accumulated state inside a shard.
+#[derive(Clone)]
+pub(crate) struct Timer {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+    pub(crate) min_ns: u64,
+    pub(crate) max_ns: u64,
+    pub(crate) buckets: [u64; BUCKETS],
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Timer {
+    pub(crate) fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let b = (63 - ns.max(1).leading_zeros()) as usize;
+        self.buckets[b.min(BUCKETS - 1)] += 1;
+    }
+
+    pub(crate) fn merge(&mut self, other: &Timer) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// One thread's private slice of the registry.
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<String, u64>,
+    timers: BTreeMap<String, Timer>,
+}
+
+impl Shard {
+    fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.timers.is_empty()
+    }
+}
+
+/// All shards ever registered. Shards are never removed: a thread's
+/// thread-local keeps its `Arc` alive, and `reset` clears contents in
+/// place so the handles stay valid.
+static SHARDS: OnceLock<Mutex<Vec<Arc<Mutex<Shard>>>>> = OnceLock::new();
+
+/// Gauges are last-write-wins and set rarely; one global map suffices.
+static GAUGES: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+
+fn shards() -> &'static Mutex<Vec<Arc<Mutex<Shard>>>> {
+    SHARDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn gauges() -> &'static Mutex<BTreeMap<String, f64>> {
+    GAUGES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// This thread's shard, registered globally on first use.
+    static LOCAL: Arc<Mutex<Shard>> = {
+        let shard = Arc::new(Mutex::new(Shard::default()));
+        shards().lock().unwrap().push(Arc::clone(&shard));
+        shard
+    };
+}
+
+fn with_shard(f: impl FnOnce(&mut Shard)) {
+    LOCAL.with(|s| f(&mut s.lock().unwrap()));
+}
+
+/// Adds `delta` to the named counter. No-op while tracing is disabled.
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|s| {
+        if let Some(v) = s.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            s.counters.insert(name.to_string(), delta);
+        }
+    });
+}
+
+/// Sets the named gauge to `value` (last write wins). No-op while tracing
+/// is disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut g = gauges().lock().unwrap();
+    g.insert(name.to_string(), value);
+}
+
+/// Records one observation of `ns` nanoseconds under the named timer.
+/// No-op while tracing is disabled. Span guards call this on drop; call it
+/// directly to fold in durations measured some other way.
+pub fn record_duration_ns(name: &str, ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_shard(|s| {
+        if let Some(t) = s.timers.get_mut(name) {
+            t.record(ns);
+        } else {
+            let mut t = Timer::default();
+            t.record(ns);
+            s.timers.insert(name.to_string(), t);
+        }
+    });
+}
+
+/// Clears every counter, gauge, and timer (shards stay registered).
+/// Works whether or not tracing is enabled.
+pub fn reset() {
+    for shard in shards().lock().unwrap().iter() {
+        let mut s = shard.lock().unwrap();
+        s.counters.clear();
+        s.timers.clear();
+    }
+    gauges().lock().unwrap().clear();
+}
+
+/// Merges every thread's shard into one point-in-time [`Snapshot`].
+/// Works whether or not tracing is enabled.
+pub fn snapshot() -> Snapshot {
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut timers: BTreeMap<String, Timer> = BTreeMap::new();
+    let mut threads = 0usize;
+    for shard in shards().lock().unwrap().iter() {
+        let s = shard.lock().unwrap();
+        if s.is_empty() {
+            continue;
+        }
+        threads += 1;
+        for (k, v) in &s.counters {
+            *counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, t) in &s.timers {
+            timers.entry(k.clone()).or_default().merge(t);
+        }
+    }
+    Snapshot {
+        counters,
+        gauges: gauges().lock().unwrap().clone(),
+        timers: timers
+            .into_iter()
+            .map(|(k, t)| (k, TimerStat::from_timer(&t)))
+            .collect(),
+        threads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_buckets_are_log2() {
+        let mut t = Timer::default();
+        t.record(1); // bucket 0: [1, 2)
+        t.record(3); // bucket 1: [2, 4)
+        t.record(1024); // bucket 10
+        t.record(u64::MAX); // saturates into the last bucket
+        assert_eq!(t.buckets[0], 1);
+        assert_eq!(t.buckets[1], 1);
+        assert_eq!(t.buckets[10], 1);
+        assert_eq!(t.buckets[BUCKETS - 1], 1);
+        assert_eq!(t.count, 4);
+        assert_eq!(t.min_ns, 1);
+        assert_eq!(t.max_ns, u64::MAX);
+    }
+
+    #[test]
+    fn merge_folds_all_fields() {
+        let mut a = Timer::default();
+        a.record(10);
+        let mut b = Timer::default();
+        b.record(100);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 1110);
+        assert_eq!(a.min_ns, 10);
+        assert_eq!(a.max_ns, 1000);
+    }
+}

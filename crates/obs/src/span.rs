@@ -1,0 +1,160 @@
+//! Hierarchical timed spans.
+//!
+//! [`span`] pushes its name onto a thread-local path and records the
+//! elapsed time under the full slash-joined path when the guard drops, so
+//! nested guards yield paths like `serve_step/feed`. [`leaf`] skips the
+//! path stack entirely — hot kernels use it so `kernel/matmul` aggregates
+//! under one name no matter which pool thread (and under which caller) it
+//! ran. Guards are meant to drop in LIFO order, which ordinary lexical
+//! scoping guarantees; an out-of-order drop only mislabels paths, it never
+//! panics.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::registry::record_duration_ns;
+
+thread_local! {
+    /// The slash-joined path of currently open hierarchical spans.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+enum Inner {
+    /// A span on the thread-local path stack; `truncate_to` restores the
+    /// path when the guard drops.
+    Hier { truncate_to: usize, start: Instant },
+    /// A flat timer that never touches the path stack.
+    Leaf { name: &'static str, start: Instant },
+}
+
+/// A timing guard returned by [`span`] and [`leaf`]; records its elapsed
+/// time into the registry when dropped. A no-op (and nearly free) while
+/// tracing is disabled.
+pub struct Span(Option<Inner>);
+
+/// Opens a hierarchical span. While the guard lives, further spans on this
+/// thread nest under it (`parent/child`); the elapsed time is recorded
+/// under the full path at drop.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span(None);
+    }
+    let truncate_to = PATH.with(|p| {
+        let mut p = p.borrow_mut();
+        let n = p.len();
+        if n > 0 {
+            p.push('/');
+        }
+        p.push_str(name);
+        n
+    });
+    Span(Some(Inner::Hier {
+        truncate_to,
+        start: Instant::now(),
+    }))
+}
+
+/// Opens a flat timer that records under `name` alone, ignoring the
+/// hierarchical path. Use for hot leaf kernels that run on arbitrary pool
+/// threads under arbitrary callers.
+#[inline]
+pub fn leaf(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span(None);
+    }
+    Span(Some(Inner::Leaf {
+        name,
+        start: Instant::now(),
+    }))
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        match self.0.take() {
+            None => {}
+            Some(Inner::Hier { truncate_to, start }) => {
+                let ns = start.elapsed().as_nanos() as u64;
+                let path = PATH.with(|p| {
+                    let mut p = p.borrow_mut();
+                    let full = p.clone();
+                    p.truncate(truncate_to);
+                    full
+                });
+                record_duration_ns(&path, ns);
+            }
+            Some(Inner::Leaf { name, start }) => {
+                record_duration_ns(name, start.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+}
+
+/// Runs `f` under a hierarchical span and returns its result.
+#[inline]
+pub fn time<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = span(name);
+    f()
+}
+
+/// Runs `f`, always measuring its wall-clock duration, and records it as a
+/// flat timer when tracing is enabled. Benches use this so their printed
+/// tables and the exported trace come from the *same* measurement and
+/// cannot drift apart.
+pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    let elapsed = start.elapsed();
+    if crate::enabled() {
+        record_duration_ns(name, elapsed.as_nanos() as u64);
+    }
+    (out, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_restores_after_nested_guards() {
+        // Exercise only the path bookkeeping (no global registry writes
+        // needed): with tracing forced on, open and close nested spans and
+        // check the thread-local path empties back out.
+        let _lock = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        {
+            let _a = span("a");
+            {
+                let _b = span("b");
+                PATH.with(|p| assert_eq!(&*p.borrow(), "a/b"));
+            }
+            PATH.with(|p| assert_eq!(&*p.borrow(), "a"));
+        }
+        PATH.with(|p| assert_eq!(&*p.borrow(), ""));
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn leaf_does_not_touch_the_path() {
+        let _lock = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        {
+            let _a = span("outer");
+            let _l = leaf("kernel");
+            PATH.with(|p| assert_eq!(&*p.borrow(), "outer"));
+        }
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn timed_measures_even_when_disabled() {
+        let _lock = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(false);
+        let (v, d) = timed("x", || {
+            std::thread::sleep(Duration::from_micros(20));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(d >= Duration::from_micros(20));
+    }
+}

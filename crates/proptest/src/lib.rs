@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Std-only property-testing shim.
 //!
 //! The build environment has no crates.io access, so this workspace ships a
@@ -405,7 +406,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Anything usable as a size specification for [`vec`].
+        /// Anything usable as a size specification for [`vec()`].
         pub trait IntoSizeRange {
             /// Draws a concrete length.
             fn sample_len(&self, rng: &mut TestRng) -> usize;

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! Std-only stand-in for the `serde` crate.
 //!
 //! The build environment for this repository has no crates.io access, so

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! `#[derive(Serialize, Deserialize)]` for the workspace's serde shim.
 //!
 //! Implemented directly on `proc_macro::TokenStream` (the build environment

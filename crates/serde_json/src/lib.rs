@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! JSON text encoding/decoding over the workspace serde shim's value tree.
 //!
 //! Mirrors the `serde_json` functions this repository calls: [`to_string`],

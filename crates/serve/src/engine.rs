@@ -295,6 +295,7 @@ impl<'a> Engine<'a> {
         let id = self.next_id;
         self.next_id += 1;
         self.stats.submitted += 1;
+        lm4db_obs::counter_add("serve/submitted", 1);
         self.queue.push_back((id, req));
         id
     }
@@ -322,25 +323,49 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs one scheduler step; returns whether any work remains.
+    ///
+    /// With tracing on (`LM4DB_TRACE=1`), each phase is timed as a span
+    /// nested under `serve_step` — `admit` (admission + deadline sweep),
+    /// `feed` (prefill/decode forward passes across the pool), and
+    /// `select` (serial token selection) — and the [`Stats`] counters are
+    /// mirrored into the global registry under `serve/*`.
     pub fn step(&mut self) -> bool {
-        self.admit();
-        self.sweep_cancelled_and_expired();
+        let _step_timer = lm4db_obs::span("serve_step");
+        {
+            let _t = lm4db_obs::span("admit");
+            self.admit();
+            self.sweep_cancelled_and_expired();
+        }
         if self.active.is_empty() {
             return !self.queue.is_empty();
         }
-        self.run_work();
-        self.insert_prefixes();
+        {
+            let _t = lm4db_obs::span("feed");
+            self.run_work();
+            self.insert_prefixes();
+        }
         self.stats.steps += 1;
-        self.stats.batch_occupancy_sum +=
-            self.active.iter().map(|a| a.live.len()).sum::<usize>() as u64;
+        let occupancy = self.active.iter().map(|a| a.live.len()).sum::<usize>() as u64;
+        self.stats.batch_occupancy_sum += occupancy;
         self.stats.peak_batch = self.stats.peak_batch.max(self.active.len());
-        let mut i = 0;
-        while i < self.active.len() {
-            if let Some(resp) = select_request(&mut self.active[i], self.model) {
-                self.retire(i, resp);
-            } else {
-                i += 1;
+        lm4db_obs::counter_add("serve/steps", 1);
+        lm4db_obs::counter_add("serve/batch_occupancy_sum", occupancy);
+        {
+            let _t = lm4db_obs::span("select");
+            let mut i = 0;
+            while i < self.active.len() {
+                if let Some(resp) = select_request(&mut self.active[i], self.model) {
+                    self.retire(i, resp);
+                } else {
+                    i += 1;
+                }
             }
+        }
+        if lm4db_obs::enabled() {
+            lm4db_obs::gauge_set("serve/queued", self.queue.len() as f64);
+            lm4db_obs::gauge_set("serve/active", self.active.len() as f64);
+            lm4db_obs::gauge_set("serve/peak_batch", self.stats.peak_batch as f64);
+            lm4db_obs::gauge_set("serve/prefix_cache_nodes", self.prefix.nodes() as f64);
         }
         !(self.active.is_empty() && self.queue.is_empty())
     }
@@ -424,6 +449,7 @@ impl<'a> Engine<'a> {
             };
             if self.cancelled.remove(&id) {
                 self.stats.cancelled += 1;
+                lm4db_obs::counter_add("serve/cancelled", 1);
                 self.finished.push(Response {
                     id,
                     outcome: Outcome::Cancelled,
@@ -445,6 +471,7 @@ impl<'a> Engine<'a> {
                 .prefix
                 .restore_into(self.model, &req.prompt[..limit], &mut cache);
             self.stats.cached_prefix_tokens += restored as u64;
+            lm4db_obs::counter_add("serve/cached_prefix_tokens", restored as u64);
             let (steps_left, wall) = match req.deadline {
                 Deadline::None => (None, None),
                 Deadline::Steps(s) => (Some(s), None),
@@ -535,6 +562,8 @@ impl<'a> Engine<'a> {
         }
         self.stats.prefill_tokens += prefill;
         self.stats.decoded_tokens += decoded;
+        lm4db_obs::counter_add("serve/prefill_tokens", prefill);
+        lm4db_obs::counter_add("serve/decoded_tokens", decoded);
     }
 
     /// After a request's prefill completes, shares its prompt positions
@@ -562,9 +591,18 @@ impl<'a> Engine<'a> {
     /// Books a finished response and frees its batch slot.
     fn retire(&mut self, i: usize, resp: Response) {
         match resp.outcome {
-            Outcome::Finished => self.stats.completed += 1,
-            Outcome::Cancelled => self.stats.cancelled += 1,
-            Outcome::DeadlineExpired => self.stats.expired += 1,
+            Outcome::Finished => {
+                self.stats.completed += 1;
+                lm4db_obs::counter_add("serve/completed", 1);
+            }
+            Outcome::Cancelled => {
+                self.stats.cancelled += 1;
+                lm4db_obs::counter_add("serve/cancelled", 1);
+            }
+            Outcome::DeadlineExpired => {
+                self.stats.expired += 1;
+                lm4db_obs::counter_add("serve/expired", 1);
+            }
         }
         self.finished.push(resp);
         self.active.remove(i);

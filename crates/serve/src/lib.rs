@@ -23,13 +23,40 @@
 //! * **Deadlines & cancellation**: per-request step- or wall-clock
 //!   deadlines with graceful partial results, plus [`Engine::cancel`].
 //! * **Observability**: a [`Stats`] snapshot with queued/prefilled/decoded
-//!   token counters, prefix-cache hits, and batch occupancy.
+//!   token counters, prefix-cache hits, and batch occupancy. With
+//!   `LM4DB_TRACE=1` the same counters are mirrored into the global
+//!   `lm4db-obs` registry (under `serve/*`) and every scheduler phase is
+//!   timed as a span, exportable as text or JSON (see DESIGN.md §5d).
 //!
 //! Output is bit-identical to the single-request KV-cached decode path at
 //! any batch size and thread count (see DESIGN.md §5c for the invariants),
 //! and token-identical to the full-forward `generate` path whenever the
 //! model's distributions are sharper than the ~1e-3 float divergence
-//! between the two forward implementations.
+//! between the two forward implementations. Tracing never changes output:
+//! the golden suite passes byte-exact with tracing on.
+//!
+//! # Examples
+//!
+//! Serve a batch of greedy requests through the engine and read the
+//! counters back:
+//!
+//! ```
+//! use lm4db_serve::{Engine, Request};
+//! use lm4db_tokenize::{BOS, EOS};
+//! use lm4db_transformer::{GptModel, ModelConfig};
+//!
+//! let model = GptModel::new(ModelConfig::test(), 7);
+//! let mut engine = Engine::new(&model);
+//! let responses = engine.generate_batch(vec![
+//!     Request::greedy(vec![BOS, 10], 4, EOS),
+//!     Request::greedy(vec![BOS, 10, 11], 4, EOS),
+//! ]);
+//! assert_eq!(responses.len(), 2);
+//! let stats = engine.stats();
+//! assert_eq!(stats.submitted, 2);
+//! assert_eq!(stats.completed, 2);
+//! assert!(stats.prefill_tokens > 0);
+//! ```
 
 #![warn(missing_docs)]
 

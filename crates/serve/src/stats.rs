@@ -1,4 +1,12 @@
 //! Engine observability: a cheap, copyable counters snapshot.
+//!
+//! `Stats` is the per-engine view. When tracing is on (`LM4DB_TRACE=1` or
+//! `lm4db_obs::set_enabled(true)`), the engine mirrors every counter
+//! increment into the global `lm4db-obs` registry under `serve/*`
+//! (`serve/submitted`, `serve/decoded_tokens`, …) and publishes queue
+//! depth, batch occupancy, and prefix-cache size as gauges — so one
+//! `lm4db_obs::snapshot()` shows serving counters next to kernel and
+//! training timings, merged across every engine in the process.
 
 /// A point-in-time snapshot of the engine's counters, taken with
 /// [`crate::Engine::stats`]. All token counts are cumulative since engine

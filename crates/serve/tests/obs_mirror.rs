@@ -1,0 +1,131 @@
+//! With tracing on, the engine's `Stats` must agree exactly with the
+//! counters it mirrors into the global `lm4db-obs` registry — the registry
+//! is a second view of the same accounting, not a drifting copy.
+//!
+//! This lives in its own test binary on purpose: tracing state and the
+//! registry are process-global, and a dedicated process keeps other tests'
+//! engines from bleeding counters into the snapshot.
+
+use lm4db_serve::{Engine, EngineOptions, Request};
+use lm4db_tokenize::{BOS, EOS};
+use lm4db_transformer::{GptModel, ModelConfig};
+
+#[test]
+fn registry_counters_match_engine_stats() {
+    lm4db_obs::set_enabled(true);
+    lm4db_obs::reset();
+
+    let mut m = GptModel::new(ModelConfig::test(), 7);
+    let mut opt = m.optimizer(3e-3);
+    let batch = vec![
+        vec![BOS, 10, 11, 12, 13, 14, EOS],
+        vec![BOS, 20, 21, 22, 23, 24, EOS],
+    ];
+    for _ in 0..10 {
+        m.train_step(&batch, &mut opt);
+    }
+    // Training contaminates serve/* not at all, but clear anyway so the
+    // snapshot below is exactly one engine run.
+    lm4db_obs::reset();
+
+    let mut engine = Engine::with_options(
+        &m,
+        EngineOptions {
+            max_batch: 2,
+            ..Default::default()
+        },
+    );
+    let prompts = [
+        vec![BOS, 10],
+        vec![BOS, 10, 11],
+        vec![BOS, 20],
+        vec![BOS, 20, 21, 22],
+    ];
+    let reqs = prompts
+        .iter()
+        .map(|p| Request::greedy(p.clone(), 6, EOS))
+        .collect();
+    let responses = engine.generate_batch(reqs);
+    assert_eq!(responses.len(), 4);
+
+    let stats = engine.stats();
+    let snap = lm4db_obs::snapshot();
+    lm4db_obs::set_enabled(false);
+
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("serve/submitted"), stats.submitted);
+    assert_eq!(counter("serve/completed"), stats.completed);
+    assert_eq!(counter("serve/steps"), stats.steps);
+    assert_eq!(counter("serve/prefill_tokens"), stats.prefill_tokens);
+    assert_eq!(counter("serve/decoded_tokens"), stats.decoded_tokens);
+    assert_eq!(
+        counter("serve/cached_prefix_tokens"),
+        stats.cached_prefix_tokens
+    );
+    assert_eq!(
+        counter("serve/batch_occupancy_sum"),
+        stats.batch_occupancy_sum
+    );
+    assert_eq!(
+        snap.gauges.get("serve/peak_batch").copied(),
+        Some(stats.peak_batch as f64)
+    );
+    assert_eq!(
+        snap.gauges.get("serve/prefix_cache_nodes").copied(),
+        Some(stats.prefix_cache_nodes as f64)
+    );
+
+    // The scheduler phases were timed, nested under serve_step.
+    for phase in [
+        "serve_step",
+        "serve_step/admit",
+        "serve_step/feed",
+        "serve_step/select",
+    ] {
+        let t = snap
+            .timers
+            .get(phase)
+            .unwrap_or_else(|| panic!("missing timer {phase}"));
+        assert!(t.count > 0, "timer {phase} recorded nothing");
+    }
+    // Every prefilled or decoded token went through the KV-cached
+    // incremental forward, which carries its own flat timer.
+    let feed = snap.timers.get("infer/feed_token").expect("feed timer");
+    assert_eq!(feed.count, stats.prefill_tokens + stats.decoded_tokens);
+}
+
+#[test]
+fn tracing_does_not_change_engine_output() {
+    // Same engine run with tracing off and on: token streams must be
+    // byte-identical (tracing is purely observational).
+    let m = {
+        let mut m = GptModel::new(ModelConfig::test(), 7);
+        let mut opt = m.optimizer(3e-3);
+        let batch = vec![
+            vec![BOS, 10, 11, 12, 13, 14, EOS],
+            vec![BOS, 20, 21, 22, 23, 24, EOS],
+        ];
+        for _ in 0..10 {
+            m.train_step(&batch, &mut opt);
+        }
+        m
+    };
+    let run = || {
+        let mut engine = Engine::new(&m);
+        let reqs = [vec![BOS, 10], vec![BOS, 20, 21]]
+            .iter()
+            .map(|p| Request::greedy(p.clone(), 8, EOS))
+            .collect();
+        engine
+            .generate_batch(reqs)
+            .into_iter()
+            .map(|r| r.tokens)
+            .collect::<Vec<_>>()
+    };
+    lm4db_obs::set_enabled(false);
+    let off = run();
+    lm4db_obs::set_enabled(true);
+    let on = run();
+    lm4db_obs::set_enabled(false);
+    assert_eq!(off, on, "tracing changed engine output");
+}

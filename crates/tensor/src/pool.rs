@@ -172,14 +172,21 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F
     let chunks = n.div_ceil(chunk_size);
     let inline = chunks <= 1 || threads() <= 1 || IN_WORKER.with(|w| w.get());
     if inline {
+        lm4db_obs::counter_add("pool/inline_runs", 1);
         f(0..n);
         return;
     }
     let state = pool();
     if state.workers == 0 {
+        lm4db_obs::counter_add("pool/inline_runs", 1);
         f(0..n);
         return;
     }
+    lm4db_obs::counter_add("pool/dispatched_jobs", 1);
+    lm4db_obs::counter_add("pool/dispatched_chunks", chunks as u64);
+    // Dispatch-to-completion latency of pooled jobs (flat: dispatch happens
+    // under arbitrary callers).
+    let _timer = lm4db_obs::leaf("pool/parallel_for");
     // Erase the closure's lifetime: the dispatcher blocks in `job.wait()`
     // below, so `f` outlives every worker access through this pointer.
     let func: *const (dyn Fn(Range<usize>) + Sync) = unsafe {

@@ -315,6 +315,7 @@ impl Tensor {
     /// leading (batch) dimensions, or `[.., m, k] x [k, n]` where the 2-D
     /// right-hand side (a weight matrix) is broadcast over the batch.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let _timer = lm4db_obs::leaf("kernel/matmul");
         let (ab, m, k) = batch_dims(&self.shape);
         let (bb, k2, n) = batch_dims(&other.shape);
         assert_eq!(
@@ -371,6 +372,7 @@ impl Tensor {
     /// makes every inner product a contiguous dot product, which is why the
     /// backward pass prefers this over `transpose` + [`Tensor::matmul`].
     pub fn matmul_bt(&self, other: &Tensor) -> Tensor {
+        let _timer = lm4db_obs::leaf("kernel/matmul_bt");
         let (ab, m, k) = batch_dims(&self.shape);
         let (bb, n, k2) = batch_dims(&other.shape);
         assert_eq!(
@@ -420,6 +422,7 @@ impl Tensor {
     /// the matmul backward pass for batched (non-broadcast) right-hand
     /// sides.
     pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        let _timer = lm4db_obs::leaf("kernel/matmul_tn");
         let (ab, m, k) = batch_dims(&self.shape);
         let (bb, m2, n) = batch_dims(&other.shape);
         assert_eq!(
@@ -466,6 +469,7 @@ impl Tensor {
     /// gradient of a broadcast weight in `X x W`, computed without
     /// materializing any transpose. Parallel over the `k` output rows.
     pub fn matmul_tn_acc(&self, other: &Tensor) -> Tensor {
+        let _timer = lm4db_obs::leaf("kernel/matmul_tn_acc");
         let (ab, m, k) = batch_dims(&self.shape);
         let (bb, m2, n) = batch_dims(&other.shape);
         assert_eq!(
@@ -503,6 +507,7 @@ impl Tensor {
 
     /// Softmax over the last dimension, numerically stabilized.
     pub fn softmax_last(&self) -> Tensor {
+        let _timer = lm4db_obs::leaf("kernel/softmax");
         let d = *self.shape.last().expect("softmax_last requires rank >= 1");
         let mut out = self.as_ref().to_vec();
         let rows = out.len() / d.max(1);
@@ -529,6 +534,7 @@ impl Tensor {
 
     /// Log-softmax over the last dimension.
     pub fn log_softmax_last(&self) -> Tensor {
+        let _timer = lm4db_obs::leaf("kernel/log_softmax");
         let d = *self
             .shape
             .last()

@@ -237,6 +237,8 @@ impl SemanticParser {
     /// inference engine: prompts decode concurrently, and their shared
     /// `q :` / `a :` scaffold prefills once via the engine's prefix cache.
     pub fn predict_batch(&self, questions: &[&str], mode: DecodeMode) -> Vec<Prediction> {
+        let _span = lm4db_obs::span("text2sql_predict");
+        lm4db_obs::counter_add("text2sql/questions", questions.len() as u64);
         let prompts: Vec<Vec<usize>> = questions.iter().map(|q| self.prompt_ids(q)).collect();
         let constraints: Vec<TrieConstraint> = prompts
             .iter()
@@ -254,12 +256,19 @@ impl SemanticParser {
                 }
             })
             .collect();
-        engine
-            .generate_batch(reqs)
+        let responses = engine.generate_batch(reqs);
+        // The engine's scheduler steps are this pipeline's beam steps.
+        lm4db_obs::counter_add("text2sql/beam_steps", engine.stats().steps);
+        let predictions: Vec<Prediction> = responses
             .into_iter()
             .zip(&prompts)
             .map(|(resp, prompt)| self.prediction_from_hyps(&resp.hyps, prompt.len()))
-            .collect()
+            .collect();
+        lm4db_obs::counter_add(
+            "text2sql/sql_resolved",
+            predictions.iter().filter(|p| p.sql.is_some()).count() as u64,
+        );
+        predictions
     }
 
     fn prediction_from_hyps(&self, hyps: &[Hypothesis], prompt_len: usize) -> Prediction {

@@ -169,6 +169,7 @@ impl GptModel {
     /// independent of execution order.
     pub fn train_step(&mut self, batch: &[Vec<usize>], opt: &mut Adam) -> f32 {
         assert!(!batch.is_empty(), "empty batch");
+        let _step_timer = lm4db_obs::span("train_step");
         let seeds: Vec<u64> = batch.iter().map(|_| self.rng.next_u64()).collect();
         let n = batch.len();
         type Shard = Option<(f32, Vec<Tensor>, f32)>;
@@ -179,10 +180,17 @@ impl GptModel {
                 let idx = first + i;
                 let shard = std::slice::from_ref(&batch[idx]);
                 let mut rng = Rand::seeded(seeds[idx]);
+                // Flat per-phase timers: shards run on arbitrary pool
+                // threads, so the fwd/bwd split must aggregate under one
+                // name regardless of which thread executed the shard.
+                let fwd = lm4db_obs::leaf("train/fwd");
                 let (mut g, bound, loss) = this.loss_graph(shard, true, Some(&mut rng));
                 let loss_val = g.value(loss).item();
+                drop(fwd);
+                let bwd = lm4db_obs::leaf("train/bwd");
                 g.backward(loss);
                 let grads = bound.grads(&this.store, &g);
+                drop(bwd);
                 // Scored positions = tokens with a next-token target.
                 let weight = batch[idx].len().saturating_sub(1) as f32;
                 *slot = Some((loss_val, grads, weight));
@@ -196,6 +204,7 @@ impl GptModel {
         // Weighted-average gradients, parameter-parallel but shard-serial:
         // element j of parameter p is folded over shards in ascending shard
         // order no matter how threads are assigned.
+        let reduce = lm4db_obs::leaf("train/reduce");
         let mut grads: Vec<Tensor> = shards[0]
             .1
             .iter()
@@ -211,6 +220,8 @@ impl GptModel {
                 }
             }
         });
+        drop(reduce);
+        let _optim = lm4db_obs::leaf("train/optim");
         clip_grad_norm(&mut grads, 1.0);
         opt.step(&mut self.store, &grads);
         loss_val

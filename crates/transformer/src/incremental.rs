@@ -89,6 +89,9 @@ impl KvCache {
     /// Panics when the context would exceed the model's `max_seq_len`, or
     /// when `token` is out of vocabulary.
     pub fn feed(&mut self, model: &GptModel, token: usize) -> &[f32] {
+        // Flat timer, not a span: feeds happen per token per sequence and
+        // should aggregate under one name wherever they run.
+        let _timer = lm4db_obs::leaf("infer/feed_token");
         let m = model;
         let pos = self.tokens.len();
         assert!(

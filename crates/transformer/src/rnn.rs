@@ -1,7 +1,7 @@
 //! A recurrent (Elman) language model baseline.
 //!
 //! Section 2.1 of the tutorial motivates the Transformer by contrast with
-//! recurrent networks [43]: recurrence struggles to carry information over
+//! recurrent networks \[43\]: recurrence struggles to carry information over
 //! long distances. This model provides that pre-Transformer baseline for
 //! the attention-vs-recurrence experiment (Exp I).
 

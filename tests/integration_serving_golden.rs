@@ -217,8 +217,10 @@ fn golden_child_fingerprint() {
 }
 
 /// The batch-size sweep above runs in-process; this matrix re-runs it in
-/// subprocesses pinned to 1 and 4 worker threads and asserts the rendered
-/// outputs are identical — goldens hold at every (batch, threads) point.
+/// subprocesses across worker-thread counts {1, 4} and tracing {off, on}
+/// and asserts the rendered outputs are identical — goldens hold at every
+/// (batch, threads, trace) point, and `LM4DB_TRACE=1` is purely
+/// observational (DESIGN.md §5d's "tracing never changes output").
 #[test]
 fn golden_outputs_stable_across_thread_counts() {
     if std::env::var("LM4DB_BLESS").is_ok() {
@@ -226,16 +228,17 @@ fn golden_outputs_stable_across_thread_counts() {
     }
     let exe = std::env::current_exe().expect("current test binary");
     let mut fps = Vec::new();
-    for threads in ["1", "4"] {
+    for (threads, trace) in [("1", "0"), ("4", "0"), ("1", "1"), ("4", "1")] {
         let out = Command::new(&exe)
             .args(["golden_child_fingerprint", "--exact", "--nocapture"])
             .env("LM4DB_THREADS", threads)
+            .env("LM4DB_TRACE", trace)
             .output()
             .expect("spawn child test");
         let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
         assert!(
             out.status.success(),
-            "child failed with {threads} threads:\n{stdout}"
+            "child failed with {threads} threads, trace={trace}:\n{stdout}"
         );
         let fp = stdout
             .split("SERVE_GOLDEN_FP=")
@@ -243,10 +246,12 @@ fn golden_outputs_stable_across_thread_counts() {
             .and_then(|s| s.split_whitespace().next())
             .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
             .to_string();
-        fps.push((threads, fp));
+        fps.push((threads, trace, fp));
     }
-    assert_eq!(
-        fps[0].1, fps[1].1,
-        "engine output depends on thread count: {fps:?}"
-    );
+    for point in &fps[1..] {
+        assert_eq!(
+            fps[0].2, point.2,
+            "engine output depends on thread count or tracing: {fps:?}"
+        );
+    }
 }
