@@ -10,7 +10,8 @@ use std::time::Instant;
 
 use lm4db::tensor::set_threads;
 use lm4db::transformer::{greedy_cached, GptModel, ModelConfig};
-use lm4db_bench::print_table;
+use lm4db_bench::{json_obj, print_table, write_results_json};
+use serde_json::Value;
 
 fn cfg() -> ModelConfig {
     ModelConfig {
@@ -111,4 +112,27 @@ fn main() {
         &rows,
     );
     println!("output check: losses and generated tokens bit-identical across thread counts");
+
+    let path = write_results_json(
+        "expK_threading.json",
+        &json_obj(vec![
+            ("experiment", Value::Str("expK_threading".into())),
+            ("threads", Value::Int(max_threads as i64)),
+            ("train_tokens_per_sec_1_thread", Value::Float(train_tps_1)),
+            ("train_tokens_per_sec_n_threads", Value::Float(train_tps_n)),
+            ("train_speedup", Value::Float(train_tps_n / train_tps_1)),
+            ("gen_tokens_per_sec_1_thread", Value::Float(gen_tps_1)),
+            ("gen_tokens_per_sec_n_threads", Value::Float(gen_tps_n)),
+            ("gen_speedup", Value::Float(gen_tps_n / gen_tps_1)),
+            (
+                "wall_clock_secs",
+                Value::Float(
+                    (train_steps * 8 * 64) as f64 * (1.0 / train_tps_1 + 1.0 / train_tps_n)
+                        + (gen_rounds * 64) as f64 * (1.0 / gen_tps_1 + 1.0 / gen_tps_n),
+                ),
+            ),
+            ("outputs_bit_identical", Value::Bool(true)),
+        ]),
+    );
+    println!("wrote {}", path.display());
 }

@@ -24,7 +24,8 @@ use lm4db::obs;
 use lm4db::serve::{Engine, EngineOptions, Request};
 use lm4db::tokenize::BOS;
 use lm4db::transformer::{greedy, greedy_cached, GptModel, ModelConfig, Unconstrained};
-use lm4db_bench::print_table;
+use lm4db_bench::{json_obj, print_table, write_results_json};
+use serde_json::Value;
 
 const STOP: usize = usize::MAX; // never emitted: measure full budgets
 const NEW_TOKENS: usize = 32;
@@ -161,6 +162,32 @@ fn main() {
         speedup >= 2.0,
         "acceptance: engine must clear 2x sequential full-forward, got {speedup:.2}x"
     );
+
+    let path = write_results_json(
+        "expL_serving.json",
+        &json_obj(vec![
+            ("experiment", Value::Str("expL_serving".into())),
+            ("threads", Value::Int(lm4db::tensor::threads() as i64)),
+            ("requests", Value::Int(8)),
+            ("new_tokens_per_request", Value::Int(NEW_TOKENS as i64)),
+            ("wall_clock_secs_full_forward", Value::Float(secs_full)),
+            ("wall_clock_secs_kv_cache", Value::Float(secs_kv)),
+            ("wall_clock_secs_engine_cold", Value::Float(secs_cold)),
+            ("wall_clock_secs_engine_warm", Value::Float(secs_warm)),
+            ("tokens_per_sec_engine_warm", Value::Float(tps(secs_warm))),
+            ("speedup_engine_vs_full_forward", Value::Float(speedup)),
+            (
+                "prefix_hit_rate",
+                Value::Float(warm_stats.prefix_hit_rate() as f64),
+            ),
+            (
+                "latency_p99_ns",
+                Value::Float(warm_stats.latency.quantile(0.99) as f64),
+            ),
+            ("outputs_bit_identical", Value::Bool(true)),
+        ]),
+    );
+    println!("wrote {}", path.display());
 
     // With LM4DB_TRACE=1 the timed() sections above were also recorded into
     // the registry; print the merged snapshot so the table and the trace

@@ -22,7 +22,8 @@ use lm4db::serve::{Engine, Request};
 use lm4db::tensor::{set_threads, Tensor};
 use lm4db::tokenize::BOS;
 use lm4db::transformer::{GptModel, ModelConfig};
-use lm4db_bench::print_table;
+use lm4db_bench::{json_obj, print_table, write_results_json};
+use serde_json::Value;
 
 fn cfg() -> ModelConfig {
     ModelConfig {
@@ -179,4 +180,28 @@ fn main() {
     println!("\n### Trace snapshot of the decode run (text exporter)\n");
     println!("```\n{}```", snap.to_text());
     println!("\nJSON exporter ({} bytes)", snap.to_json().len());
+
+    let path = write_results_json(
+        "expM_observability.json",
+        &json_obj(vec![
+            ("experiment", Value::Str("expM_observability".into())),
+            ("threads", Value::Int(threads as i64)),
+            ("disabled_call_ns", Value::Float(call_ns)),
+            (
+                "analytic_disabled_overhead",
+                Value::Float(analytic_overhead),
+            ),
+            ("matmul_secs_per_iter_disabled", Value::Float(disabled_spi)),
+            ("matmul_secs_per_iter_enabled", Value::Float(enabled_spi)),
+            ("enabled_overhead", Value::Float(enabled_delta)),
+            ("wall_clock_secs_decode_off", Value::Float(decode_off)),
+            ("wall_clock_secs_decode_on", Value::Float(decode_on)),
+            (
+                "speedup_decode_off_vs_on",
+                Value::Float(decode_on / decode_off),
+            ),
+            ("outputs_bit_identical", Value::Bool(true)),
+        ]),
+    );
+    println!("wrote {}", path.display());
 }

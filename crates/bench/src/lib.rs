@@ -6,6 +6,46 @@
 
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use serde_json::Value;
+
+/// Absolute path of `results/<name>` at the repository root, resolved from
+/// this crate's manifest so the experiment binaries land their artifacts in
+/// the same place no matter the working directory they run from.
+pub fn results_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .join(name)
+}
+
+/// Writes a machine-readable JSON result next to the experiment's text
+/// table (`results/<name>`, pretty-printed, trailing newline) and returns
+/// the path. These files are the accumulating perf trajectory: each run
+/// overwrites its own experiment's file with current numbers.
+pub fn write_results_json(name: &str, value: &Value) -> PathBuf {
+    let path = results_path(name);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    let mut json = serde_json::to_string_pretty(value).expect("serialize results");
+    json.push('\n');
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    path
+}
+
+/// Builds a JSON object from key/value pairs (keys sort for deterministic
+/// output — the `serde_json` shim keeps objects in `BTreeMap`s).
+pub fn json_obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect::<BTreeMap<String, Value>>(),
+    )
+}
+
 /// Prints a markdown table with a header row.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n### {title}\n");

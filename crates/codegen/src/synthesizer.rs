@@ -130,11 +130,14 @@ impl Synthesizer {
             };
         };
         let (units, raw) = self.decode_generated(prompt.len(), &best.ids);
-        let pipeline = self
-            .trie
-            .lookup(&units)
-            .and_then(|p| parse_pipeline(p).ok())
-            .filter(|p| run_pipeline(p, catalog).is_ok());
+        // Validation (parse + execute) timed separately from decoding: in
+        // the CodexDB loop that split is the whole story.
+        let pipeline = lm4db_obs::time("codegen_validate", || {
+            self.trie
+                .lookup(&units)
+                .and_then(|p| parse_pipeline(p).ok())
+                .filter(|p| run_pipeline(p, catalog).is_ok())
+        });
         if pipeline.is_some() {
             lm4db_obs::counter_add("codegen/accepted", 1);
         } else {
@@ -160,6 +163,11 @@ impl Synthesizer {
         let prompt = self.prompt_ids(instruction);
         let mut last_raw = String::new();
         for attempt in 1..=max_retries.max(1) {
+            // Each generate→validate round is its own span, and the instant
+            // carries the attempt number — at LM4DB_TRACE=2 a retry storm
+            // reads as repeated codegen_attempt intervals on the timeline.
+            let _attempt_span = lm4db_obs::span("codegen_attempt");
+            lm4db_obs::instant_arg("codegen/attempt", attempt as u64);
             lm4db_obs::counter_add("codegen/attempts", 1);
             let ids = if attempt == 1 {
                 let hyps = Engine::new(&self.gpt).beam(&prompt, 3, 48, EOS, None);
@@ -188,15 +196,18 @@ impl Synthesizer {
             };
             let (_units, raw) = self.decode_generated(prompt.len(), &ids);
             last_raw = raw.clone();
-            if let Ok(pipeline) = parse_pipeline(&normalize_program(&raw)) {
-                if run_pipeline(&pipeline, catalog).is_ok() {
-                    lm4db_obs::counter_add("codegen/accepted", 1);
-                    return Synthesis {
-                        pipeline: Some(pipeline),
-                        raw,
-                        attempts: attempt,
-                    };
-                }
+            let validated = lm4db_obs::time("codegen_validate", || {
+                parse_pipeline(&normalize_program(&raw))
+                    .ok()
+                    .filter(|p| run_pipeline(p, catalog).is_ok())
+            });
+            if let Some(pipeline) = validated {
+                lm4db_obs::counter_add("codegen/accepted", 1);
+                return Synthesis {
+                    pipeline: Some(pipeline),
+                    raw,
+                    attempts: attempt,
+                };
             }
             // Candidate parsed-but-failed or failed to parse: both are
             // validation failures that trigger CodexDB's re-sample.

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use crate::registry::{Timer, BUCKETS};
+use crate::hist::{Histogram, BUCKETS};
 
 /// Aggregated statistics of one timer, merged across all thread shards.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,13 +22,13 @@ pub struct TimerStat {
 }
 
 impl TimerStat {
-    pub(crate) fn from_timer(t: &Timer) -> Self {
+    pub(crate) fn from_hist(t: &Histogram) -> Self {
         TimerStat {
-            count: t.count,
-            total_ns: t.total_ns,
-            min_ns: if t.count == 0 { 0 } else { t.min_ns },
-            max_ns: t.max_ns,
-            buckets: t.buckets.to_vec(),
+            count: t.count(),
+            total_ns: t.total(),
+            min_ns: t.min(),
+            max_ns: t.max(),
+            buckets: t.buckets().to_vec(),
         }
     }
 
@@ -127,18 +127,19 @@ impl Snapshot {
             let _ = writeln!(s, "## timers");
             let _ = writeln!(
                 s,
-                "{:<w$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
-                "timer", "count", "total", "mean", "p50", "p99", "max"
+                "{:<w$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                "timer", "count", "total", "mean", "p50", "p95", "p99", "max"
             );
             for (k, t) in &self.timers {
                 let _ = writeln!(
                     s,
-                    "{:<w$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                    "{:<w$}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
                     k,
                     t.count,
                     fmt_ns(t.total_ns),
                     fmt_ns(t.mean_ns()),
                     fmt_ns(t.quantile_ns(0.50)),
+                    fmt_ns(t.quantile_ns(0.95)),
                     fmt_ns(t.quantile_ns(0.99)),
                     fmt_ns(t.max_ns),
                 );
@@ -196,7 +197,8 @@ impl Snapshot {
 
 /// JSON string literal with escaping for quotes, backslashes, and control
 /// characters (metric names are ASCII in practice, but stay correct).
-fn json_str(s: &str) -> String {
+/// Crate-visible: the crash-dump writer reuses it for the panic reason.
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -228,14 +230,14 @@ mod tests {
 
     fn stat(observations: &[u64]) -> TimerStat {
         // Exercise the production record + merge paths: each observation
-        // lands in its own single-shot timer that is folded into `t`.
-        let mut t = Timer::default();
+        // lands in its own single-shot histogram that is folded into `t`.
+        let mut t = Histogram::new();
         for &ns in observations {
-            let mut one = Timer::default();
+            let mut one = Histogram::new();
             one.record(ns);
             t.merge(&one);
         }
-        TimerStat::from_timer(&t)
+        TimerStat::from_hist(&t)
     }
 
     #[test]

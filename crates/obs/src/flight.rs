@@ -1,0 +1,615 @@
+//! The flight recorder: per-thread bounded event rings and their exporters.
+//!
+//! At trace level 2 every span/leaf guard and instant call appends a
+//! fixed-size [`Event`] to its thread's [`Ring`] — a preallocated circular
+//! buffer that overwrites its oldest record on wrap, so a long run keeps
+//! the *most recent* window of activity at a hard memory bound instead of
+//! growing without limit (hence "flight recorder"). Ring capacity is
+//! per-thread, `LM4DB_TRACE_BUF` events (default 16384, ~640 KiB/thread).
+//!
+//! [`snapshot`](flight_snapshot) drains every ring into a [`FlightTrace`],
+//! which exports as
+//!
+//! * **Chrome trace-event JSON** ([`FlightTrace::to_chrome_json`]) —
+//!   loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`,
+//!   emitted through the workspace `serde_json` shim, and
+//! * **a compact text timeline** ([`FlightTrace::to_timeline`]) — shard by
+//!   shard in recording order plus per-request phase totals, with a stable
+//!   format for diffing and logs.
+//!
+//! A [panic hook](install_panic_hook) — installed automatically when
+//! `LM4DB_TRACE=2` comes from the environment — drains the recorder and
+//! the metrics registry to `LM4DB_TRACE_DUMP` (default `lm4db-crash.json`)
+//! so a crashed run leaves a post-mortem with the in-flight requests'
+//! timelines.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, Once, OnceLock};
+
+use crate::event::{Event, EventKind};
+
+use serde_json::Value;
+
+/// A bounded circular event buffer: fixed capacity, overwrite-oldest on
+/// wrap, O(1) allocation-free push (the backing storage is allocated
+/// up front on first use of each thread's ring).
+pub struct Ring {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index the next push writes to once the buffer is full.
+    next: usize,
+    /// Events ever pushed (so `dropped = total - len`).
+    total: u64,
+}
+
+impl Ring {
+    /// A ring holding at most `cap` events (`cap` is clamped to ≥ 2).
+    pub fn with_capacity(cap: usize) -> Ring {
+        let cap = cap.max(2);
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Appends an event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.next] = e;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything was cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events ever pushed, including overwritten ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwrite-on-wrap.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// The held events, oldest first.
+    pub fn drain_ordered(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+
+    /// Empties the ring, keeping its allocation and capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+        self.total = 0;
+    }
+}
+
+/// All rings ever registered, indexed by shard id. Like the metrics
+/// registry's shards, rings are never removed; `flight_reset` clears them
+/// in place so thread-local handles stay valid.
+static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Per-thread ring capacity, resolved from `LM4DB_TRACE_BUF` once.
+fn ring_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("LM4DB_TRACE_BUF")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(16_384)
+            .max(2)
+    })
+}
+
+thread_local! {
+    /// This thread's ring, registered globally on first use.
+    static LOCAL: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring::with_capacity(ring_capacity())));
+        rings().lock().unwrap().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Appends an event to this thread's ring. The caller gates on
+/// [`crate::events_enabled`]; the lock is uncontended except while a
+/// snapshot is being taken.
+#[inline]
+pub(crate) fn record(e: Event) {
+    LOCAL.with(|r| r.lock().unwrap().push(e));
+}
+
+/// One thread's slice of a [`FlightTrace`].
+#[derive(Debug, Clone)]
+pub struct ShardTrace {
+    /// Shard id (registration order; stable for a thread's lifetime).
+    pub tid: usize,
+    /// Events lost to ring wrap on this shard.
+    pub dropped: u64,
+    /// Held events, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// A point-in-time drain of every thread's ring, produced by
+/// [`flight_snapshot`]. Order within a shard is recording order; shards
+/// are ordered by registration.
+#[derive(Debug, Clone, Default)]
+pub struct FlightTrace {
+    /// Per-thread event sequences.
+    pub shards: Vec<ShardTrace>,
+}
+
+/// Drains every ring into a [`FlightTrace`] (non-destructively). Works at
+/// any trace level.
+pub fn flight_snapshot() -> FlightTrace {
+    let mut shards = Vec::new();
+    for (tid, ring) in rings().lock().unwrap().iter().enumerate() {
+        let r = ring.lock().unwrap();
+        if r.total() == 0 {
+            continue;
+        }
+        shards.push(ShardTrace {
+            tid,
+            dropped: r.dropped(),
+            events: r.drain_ordered(),
+        });
+    }
+    FlightTrace { shards }
+}
+
+/// Clears every ring (rings stay registered, allocations are kept).
+pub fn flight_reset() {
+    for ring in rings().lock().unwrap().iter() {
+        ring.lock().unwrap().clear();
+    }
+}
+
+/// Totals of one event name within one request's timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Completed begin/end (or complete-event) intervals.
+    pub count: u64,
+    /// Summed interval duration in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl FlightTrace {
+    /// Total events held across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// True when no shard holds any event.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events lost to ring wrap, summed over shards.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Request ids seen anywhere in the trace, ascending.
+    pub fn requests(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.events.iter())
+            .filter_map(|e| e.request())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// One request's events, merged across shards and sorted by timestamp
+    /// (ties keep shard order) — the request's timeline.
+    pub fn request_events(&self, id: u64) -> Vec<Event> {
+        let mut out: Vec<Event> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.events.iter())
+            .filter(|e| e.request() == Some(id))
+            .copied()
+            .collect();
+        out.sort_by_key(|e| e.ts_ns);
+        out
+    }
+
+    /// Per-request, per-phase time totals: matched begin/end pairs (and
+    /// complete events) grouped by the request of the *begin* event. The
+    /// `None` key collects unattributed work. Unmatched begins/ends (ring
+    /// wrap, tracing toggled mid-span) are skipped, never mis-paired.
+    pub fn breakdown(&self) -> BTreeMap<Option<u64>, BTreeMap<&'static str, PhaseTotal>> {
+        let mut out: BTreeMap<Option<u64>, BTreeMap<&'static str, PhaseTotal>> = BTreeMap::new();
+        let mut add = |req: Option<u64>, name: &'static str, dur: u64| {
+            let t = out.entry(req).or_default().entry(name).or_default();
+            t.count += 1;
+            t.total_ns += dur;
+        };
+        for shard in &self.shards {
+            // Begin/end pairs nest per thread, so a stack pairs them.
+            let mut stack: Vec<&Event> = Vec::new();
+            for e in &shard.events {
+                match e.kind {
+                    EventKind::Begin => stack.push(e),
+                    EventKind::End => {
+                        // Pop until the matching name: an unmatched begin
+                        // (opened before the ring's window) is discarded.
+                        while let Some(b) = stack.pop() {
+                            if b.name == e.name {
+                                add(b.request(), b.name, e.ts_ns.saturating_sub(b.ts_ns));
+                                break;
+                            }
+                        }
+                    }
+                    EventKind::Complete => add(e.request(), e.name, e.arg),
+                    EventKind::Instant => {}
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the trace as Chrome trace-event JSON (the object form, with
+    /// a `traceEvents` array), loadable in Perfetto or `chrome://tracing`.
+    /// Timestamps are microseconds from the trace epoch with nanosecond
+    /// fractions; each shard maps to a `tid`, and attributed events carry
+    /// `args.req`.
+    pub fn to_chrome_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for e in &shard.events {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Value::Str(e.name.to_string()));
+                let ph = match e.kind {
+                    EventKind::Begin => "B",
+                    EventKind::End => "E",
+                    EventKind::Instant => "i",
+                    EventKind::Complete => "X",
+                };
+                obj.insert("ph".to_string(), Value::Str(ph.to_string()));
+                let ts = match e.kind {
+                    // Complete events are stamped at their *end*; Chrome
+                    // wants the start.
+                    EventKind::Complete => e.ts_ns.saturating_sub(e.arg),
+                    _ => e.ts_ns,
+                };
+                obj.insert("ts".to_string(), Value::Float(ts as f64 / 1e3));
+                obj.insert("pid".to_string(), Value::Int(1));
+                obj.insert("tid".to_string(), Value::Int(shard.tid as i64));
+                match e.kind {
+                    EventKind::Complete => {
+                        obj.insert("dur".to_string(), Value::Float(e.arg as f64 / 1e3));
+                    }
+                    EventKind::Instant => {
+                        // Thread-scoped instant marker.
+                        obj.insert("s".to_string(), Value::Str("t".to_string()));
+                    }
+                    _ => {}
+                }
+                let mut args = BTreeMap::new();
+                if let Some(req) = e.request() {
+                    args.insert("req".to_string(), Value::UInt(req));
+                }
+                if e.arg != 0 && e.kind == EventKind::Instant {
+                    args.insert("arg".to_string(), Value::UInt(e.arg));
+                }
+                if !args.is_empty() {
+                    obj.insert("args".to_string(), Value::Object(args));
+                }
+                events.push(Value::Object(obj));
+            }
+        }
+        let mut root = BTreeMap::new();
+        root.insert("traceEvents".to_string(), Value::Array(events));
+        root.insert("displayTimeUnit".to_string(), Value::Str("ms".to_string()));
+        root.insert("droppedEvents".to_string(), Value::UInt(self.dropped()));
+        serde_json::to_string(&Value::Object(root)).expect("trace serialization is infallible")
+    }
+
+    /// Renders a compact text timeline: each shard's events in recording
+    /// order (indented by span depth, timestamps relative to the trace's
+    /// first event), followed by per-request phase totals. The format is
+    /// stable for a given event sequence.
+    pub fn to_timeline(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "# lm4db-obs flight recorder ({} shards, {} events, {} dropped)",
+            self.shards.len(),
+            self.len(),
+            self.dropped()
+        );
+        let t0 = self
+            .shards
+            .iter()
+            .flat_map(|sh| sh.events.first())
+            .map(|e| e.ts_ns)
+            .min()
+            .unwrap_or(0);
+        for shard in &self.shards {
+            let _ = writeln!(s, "## shard {} ({} dropped)", shard.tid, shard.dropped);
+            let mut depth = 0usize;
+            for e in &shard.events {
+                let (mark, d) = match e.kind {
+                    EventKind::Begin => ("B", {
+                        depth += 1;
+                        depth - 1
+                    }),
+                    EventKind::End => {
+                        depth = depth.saturating_sub(1);
+                        ("E", depth)
+                    }
+                    EventKind::Instant => ("i", depth),
+                    EventKind::Complete => ("X", depth),
+                };
+                let _ = write!(
+                    s,
+                    "[{:>12}] {}{} {}",
+                    format!("+{:.3}ms", (e.ts_ns.saturating_sub(t0)) as f64 / 1e6),
+                    "  ".repeat(d),
+                    mark,
+                    e.name
+                );
+                if let Some(req) = e.request() {
+                    let _ = write!(s, " req={req}");
+                }
+                if e.arg != 0 {
+                    let _ = write!(s, " arg={}", e.arg);
+                }
+                s.push('\n');
+            }
+        }
+        let breakdown = self.breakdown();
+        if !breakdown.is_empty() {
+            let _ = writeln!(s, "## per-request phase totals");
+            for (req, phases) in &breakdown {
+                match req {
+                    Some(id) => {
+                        let _ = write!(s, "req {id}:");
+                    }
+                    None => {
+                        let _ = write!(s, "(unattributed):");
+                    }
+                }
+                for (name, t) in phases {
+                    let _ = write!(s, " {name}={:.3}ms x{}", t.total_ns as f64 / 1e6, t.count);
+                }
+                s.push('\n');
+            }
+        }
+        s
+    }
+}
+
+/// Path the crash dump is written to: `LM4DB_TRACE_DUMP`, or
+/// `lm4db-crash.json` in the working directory.
+pub fn crash_dump_path() -> PathBuf {
+    std::env::var_os("LM4DB_TRACE_DUMP")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("lm4db-crash.json"))
+}
+
+/// Drains the flight recorder and the metrics registry into one JSON
+/// post-mortem at [`crash_dump_path`]. Called by the panic hook; callable
+/// directly for orderly shutdown dumps.
+pub fn write_crash_dump(reason: &str) -> std::io::Result<PathBuf> {
+    let path = crash_dump_path();
+    let mut json = String::new();
+    json.push_str("{\"reason\":");
+    json.push_str(&crate::export::json_str(reason));
+    json.push_str(",\"registry\":");
+    json.push_str(&crate::snapshot().to_json());
+    json.push_str(",\"trace\":");
+    json.push_str(&flight_snapshot().to_chrome_json());
+    json.push('}');
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Installs (once) a panic hook that, when event tracing is armed
+/// (level 2), writes the post-mortem dump before delegating to the
+/// previous hook. Installed automatically when `LM4DB_TRACE=2` is read
+/// from the environment; call explicitly when arming via
+/// [`crate::set_level`].
+pub fn install_panic_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if crate::events_enabled() {
+                let reason = info.to_string();
+                // Best effort: a failing dump must not mask the panic.
+                if let Ok(path) = write_crash_dump(&reason) {
+                    eprintln!("lm4db-obs: wrote crash dump to {}", path.display());
+                }
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(kind: EventKind, name: &'static str, ts: u64, arg: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            arg,
+            req1: 0,
+            name,
+            kind,
+        }
+    }
+
+    // `Event.req1` is private to the crate; rebuild attributed events via
+    // the scope API.
+    fn ev_req(kind: EventKind, name: &'static str, ts: u64, req: u64) -> Event {
+        let _g = crate::request_scope(req);
+        let mut e = Event::now(kind, name, 0);
+        e.ts_ns = ts;
+        e
+    }
+
+    #[test]
+    fn ring_wraps_and_reports_drops() {
+        let mut r = Ring::with_capacity(4);
+        for i in 0..10u64 {
+            r.push(ev(EventKind::Instant, "e", i, i));
+        }
+        assert_eq!(r.total(), 10);
+        assert_eq!(r.dropped(), 6);
+        let events = r.drain_ordered();
+        assert_eq!(events.len(), 4);
+        let args: Vec<u64> = events.iter().map(|e| e.arg).collect();
+        assert_eq!(args, vec![6, 7, 8, 9]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn breakdown_pairs_begin_end_per_request() {
+        let trace = FlightTrace {
+            shards: vec![ShardTrace {
+                tid: 0,
+                dropped: 0,
+                events: vec![
+                    ev_req(EventKind::Begin, "feed", 100, 1),
+                    ev_req(EventKind::Begin, "kernel", 150, 1),
+                    ev_req(EventKind::End, "kernel", 250, 1),
+                    ev_req(EventKind::End, "feed", 400, 1),
+                    ev_req(EventKind::Begin, "feed", 500, 2),
+                    ev_req(EventKind::End, "feed", 900, 2),
+                ],
+            }],
+        };
+        let b = trace.breakdown();
+        assert_eq!(
+            b[&Some(1)]["feed"],
+            PhaseTotal {
+                count: 1,
+                total_ns: 300
+            }
+        );
+        assert_eq!(
+            b[&Some(1)]["kernel"],
+            PhaseTotal {
+                count: 1,
+                total_ns: 100
+            }
+        );
+        assert_eq!(
+            b[&Some(2)]["feed"],
+            PhaseTotal {
+                count: 1,
+                total_ns: 400
+            }
+        );
+        assert_eq!(trace.requests(), vec![1, 2]);
+        assert_eq!(trace.request_events(1).len(), 4);
+    }
+
+    #[test]
+    fn unmatched_ends_do_not_mispair() {
+        // An End whose Begin was overwritten by ring wrap must not steal
+        // an unrelated open Begin.
+        let trace = FlightTrace {
+            shards: vec![ShardTrace {
+                tid: 0,
+                dropped: 1,
+                events: vec![
+                    ev(EventKind::Begin, "outer", 10, 0),
+                    ev(EventKind::End, "lost", 20, 0),
+                    ev(EventKind::End, "outer", 30, 0),
+                ],
+            }],
+        };
+        let b = trace.breakdown();
+        // "outer" was consumed while searching for "lost"'s begin; the
+        // conservative choice records nothing rather than a wrong pair.
+        assert!(!b.contains_key(&Some(0)));
+        assert!(b.get(&None).is_none_or(|m| !m.contains_key("lost")));
+    }
+
+    #[test]
+    fn timeline_renders_depth_and_requests() {
+        let trace = FlightTrace {
+            shards: vec![ShardTrace {
+                tid: 3,
+                dropped: 0,
+                events: vec![
+                    ev_req(EventKind::Begin, "step", 1_000_000, 0),
+                    ev_req(EventKind::Instant, "admit", 1_500_000, 0),
+                    ev_req(EventKind::End, "step", 2_000_000, 0),
+                ],
+            }],
+        };
+        let text = trace.to_timeline();
+        assert!(text.contains("## shard 3"));
+        assert!(text.contains("B step req=0"));
+        assert!(text.contains("i admit req=0"));
+        assert!(text.contains("per-request phase totals"));
+        assert!(text.contains("req 0: step=1.000ms x1"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::event::EventKind;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Ring wraparound as a property: for any capacity and push count,
+        /// the ring keeps exactly the most recent `min(n, cap)` events in
+        /// push order and reports the rest as dropped.
+        #[test]
+        fn ring_keeps_newest_in_order(cap in 2usize..64, n in 0usize..300) {
+            let mut r = Ring::with_capacity(cap);
+            for i in 0..n as u64 {
+                r.push(Event {
+                    ts_ns: i,
+                    arg: i,
+                    req1: 0,
+                    name: "e",
+                    kind: EventKind::Instant,
+                });
+            }
+            let events = r.drain_ordered();
+            let kept = n.min(cap);
+            prop_assert_eq!(events.len(), kept);
+            prop_assert_eq!(r.total(), n as u64);
+            prop_assert_eq!(r.dropped(), (n - kept) as u64);
+            for (k, e) in events.iter().enumerate() {
+                prop_assert_eq!(e.arg, (n - kept + k) as u64);
+            }
+        }
+    }
+}

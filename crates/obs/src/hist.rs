@@ -1,0 +1,195 @@
+//! Log₂-bucket histograms.
+//!
+//! [`Histogram`] is the accumulation primitive behind every timer in the
+//! registry, and is public so other crates can keep their own latency
+//! distributions (the serve engine records per-request queue wait and
+//! end-to-end latency this way). Recording is O(1) and allocation-free:
+//! bucket `i` counts observations in `[2^i, 2^(i+1))`, which for
+//! nanosecond durations spans 1 ns to ~4 s in 32 buckets.
+
+/// Number of log₂ buckets: bucket `i` holds values in `[2^i, 2^(i+1))`;
+/// the last bucket absorbs everything ≥ `2^31`.
+pub const BUCKETS: usize = 32;
+
+/// A log₂-bucket histogram with count/total/min/max side statistics.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = lm4db_obs::Histogram::new();
+/// for v in [100, 120, 90, 20_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// // p50 falls in the [64, 128) bucket; quantiles report the bucket's
+/// // upper bound, clamped to the observed max.
+/// assert_eq!(h.quantile(0.5), 128);
+/// assert_eq!(h.quantile(1.0), 20_000);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    total: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let b = (63 - v.max(1).leading_zeros()) as usize;
+        self.buckets[b.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.total.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate quantile: the upper bound of the bucket where the
+    /// cumulative count crosses `q * count`, clamped to the observed max.
+    /// `q` is clamped to `[0, 1]`; returns 0 when empty. The p50/p95/p99
+    /// columns of the text exporter come from here.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Upper bound (exclusive) of bucket `i`.
+fn upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        let mut h = Histogram::new();
+        // 90 fast observations in [64, 128), 9 in [1024, 2048), 1 huge.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1500);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.50), 128);
+        assert_eq!(h.quantile(0.95), 2048);
+        // p99 crosses into the [1024, 2048) bucket exactly at the 99th
+        // observation; p100 reaches the outlier, clamped to max.
+        assert_eq!(h.quantile(0.99), 2048);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_folds_all_fields() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.total(), 1110);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_max() {
+        let mut h = Histogram::new();
+        h.record(5); // bucket [4, 8) with upper bound 8 > max 5
+        assert_eq!(h.quantile(0.5), 5);
+    }
+}

@@ -5,64 +5,25 @@
 //! instrumentation inside the `lm4db-tensor` worker pool never contends
 //! with the dispatcher. Gauges are last-write-wins and low-frequency, so
 //! they live in one global map. [`snapshot`] folds every shard together.
+//!
+//! Timers accumulate into [`Histogram`]s — the same log₂-bucket type other
+//! crates use for their own latency distributions — so snapshot quantiles
+//! and, say, the serve engine's per-request `Stats` histograms agree on
+//! semantics.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::export::{Snapshot, TimerStat};
+use crate::hist::Histogram;
 
-/// Number of log₂ latency buckets: bucket `i` holds durations in
-/// `[2^i, 2^(i+1))` nanoseconds; the last bucket absorbs everything ≥ ~4s.
-pub const BUCKETS: usize = 32;
-
-/// One timer's accumulated state inside a shard.
-#[derive(Clone)]
-pub(crate) struct Timer {
-    pub(crate) count: u64,
-    pub(crate) total_ns: u64,
-    pub(crate) min_ns: u64,
-    pub(crate) max_ns: u64,
-    pub(crate) buckets: [u64; BUCKETS],
-}
-
-impl Default for Timer {
-    fn default() -> Self {
-        Timer {
-            count: 0,
-            total_ns: 0,
-            min_ns: u64::MAX,
-            max_ns: 0,
-            buckets: [0; BUCKETS],
-        }
-    }
-}
-
-impl Timer {
-    pub(crate) fn record(&mut self, ns: u64) {
-        self.count += 1;
-        self.total_ns = self.total_ns.saturating_add(ns);
-        self.min_ns = self.min_ns.min(ns);
-        self.max_ns = self.max_ns.max(ns);
-        let b = (63 - ns.max(1).leading_zeros()) as usize;
-        self.buckets[b.min(BUCKETS - 1)] += 1;
-    }
-
-    pub(crate) fn merge(&mut self, other: &Timer) {
-        self.count += other.count;
-        self.total_ns = self.total_ns.saturating_add(other.total_ns);
-        self.min_ns = self.min_ns.min(other.min_ns);
-        self.max_ns = self.max_ns.max(other.max_ns);
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-    }
-}
+pub use crate::hist::BUCKETS;
 
 /// One thread's private slice of the registry.
 #[derive(Default)]
 struct Shard {
     counters: BTreeMap<String, u64>,
-    timers: BTreeMap<String, Timer>,
+    timers: BTreeMap<String, Histogram>,
 }
 
 impl Shard {
@@ -135,7 +96,7 @@ pub fn record_duration_ns(name: &str, ns: u64) {
         if let Some(t) = s.timers.get_mut(name) {
             t.record(ns);
         } else {
-            let mut t = Timer::default();
+            let mut t = Histogram::new();
             t.record(ns);
             s.timers.insert(name.to_string(), t);
         }
@@ -157,7 +118,7 @@ pub fn reset() {
 /// Works whether or not tracing is enabled.
 pub fn snapshot() -> Snapshot {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-    let mut timers: BTreeMap<String, Timer> = BTreeMap::new();
+    let mut timers: BTreeMap<String, Histogram> = BTreeMap::new();
     let mut threads = 0usize;
     for shard in shards().lock().unwrap().iter() {
         let s = shard.lock().unwrap();
@@ -177,7 +138,7 @@ pub fn snapshot() -> Snapshot {
         gauges: gauges().lock().unwrap().clone(),
         timers: timers
             .into_iter()
-            .map(|(k, t)| (k, TimerStat::from_timer(&t)))
+            .map(|(k, t)| (k, TimerStat::from_hist(&t)))
             .collect(),
         threads,
     }
@@ -189,31 +150,17 @@ mod tests {
 
     #[test]
     fn timer_buckets_are_log2() {
-        let mut t = Timer::default();
+        let mut t = Histogram::new();
         t.record(1); // bucket 0: [1, 2)
         t.record(3); // bucket 1: [2, 4)
         t.record(1024); // bucket 10
         t.record(u64::MAX); // saturates into the last bucket
-        assert_eq!(t.buckets[0], 1);
-        assert_eq!(t.buckets[1], 1);
-        assert_eq!(t.buckets[10], 1);
-        assert_eq!(t.buckets[BUCKETS - 1], 1);
-        assert_eq!(t.count, 4);
-        assert_eq!(t.min_ns, 1);
-        assert_eq!(t.max_ns, u64::MAX);
-    }
-
-    #[test]
-    fn merge_folds_all_fields() {
-        let mut a = Timer::default();
-        a.record(10);
-        let mut b = Timer::default();
-        b.record(100);
-        b.record(1000);
-        a.merge(&b);
-        assert_eq!(a.count, 3);
-        assert_eq!(a.total_ns, 1110);
-        assert_eq!(a.min_ns, 10);
-        assert_eq!(a.max_ns, 1000);
+        assert_eq!(t.buckets()[0], 1);
+        assert_eq!(t.buckets()[1], 1);
+        assert_eq!(t.buckets()[10], 1);
+        assert_eq!(t.buckets()[BUCKETS - 1], 1);
+        assert_eq!(t.count(), 4);
+        assert_eq!(t.min(), 1);
+        assert_eq!(t.max(), u64::MAX);
     }
 }

@@ -8,10 +8,15 @@
 //! ran. Guards are meant to drop in LIFO order, which ordinary lexical
 //! scoping guarantees; an out-of-order drop only mislabels paths, it never
 //! panics.
+//!
+//! At trace level 2 the same guards additionally emit begin/end events
+//! into the [flight recorder](crate::flight), so code instrumented with
+//! `span()`/`leaf()` shows up in per-request timelines with no changes.
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
+use crate::event::{Event, EventKind};
 use crate::registry::record_duration_ns;
 
 thread_local! {
@@ -21,10 +26,33 @@ thread_local! {
 
 enum Inner {
     /// A span on the thread-local path stack; `truncate_to` restores the
-    /// path when the guard drops.
-    Hier { truncate_to: usize, start: Instant },
+    /// path when the guard drops. `events` remembers whether a begin event
+    /// was emitted, so the matching end is emitted even if the trace level
+    /// changes while the guard is alive.
+    Hier {
+        name: &'static str,
+        truncate_to: usize,
+        start: Instant,
+        events: bool,
+    },
     /// A flat timer that never touches the path stack.
-    Leaf { name: &'static str, start: Instant },
+    Leaf {
+        name: &'static str,
+        start: Instant,
+        events: bool,
+    },
+}
+
+/// Emits a begin event when the flight recorder is armed; returns whether
+/// it did, so the guard can emit the matching end.
+#[inline]
+fn begin_event(name: &'static str) -> bool {
+    if crate::events_enabled() {
+        crate::flight::record(Event::now(EventKind::Begin, name, 0));
+        true
+    } else {
+        false
+    }
 }
 
 /// A timing guard returned by [`span`] and [`leaf`]; records its elapsed
@@ -49,9 +77,12 @@ pub fn span(name: &'static str) -> Span {
         p.push_str(name);
         n
     });
+    let events = begin_event(name);
     Span(Some(Inner::Hier {
+        name,
         truncate_to,
         start: Instant::now(),
+        events,
     }))
 }
 
@@ -63,9 +94,11 @@ pub fn leaf(name: &'static str) -> Span {
     if !crate::enabled() {
         return Span(None);
     }
+    let events = begin_event(name);
     Span(Some(Inner::Leaf {
         name,
         start: Instant::now(),
+        events,
     }))
 }
 
@@ -73,7 +106,12 @@ impl Drop for Span {
     fn drop(&mut self) {
         match self.0.take() {
             None => {}
-            Some(Inner::Hier { truncate_to, start }) => {
+            Some(Inner::Hier {
+                name,
+                truncate_to,
+                start,
+                events,
+            }) => {
                 let ns = start.elapsed().as_nanos() as u64;
                 let path = PATH.with(|p| {
                     let mut p = p.borrow_mut();
@@ -82,9 +120,19 @@ impl Drop for Span {
                     full
                 });
                 record_duration_ns(&path, ns);
+                if events {
+                    crate::flight::record(Event::now(EventKind::End, name, 0));
+                }
             }
-            Some(Inner::Leaf { name, start }) => {
+            Some(Inner::Leaf {
+                name,
+                start,
+                events,
+            }) => {
                 record_duration_ns(name, start.elapsed().as_nanos() as u64);
+                if events {
+                    crate::flight::record(Event::now(EventKind::End, name, 0));
+                }
             }
         }
     }
@@ -107,6 +155,14 @@ pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, Duration) {
     let elapsed = start.elapsed();
     if crate::enabled() {
         record_duration_ns(name, elapsed.as_nanos() as u64);
+        if crate::events_enabled() {
+            // A complete ("X") event: stamped at the end, duration in arg.
+            crate::flight::record(Event::now(
+                EventKind::Complete,
+                name,
+                elapsed.as_nanos() as u64,
+            ));
+        }
     }
     (out, elapsed)
 }

@@ -23,6 +23,7 @@
 //! [`parallel_rows_mut`]: lm4db_tensor::parallel_rows_mut
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use lm4db_transformer::generate::{apply_constraint, argmax, log_softmax};
@@ -33,6 +34,11 @@ use crate::stats::Stats;
 
 /// Engine-assigned request handle, increasing in submission order.
 pub type RequestId = u64;
+
+/// Request ids are process-unique, not per-engine: flight-recorder events
+/// are attributed by id alone, and applications like the codegen retry
+/// loop run several engines in one process whose ids must not collide.
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
 /// When the engine must give up on a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -201,6 +207,9 @@ struct Seq {
 /// Scheduler-side state of one admitted request.
 struct Active<'a> {
     id: RequestId,
+    /// When [`Engine::submit`] accepted the request (end-to-end latency
+    /// runs from here).
+    submitted: Instant,
     prompt_len: usize,
     decode: Decode,
     constraint: Option<&'a dyn Constraint>,
@@ -237,13 +246,12 @@ impl Active<'_> {
 pub struct Engine<'a> {
     model: &'a GptModel,
     opts: EngineOptions,
-    queue: VecDeque<(RequestId, Request<'a>)>,
+    queue: VecDeque<(RequestId, Request<'a>, Instant)>,
     cancelled: HashSet<RequestId>,
     active: Vec<Active<'a>>,
     finished: Vec<Response>,
     prefix: PrefixCache,
     stats: Stats,
-    next_id: RequestId,
 }
 
 impl<'a> Engine<'a> {
@@ -264,7 +272,6 @@ impl<'a> Engine<'a> {
             active: Vec::new(),
             finished: Vec::new(),
             stats: Stats::default(),
-            next_id: 0,
         }
     }
 
@@ -292,11 +299,11 @@ impl<'a> Engine<'a> {
             ),
             Decode::Greedy { .. } => {}
         }
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         self.stats.submitted += 1;
         lm4db_obs::counter_add("serve/submitted", 1);
-        self.queue.push_back((id, req));
+        lm4db_obs::instant_for("serve/submit", id);
+        self.queue.push_back((id, req, Instant::now()));
         id
     }
 
@@ -328,7 +335,13 @@ impl<'a> Engine<'a> {
     /// nested under `serve_step` — `admit` (admission + deadline sweep),
     /// `feed` (prefill/decode forward passes across the pool), and
     /// `select` (serial token selection) — and the [`Stats`] counters are
-    /// mirrored into the global registry under `serve/*`.
+    /// mirrored into the global registry under `serve/*`. At
+    /// `LM4DB_TRACE=2` the same spans additionally emit flight-recorder
+    /// events, every event between a request's submit and retire carries
+    /// its id (feed work and selection run under a request scope), and
+    /// `serve/submit`–`serve/admit`–`serve/retire` instants bracket each
+    /// request's lifecycle — enough to reconstruct per-request queue-wait
+    /// vs. feed vs. select timelines from one trace.
     pub fn step(&mut self) -> bool {
         let _step_timer = lm4db_obs::span("serve_step");
         {
@@ -354,6 +367,7 @@ impl<'a> Engine<'a> {
             let _t = lm4db_obs::span("select");
             let mut i = 0;
             while i < self.active.len() {
+                let _req = lm4db_obs::request_scope(self.active[i].id);
                 if let Some(resp) = select_request(&mut self.active[i], self.model) {
                     self.retire(i, resp);
                 } else {
@@ -444,11 +458,12 @@ impl<'a> Engine<'a> {
     /// Moves queued requests into free batch slots.
     fn admit(&mut self) {
         while self.active.len() < self.opts.max_batch {
-            let Some((id, req)) = self.queue.pop_front() else {
+            let Some((id, req, submitted)) = self.queue.pop_front() else {
                 break;
             };
             if self.cancelled.remove(&id) {
                 self.stats.cancelled += 1;
+                self.record_latency(id, submitted);
                 lm4db_obs::counter_add("serve/cancelled", 1);
                 self.finished.push(Response {
                     id,
@@ -459,6 +474,10 @@ impl<'a> Engine<'a> {
                 });
                 continue;
             }
+            let wait_ns = submitted.elapsed().as_nanos() as u64;
+            self.stats.queue_wait.record(wait_ns);
+            lm4db_obs::record_duration_ns("serve/queue_wait", wait_ns);
+            lm4db_obs::instant_for("serve/admit", id);
             let target = match req.decode {
                 Decode::Score { prefix_len } => prefix_len,
                 _ => req.prompt.len(),
@@ -480,6 +499,7 @@ impl<'a> Engine<'a> {
             let prompt_len = req.prompt.len();
             self.active.push(Active {
                 id,
+                submitted,
                 prompt_len,
                 decode: req.decode,
                 constraint: req.constraint,
@@ -538,8 +558,9 @@ impl<'a> Engine<'a> {
         let model = self.model;
         let mut prefill = 0u64;
         let mut decoded = 0u64;
-        let mut works: Vec<(&mut Seq, Vec<usize>)> = Vec::new();
+        let mut works: Vec<(RequestId, &mut Seq, Vec<usize>)> = Vec::new();
         for act in self.active.iter_mut() {
+            let id = act.id;
             let prompt_len = act.prompt_len;
             for seq in act.live.iter_mut() {
                 let fed = seq.cache.len();
@@ -548,14 +569,17 @@ impl<'a> Engine<'a> {
                     let pf = prompt_len.saturating_sub(fed).min(toks.len());
                     prefill += pf as u64;
                     decoded += (toks.len() - pf) as u64;
-                    works.push((seq, toks));
+                    works.push((id, seq, toks));
                 }
             }
         }
         if !works.is_empty() {
             let n = works.len();
             lm4db_tensor::parallel_rows_mut(&mut works, n, 1, |_, block| {
-                for (seq, toks) in block.iter_mut() {
+                for (id, seq, toks) in block.iter_mut() {
+                    // Attribute everything feed_all records — down to the
+                    // kernel leaves on this pool thread — to the request.
+                    let _req = lm4db_obs::request_scope(*id);
                     seq.cache.feed_all(model, toks);
                 }
             });
@@ -588,8 +612,18 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Records a retired request's end-to-end latency into the stats
+    /// histogram, the registry timer, and the flight recorder.
+    fn record_latency(&mut self, id: RequestId, submitted: Instant) {
+        let ns = submitted.elapsed().as_nanos() as u64;
+        self.stats.latency.record(ns);
+        lm4db_obs::record_duration_ns("serve/latency", ns);
+        lm4db_obs::instant_for("serve/retire", id);
+    }
+
     /// Books a finished response and frees its batch slot.
     fn retire(&mut self, i: usize, resp: Response) {
+        self.record_latency(self.active[i].id, self.active[i].submitted);
         match resp.outcome {
             Outcome::Finished => {
                 self.stats.completed += 1;

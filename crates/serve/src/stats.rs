@@ -7,6 +7,14 @@
 //! depth, batch occupancy, and prefix-cache size as gauges — so one
 //! `lm4db_obs::snapshot()` shows serving counters next to kernel and
 //! training timings, merged across every engine in the process.
+//!
+//! Per-request latency distributions ([`Stats::queue_wait`] and
+//! [`Stats::latency`]) are always recorded — they are one histogram
+//! `record` per request, far off the per-token hot path — so
+//! `stats().latency.quantile(0.99)` answers the tail-latency question
+//! without any tracing armed.
+
+use lm4db_obs::Histogram;
 
 /// A point-in-time snapshot of the engine's counters, taken with
 /// [`crate::Engine::stats`]. All token counts are cumulative since engine
@@ -40,6 +48,13 @@ pub struct Stats {
     pub batch_occupancy_sum: u64,
     /// Nodes (= cached token positions) currently held by the prefix trie.
     pub prefix_cache_nodes: usize,
+    /// Wall-clock nanoseconds each request spent queued before admission
+    /// (one observation per admitted request). Query tails with
+    /// [`Histogram::quantile`] — p50/p95/p99.
+    pub queue_wait: Histogram,
+    /// End-to-end wall-clock nanoseconds from submit to retire (one
+    /// observation per retired request, including cancelled and expired).
+    pub latency: Histogram,
 }
 
 impl Stats {

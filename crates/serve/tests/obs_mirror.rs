@@ -92,6 +92,24 @@ fn registry_counters_match_engine_stats() {
     // incremental forward, which carries its own flat timer.
     let feed = snap.timers.get("infer/feed_token").expect("feed timer");
     assert_eq!(feed.count, stats.prefill_tokens + stats.decoded_tokens);
+
+    // Per-request latency accounting: one queue-wait observation per
+    // admitted request, one end-to-end latency per retired request —
+    // mirrored into registry timers with the same counts.
+    assert_eq!(stats.queue_wait.count(), 4);
+    assert_eq!(stats.latency.count(), 4);
+    let qw = snap
+        .timers
+        .get("serve/queue_wait")
+        .expect("queue_wait timer");
+    assert_eq!(qw.count, stats.queue_wait.count());
+    let lat = snap.timers.get("serve/latency").expect("latency timer");
+    assert_eq!(lat.count, stats.latency.count());
+    // Quantiles are monotone and bounded by the observed extremes.
+    let p50 = stats.latency.quantile(0.50);
+    let p99 = stats.latency.quantile(0.99);
+    assert!(p50 <= p99);
+    assert!(p99 <= stats.latency.max());
 }
 
 #[test]

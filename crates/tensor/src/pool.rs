@@ -184,6 +184,7 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F
     }
     lm4db_obs::counter_add("pool/dispatched_jobs", 1);
     lm4db_obs::counter_add("pool/dispatched_chunks", chunks as u64);
+    lm4db_obs::instant_arg("pool/dispatch", chunks as u64);
     // Dispatch-to-completion latency of pooled jobs (flat: dispatch happens
     // under arbitrary callers).
     let _timer = lm4db_obs::leaf("pool/parallel_for");

@@ -239,6 +239,10 @@ impl SemanticParser {
     pub fn predict_batch(&self, questions: &[&str], mode: DecodeMode) -> Vec<Prediction> {
         let _span = lm4db_obs::span("text2sql_predict");
         lm4db_obs::counter_add("text2sql/questions", questions.len() as u64);
+        // At LM4DB_TRACE=2 this marks the batch boundary on the timeline;
+        // the engine's submit/admit/retire instants attribute the beam
+        // work inside it to individual requests.
+        lm4db_obs::instant_arg("text2sql/batch", questions.len() as u64);
         let prompts: Vec<Vec<usize>> = questions.iter().map(|q| self.prompt_ids(q)).collect();
         let constraints: Vec<TrieConstraint> = prompts
             .iter()

@@ -122,6 +122,11 @@ impl KvCache {
     /// Feeds several tokens; returns the logits after the last one.
     pub fn feed_all(&mut self, model: &GptModel, tokens: &[usize]) -> &[f32] {
         assert!(!tokens.is_empty(), "feed_all of empty token slice");
+        // Flat timer (not a span): feed_all runs both inline and on pool
+        // workers, and a flat name aggregates identically either way. Under
+        // a serve request scope its flight-recorder events carry the
+        // request id, so per-request feed time falls out of the trace.
+        let _timer = lm4db_obs::leaf("kv/feed_all");
         for &t in tokens {
             self.feed(model, t);
         }

@@ -217,10 +217,11 @@ fn golden_child_fingerprint() {
 }
 
 /// The batch-size sweep above runs in-process; this matrix re-runs it in
-/// subprocesses across worker-thread counts {1, 4} and tracing {off, on}
-/// and asserts the rendered outputs are identical — goldens hold at every
-/// (batch, threads, trace) point, and `LM4DB_TRACE=1` is purely
-/// observational (DESIGN.md §5d's "tracing never changes output").
+/// subprocesses across worker-thread counts {1, 4} and tracing levels
+/// {off, metrics, events} and asserts the rendered outputs are identical —
+/// goldens hold at every (batch, threads, trace) point, and both
+/// `LM4DB_TRACE=1` and the level-2 flight recorder are purely
+/// observational (DESIGN.md §5d/§5e's "tracing never changes output").
 #[test]
 fn golden_outputs_stable_across_thread_counts() {
     if std::env::var("LM4DB_BLESS").is_ok() {
@@ -228,7 +229,14 @@ fn golden_outputs_stable_across_thread_counts() {
     }
     let exe = std::env::current_exe().expect("current test binary");
     let mut fps = Vec::new();
-    for (threads, trace) in [("1", "0"), ("4", "0"), ("1", "1"), ("4", "1")] {
+    for (threads, trace) in [
+        ("1", "0"),
+        ("4", "0"),
+        ("1", "1"),
+        ("4", "1"),
+        ("1", "2"),
+        ("4", "2"),
+    ] {
         let out = Command::new(&exe)
             .args(["golden_child_fingerprint", "--exact", "--nocapture"])
             .env("LM4DB_THREADS", threads)
