@@ -1,0 +1,293 @@
+//! **Exp O** (fault tolerance): the cost of the chaos injector and the
+//! completeness of the recovery paths on the Exp L serving workload.
+//!
+//! Two claims are hard-asserted:
+//!
+//! 1. **`LM4DB_FAULTS` unset stays free.** A disarmed instrumentation
+//!    point is one relaxed atomic load plus a branch — the same contract
+//!    as `LM4DB_TRACE=0` — so the analytic bound (amortized call cost ×
+//!    fault points per token / token time) must come in under 1%.
+//! 2. **A seeded 5%-fault workload retires 100% of its requests with
+//!    terminal outcomes.** Injected panics quarantine and retry their
+//!    requests; exhausted budgets retire `Failed`; nothing is lost,
+//!    nothing aborts, and the `Stats` ledger balances exactly
+//!    (`completed + cancelled + expired + failed + rejected == submitted`).
+//!
+//! Wall clocks are measured min-of-5 with the arms interleaved
+//! round-robin (disarmed, armed at rate 0, armed at 5%) so host noise
+//! hits every arm alike, with the Exp N retry discipline: when the
+//! rate-0 arm looks inflated the whole measurement re-samples before the
+//! number is believed. The armed-at-rate-0 arm isolates the bookkeeping
+//! cost of an armed-but-silent injector (three hash rounds per point);
+//! the 5% arm's extra wall clock is the *recovery* cost — injected
+//! delays, discarded attempts, retries — not instrumentation overhead.
+
+use std::time::Instant;
+
+use lm4db::fault;
+use lm4db::serve::{Engine, EngineOptions, Outcome, Request, Stats};
+use lm4db::tokenize::BOS;
+use lm4db::transformer::{GptModel, ModelConfig};
+use lm4db_bench::{json_obj, print_table, write_results_json};
+use serde_json::Value;
+
+const STOP: usize = usize::MAX; // never emitted: measure full budgets
+const NEW_TOKENS: usize = 24;
+const HEADER_LEN: usize = 24;
+const FAULT_SEED: u64 = 42;
+const FAULT_RATE: f64 = 0.05;
+
+fn cfg() -> ModelConfig {
+    ModelConfig {
+        vocab_size: 512,
+        max_seq_len: 96,
+        d_model: 128,
+        n_heads: 4,
+        n_layers: 4,
+        d_ff: 512,
+        dropout: 0.0,
+    }
+}
+
+/// The Exp L prompt shape: eight requests sharing an instruction-style
+/// header with short unique tails.
+fn prompts() -> Vec<Vec<usize>> {
+    let mut header = vec![BOS];
+    header.extend((0..HEADER_LEN - 1).map(|i| 10 + (i * 7) % 500));
+    (0..8)
+        .map(|r| {
+            let mut p = header.clone();
+            p.extend([10 + (r * 31) % 500, 10 + (r * 17) % 500]);
+            p
+        })
+        .collect()
+}
+
+/// Serves the workload on a fresh engine; returns (responses, stats, secs).
+fn serve_run(model: &GptModel) -> (Vec<lm4db::serve::Response>, Stats, f64) {
+    let mut engine = Engine::with_options(
+        model,
+        EngineOptions {
+            max_batch: 8,
+            max_retries: 2,
+            retry_backoff_steps: 1,
+            ..Default::default()
+        },
+    );
+    let reqs = prompts()
+        .into_iter()
+        .map(|p| Request::greedy(p, NEW_TOKENS, STOP))
+        .collect();
+    let start = Instant::now();
+    let responses = engine.generate_batch(reqs);
+    let secs = start.elapsed().as_secs_f64();
+    (responses, engine.stats(), secs)
+}
+
+/// The three measured arms: injector disarmed, armed at rate 0 (rolls,
+/// never fires), armed at the chaos rate.
+const ARMS: usize = 3;
+
+fn set_arm(arm: usize) {
+    match arm {
+        0 => fault::disarm(),
+        1 => fault::configure(FAULT_SEED, 0.0),
+        _ => fault::configure(FAULT_SEED, FAULT_RATE),
+    }
+}
+
+/// Min-of-`ROUNDS` wall clock per arm, interleaved round-robin so a slow
+/// patch on the host penalizes every arm equally.
+const ROUNDS: usize = 5;
+
+fn measure_arms(model: &GptModel) -> [f64; ARMS] {
+    let mut best = [f64::INFINITY; ARMS];
+    for _ in 0..ROUNDS {
+        for (arm, slot) in best.iter_mut().enumerate() {
+            set_arm(arm);
+            let (_, _, secs) = serve_run(model);
+            *slot = slot.min(secs);
+        }
+    }
+    fault::disarm();
+    best
+}
+
+/// Amortized cost of one *disarmed* instrumentation point, in ns.
+fn disarmed_point_cost_ns(calls: usize) -> f64 {
+    fault::disarm();
+    assert!(!fault::armed());
+    let start = Instant::now();
+    for i in 0..calls {
+        fault::point("expO/disabled_probe", i as u64);
+    }
+    start.elapsed().as_nanos() as f64 / calls as f64
+}
+
+fn outcome_label(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Finished => "finished",
+        Outcome::Cancelled => "cancelled",
+        Outcome::DeadlineExpired => "expired",
+        Outcome::Failed { .. } => "failed",
+        Outcome::Rejected => "rejected",
+    }
+}
+
+fn main() {
+    fault::silence_injected_panics();
+    let threads = std::env::var("LM4DB_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1);
+    lm4db::tensor::set_threads(threads);
+    let model = GptModel::new(cfg(), 11);
+
+    // Warm the pool, caches, and allocator before timing anything.
+    fault::disarm();
+    let _ = serve_run(&model);
+
+    // --- 1. Disarmed path: the analytic <=1% bound -----------------------
+    let point_ns = disarmed_point_cost_ns(4_000_000);
+    // Fault points on one decoded token: one `serve/feed` roll and one
+    // `pool/task` roll per dispatched sequence step — 2, doubled for
+    // headroom (prefill amortizes many tokens over one dispatch).
+    let points_per_token = 4.0;
+
+    // --- 2. The three arms, interleaved, with the Exp N retry discipline -
+    let mut best = measure_arms(&model);
+    let mut rounds_done = ROUNDS;
+    while best[1] / best[0] - 1.0 > 0.05 && rounds_done < 3 * ROUNDS {
+        eprintln!(
+            "armed-at-rate-0 overhead {:.1}% after {rounds_done} rounds/arm; \
+             host looks noisy, sampling {ROUNDS} more",
+            (best[1] / best[0] - 1.0) * 100.0
+        );
+        let b = measure_arms(&model);
+        for (slot, sample) in best.iter_mut().zip(b) {
+            *slot = slot.min(sample);
+        }
+        rounds_done += ROUNDS;
+    }
+    let [secs_off, secs_armed0, secs_chaos] = best;
+
+    let (_, base_stats, _) = {
+        fault::disarm();
+        serve_run(&model)
+    };
+    let total_tokens =
+        (base_stats.prefill_tokens + base_stats.cached_prefix_tokens + base_stats.decoded_tokens)
+            .max(1);
+    let token_secs = secs_off / total_tokens as f64;
+    let analytic_overhead = points_per_token * point_ns * 1e-9 / token_secs;
+    let overhead_armed0 = secs_armed0 / secs_off - 1.0;
+    let overhead_chaos = secs_chaos / secs_off - 1.0;
+
+    // --- 3. Seeded chaos run: every request retires terminally -----------
+    fault::configure(FAULT_SEED, FAULT_RATE);
+    let (responses, stats, _) = serve_run(&model);
+    fault::disarm();
+    assert_eq!(
+        responses.len() as u64,
+        stats.submitted,
+        "a submitted request vanished under faults"
+    );
+    assert_eq!(
+        stats.terminal_total(),
+        stats.submitted,
+        "stats ledger out of balance under faults: {stats:?}"
+    );
+    let mut mix = std::collections::BTreeMap::new();
+    for r in &responses {
+        *mix.entry(outcome_label(&r.outcome)).or_insert(0u64) += 1;
+    }
+
+    print_table(
+        "Exp O — injector cost on the serve workload (min of 5, interleaved)",
+        &["injector state", "wall clock", "vs unset"],
+        &[
+            vec![
+                "unset (disarmed)".into(),
+                format!("{:.1} ms", secs_off * 1e3),
+                "—".into(),
+            ],
+            vec![
+                "armed, rate 0".into(),
+                format!("{:.1} ms", secs_armed0 * 1e3),
+                format!("{:+.1}%", overhead_armed0 * 100.0),
+            ],
+            vec![
+                format!("armed, rate {FAULT_RATE}"),
+                format!("{:.1} ms", secs_chaos * 1e3),
+                format!("{:+.1}% (includes recovery)", overhead_chaos * 100.0),
+            ],
+        ],
+    );
+    print_table(
+        &format!("Exp O — outcome mix at seed {FAULT_SEED}, rate {FAULT_RATE}"),
+        &["outcome", "requests"],
+        &mix.iter()
+            .map(|(k, v)| vec![(*k).to_string(), v.to_string()])
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "disarmed fault point: {point_ns:.2} ns; analytic disabled-path bound: {:.4}% \
+         ({} points x {point_ns:.2} ns / {:.3} µs per token)",
+        analytic_overhead * 100.0,
+        points_per_token as u64,
+        token_secs * 1e6,
+    );
+    assert!(
+        analytic_overhead <= 0.01,
+        "disabled-path fault-injection overhead bound {:.4}% exceeds 1%",
+        analytic_overhead * 100.0
+    );
+    println!("disabled-path overhead bound <= 1%: PASS");
+    println!(
+        "seeded {FAULT_RATE} fault workload: {}/{} requests retired terminally \
+         (retries={}, failed={}): PASS",
+        stats.terminal_total(),
+        stats.submitted,
+        stats.retries,
+        stats.failed,
+    );
+
+    let path = write_results_json(
+        "expO_fault_tolerance.json",
+        &json_obj(vec![
+            ("experiment", Value::Str("expO_fault_tolerance".into())),
+            ("threads", Value::Int(threads as i64)),
+            ("requests", Value::Int(8)),
+            ("new_tokens_per_request", Value::Int(NEW_TOKENS as i64)),
+            ("fault_seed", Value::Int(FAULT_SEED as i64)),
+            ("fault_rate", Value::Float(FAULT_RATE)),
+            ("wall_clock_secs_unset", Value::Float(secs_off)),
+            ("wall_clock_secs_armed_rate0", Value::Float(secs_armed0)),
+            ("wall_clock_secs_armed_chaos", Value::Float(secs_chaos)),
+            ("overhead_armed_rate0", Value::Float(overhead_armed0)),
+            ("overhead_armed_chaos", Value::Float(overhead_chaos)),
+            ("disarmed_point_ns", Value::Float(point_ns)),
+            (
+                "analytic_disabled_overhead",
+                Value::Float(analytic_overhead),
+            ),
+            ("submitted", Value::Int(stats.submitted as i64)),
+            ("completed", Value::Int(stats.completed as i64)),
+            ("failed", Value::Int(stats.failed as i64)),
+            ("retries", Value::Int(stats.retries as i64)),
+            ("rejected", Value::Int(stats.rejected as i64)),
+            ("expired", Value::Int(stats.expired as i64)),
+            ("cancelled", Value::Int(stats.cancelled as i64)),
+            (
+                "all_requests_terminal",
+                Value::Bool(stats.terminal_total() == stats.submitted),
+            ),
+        ]),
+    );
+    println!("wrote {}", path.display());
+}

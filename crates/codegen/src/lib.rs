@@ -18,4 +18,4 @@ pub mod synthesizer;
 pub use dsl::{parse_pipeline, AggFn, FilterOp, Literal, Pipeline, Step};
 pub use instructions::{enumerate_programs, generate_tasks, Task};
 pub use interp::run_pipeline;
-pub use synthesizer::{execution_accuracy, Synthesis, Synthesizer};
+pub use synthesizer::{execution_accuracy, BreakerOptions, Synthesis, Synthesizer};

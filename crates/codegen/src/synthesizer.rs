@@ -2,6 +2,17 @@
 //! candidates are validated by *executing* them, and failed attempts are
 //! retried with stochastic re-sampling — or avoided entirely with
 //! grammar-constrained decoding.
+//!
+//! **Fault isolation** (DESIGN.md §5f). Validation runs under
+//! `catch_unwind`, so a panicking interpreter (or an `LM4DB_FAULTS`
+//! injection at the `codegen/validate` site) counts as one validation
+//! failure instead of crashing the synthesis loop. On top of that,
+//! [`Synthesizer::synthesize_resilient`] wraps the retry loop in a
+//! circuit breaker: after [`BreakerOptions::threshold`] consecutive
+//! validation failures the breaker *opens* and calls divert to the
+//! grammar-constrained path (which always yields a runnable program);
+//! after [`BreakerOptions::cooldown`] diverted calls a half-open probe
+//! retries the normal loop, closing the breaker on success.
 
 use lm4db_serve::Engine;
 use lm4db_sql::Catalog;
@@ -23,6 +34,40 @@ pub struct Synthesis {
     pub raw: String,
     /// Number of attempts consumed (1 = first try).
     pub attempts: usize,
+    /// Whether the circuit breaker diverted this call to the constrained
+    /// fallback path instead of the normal synthesize/validate loop.
+    pub fallback: bool,
+}
+
+/// Circuit-breaker tuning for [`Synthesizer::synthesize_resilient`].
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerOptions {
+    /// Consecutive validation failures (counted per attempt, across
+    /// calls) that open the breaker.
+    pub threshold: u32,
+    /// Diverted calls to serve from the constrained fallback before a
+    /// half-open probe re-tries the normal loop.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerOptions {
+    fn default() -> Self {
+        BreakerOptions {
+            threshold: 6,
+            cooldown: 4,
+        }
+    }
+}
+
+/// Breaker state: closed (normal), open (diverting), half-open (probing).
+#[derive(Debug, Default)]
+struct Breaker {
+    /// Validation failures since the last success.
+    consecutive: u32,
+    open: bool,
+    /// Calls diverted to the fallback since opening (or since the last
+    /// failed probe).
+    fallback_calls: u32,
 }
 
 /// GPT-based program synthesizer for one domain.
@@ -31,6 +76,11 @@ pub struct Synthesizer {
     bpe: Bpe,
     trie: SqlTrie,
     rng: Rand,
+    breaker: Breaker,
+    breaker_opts: BreakerOptions,
+    /// Monotonic attempt counter salting the `codegen/validate` fault
+    /// site, so a chaos run's injections are deterministic per attempt.
+    attempt_serial: u64,
 }
 
 impl Synthesizer {
@@ -54,7 +104,23 @@ impl Synthesizer {
             bpe,
             trie,
             rng: Rand::seeded(seed ^ 0x5eed),
+            breaker: Breaker::default(),
+            breaker_opts: BreakerOptions::default(),
+            attempt_serial: 0,
         }
+    }
+
+    /// Overrides the circuit-breaker tuning (builder-style).
+    pub fn with_breaker(mut self, opts: BreakerOptions) -> Self {
+        self.breaker_opts = opts;
+        self
+    }
+
+    /// Whether the circuit breaker is currently open (calls to
+    /// [`Synthesizer::synthesize_resilient`] divert to the constrained
+    /// fallback).
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.open
     }
 
     /// Serializes a task into the fine-tuning text format.
@@ -127,6 +193,7 @@ impl Synthesizer {
                 pipeline: None,
                 raw: String::new(),
                 attempts: 1,
+                fallback: false,
             };
         };
         let (units, raw) = self.decode_generated(prompt.len(), &best.ids);
@@ -147,7 +214,32 @@ impl Synthesizer {
             pipeline,
             raw,
             attempts: 1,
+            fallback: false,
         }
+    }
+
+    /// Parse-and-execute validation under `catch_unwind`: a panic inside
+    /// the parser or interpreter — including an injected `LM4DB_FAULTS`
+    /// panic at the `codegen/validate` site — counts as one validation
+    /// failure instead of unwinding through the synthesis loop.
+    fn guarded_validate(&mut self, raw: &str, catalog: &Catalog) -> Option<Pipeline> {
+        let serial = self.attempt_serial;
+        self.attempt_serial += 1;
+        lm4db_obs::time("codegen_validate", || {
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                lm4db_fault::point("codegen/validate", serial);
+                parse_pipeline(&normalize_program(raw))
+                    .ok()
+                    .filter(|p| run_pipeline(p, catalog).is_ok())
+            }));
+            match attempt {
+                Ok(p) => p,
+                Err(_) => {
+                    lm4db_obs::counter_add("codegen/validation_panics", 1);
+                    None
+                }
+            }
+        })
     }
 
     /// Unconstrained synthesis with CodexDB's retry loop: greedy beam first,
@@ -196,17 +288,14 @@ impl Synthesizer {
             };
             let (_units, raw) = self.decode_generated(prompt.len(), &ids);
             last_raw = raw.clone();
-            let validated = lm4db_obs::time("codegen_validate", || {
-                parse_pipeline(&normalize_program(&raw))
-                    .ok()
-                    .filter(|p| run_pipeline(p, catalog).is_ok())
-            });
+            let validated = self.guarded_validate(&raw, catalog);
             if let Some(pipeline) = validated {
                 lm4db_obs::counter_add("codegen/accepted", 1);
                 return Synthesis {
                     pipeline: Some(pipeline),
                     raw,
                     attempts: attempt,
+                    fallback: false,
                 };
             }
             // Candidate parsed-but-failed or failed to parse: both are
@@ -217,7 +306,66 @@ impl Synthesizer {
             pipeline: None,
             raw: last_raw,
             attempts: max_retries.max(1),
+            fallback: false,
         }
+    }
+
+    /// [`Synthesizer::synthesize_with_retries`] behind a circuit breaker.
+    ///
+    /// Closed: runs the normal retry loop; a success resets the failure
+    /// streak, a fully failed call adds its attempts to it. When the
+    /// streak reaches [`BreakerOptions::threshold`] the breaker opens
+    /// (counter `codegen/breaker_open`) and this call — plus the next
+    /// [`BreakerOptions::cooldown`] calls — divert to
+    /// [`Synthesizer::synthesize_constrained`], which always yields a
+    /// runnable program (`Synthesis::fallback` is set on diverted
+    /// results, counter `codegen/fallbacks`). After the cooldown a
+    /// half-open probe runs the normal loop once: success closes the
+    /// breaker, failure re-opens it for another cooldown.
+    pub fn synthesize_resilient(
+        &mut self,
+        instruction: &str,
+        catalog: &Catalog,
+        max_retries: usize,
+    ) -> Synthesis {
+        if self.breaker.open {
+            self.breaker.fallback_calls += 1;
+            if self.breaker.fallback_calls > self.breaker_opts.cooldown {
+                // Half-open probe: one normal call decides.
+                lm4db_obs::counter_add("codegen/breaker_probes", 1);
+                self.breaker.fallback_calls = 0;
+                let s = self.synthesize_with_retries(instruction, catalog, max_retries);
+                if s.pipeline.is_some() {
+                    self.breaker = Breaker::default();
+                    lm4db_obs::counter_add("codegen/breaker_close", 1);
+                    lm4db_obs::instant("codegen/breaker_close");
+                    return s;
+                }
+                // Probe failed: stay open, serve this call from the
+                // fallback below.
+            }
+            let mut s = self.synthesize_constrained(instruction, catalog);
+            s.fallback = true;
+            lm4db_obs::counter_add("codegen/fallbacks", 1);
+            return s;
+        }
+        let s = self.synthesize_with_retries(instruction, catalog, max_retries);
+        if s.pipeline.is_some() {
+            self.breaker.consecutive = 0;
+            return s;
+        }
+        self.breaker.consecutive += s.attempts as u32;
+        if self.breaker.consecutive >= self.breaker_opts.threshold.max(1) {
+            self.breaker.open = true;
+            self.breaker.fallback_calls = 0;
+            lm4db_obs::counter_add("codegen/breaker_open", 1);
+            lm4db_obs::instant("codegen/breaker_open");
+            let mut f = self.synthesize_constrained(instruction, catalog);
+            f.fallback = true;
+            lm4db_obs::counter_add("codegen/fallbacks", 1);
+            return f;
+        }
+        s
     }
 }
 
@@ -319,6 +467,66 @@ mod tests {
             "raw: {}",
             s.raw
         );
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_serves_from_fallback() {
+        let (d, synth, tasks) = setup();
+        let mut synth = synth.with_breaker(BreakerOptions {
+            threshold: 2,
+            cooldown: 2,
+        });
+        let cat = d.catalog();
+        // An untrained model fails unconstrained validation, so one
+        // 2-attempt call reaches the threshold and opens the breaker; the
+        // very same call already serves from the constrained fallback.
+        let s = synth.synthesize_resilient(&tasks[0].instruction, &cat, 2);
+        assert!(synth.breaker_open());
+        assert!(s.fallback);
+        assert!(
+            s.pipeline.is_some(),
+            "fallback path always yields a runnable program"
+        );
+        // While open (within the cooldown), calls keep diverting.
+        let s = synth.synthesize_resilient(&tasks[1].instruction, &cat, 2);
+        assert!(s.fallback && s.pipeline.is_some());
+        assert!(synth.breaker_open());
+    }
+
+    #[test]
+    fn breaker_probe_reopens_on_failure_and_closes_on_success() {
+        let (d, synth, tasks) = setup();
+        let mut synth = synth.with_breaker(BreakerOptions {
+            threshold: 1,
+            cooldown: 1,
+        });
+        let cat = d.catalog();
+        // Open the breaker (threshold 1: first failed attempt trips it).
+        synth.synthesize_resilient(&tasks[0].instruction, &cat, 1);
+        assert!(synth.breaker_open());
+        // Call 1 while open: within cooldown, diverted.
+        let s = synth.synthesize_resilient(&tasks[0].instruction, &cat, 1);
+        assert!(s.fallback);
+        // Call 2: past cooldown — a half-open probe runs the normal loop.
+        // The untrained model still fails, so the breaker stays open and
+        // the call is served from the fallback.
+        let s = synth.synthesize_resilient(&tasks[0].instruction, &cat, 1);
+        assert!(s.fallback && synth.breaker_open());
+        // Teach the model one task, ride out the cooldown, and the next
+        // probe closes the breaker with a normal (non-fallback) success.
+        let t = Task {
+            instruction: "load the employees table and return the name column".into(),
+            program: "load employees | select name".into(),
+            pipeline: parse_pipeline("load employees | select name").unwrap(),
+        };
+        let train: Vec<Task> = std::iter::repeat_n(t.clone(), 8).collect();
+        synth.fit(&train, 25, 4, 3e-3);
+        let s = synth.synthesize_resilient(&t.instruction, &cat, 1);
+        assert!(s.fallback, "first post-fit call is still within cooldown");
+        let s = synth.synthesize_resilient(&t.instruction, &cat, 1);
+        assert!(!synth.breaker_open(), "successful probe closes the breaker");
+        assert!(!s.fallback);
+        assert_eq!(s.pipeline.map(|p| p.to_string()), Some(t.program.clone()));
     }
 
     #[test]

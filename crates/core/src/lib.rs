@@ -9,6 +9,7 @@
 //! | Module | What it is |
 //! |---|---|
 //! | [`obs`] | Std-only observability: metrics registry, spans, exporters |
+//! | [`fault`] | Deterministic seeded fault injection (`LM4DB_FAULTS`) for chaos testing |
 //! | [`tensor`] | CPU autograd engine (matmul, softmax, layernorm, Adam) |
 //! | [`tokenize`] | Trainable BPE (GPT-style) and WordPiece (BERT-style) |
 //! | [`transformer`] | GPT & BERT models, RNN baseline, constrained decoding |
@@ -40,6 +41,7 @@
 pub use lm4db_codegen as codegen;
 pub use lm4db_corpus as corpus;
 pub use lm4db_factcheck as factcheck;
+pub use lm4db_fault as fault;
 pub use lm4db_lm as lm;
 pub use lm4db_neuraldb as neuraldb;
 pub use lm4db_obs as obs;

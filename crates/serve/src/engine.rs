@@ -20,7 +20,25 @@
 //! any batch size and thread count: no arithmetic ever crosses sequences,
 //! and selection is deterministic and sequential.
 //!
+//! **Fault isolation** (DESIGN.md §5f). The feed fan-out runs through
+//! [`try_parallel_tasks_mut`], so a panicking kernel poisons only its own
+//! sequence: the owning request is *quarantined* — pulled from the batch
+//! with its half-written KV state discarded — and retried from scratch
+//! after a step-based exponential backoff, up to
+//! [`EngineOptions::max_retries`] times. A request that fails every
+//! attempt retires with [`Outcome::Failed`] carrying the panic message;
+//! the process never aborts and the rest of the batch never notices.
+//! Because KV rows are pure functions of the token prefix, a retried
+//! request's output is bit-identical to an undisturbed run — fault
+//! recovery is invisible in the result stream. Admission control caps the
+//! queue at [`EngineOptions::max_queue`]: excess submissions shed
+//! immediately with [`Outcome::Rejected`] instead of growing the queue
+//! unboundedly. Every submitted request therefore retires with exactly
+//! one terminal outcome
+//! (`completed + cancelled + expired + failed + rejected == submitted`).
+//!
 //! [`parallel_rows_mut`]: lm4db_tensor::parallel_rows_mut
+//! [`try_parallel_tasks_mut`]: lm4db_tensor::try_parallel_tasks_mut
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -146,8 +164,9 @@ impl<'a> Request<'a> {
     }
 }
 
-/// How a request left the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How a request left the engine. Every variant is terminal: a submitted
+/// request produces exactly one response with exactly one outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
     /// Ran to its natural end (stop token, budget, or dead end).
     Finished,
@@ -155,6 +174,17 @@ pub enum Outcome {
     Cancelled,
     /// Retired by its deadline; results are partial.
     DeadlineExpired,
+    /// Every attempt was poisoned (a worker panic, or a malformed prompt
+    /// that admission validation refused); results are partial and
+    /// `reason` carries the last failure's diagnosis. The engine itself
+    /// survives — see the module docs on fault isolation.
+    Failed {
+        /// The last panic message, or the validation error.
+        reason: String,
+    },
+    /// Shed at admission: the queue was at [`EngineOptions::max_queue`].
+    /// The request was never decoded; resubmit when load drops.
+    Rejected,
 }
 
 /// The engine's answer to one request.
@@ -181,6 +211,18 @@ pub struct EngineOptions {
     pub max_batch: usize,
     /// Prefix-cache budget in token positions; `0` disables the cache.
     pub prefix_cache_tokens: usize,
+    /// Admission-control bound: submissions arriving while this many
+    /// requests are already queued shed immediately with
+    /// [`Outcome::Rejected`]. `0` (the default) means unbounded.
+    pub max_queue: usize,
+    /// How many times a fault-poisoned request is retried from scratch
+    /// before retiring with [`Outcome::Failed`]. `0` fails on the first
+    /// poisoning.
+    pub max_retries: u32,
+    /// Base quarantine backoff, in scheduler steps: retry `r` waits
+    /// `retry_backoff_steps << r` steps (capped at 1024) before
+    /// re-admission. Step-based, so fault recovery is reproducible.
+    pub retry_backoff_steps: u64,
 }
 
 impl Default for EngineOptions {
@@ -188,8 +230,16 @@ impl Default for EngineOptions {
         EngineOptions {
             max_batch: 8,
             prefix_cache_tokens: 4096,
+            max_queue: 0,
+            max_retries: 2,
+            retry_backoff_steps: 2,
         }
     }
+}
+
+/// Bounded exponential backoff in scheduler steps for retry `attempt`.
+fn backoff_steps(base: u64, attempt: u32) -> u64 {
+    (base.max(1) << attempt.min(10)).min(1024)
 }
 
 /// One live sequence (a greedy/score request has one; a beam request has
@@ -204,9 +254,34 @@ struct Seq {
     log_prob: f32,
 }
 
+/// A request waiting for admission: freshly submitted, or quarantined
+/// after a fault and waiting out its backoff.
+struct Pending<'a> {
+    id: RequestId,
+    /// Engine-local submission index — the deterministic half of the
+    /// chaos-injection salt (request ids are process-global and therefore
+    /// depend on what else ran in the process; serials don't).
+    serial: u64,
+    /// 0 for a fresh request; retry number after quarantine.
+    attempt: u32,
+    /// Earliest scheduler tick at which admission may happen (0 = now).
+    wake: u64,
+    req: Request<'a>,
+    submitted: Instant,
+    /// Remaining step-deadline budget, carried across retries (quarantine
+    /// backoff does not consume it).
+    steps_left: Option<u64>,
+    wall: Option<Instant>,
+}
+
 /// Scheduler-side state of one admitted request.
 struct Active<'a> {
     id: RequestId,
+    /// See [`Pending::serial`].
+    serial: u64,
+    /// Which attempt this is (0 = first); salts fault rolls so a retry
+    /// re-rolls instead of deterministically re-faulting.
+    attempt: u32,
     /// When [`Engine::submit`] accepted the request (end-to-end latency
     /// runs from here).
     submitted: Instant,
@@ -246,12 +321,21 @@ impl Active<'_> {
 pub struct Engine<'a> {
     model: &'a GptModel,
     opts: EngineOptions,
-    queue: VecDeque<(RequestId, Request<'a>, Instant)>,
+    queue: VecDeque<Pending<'a>>,
+    /// Quarantined requests waiting out their backoff before re-admission.
+    retrying: Vec<Pending<'a>>,
     cancelled: HashSet<RequestId>,
     active: Vec<Active<'a>>,
     finished: Vec<Response>,
     prefix: PrefixCache,
     stats: Stats,
+    /// Scheduler ticks: increments on every [`Engine::step`] call, even
+    /// idle ones (unlike `stats.steps`, which only counts steps with an
+    /// active batch). Quarantine wake times are expressed in ticks so the
+    /// engine makes progress while every request is backing off.
+    ticks: u64,
+    /// Engine-local submission counter backing [`Pending::serial`].
+    next_serial: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -268,10 +352,13 @@ impl<'a> Engine<'a> {
             prefix: PrefixCache::new(opts.prefix_cache_tokens),
             opts,
             queue: VecDeque::new(),
+            retrying: Vec::new(),
             cancelled: HashSet::new(),
             active: Vec::new(),
             finished: Vec::new(),
             stats: Stats::default(),
+            ticks: 0,
+            next_serial: 0,
         }
     }
 
@@ -283,14 +370,16 @@ impl<'a> Engine<'a> {
     /// Enqueues a request; it is admitted into the batch on a later
     /// [`Engine::step`]. Requests are admitted and answered in FIFO order
     /// of their ids.
+    ///
+    /// Two conditions retire the request immediately instead of queueing
+    /// it: a prompt longer than the model's `max_seq_len` fails validation
+    /// ([`Outcome::Failed`] — the feed pass could only panic on it), and a
+    /// queue already holding [`EngineOptions::max_queue`] requests sheds
+    /// the submission with [`Outcome::Rejected`]. Structurally invalid
+    /// requests (empty prompt, zero-width beam, degenerate scoring split)
+    /// are API misuse and still panic.
     pub fn submit(&mut self, req: Request<'a>) -> RequestId {
         assert!(!req.prompt.is_empty(), "prompt must be non-empty");
-        assert!(
-            req.prompt.len() <= self.model.config().max_seq_len,
-            "prompt length {} exceeds max_seq_len {}",
-            req.prompt.len(),
-            self.model.config().max_seq_len
-        );
         match req.decode {
             Decode::Beam { width, .. } => assert!(width > 0, "beam width must be positive"),
             Decode::Score { prefix_len } => assert!(
@@ -303,7 +392,59 @@ impl<'a> Engine<'a> {
         self.stats.submitted += 1;
         lm4db_obs::counter_add("serve/submitted", 1);
         lm4db_obs::instant_for("serve/submit", id);
-        self.queue.push_back((id, req, Instant::now()));
+        let submitted = Instant::now();
+        let max_seq_len = self.model.config().max_seq_len;
+        if req.prompt.len() > max_seq_len {
+            self.stats.failed += 1;
+            lm4db_obs::counter_add("serve/failed", 1);
+            lm4db_obs::instant_for("serve/request_failed", id);
+            self.record_latency(id, submitted);
+            self.finished.push(Response {
+                id,
+                outcome: Outcome::Failed {
+                    reason: format!(
+                        "prompt length {} exceeds max_seq_len {}",
+                        req.prompt.len(),
+                        max_seq_len
+                    ),
+                },
+                tokens: Vec::new(),
+                hyps: Vec::new(),
+                score: 0.0,
+            });
+            return id;
+        }
+        if self.opts.max_queue > 0 && self.queue.len() >= self.opts.max_queue {
+            self.stats.rejected += 1;
+            lm4db_obs::counter_add("serve/rejected", 1);
+            lm4db_obs::instant_for("serve/shed", id);
+            self.record_latency(id, submitted);
+            self.finished.push(Response {
+                id,
+                outcome: Outcome::Rejected,
+                tokens: Vec::new(),
+                hyps: Vec::new(),
+                score: 0.0,
+            });
+            return id;
+        }
+        let (steps_left, wall) = match req.deadline {
+            Deadline::None => (None, None),
+            Deadline::Steps(s) => (Some(s), None),
+            Deadline::Wall(t) => (None, Some(t)),
+        };
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.queue.push_back(Pending {
+            id,
+            serial,
+            attempt: 0,
+            wake: 0,
+            req,
+            submitted,
+            steps_left,
+            wall,
+        });
         id
     }
 
@@ -318,6 +459,7 @@ impl<'a> Engine<'a> {
         let mut s = self.stats.clone();
         s.queued = self.queue.len();
         s.active = self.active.len();
+        s.retrying = self.retrying.len();
         s.prefix_cache_nodes = self.prefix.nodes();
         s
     }
@@ -344,17 +486,19 @@ impl<'a> Engine<'a> {
     /// vs. feed vs. select timelines from one trace.
     pub fn step(&mut self) -> bool {
         let _step_timer = lm4db_obs::span("serve_step");
+        self.ticks += 1;
         {
             let _t = lm4db_obs::span("admit");
             self.admit();
             self.sweep_cancelled_and_expired();
         }
         if self.active.is_empty() {
-            return !self.queue.is_empty();
+            return !(self.queue.is_empty() && self.retrying.is_empty());
         }
         {
             let _t = lm4db_obs::span("feed");
-            self.run_work();
+            let failures = self.run_work();
+            self.handle_failures(failures);
             self.insert_prefixes();
         }
         self.stats.steps += 1;
@@ -381,7 +525,7 @@ impl<'a> Engine<'a> {
             lm4db_obs::gauge_set("serve/peak_batch", self.stats.peak_batch as f64);
             lm4db_obs::gauge_set("serve/prefix_cache_nodes", self.prefix.nodes() as f64);
         }
-        !(self.active.is_empty() && self.queue.is_empty())
+        !(self.active.is_empty() && self.queue.is_empty() && self.retrying.is_empty())
     }
 
     /// Steps until idle and returns all completed responses in submission
@@ -455,18 +599,32 @@ impl<'a> Engine<'a> {
         target.expect("submitted request always completes")
     }
 
-    /// Moves queued requests into free batch slots.
+    /// Moves queued requests into free batch slots. Quarantined requests
+    /// whose backoff has elapsed re-admit first (oldest wake, then id), so
+    /// a retry never starves behind an unbounded stream of fresh arrivals;
+    /// fresh requests then fill remaining slots in FIFO order.
     fn admit(&mut self) {
         while self.active.len() < self.opts.max_batch {
-            let Some((id, req, submitted)) = self.queue.pop_front() else {
-                break;
+            let retry_idx = self
+                .retrying
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.wake <= self.ticks)
+                .min_by_key(|(_, p)| (p.wake, p.id))
+                .map(|(i, _)| i);
+            let pending = match retry_idx {
+                Some(i) => self.retrying.remove(i),
+                None => match self.queue.pop_front() {
+                    Some(p) => p,
+                    None => break,
+                },
             };
-            if self.cancelled.remove(&id) {
+            if self.cancelled.remove(&pending.id) {
                 self.stats.cancelled += 1;
-                self.record_latency(id, submitted);
+                self.record_latency(pending.id, pending.submitted);
                 lm4db_obs::counter_add("serve/cancelled", 1);
                 self.finished.push(Response {
-                    id,
+                    id: pending.id,
                     outcome: Outcome::Cancelled,
                     tokens: Vec::new(),
                     hyps: Vec::new(),
@@ -474,10 +632,22 @@ impl<'a> Engine<'a> {
                 });
                 continue;
             }
-            let wait_ns = submitted.elapsed().as_nanos() as u64;
-            self.stats.queue_wait.record(wait_ns);
-            lm4db_obs::record_duration_ns("serve/queue_wait", wait_ns);
-            lm4db_obs::instant_for("serve/admit", id);
+            if pending.attempt == 0 {
+                let wait_ns = pending.submitted.elapsed().as_nanos() as u64;
+                self.stats.queue_wait.record(wait_ns);
+                lm4db_obs::record_duration_ns("serve/queue_wait", wait_ns);
+            }
+            lm4db_obs::instant_for("serve/admit", pending.id);
+            let Pending {
+                id,
+                serial,
+                attempt,
+                wake: _,
+                req,
+                submitted,
+                steps_left,
+                wall,
+            } = pending;
             let target = match req.decode {
                 Decode::Score { prefix_len } => prefix_len,
                 _ => req.prompt.len(),
@@ -491,14 +661,11 @@ impl<'a> Engine<'a> {
                 .restore_into(self.model, &req.prompt[..limit], &mut cache);
             self.stats.cached_prefix_tokens += restored as u64;
             lm4db_obs::counter_add("serve/cached_prefix_tokens", restored as u64);
-            let (steps_left, wall) = match req.deadline {
-                Deadline::None => (None, None),
-                Deadline::Steps(s) => (Some(s), None),
-                Deadline::Wall(t) => (None, Some(t)),
-            };
             let prompt_len = req.prompt.len();
             self.active.push(Active {
                 id,
+                serial,
+                attempt,
                 submitted,
                 prompt_len,
                 decode: req.decode,
@@ -522,8 +689,39 @@ impl<'a> Engine<'a> {
     }
 
     /// Retires cancelled and deadline-expired active requests with partial
-    /// results, and ticks step deadlines.
+    /// results, and ticks step deadlines. Quarantined requests are swept
+    /// too: cancellation and wall deadlines apply while backing off, but
+    /// step deadlines do not tick during quarantine (the request is not
+    /// consuming scheduler capacity).
     fn sweep_cancelled_and_expired(&mut self) {
+        let mut i = 0;
+        while i < self.retrying.len() {
+            let p = &self.retrying[i];
+            let cancel = self.cancelled.remove(&p.id);
+            let expired = !cancel && p.wall.is_some_and(|t| Instant::now() >= t);
+            if cancel || expired {
+                let p = self.retrying.remove(i);
+                let outcome = if cancel {
+                    self.stats.cancelled += 1;
+                    lm4db_obs::counter_add("serve/cancelled", 1);
+                    Outcome::Cancelled
+                } else {
+                    self.stats.expired += 1;
+                    lm4db_obs::counter_add("serve/expired", 1);
+                    Outcome::DeadlineExpired
+                };
+                self.record_latency(p.id, p.submitted);
+                self.finished.push(Response {
+                    id: p.id,
+                    outcome,
+                    tokens: Vec::new(),
+                    hyps: Vec::new(),
+                    score: 0.0,
+                });
+                continue;
+            }
+            i += 1;
+        }
         let mut i = 0;
         while i < self.active.len() {
             let id = self.active[i].id;
@@ -554,40 +752,117 @@ impl<'a> Engine<'a> {
     /// only its own cache, and the per-sequence arithmetic is itself
     /// bit-identical at any thread count, so the result does not depend on
     /// batch composition or parallelism.
-    fn run_work(&mut self) {
+    ///
+    /// Runs through [`lm4db_tensor::try_parallel_tasks_mut`], so a panic
+    /// inside one sequence's forward pass poisons only that sequence;
+    /// `(request id, panic message)` pairs for the poisoned requests are
+    /// returned for [`Engine::handle_failures`]. Token accounting happens
+    /// *after* the pass from each cache's actual growth, so a partially
+    /// fed, poisoned sequence is counted exactly.
+    fn run_work(&mut self) -> Vec<(RequestId, String)> {
+        /// One sequence's pending feed, with the chaos-injection salt
+        /// precomputed so a retry (different `attempt`) and a later feed
+        /// step (different `fed`) re-roll the fault decision.
+        struct Work<'s> {
+            id: RequestId,
+            salt: u64,
+            fed: usize,
+            prompt_len: usize,
+            seq: &'s mut Seq,
+            toks: Vec<usize>,
+        }
         let model = self.model;
-        let mut prefill = 0u64;
-        let mut decoded = 0u64;
-        let mut works: Vec<(RequestId, &mut Seq, Vec<usize>)> = Vec::new();
+        let mut works: Vec<Work<'_>> = Vec::new();
         for act in self.active.iter_mut() {
             let id = act.id;
             let prompt_len = act.prompt_len;
+            let base = act.serial ^ ((act.attempt as u64) << 40);
             for seq in act.live.iter_mut() {
                 let fed = seq.cache.len();
                 if seq.sched > fed {
                     let toks = seq.ids[fed..seq.sched].to_vec();
-                    let pf = prompt_len.saturating_sub(fed).min(toks.len());
-                    prefill += pf as u64;
-                    decoded += (toks.len() - pf) as u64;
-                    works.push((id, seq, toks));
+                    works.push(Work {
+                        id,
+                        salt: base ^ ((fed as u64) << 20),
+                        fed,
+                        prompt_len,
+                        seq,
+                        toks,
+                    });
                 }
             }
         }
+        let mut poisoned = Vec::new();
         if !works.is_empty() {
-            let n = works.len();
-            lm4db_tensor::parallel_rows_mut(&mut works, n, 1, |_, block| {
-                for (id, seq, toks) in block.iter_mut() {
-                    // Attribute everything feed_all records — down to the
-                    // kernel leaves on this pool thread — to the request.
-                    let _req = lm4db_obs::request_scope(*id);
-                    seq.cache.feed_all(model, toks);
-                }
+            let failures = lm4db_tensor::try_parallel_tasks_mut(&mut works, |_, w| {
+                // Attribute everything feed_all records — down to the
+                // kernel leaves on this pool thread — to the request.
+                let _req = lm4db_obs::request_scope(w.id);
+                lm4db_fault::point("serve/feed", w.salt);
+                w.seq.cache.feed_all(model, &w.toks);
             });
+            for f in failures {
+                poisoned.push((works[f.index].id, f.message));
+            }
+        }
+        let mut prefill = 0u64;
+        let mut decoded = 0u64;
+        for w in &works {
+            let grown = w.seq.cache.len().saturating_sub(w.fed);
+            let pf = w.prompt_len.saturating_sub(w.fed).min(grown);
+            prefill += pf as u64;
+            decoded += (grown - pf) as u64;
         }
         self.stats.prefill_tokens += prefill;
         self.stats.decoded_tokens += decoded;
         lm4db_obs::counter_add("serve/prefill_tokens", prefill);
         lm4db_obs::counter_add("serve/decoded_tokens", decoded);
+        poisoned
+    }
+
+    /// Pulls every poisoned request out of the batch. A request with retry
+    /// budget left is quarantined: its half-written KV state is discarded
+    /// and the original prompt is re-queued for a from-scratch attempt
+    /// after a [`backoff_steps`] wait. A request out of budget retires
+    /// with [`Outcome::Failed`] carrying the panic message.
+    fn handle_failures(&mut self, failures: Vec<(RequestId, String)>) {
+        for (id, message) in failures {
+            // A beam request can poison several sequences in one pass;
+            // the first failure already removed it.
+            let Some(i) = self.active.iter().position(|a| a.id == id) else {
+                continue;
+            };
+            let act = self.active.remove(i);
+            if act.attempt < self.opts.max_retries {
+                self.stats.retries += 1;
+                lm4db_obs::counter_add("serve/retries", 1);
+                lm4db_obs::instant_for("serve/retry", id);
+                let prompt = act.live[0].ids[..act.prompt_len].to_vec();
+                self.retrying.push(Pending {
+                    id,
+                    serial: act.serial,
+                    attempt: act.attempt + 1,
+                    wake: self.ticks + backoff_steps(self.opts.retry_backoff_steps, act.attempt),
+                    req: Request {
+                        prompt,
+                        decode: act.decode,
+                        constraint: act.constraint,
+                        deadline: Deadline::None, // resolved at submit; unused here
+                    },
+                    submitted: act.submitted,
+                    steps_left: act.steps_left,
+                    wall: act.wall,
+                });
+            } else {
+                self.stats.failed += 1;
+                lm4db_obs::counter_add("serve/failed", 1);
+                lm4db_obs::instant_for("serve/request_failed", id);
+                self.record_latency(id, act.submitted);
+                let mut act = act;
+                let resp = response_for(&mut act, Outcome::Failed { reason: message });
+                self.finished.push(resp);
+            }
+        }
     }
 
     /// After a request's prefill completes, shares its prompt positions
@@ -624,7 +899,7 @@ impl<'a> Engine<'a> {
     /// Books a finished response and frees its batch slot.
     fn retire(&mut self, i: usize, resp: Response) {
         self.record_latency(self.active[i].id, self.active[i].submitted);
-        match resp.outcome {
+        match &resp.outcome {
             Outcome::Finished => {
                 self.stats.completed += 1;
                 lm4db_obs::counter_add("serve/completed", 1);
@@ -636,6 +911,12 @@ impl<'a> Engine<'a> {
             Outcome::DeadlineExpired => {
                 self.stats.expired += 1;
                 lm4db_obs::counter_add("serve/expired", 1);
+            }
+            // Failed retires through `handle_failures` (the request is
+            // already out of the batch there) and Rejected through
+            // `submit` (never admitted) — neither reaches a batch slot.
+            Outcome::Failed { .. } | Outcome::Rejected => {
+                unreachable!("{:?} never retires from the batch", resp.outcome)
             }
         }
         self.finished.push(resp);
@@ -894,6 +1175,7 @@ mod tests {
                     EngineOptions {
                         max_batch,
                         prefix_cache_tokens: cache_tokens,
+                        ..EngineOptions::default()
                     },
                 );
                 let reqs = ps
@@ -1106,6 +1388,68 @@ mod tests {
     }
 
     #[test]
+    fn admission_control_sheds_beyond_max_queue() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                max_batch: 1,
+                max_queue: 2,
+                ..Default::default()
+            },
+        );
+        // Nothing stepped yet, so every submission after the first two
+        // queued ones sheds.
+        let ids: Vec<_> = (0..5)
+            .map(|_| engine.submit(Request::greedy(vec![BOS, 10], 4, EOS)))
+            .collect();
+        let stats = engine.stats();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.rejected, 3);
+        let mut responses = engine.run();
+        responses.extend(engine.take_responses());
+        let shed: Vec<_> = responses
+            .iter()
+            .filter(|r| r.outcome == Outcome::Rejected)
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(shed, ids[2..].to_vec());
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.terminal_total(), stats.submitted);
+    }
+
+    #[test]
+    fn oversize_prompt_fails_gracefully_instead_of_panicking() {
+        let m = model();
+        let max = m.config().max_seq_len;
+        let mut engine = Engine::new(&m);
+        let id = engine.submit(Request::greedy(vec![BOS; max + 1], 4, EOS));
+        let responses = engine.take_responses();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].id, id);
+        match &responses[0].outcome {
+            Outcome::Failed { reason } => assert!(reason.contains("max_seq_len")),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.terminal_total(), stats.submitted);
+        // The engine stays fully usable afterwards.
+        engine.greedy(&[BOS, 10], 4, EOS);
+        assert_eq!(engine.stats().completed, 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_saturates() {
+        assert_eq!(backoff_steps(2, 0), 2);
+        assert_eq!(backoff_steps(2, 1), 4);
+        assert_eq!(backoff_steps(2, 3), 16);
+        assert_eq!(backoff_steps(0, 0), 1); // base clamps to 1
+        assert_eq!(backoff_steps(2, 63), 1024); // shift and result both capped
+    }
+
+    #[test]
     fn zero_budget_requests_return_empty() {
         let m = trained_model();
         let mut engine = Engine::new(&m);
@@ -1139,6 +1483,7 @@ mod proptests {
             let mut engine = Engine::with_options(&m, EngineOptions {
                 max_batch,
                 prefix_cache_tokens: if cache { 512 } else { 0 },
+                ..EngineOptions::default()
             });
             let mut reqs = Vec::new();
             for p in &prompts {

@@ -27,6 +27,14 @@
 //!   `LM4DB_TRACE=1` the same counters are mirrored into the global
 //!   `lm4db-obs` registry (under `serve/*`) and every scheduler phase is
 //!   timed as a span, exportable as text or JSON (see DESIGN.md §5d).
+//! * **Fault isolation** ([`engine`] module docs, DESIGN.md §5f): a panic
+//!   inside one sequence's forward pass never takes down the process or
+//!   the batch — the poisoned request quarantines and retries with
+//!   step-based backoff, then retires with [`Outcome::Failed`] if every
+//!   attempt is poisoned; admission control sheds excess queue depth with
+//!   [`Outcome::Rejected`]. Every submitted request retires with exactly
+//!   one terminal outcome. Chaos-test this path with `LM4DB_FAULTS` (the
+//!   `lm4db-fault` injector).
 //!
 //! Output is bit-identical to the single-request KV-cached decode path at
 //! any batch size and thread count (see DESIGN.md §5c for the invariants),

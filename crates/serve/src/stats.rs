@@ -29,10 +29,22 @@ pub struct Stats {
     pub cancelled: u64,
     /// Requests retired by a deadline with partial results.
     pub expired: u64,
+    /// Requests retired with [`crate::Outcome::Failed`] after exhausting
+    /// their retry budget (a worker panic poisoned every attempt).
+    pub failed: u64,
+    /// Requests shed at admission with [`crate::Outcome::Rejected`]
+    /// because the queue was at its configured bound.
+    pub rejected: u64,
+    /// Retry attempts scheduled after a poisoned feed pass (each failed
+    /// request contributes up to `EngineOptions::max_retries`).
+    pub retries: u64,
     /// Requests currently waiting for a batch slot.
     pub queued: usize,
     /// Requests currently decoding.
     pub active: usize,
+    /// Requests quarantined after a fault, waiting out their backoff
+    /// before re-admission.
+    pub retrying: usize,
     /// Prompt tokens fed through the model (cache misses during prefill).
     pub prefill_tokens: u64,
     /// Prompt tokens restored from the prefix cache instead of recomputed.
@@ -65,6 +77,15 @@ impl Stats {
         } else {
             self.batch_occupancy_sum as f32 / self.steps as f32
         }
+    }
+
+    /// Requests that have reached a terminal outcome. When the engine is
+    /// idle this equals [`Stats::submitted`] — every submitted request
+    /// retires exactly once, whatever faults were injected along the way
+    /// (the chaos suite's conservation law):
+    /// `completed + cancelled + expired + failed + rejected == submitted`.
+    pub fn terminal_total(&self) -> u64 {
+        self.completed + self.cancelled + self.expired + self.failed + self.rejected
     }
 
     /// Fraction of prompt tokens served from the prefix cache.
@@ -100,5 +121,21 @@ mod tests {
         };
         assert_eq!(s.mean_batch_occupancy(), 2.5);
         assert_eq!(s.prefix_hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn terminal_total_sums_every_terminal_outcome() {
+        let s = Stats {
+            submitted: 15,
+            completed: 8,
+            cancelled: 2,
+            expired: 1,
+            failed: 3,
+            rejected: 1,
+            retries: 5, // not terminal: retries never count
+            ..Stats::default()
+        };
+        assert_eq!(s.terminal_total(), 15);
+        assert_eq!(s.terminal_total(), s.submitted);
     }
 }

@@ -6,12 +6,22 @@
 //! registry are process-global, and a dedicated process keeps other tests'
 //! engines from bleeding counters into the snapshot.
 
-use lm4db_serve::{Engine, EngineOptions, Request};
+use lm4db_serve::{Engine, EngineOptions, Outcome, Request};
 use lm4db_tokenize::{BOS, EOS};
 use lm4db_transformer::{GptModel, ModelConfig};
 
+/// Tracing state, the registry, and the fault injector are all
+/// process-global; each test holds this lock so the counter snapshots
+/// stay exact.
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[test]
 fn registry_counters_match_engine_stats() {
+    let _l = lock();
     lm4db_obs::set_enabled(true);
     lm4db_obs::reset();
 
@@ -113,7 +123,74 @@ fn registry_counters_match_engine_stats() {
 }
 
 #[test]
+fn fault_counters_match_engine_stats() {
+    let _l = lock();
+    lm4db_fault::silence_injected_panics();
+    lm4db_obs::set_enabled(true);
+    lm4db_obs::reset();
+    // Saturating fault rate: every instrumented point fires (panic or
+    // delay per its deterministic roll), so the retry and failure paths
+    // are guaranteed to execute.
+    lm4db_fault::configure(42, 1.0);
+
+    let m = GptModel::new(ModelConfig::test(), 7);
+    let mut engine = Engine::with_options(
+        &m,
+        EngineOptions {
+            max_batch: 1,
+            max_queue: 2,
+            max_retries: 1,
+            ..Default::default()
+        },
+    );
+    // 6 submissions into a 2-deep queue: 4 shed immediately.
+    let ids: Vec<_> = (0..6)
+        .map(|_| engine.submit(Request::greedy(vec![BOS, 10], 6, EOS)))
+        .collect();
+    let responses = engine.run();
+    lm4db_fault::disarm();
+
+    let stats = engine.stats();
+    let snap = lm4db_obs::snapshot();
+    lm4db_obs::set_enabled(false);
+
+    // Exactly one terminal response per submission, whatever the faults
+    // did (the conservation law).
+    assert_eq!(
+        responses.iter().map(|r| r.id).collect::<Vec<_>>(),
+        ids,
+        "every submission retires exactly once, in id order"
+    );
+    assert_eq!(stats.terminal_total(), stats.submitted);
+    let failed = responses
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Failed { .. }))
+        .count() as u64;
+
+    // The new Stats fields mirror into serve/* exactly, and each fault
+    // path actually ran under this seed/rate.
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("serve/failed"), stats.failed);
+    assert_eq!(counter("serve/rejected"), stats.rejected);
+    assert_eq!(counter("serve/retries"), stats.retries);
+    assert_eq!(counter("serve/cancelled"), stats.cancelled);
+    assert_eq!(counter("serve/expired"), stats.expired);
+    assert_eq!(stats.rejected, 4, "rejected {}", stats.rejected);
+    assert!(stats.failed > 0, "saturating faults must fail requests");
+    assert_eq!(stats.failed, failed, "one Failed response per failed stat");
+    assert!(stats.retries > 0, "first poisoning always retries");
+    assert!(counter("fault/injected") > 0);
+    assert_eq!(
+        counter("fault/injected"),
+        counter("fault/panics") + counter("fault/delays")
+    );
+    // Pool-level isolation accounting fired for every poisoned task.
+    assert!(counter("pool/task_panics") > 0);
+}
+
+#[test]
 fn tracing_does_not_change_engine_output() {
+    let _l = lock();
     // Same engine run with tracing off and on: token streams must be
     // byte-identical (tracing is purely observational).
     let m = {

@@ -13,6 +13,15 @@
 //! environment variable, else `std::thread::available_parallelism()`.
 //! `parallel_for` calls from inside a worker run inline, so nested
 //! parallelism cannot deadlock.
+//!
+//! **Fault isolation.** Every chunk body runs under `catch_unwind`, so a
+//! panicking kernel can never kill a worker thread or leave a dispatcher
+//! waiting forever: the job drains cleanly, the pool stays usable, and the
+//! panic is *reported* — [`parallel_for`] re-raises it on the dispatching
+//! thread with the original message, while [`try_parallel_tasks_mut`]
+//! confines each panic to its own task and returns the failures, which is
+//! what the serving engine uses to retire a poisoned request without
+//! taking down its batch (DESIGN.md §5f).
 
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -74,6 +83,21 @@ struct Job {
     done: Mutex<usize>,
     finished: Condvar,
     panicked: AtomicBool,
+    /// Message of the first chunk panic, for the dispatcher's re-raise.
+    panic_message: Mutex<Option<String>>,
+}
+
+/// Renders a caught panic payload for reporting. Panics raised with
+/// `panic!("...")` carry `String` or `&str` payloads; anything else is
+/// summarized.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 // SAFETY: `func` points at a `Sync` closure that the dispatching thread
@@ -97,7 +121,12 @@ impl Job {
                 // SAFETY: see `Job::func`.
                 (unsafe { &*self.func })(start..end);
             }));
-            if result.is_err() {
+            if let Err(payload) = result {
+                let mut msg = self.panic_message.lock().unwrap();
+                if msg.is_none() {
+                    *msg = Some(panic_message(payload.as_ref()));
+                }
+                drop(msg);
                 self.panicked.store(true, Ordering::SeqCst);
             }
             let mut done = self.done.lock().unwrap();
@@ -204,6 +233,7 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F
         done: Mutex::new(0),
         finished: Condvar::new(),
         panicked: AtomicBool::new(false),
+        panic_message: Mutex::new(None),
     });
     // Enqueue one handle per helper we want active (capped by chunk count);
     // surplus copies drain as no-ops once the chunk counter is exhausted.
@@ -221,8 +251,73 @@ pub fn parallel_for<F: Fn(Range<usize>) + Sync>(n: usize, min_chunk: usize, f: F
     job.run(); // dispatcher participates
     job.wait();
     if job.panicked.load(Ordering::SeqCst) {
-        panic!("parallel_for: a worker chunk panicked");
+        // Every chunk completed (panicked ones via catch_unwind), so the
+        // pool has drained cleanly and stays usable; re-raise on the
+        // dispatching thread with the original message so the failure is
+        // attributable. Callers that must survive a poisoned task use
+        // `try_parallel_tasks_mut` instead.
+        let msg = job
+            .panic_message
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or_else(|| "unknown panic".to_string());
+        panic!("parallel_for: worker chunk panicked: {msg}");
     }
+}
+
+/// One failed task from [`try_parallel_tasks_mut`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Index of the task that panicked.
+    pub index: usize,
+    /// The panic message (poisoned tasks keep their diagnosis).
+    pub message: String,
+}
+
+/// Runs `f(i, &mut tasks[i])` for every task across the pool, confining
+/// each panic to its own task: a panicking task never unwinds into the
+/// caller, never skips a sibling task, and never kills a worker. Returns
+/// the failures sorted by task index (empty when everything succeeded).
+///
+/// This is the fault-isolated fan-out the serving engine feeds sequences
+/// through: the task that panicked is *poisoned* — its `&mut` state must
+/// be assumed half-written and discarded — but every other task completed
+/// normally and the pool is untouched.
+///
+/// Each call is also a seeded chaos point (`pool/task`, salted by a
+/// per-dispatch ticket and the task index): under `LM4DB_FAULTS`, tasks
+/// deterministically panic or stall here so the recovery paths above it
+/// are exercised end to end.
+pub fn try_parallel_tasks_mut<T: Send, F: Fn(usize, &mut T) + Sync>(
+    tasks: &mut [T],
+    f: F,
+) -> Vec<TaskFailure> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let ticket = lm4db_fault::ticket();
+    let failures: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
+    let n = tasks.len();
+    parallel_rows_mut(tasks, n, 1, |first, block| {
+        for (off, task) in block.iter_mut().enumerate() {
+            let index = first + off;
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                lm4db_fault::point("pool/task", ticket.wrapping_mul(4096) + index as u64);
+                f(index, task);
+            }));
+            if let Err(payload) = result {
+                lm4db_obs::counter_add("pool/task_panics", 1);
+                failures.lock().unwrap().push(TaskFailure {
+                    index,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    });
+    let mut failed = failures.into_inner().unwrap();
+    failed.sort_by_key(|t| t.index);
+    failed
 }
 
 /// Splits `data` into consecutive row-blocks of `rows * width` elements and
@@ -360,6 +455,61 @@ mod tests {
             count.fetch_add(range.len(), Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn panicking_chunk_reports_and_pool_survives() {
+        lm4db_fault::silence_injected_panics();
+        // A panic inside one chunk must surface on the dispatching thread
+        // with the original message...
+        let err = std::panic::catch_unwind(|| {
+            parallel_for(1000, 1, |range| {
+                if range.contains(&617) {
+                    panic!("injected fault at test/kernel (salt 0)");
+                }
+            });
+        })
+        .expect_err("panic must propagate to the dispatcher");
+        let msg = panic_message(err.as_ref());
+        assert!(
+            msg.contains("injected fault at test/kernel"),
+            "dispatcher panic lost the original message: {msg}"
+        );
+        // ...and the pool must stay fully usable afterwards.
+        let count = AtomicUsize::new(0);
+        parallel_for(10_000, 16, |range| {
+            count.fetch_add(range.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn try_parallel_tasks_confines_panics_to_their_task() {
+        lm4db_fault::silence_injected_panics();
+        let mut tasks: Vec<usize> = vec![0; 257];
+        let failures = try_parallel_tasks_mut(&mut tasks, |i, t| {
+            if i == 3 || i == 200 {
+                panic!("injected fault at test/task (salt {i})");
+            }
+            *t = i + 1;
+        });
+        assert_eq!(
+            failures.iter().map(|f| f.index).collect::<Vec<_>>(),
+            vec![3, 200]
+        );
+        for f in &failures {
+            assert!(f.message.contains("injected fault at test/task"));
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            if i == 3 || i == 200 {
+                assert_eq!(*t, 0, "poisoned task {i} must be untouched");
+            } else {
+                assert_eq!(*t, i + 1, "sibling task {i} must have completed");
+            }
+        }
+        // No failures: the empty vec, and every task ran.
+        let failures = try_parallel_tasks_mut(&mut tasks, |i, t| *t = i);
+        assert!(failures.is_empty());
     }
 
     #[test]

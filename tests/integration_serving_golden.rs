@@ -216,6 +216,123 @@ fn golden_child_fingerprint() {
     println!("SERVE_GOLDEN_FP={fp:016x}");
 }
 
+/// FNV-1a over a rendered output, for cross-process comparison.
+fn fnv_fingerprint(all: &str) -> u64 {
+    let mut fp: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in all.bytes() {
+        fp ^= u64::from(b);
+        fp = fp.wrapping_mul(0x1000_0000_01b3);
+    }
+    fp
+}
+
+/// Child of the fault matrix below: a fixed mixed workload (greedy, beam,
+/// scoring; bounded queue; retry budget) under whatever `LM4DB_FAULTS`
+/// the parent set, rendered down to every response's outcome — including
+/// `Failed` reasons and shed `Rejected`s — plus the failure-path stats.
+/// Prints an `OUTCOME_FP=` fingerprint for cross-process comparison.
+#[test]
+fn golden_child_outcome_fingerprint() {
+    lm4db::fault::silence_injected_panics();
+    let m = golden_model();
+    let mut engine = Engine::with_options(
+        &m,
+        EngineOptions {
+            max_batch: 3,
+            max_queue: 6,
+            max_retries: 2,
+            retry_backoff_steps: 2,
+            ..Default::default()
+        },
+    );
+    let mut ids = Vec::new();
+    for (i, p) in prompts().into_iter().enumerate() {
+        let req = match i % 3 {
+            0 => Request::greedy(p, MAX_NEW, EOS),
+            1 => Request::beam(p, BEAM_WIDTH, MAX_NEW, EOS),
+            _ => Request::score(&p[..p.len() - 1], &p[p.len() - 1..]),
+        };
+        ids.push(engine.submit(req));
+    }
+    let base = ids[0];
+    let responses = engine.run();
+    assert_eq!(responses.len(), ids.len(), "every request retires once");
+    let mut s = String::new();
+    for r in &responses {
+        write!(s, "r{}: {:?} tokens=", r.id - base, r.outcome).unwrap();
+        for t in &r.tokens {
+            write!(s, " {t}").unwrap();
+        }
+        writeln!(s, " score={:08x} hyps={}", r.score.to_bits(), r.hyps.len()).unwrap();
+    }
+    let st = engine.stats();
+    assert_eq!(st.terminal_total(), st.submitted);
+    writeln!(
+        s,
+        "failed={} rejected={} retries={} completed={} expired={}",
+        st.failed, st.rejected, st.retries, st.completed, st.expired
+    )
+    .unwrap();
+    println!("OUTCOME_STATS=failed:{},retries:{}", st.failed, st.retries);
+    println!("OUTCOME_FP={:016x}", fnv_fingerprint(&s));
+}
+
+/// Fault-injection determinism: with `LM4DB_FAULTS` unset the outcome
+/// fingerprint matches across thread counts, and at a fixed seed the
+/// *faulted* run — retries, failures, sheds and all — is byte-identical
+/// across thread counts, tracing levels, and repeated runs. Chaos is
+/// reproducible (DESIGN.md §5f).
+#[test]
+fn golden_outcomes_reproducible_under_fixed_seed_faults() {
+    let exe = std::env::current_exe().expect("current test binary");
+    let run = |threads: &str, trace: &str, faults: Option<&str>| -> (String, String) {
+        let mut cmd = Command::new(&exe);
+        cmd.args(["golden_child_outcome_fingerprint", "--exact", "--nocapture"])
+            .env("LM4DB_THREADS", threads)
+            .env("LM4DB_TRACE", trace);
+        match faults {
+            Some(spec) => cmd.env("LM4DB_FAULTS", spec),
+            None => cmd.env_remove("LM4DB_FAULTS"),
+        };
+        let out = cmd.output().expect("spawn child test");
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        assert!(
+            out.status.success(),
+            "child aborted (threads={threads}, trace={trace}, faults={faults:?}):\n{stdout}"
+        );
+        let grab = |key: &str| {
+            stdout
+                .split(key)
+                .nth(1)
+                .and_then(|s| s.split_whitespace().next())
+                .unwrap_or_else(|| panic!("no {key} in child output:\n{stdout}"))
+                .to_string()
+        };
+        (grab("OUTCOME_FP="), grab("OUTCOME_STATS="))
+    };
+
+    // Baseline: no faults, outcome stream is thread-count independent.
+    let (base1, base_stats) = run("1", "0", None);
+    let (base4, _) = run("4", "0", None);
+    assert_eq!(base1, base4, "fault-free outcomes depend on thread count");
+    assert_eq!(base_stats, "failed:0,retries:0");
+
+    // Fixed seed: same faults, same outcomes, everywhere.
+    const SPEC: &str = "4242:0.05";
+    let (f1, f_stats) = run("1", "0", Some(SPEC));
+    let (f2, _) = run("4", "0", Some(SPEC));
+    let (f3, _) = run("1", "1", Some(SPEC));
+    let (f4, _) = run("1", "0", Some(SPEC)); // same config twice
+    assert_eq!(f1, f2, "faulted outcomes depend on thread count");
+    assert_eq!(f1, f3, "faulted outcomes depend on tracing");
+    assert_eq!(f1, f4, "fixed-seed fault run is not reproducible");
+    assert_ne!(f1, base1, "seeded faults left no trace in the outcomes");
+    assert_ne!(
+        f_stats, "failed:0,retries:0",
+        "seed {SPEC} injected nothing — pick a livelier seed"
+    );
+}
+
 /// The batch-size sweep above runs in-process; this matrix re-runs it in
 /// subprocesses across worker-thread counts {1, 4} and tracing levels
 /// {off, metrics, events} and asserts the rendered outputs are identical —
@@ -241,6 +358,7 @@ fn golden_outputs_stable_across_thread_counts() {
             .args(["golden_child_fingerprint", "--exact", "--nocapture"])
             .env("LM4DB_THREADS", threads)
             .env("LM4DB_TRACE", trace)
+            .env_remove("LM4DB_FAULTS")
             .output()
             .expect("spawn child test");
         let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
