@@ -223,6 +223,14 @@ pub struct EngineOptions {
     /// `retry_backoff_steps << r` steps (capped at 1024) before
     /// re-admission. Step-based, so fault recovery is reproducible.
     pub retry_backoff_steps: u64,
+    /// Serve with int8 quantized weights: the engine snapshots the model's
+    /// heavy matrices to int8 at construction (`QuantizedGpt::from_model`)
+    /// and decodes through the quantized path, trading a bounded logit
+    /// perturbation for ~4x smaller weight reads. The f32 model is left
+    /// untouched. Quantized decode is still deterministic at any thread
+    /// count, but its outputs differ from f32 decode — both paths have
+    /// their own golden sets.
+    pub quantized: bool,
 }
 
 impl Default for EngineOptions {
@@ -233,6 +241,7 @@ impl Default for EngineOptions {
             max_queue: 0,
             max_retries: 2,
             retry_backoff_steps: 2,
+            quantized: false,
         }
     }
 }
@@ -320,6 +329,8 @@ impl Active<'_> {
 /// The batched inference engine. See the [module docs](self).
 pub struct Engine<'a> {
     model: &'a GptModel,
+    /// Int8 weight snapshot, present iff [`EngineOptions::quantized`].
+    quant: Option<lm4db_transformer::QuantizedGpt>,
     opts: EngineOptions,
     queue: VecDeque<Pending<'a>>,
     /// Quarantined requests waiting out their backoff before re-admission.
@@ -347,8 +358,12 @@ impl<'a> Engine<'a> {
     /// An engine with explicit options.
     pub fn with_options(model: &'a GptModel, opts: EngineOptions) -> Self {
         assert!(opts.max_batch >= 1, "max_batch must be at least 1");
+        let quant = opts
+            .quantized
+            .then(|| lm4db_transformer::QuantizedGpt::from_model(model));
         Engine {
             model,
+            quant,
             prefix: PrefixCache::new(opts.prefix_cache_tokens),
             opts,
             queue: VecDeque::new(),
@@ -365,6 +380,16 @@ impl<'a> Engine<'a> {
     /// The model this engine serves.
     pub fn model(&self) -> &'a GptModel {
         self.model
+    }
+
+    /// Whether this engine decodes through the int8 quantized path.
+    pub fn is_quantized(&self) -> bool {
+        self.quant.is_some()
+    }
+
+    /// Heap bytes of the int8 weight snapshot (0 for an f32 engine).
+    pub fn quantized_weight_bytes(&self) -> usize {
+        self.quant.as_ref().map_or(0, |q| q.weight_bytes())
     }
 
     /// Enqueues a request; it is admitted into the batch on a later
@@ -772,6 +797,7 @@ impl<'a> Engine<'a> {
             toks: Vec<usize>,
         }
         let model = self.model;
+        let quant = self.quant.as_ref();
         let mut works: Vec<Work<'_>> = Vec::new();
         for act in self.active.iter_mut() {
             let id = act.id;
@@ -799,7 +825,10 @@ impl<'a> Engine<'a> {
                 // kernel leaves on this pool thread — to the request.
                 let _req = lm4db_obs::request_scope(w.id);
                 lm4db_fault::point("serve/feed", w.salt);
-                w.seq.cache.feed_all(model, &w.toks);
+                match quant {
+                    Some(q) => w.seq.cache.feed_all_quant(model, q, &w.toks),
+                    None => w.seq.cache.feed_all(model, &w.toks),
+                };
             });
             for f in failures {
                 poisoned.push((works[f.index].id, f.message));
@@ -1159,6 +1188,78 @@ mod tests {
         for p in prompts() {
             let want = greedy_cached(&m, &p, 8, EOS);
             let mut engine = Engine::new(&m);
+            assert_eq!(engine.greedy(&p, 8, EOS), want, "prompt {p:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_engine_is_independent_of_batch_size_and_prefix_cache() {
+        let m = trained_model();
+        let ps = prompts();
+        let mut reference: Option<Vec<Vec<usize>>> = None;
+        for max_batch in [1, 8] {
+            for cache_tokens in [0, 4096] {
+                let mut engine = Engine::with_options(
+                    &m,
+                    EngineOptions {
+                        max_batch,
+                        prefix_cache_tokens: cache_tokens,
+                        quantized: true,
+                        ..EngineOptions::default()
+                    },
+                );
+                assert!(engine.is_quantized());
+                assert!(engine.quantized_weight_bytes() > 0);
+                let reqs = ps
+                    .iter()
+                    .map(|p| Request::greedy(p.clone(), 8, EOS))
+                    .collect();
+                let out: Vec<Vec<usize>> = engine
+                    .generate_batch(reqs)
+                    .into_iter()
+                    .map(|r| r.tokens)
+                    .collect();
+                match &reference {
+                    None => reference = Some(out),
+                    Some(want) => assert_eq!(
+                        &out, want,
+                        "quantized batch {max_batch} / cache {cache_tokens} diverged"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_engine_matches_direct_quantized_decode() {
+        // The engine's quantized serving path must be the same function as
+        // feeding the quantized KV cache directly.
+        let m = trained_model();
+        let q = lm4db_transformer::QuantizedGpt::from_model(&m);
+        for p in prompts() {
+            let mut cache = lm4db_transformer::KvCache::new(&m);
+            let mut logits = cache.feed_all_quant(&m, &q, &p).to_vec();
+            let mut want = Vec::new();
+            for _ in 0..8 {
+                let tok = logits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                if tok == EOS {
+                    break;
+                }
+                want.push(tok);
+                logits = cache.feed_quant(&m, &q, tok).to_vec();
+            }
+            let mut engine = Engine::with_options(
+                &m,
+                EngineOptions {
+                    quantized: true,
+                    ..EngineOptions::default()
+                },
+            );
             assert_eq!(engine.greedy(&p, 8, EOS), want, "prompt {p:?}");
         }
     }

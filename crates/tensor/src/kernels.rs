@@ -1,0 +1,861 @@
+//! Cache-blocked, register-tiled compute kernels shared by the tensor ops
+//! and the transformer's inference fast path.
+//!
+//! Every kernel preserves the crate's determinism contract (see
+//! [`crate::pool`]): each output element is produced by a **single serial
+//! accumulation chain** over the reduction dimension in ascending order,
+//! with one `f32` accumulator. Register tiling keeps several independent
+//! output elements in flight and panel packing rearranges the *inputs* for
+//! contiguous loads, but neither changes the order of operations *within*
+//! any element's chain — so the tiled kernels are bit-identical to a naive
+//! triple loop, at any thread count, and safe for the compiler to
+//! autovectorize across output lanes (Rust never contracts `a * b + c`
+//! into a fused multiply-add, so lane-wise code generation cannot change
+//! the result either).
+//!
+//! Layout of the matmul family (DESIGN.md §5g): an [`MR`]×[`NR`] register
+//! microkernel over a packed B panel. Panels are `[k][NR]` slabs copied
+//! out of the right-hand side once per parallel chunk (and zero-padded on
+//! the last partial panel), so the inner loop reads one contiguous `NR`
+//! float row per reduction step regardless of the original layout — this
+//! is what turns `matmul_bt`'s latency-bound scalar dot products into the
+//! same throughput-bound microkernel as plain `matmul`. The `A^T` variants
+//! need no packing at all: their reduction walks *rows* of both operands,
+//! so the microkernel is a rank-1 update with contiguous loads on both
+//! sides.
+
+//! On x86-64 the full-tile microkernels additionally carry a
+//! runtime-detected AVX variant built from lane-wise `mul_ps`/`add_ps`
+//! only — **never** fused multiply-adds. Each SIMD lane performs exactly
+//! the scalar kernel's `acc[j] += a * b[j]` chain with IEEE-identical
+//! rounding, so the AVX and scalar paths produce the same bits and the
+//! golden outputs do not depend on which machine ran them.
+
+// GEMM kernels take BLAS-style flat argument lists (operands, leading
+// dimensions, tile origin) by design; bundling them into structs would
+// obscure the correspondence with the textbook kernel signatures.
+#![allow(clippy::too_many_arguments)]
+
+/// Rows per register tile: independent output rows in flight in the
+/// microkernel. `MR * NR` accumulators must fit the register file with
+/// room for one packed-panel row and a broadcast lane.
+pub const MR: usize = 4;
+
+/// Columns per register tile; packed panels are zero-padded to this width
+/// so the inner loop is always a fixed-trip-count, vectorizable sweep.
+pub const NR: usize = 8;
+
+/// Packs row-major `b` (`[k][n]`) into `[n/NR]` slabs of `[k][NR]`,
+/// zero-padding the last panel. `panels` must hold
+/// `k * n.div_ceil(NR) * NR` elements.
+fn pack_row_major(b: &[f32], k: usize, n: usize, panels: &mut [f32]) {
+    for (jp, slab) in panels.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = jp * NR;
+        let nr = NR.min(n - j0);
+        for (p, dst) in slab.chunks_exact_mut(NR).enumerate() {
+            dst[..nr].copy_from_slice(&b[p * n + j0..p * n + j0 + nr]);
+            for z in dst[nr..].iter_mut() {
+                *z = 0.0;
+            }
+        }
+    }
+}
+
+/// Packs transposed-layout `bt` (`[n][k]` row-major, i.e. `B^T`) into the
+/// same `[k][NR]` panel layout as [`pack_row_major`], so `A x B^T` runs
+/// through the identical microkernel.
+fn pack_transposed(bt: &[f32], k: usize, n: usize, panels: &mut [f32]) {
+    for (jp, slab) in panels.chunks_exact_mut(k * NR).enumerate() {
+        let j0 = jp * NR;
+        let nr = NR.min(n - j0);
+        slab.fill(0.0);
+        for jj in 0..nr {
+            let col = &bt[(j0 + jj) * k..(j0 + jj) * k + k];
+            for (p, &v) in col.iter().enumerate() {
+                slab[p * NR + jj] = v;
+            }
+        }
+    }
+}
+
+/// Lane-wise AVX bodies of the full-tile microkernels. Compiled only on
+/// x86-64 and entered only after a runtime `avx` check; every intrinsic
+/// used (`broadcast`, `loadu`, `mul_ps`, `add_ps`) is a per-lane IEEE
+/// operation, so these produce bit-identical results to the scalar
+/// fallbacks below — they just retire 8 lanes per instruction instead of
+/// relying on what the autovectorizer manages at the SSE2 baseline.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::{MR, NR};
+    use std::arch::x86_64::*;
+
+    /// True once the CPU reports AVX; checked per kernel call (the result
+    /// is cached by `is_x86_feature_detected!` itself).
+    #[inline]
+    pub fn usable() -> bool {
+        is_x86_feature_detected!("avx")
+    }
+
+    /// AVX body of [`super::mk_nn_full`]: one 8-lane accumulator per tile
+    /// row (`NR == 8`), `p` ascending.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX ([`usable`]).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn mk_nn_full(
+        a: &[f32],
+        lda: usize,
+        k: usize,
+        panel: &[f32],
+        out: &mut [f32],
+        ldc: usize,
+        nr: usize,
+    ) {
+        const { assert!(NR == 8 && MR == 4) };
+        let rows = [
+            &a[..k],
+            &a[lda..lda + k],
+            &a[2 * lda..2 * lda + k],
+            &a[3 * lda..3 * lda + k],
+        ];
+        let mut acc = [_mm256_setzero_ps(); MR];
+        // Two reduction steps per iteration: `acc += a_p*b_p` then
+        // `acc += a_{p+1}*b_{p+1}` — the same ascending chain per lane,
+        // just with half the loop overhead.
+        let mut p = 0;
+        while p + 2 <= k {
+            let b0 = _mm256_loadu_ps(panel[p * NR..].as_ptr());
+            let b1 = _mm256_loadu_ps(panel[(p + 1) * NR..].as_ptr());
+            for (r, accr) in acc.iter_mut().enumerate() {
+                // SAFETY: every row slice holds `k` elements and `p+1 < k`.
+                let a0 = _mm256_broadcast_ss(rows[r].get_unchecked(p));
+                let a1 = _mm256_broadcast_ss(rows[r].get_unchecked(p + 1));
+                let t = _mm256_add_ps(*accr, _mm256_mul_ps(a0, b0));
+                *accr = _mm256_add_ps(t, _mm256_mul_ps(a1, b1));
+            }
+            p += 2;
+        }
+        if p < k {
+            let bv = _mm256_loadu_ps(panel[p * NR..].as_ptr());
+            for (r, accr) in acc.iter_mut().enumerate() {
+                // SAFETY: `p < k` and every row slice holds `k` elements.
+                let ar = _mm256_broadcast_ss(rows[r].get_unchecked(p));
+                *accr = _mm256_add_ps(*accr, _mm256_mul_ps(ar, bv));
+            }
+        }
+        if nr == NR {
+            for (r, &accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(out[r * ldc..].as_mut_ptr(), accr);
+            }
+        } else {
+            let mut lanes = [0.0f32; NR];
+            for (r, &accr) in acc.iter().enumerate() {
+                _mm256_storeu_ps(lanes.as_mut_ptr(), accr);
+                out[r * ldc..r * ldc + nr].copy_from_slice(&lanes[..nr]);
+            }
+        }
+    }
+
+    /// AVX body of the full-tile case of [`super::mk_tn`]: rank-1 updates
+    /// with contiguous loads on both operands, `i` ascending.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX ([`usable`]).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn mk_tn_full(
+        a: &[f32],
+        b: &[f32],
+        red: usize,
+        lda: usize,
+        ldb: usize,
+        p0: usize,
+        j0: usize,
+        out: &mut [f32],
+        ldc: usize,
+    ) {
+        const { assert!(NR == 8 && MR == 4) };
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for i in 0..red {
+            let bv = _mm256_loadu_ps(b[i * ldb + j0..].as_ptr());
+            let av = &a[i * lda + p0..i * lda + p0 + MR];
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let ar = _mm256_broadcast_ss(&av[r]);
+                *accr = _mm256_add_ps(*accr, _mm256_mul_ps(ar, bv));
+            }
+        }
+        for (r, &accr) in acc.iter().enumerate() {
+            _mm256_storeu_ps(out[r * ldc..].as_mut_ptr(), accr);
+        }
+    }
+
+    /// AVX body of the full-tile case of [`super::vec_matmul_block`]:
+    /// two 8-lane column accumulators held across the whole `i` sweep.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX ([`usable`]) and
+    /// `y_block.len() == 16`.
+    #[target_feature(enable = "avx")]
+    pub unsafe fn vec_matmul_tile16(
+        x: &[f32],
+        w: &[f32],
+        d_out: usize,
+        col0: usize,
+        y_block: &mut [f32],
+    ) {
+        let mut acc0 = _mm256_loadu_ps(y_block.as_ptr());
+        let mut acc1 = _mm256_loadu_ps(y_block[8..].as_ptr());
+        for (i, xi) in x.iter().enumerate() {
+            let xv = _mm256_broadcast_ss(xi);
+            let wrow = &w[i * d_out + col0..i * d_out + col0 + 16];
+            acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(xv, _mm256_loadu_ps(wrow.as_ptr())));
+            acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(xv, _mm256_loadu_ps(wrow[8..].as_ptr())));
+        }
+        _mm256_storeu_ps(y_block.as_mut_ptr(), acc0);
+        _mm256_storeu_ps(y_block[8..].as_mut_ptr(), acc1);
+    }
+}
+
+/// The MR×NR register microkernel: `out[r][j] = Σ_p a[r][p] * panel[p][j]`
+/// for `MR` full rows, `p` ascending with one accumulator per output
+/// element. Only the first `nr` columns are stored (padding lanes compute
+/// on zeros and are discarded).
+#[inline]
+fn mk_nn_full(
+    a: &[f32],
+    lda: usize,
+    k: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    ldc: usize,
+    nr: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx::usable() {
+        // SAFETY: AVX support was just checked.
+        unsafe { avx::mk_nn_full(a, lda, k, panel, out, ldc, nr) };
+        return;
+    }
+    let a0 = &a[..k];
+    let a1 = &a[lda..lda + k];
+    let a2 = &a[2 * lda..2 * lda + k];
+    let a3 = &a[3 * lda..3 * lda + k];
+    let mut acc = [[0.0f32; NR]; MR];
+    for (p, brow) in panel.chunks_exact(NR).enumerate() {
+        let av = [a0[p], a1[p], a2[p], a3[p]];
+        for r in 0..MR {
+            let ar = av[r];
+            let accr = &mut acc[r];
+            for j in 0..NR {
+                accr[j] += ar * brow[j];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[r * ldc..r * ldc + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+/// Single-row edge of [`mk_nn_full`] for the `rows % MR` remainder.
+#[inline]
+fn mk_nn_row(a_row: &[f32], panel: &[f32], out: &mut [f32], nr: usize) {
+    let mut acc = [0.0f32; NR];
+    for (brow, &av) in panel.chunks_exact(NR).zip(a_row.iter()) {
+        for j in 0..NR {
+            acc[j] += av * brow[j];
+        }
+    }
+    out[..nr].copy_from_slice(&acc[..nr]);
+}
+
+/// Multiplies `rows` rows of `a` (`[rows][k]`, leading stride `k`) against
+/// pre-packed panels of a `[k][n]` matrix, writing `out` (`[rows][n]`).
+fn gemm_packed(a: &[f32], out: &mut [f32], panels: &[f32], rows: usize, k: usize, n: usize) {
+    let np = n.div_ceil(NR);
+    let mut i = 0;
+    while i < rows {
+        let mr = MR.min(rows - i);
+        for jp in 0..np {
+            let j0 = jp * NR;
+            let nr = NR.min(n - j0);
+            let panel = &panels[jp * k * NR..(jp + 1) * k * NR];
+            if mr == MR {
+                mk_nn_full(&a[i * k..], k, k, panel, &mut out[i * n + j0..], n, nr);
+            } else {
+                for r in i..i + mr {
+                    mk_nn_row(&a[r * k..r * k + k], panel, &mut out[r * n + j0..], nr);
+                }
+            }
+        }
+        i += mr;
+    }
+}
+
+/// One parallel chunk of batched `A x B`: computes output rows
+/// `first..first + block.len()/n` (global over `batch * m`), packing each
+/// batch's B once per run of rows. With a broadcast (2-D) right-hand side
+/// the whole chunk shares one packing.
+pub fn gemm_nn_block(
+    first: usize,
+    block: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    broadcast_rhs: bool,
+) {
+    if n == 0 || k == 0 {
+        block.fill(0.0);
+        return;
+    }
+    let rows = block.len() / n;
+    let mut panels = vec![0.0f32; k * n.div_ceil(NR) * NR];
+    let mut r0 = 0;
+    while r0 < rows {
+        let batch = (first + r0) / m;
+        // Tiles never cross a batch boundary: each run of rows shares one
+        // right-hand side (the whole chunk, when B is broadcast).
+        let run = if broadcast_rhs {
+            rows - r0
+        } else {
+            ((batch + 1) * m - (first + r0)).min(rows - r0)
+        };
+        let b_off = if broadcast_rhs { 0 } else { batch * k * n };
+        pack_row_major(&b[b_off..b_off + k * n], k, n, &mut panels);
+        gemm_packed(
+            &a[(first + r0) * k..(first + r0 + run) * k],
+            &mut block[r0 * n..(r0 + run) * n],
+            &panels,
+            run,
+            k,
+            n,
+        );
+        r0 += run;
+    }
+}
+
+/// One parallel chunk of batched `A x B^T` (`b` is `[n][k]` row-major).
+/// Packing transposes the panel, after which the chunk runs through the
+/// exact same microkernel — and the exact same per-element `p`-ascending
+/// order — as [`gemm_nn_block`].
+pub fn gemm_bt_block(
+    first: usize,
+    block: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    broadcast_rhs: bool,
+) {
+    if n == 0 || k == 0 {
+        block.fill(0.0);
+        return;
+    }
+    let rows = block.len() / n;
+    let mut panels = vec![0.0f32; k * n.div_ceil(NR) * NR];
+    let mut r0 = 0;
+    while r0 < rows {
+        let batch = (first + r0) / m;
+        let run = if broadcast_rhs {
+            rows - r0
+        } else {
+            ((batch + 1) * m - (first + r0)).min(rows - r0)
+        };
+        let b_off = if broadcast_rhs { 0 } else { batch * n * k };
+        pack_transposed(&b[b_off..b_off + n * k], k, n, &mut panels);
+        gemm_packed(
+            &a[(first + r0) * k..(first + r0 + run) * k],
+            &mut block[r0 * n..(r0 + run) * n],
+            &panels,
+            run,
+            k,
+            n,
+        );
+        r0 += run;
+    }
+}
+
+/// Rank-1-update microkernel for the `A^T` variants:
+/// `out[r][j] = Σ_i a[i][p0 + r] * b[i][j0 + j]`, `i` ascending. Both loads
+/// are contiguous (`MR` consecutive columns of a row of A, `NR` consecutive
+/// columns of a row of B), so no packing is needed.
+#[inline]
+fn mk_tn(
+    a: &[f32],
+    b: &[f32],
+    red: usize,
+    lda: usize,
+    ldb: usize,
+    p0: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+    out: &mut [f32],
+    ldc: usize,
+) {
+    if mr == MR && nr == NR {
+        #[cfg(target_arch = "x86_64")]
+        if avx::usable() {
+            // SAFETY: AVX support was just checked.
+            unsafe { avx::mk_tn_full(a, b, red, lda, ldb, p0, j0, out, ldc) };
+            return;
+        }
+    }
+    let mut acc = [[0.0f32; NR]; MR];
+    if mr == MR && nr == NR {
+        for i in 0..red {
+            let av = &a[i * lda + p0..i * lda + p0 + MR];
+            let bv = &b[i * ldb + j0..i * ldb + j0 + NR];
+            for r in 0..MR {
+                let ar = av[r];
+                let accr = &mut acc[r];
+                for j in 0..NR {
+                    accr[j] += ar * bv[j];
+                }
+            }
+        }
+    } else {
+        for i in 0..red {
+            let bv = &b[i * ldb + j0..i * ldb + j0 + nr];
+            for (r, accr) in acc.iter_mut().enumerate().take(mr) {
+                let ar = a[i * lda + p0 + r];
+                for (acc_j, &bj) in accr.iter_mut().zip(bv.iter()) {
+                    *acc_j += ar * bj;
+                }
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(mr) {
+        out[r * ldc..r * ldc + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+/// Tiles `rows` consecutive output rows (starting at column-of-A `p0`) of
+/// one `A^T x B` product: `a` is `[red][lda]`, `b` is `[red][ldb]`, `out`
+/// is `[rows][n]` with `n <= ldb` columns taken from `b[:, j0=0..n]`.
+fn tn_run(
+    a: &[f32],
+    b: &[f32],
+    red: usize,
+    lda: usize,
+    n: usize,
+    p0: usize,
+    rows: usize,
+    out: &mut [f32],
+) {
+    let mut r = 0;
+    while r < rows {
+        let mr = MR.min(rows - r);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            mk_tn(
+                a,
+                b,
+                red,
+                lda,
+                n,
+                p0 + r,
+                j0,
+                mr,
+                nr,
+                &mut out[r * n + j0..],
+                n,
+            );
+            j0 += NR;
+        }
+        r += mr;
+    }
+}
+
+/// One parallel chunk of batched `A^T x B`: output rows `first..` are
+/// global over `batch * k`; runs are split at batch boundaries.
+pub fn gemm_tn_block(
+    first: usize,
+    block: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = block.len() / n;
+    let mut r0 = 0;
+    while r0 < rows {
+        let row = first + r0;
+        let (batch, p0) = (row / k, row % k);
+        let run = (k - p0).min(rows - r0);
+        tn_run(
+            &a[batch * m * k..(batch + 1) * m * k],
+            &b[batch * m * n..(batch + 1) * m * n],
+            m,
+            k,
+            n,
+            p0,
+            run,
+            &mut block[r0 * n..(r0 + run) * n],
+        );
+        r0 += run;
+    }
+}
+
+/// One parallel chunk of `A^T x B` summed over every batch: `a` is
+/// `[red][k]` (`red = batch * m` flattened), `b` is `[red][n]`, and the
+/// chunk covers output rows `first..first + block.len()/n` of the `[k][n]`
+/// result. The reduction walks `(batch, i)` ascending, exactly like a
+/// serial accumulation over batches then rows.
+pub fn gemm_tn_acc_block(
+    first: usize,
+    block: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    red: usize,
+    k: usize,
+    n: usize,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = block.len() / n;
+    tn_run(a, b, red, k, n, first, rows, block);
+}
+
+/// Numerically stabilized softmax of one row, in place: max-fold, then a
+/// single serial exp-and-sum pass (ascending), then scale by `1/sum`.
+/// Shared by the tensor op, the cached-attention path, and the decoding
+/// strategies so every softmax in the system uses identical float
+/// operations.
+pub fn softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Numerically stable log-softmax of one row, in place. Same serial
+/// exp-sum chain as [`softmax_in_place`].
+pub fn log_softmax_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+    for x in row.iter_mut() {
+        *x -= logsum;
+    }
+}
+
+/// Scaled dot-product scores of one query head against every cached key:
+/// `scores[t] = (Σ_p q[p] * keys[t*d + off + p]) * scale`. Four cached
+/// positions run in flight — each score still sums `p` ascending with its
+/// own single accumulator (bit-identical to one-at-a-time), but the four
+/// independent chains hide the floating-point add latency that makes a
+/// lone dot product serial.
+pub fn attn_scores(q: &[f32], keys: &[f32], d: usize, off: usize, scale: f32, scores: &mut [f32]) {
+    let hd = q.len();
+    let total = scores.len();
+    let mut t = 0;
+    while t + 4 <= total {
+        let base = t * d + off;
+        let k0 = &keys[base..base + hd];
+        let k1 = &keys[base + d..base + d + hd];
+        let k2 = &keys[base + 2 * d..base + 2 * d + hd];
+        let k3 = &keys[base + 3 * d..base + 3 * d + hd];
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        for (p, &qp) in q.iter().enumerate() {
+            a0 += qp * k0[p];
+            a1 += qp * k1[p];
+            a2 += qp * k2[p];
+            a3 += qp * k3[p];
+        }
+        scores[t] = a0 * scale;
+        scores[t + 1] = a1 * scale;
+        scores[t + 2] = a2 * scale;
+        scores[t + 3] = a3 * scale;
+        t += 4;
+    }
+    while t < total {
+        let kh = &keys[t * d + off..t * d + off + hd];
+        let mut acc = 0.0f32;
+        for (&qp, &kp) in q.iter().zip(kh.iter()) {
+            acc += qp * kp;
+        }
+        scores[t] = acc * scale;
+        t += 1;
+    }
+}
+
+/// Probability-weighted value mix: `ctx[j] += Σ_t probs[t] *
+/// vals[t*d + off + j]`, `t` ascending — an axpy over cached positions
+/// that vectorizes across the `ctx` lanes.
+pub fn attn_mix(probs: &[f32], vals: &[f32], d: usize, off: usize, ctx: &mut [f32]) {
+    let hd = ctx.len();
+    for (t, &p) in probs.iter().enumerate() {
+        let vh = &vals[t * d + off..t * d + off + hd];
+        for (c, &vv) in ctx.iter_mut().zip(vh.iter()) {
+            *c += p * vv;
+        }
+    }
+}
+
+/// Fused softmax·V attention for one head: raw score logits in `scores`
+/// are softmaxed in place and immediately mixed into `ctx`, so no per-head
+/// probability matrix is ever materialized beyond the single reusable
+/// scratch row.
+pub fn attn_head(
+    q: &[f32],
+    keys: &[f32],
+    vals: &[f32],
+    d: usize,
+    off: usize,
+    scale: f32,
+    scores: &mut [f32],
+    ctx: &mut [f32],
+) {
+    attn_scores(q, keys, d, off, scale, scores);
+    softmax_in_place(scores);
+    attn_mix(scores, vals, d, off, ctx);
+}
+
+/// One parallel chunk of a vector-matrix product `y = x W + b`:
+/// `y_block` covers output columns `first..first + y_block.len()` of a
+/// `[d_in, d_out]` weight and must already hold the matching bias slice.
+/// Columns are register-tiled so each tile stays in registers across the
+/// whole `i`-ascending input sweep instead of streaming `y` through the
+/// cache once per input element. Per-column accumulation order is
+/// unchanged from the scalar loop.
+pub fn vec_matmul_block(x: &[f32], w: &[f32], d_out: usize, first: usize, y_block: &mut [f32]) {
+    /// Columns per register tile (one tile = one cache line of `f32`).
+    const CT: usize = 16;
+    let cols = y_block.len();
+    let mut c0 = 0;
+    while c0 < cols {
+        let ct = CT.min(cols - c0);
+        #[cfg(target_arch = "x86_64")]
+        if ct == CT && avx::usable() {
+            // SAFETY: AVX support was just checked and the tile is full.
+            unsafe { avx::vec_matmul_tile16(x, w, d_out, first + c0, &mut y_block[c0..c0 + CT]) };
+            c0 += CT;
+            continue;
+        }
+        let mut acc = [0.0f32; CT];
+        acc[..ct].copy_from_slice(&y_block[c0..c0 + ct]);
+        if ct == CT {
+            for (i, &xi) in x.iter().enumerate() {
+                let wrow = &w[i * d_out + first + c0..i * d_out + first + c0 + CT];
+                for j in 0..CT {
+                    acc[j] += xi * wrow[j];
+                }
+            }
+        } else {
+            for (i, &xi) in x.iter().enumerate() {
+                let wrow = &w[i * d_out + first + c0..i * d_out + first + c0 + ct];
+                for (acc_j, &wj) in acc.iter_mut().zip(wrow.iter()) {
+                    *acc_j += xi * wj;
+                }
+            }
+        }
+        y_block[c0..c0 + ct].copy_from_slice(&acc[..ct]);
+        c0 += ct;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_nn(
+        a: &[f32],
+        b: &[f32],
+        ab: usize,
+        m: usize,
+        k: usize,
+        n: usize,
+        bcast: bool,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; ab * m * n];
+        for batch in 0..ab {
+            let b_off = if bcast { 0 } else { batch * k * n };
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[batch * m * k + i * k + p] * b[b_off + p * n + j];
+                    }
+                    out[batch * m * n + i * n + j] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        let mut s = seed;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (s >> 8) as f32 / (1u32 << 24) as f32 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nn_block_matches_naive_at_edge_shapes() {
+        // Shapes straddling every tile edge: rows % MR, cols % NR, and a
+        // chunk split mid-batch.
+        for &(ab, m, k, n, bcast) in &[
+            (1usize, 1usize, 1usize, 1usize, false),
+            (1, 5, 7, 9, false),
+            (2, 6, 13, 17, false),
+            (3, 4, 8, 8, true),
+            (2, 9, 33, 19, true),
+        ] {
+            let a = fill(ab * m * k, 1);
+            let b = fill(if bcast { k * n } else { ab * k * n }, 2);
+            let want = naive_nn(&a, &b, ab, m, k, n, bcast);
+            // Run as two chunks split at an arbitrary row to exercise the
+            // mid-batch entry path.
+            let rows = ab * m;
+            let split = (rows / 2).max(1).min(rows);
+            let mut got = vec![0.0f32; rows * n];
+            let (lo, hi) = got.split_at_mut(split * n);
+            gemm_nn_block(0, lo, &a, &b, m, k, n, bcast);
+            if !hi.is_empty() {
+                gemm_nn_block(split, hi, &a, &b, m, k, n, bcast);
+            }
+            assert_eq!(got, want, "shape ab={ab} m={m} k={k} n={n} bcast={bcast}");
+        }
+    }
+
+    #[test]
+    fn bt_block_matches_naive_dot() {
+        let (ab, m, k, n) = (2usize, 5usize, 11usize, 7usize);
+        let a = fill(ab * m * k, 3);
+        let bt = fill(ab * n * k, 4);
+        let mut want = vec![0.0f32; ab * m * n];
+        for batch in 0..ab {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[batch * m * k + i * k + p] * bt[batch * n * k + j * k + p];
+                    }
+                    want[batch * m * n + i * n + j] = acc;
+                }
+            }
+        }
+        let mut got = vec![0.0f32; ab * m * n];
+        gemm_bt_block(0, &mut got, &a, &bt, m, k, n, false);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tn_blocks_match_naive_transpose() {
+        let (ab, m, k, n) = (2usize, 9usize, 6usize, 10usize);
+        let a = fill(ab * m * k, 5);
+        let b = fill(ab * m * n, 6);
+        // matmul_tn reference.
+        let mut want = vec![0.0f32; ab * k * n];
+        for batch in 0..ab {
+            for p in 0..k {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for i in 0..m {
+                        acc += a[batch * m * k + i * k + p] * b[batch * m * n + i * n + j];
+                    }
+                    want[batch * k * n + p * n + j] = acc;
+                }
+            }
+        }
+        let mut got = vec![0.0f32; ab * k * n];
+        gemm_tn_block(0, &mut got, &a, &b, m, k, n);
+        assert_eq!(got, want);
+
+        // matmul_tn_acc reference: summed over batches in ascending order.
+        let mut want_acc = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for bi in 0..ab * m {
+                    acc += a[bi * k + p] * b[bi * n + j];
+                }
+                want_acc[p * n + j] = acc;
+            }
+        }
+        let mut got_acc = vec![0.0f32; k * n];
+        gemm_tn_acc_block(0, &mut got_acc, &a, &b, ab * m, k, n);
+        assert_eq!(got_acc, want_acc);
+    }
+
+    #[test]
+    fn vec_matmul_block_matches_scalar_axpy() {
+        let (d_in, d_out) = (13usize, 37usize);
+        let x = fill(d_in, 7);
+        let w = fill(d_in * d_out, 8);
+        let bias = fill(d_out, 9);
+        let mut want = bias.clone();
+        for (i, &xi) in x.iter().enumerate() {
+            for j in 0..d_out {
+                want[j] += xi * w[i * d_out + j];
+            }
+        }
+        // Two chunks with an awkward split.
+        let mut got = bias.clone();
+        let split = 21;
+        let (lo, hi) = got.split_at_mut(split);
+        vec_matmul_block(&x, &w, d_out, 0, lo);
+        vec_matmul_block(&x, &w, d_out, split, hi);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn attn_head_matches_unfused_reference() {
+        let (t, h, hd) = (11usize, 3usize, 5usize);
+        let d = h * hd;
+        let q = fill(hd, 10);
+        let keys = fill(t * d, 11);
+        let vals = fill(t * d, 12);
+        let off = hd; // head 1
+        let scale = 0.37f32;
+        // Reference: the pre-rewrite per-head loop, verbatim.
+        let mut scores_ref = vec![0.0f32; t];
+        for (ti, s) in scores_ref.iter_mut().enumerate() {
+            let kh = &keys[ti * d + off..ti * d + off + hd];
+            *s = q.iter().zip(kh.iter()).map(|(a, b)| a * b).sum::<f32>() * scale;
+        }
+        let max = scores_ref.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for s in scores_ref.iter_mut() {
+            *s = (*s - max).exp();
+            sum += *s;
+        }
+        let inv = 1.0 / sum;
+        let mut ctx_ref = vec![0.0f32; hd];
+        for (ti, &s) in scores_ref.iter().enumerate() {
+            let p = s * inv;
+            let vh = &vals[ti * d + off..ti * d + off + hd];
+            for (c, &vv) in ctx_ref.iter_mut().zip(vh.iter()) {
+                *c += p * vv;
+            }
+        }
+        let mut scratch = vec![0.0f32; t];
+        let mut ctx = vec![0.0f32; hd];
+        attn_head(&q, &keys, &vals, d, off, scale, &mut scratch, &mut ctx);
+        assert_eq!(ctx, ctx_ref, "fused attention diverged bitwise");
+    }
+
+    #[test]
+    fn softmax_in_place_normalizes() {
+        let mut row = vec![1.0f32, 2.0, 3.0, 1000.0];
+        softmax_in_place(&mut row);
+        assert!(row.iter().all(|x| x.is_finite()));
+        assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}

@@ -25,8 +25,10 @@
 
 pub mod graph;
 pub mod init;
+pub mod kernels;
 pub mod optim;
 pub mod pool;
+pub mod quant;
 pub mod shape;
 pub mod tensor;
 
@@ -37,6 +39,7 @@ pub use pool::{
     parallel_for, parallel_rows_mut, parallel_rows_mut2, set_threads, threads,
     try_parallel_tasks_mut, TaskFailure,
 };
+pub use quant::{quantize_activation, QuantizedMatrix};
 pub use tensor::Tensor;
 
 #[cfg(test)]

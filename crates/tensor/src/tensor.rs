@@ -11,10 +11,14 @@ use std::sync::Arc;
 
 use crate::shape::{assert_same_shape, batch_dims, numel, strides};
 
-/// Minimum rows per parallel chunk so a chunk amortizes dispatch overhead:
-/// roughly 32k multiply-adds of work per chunk.
+/// Minimum rows per parallel chunk so a chunk amortizes both dispatch
+/// overhead and the per-chunk panel packing of the tiled kernels: roughly
+/// 128k multiply-adds of work per chunk (the register-tiled microkernel
+/// retires madds ~4x faster than the old scalar loop did, so the work
+/// floor scales up with it), and never fewer rows than one register tile
+/// so packed panels are reused at least [`crate::kernels::MR`] times.
 fn matmul_min_rows(_m: usize, n: usize, k: usize) -> usize {
-    (32_768 / (n * k).max(1)).max(1)
+    (131_072 / (n * k).max(1)).max(crate::kernels::MR)
 }
 
 /// Minimum elements per chunk for cheap elementwise kernels.
@@ -334,31 +338,19 @@ impl Tensor {
         let a = &self.data;
         let b = &other.data;
         // Parallel over output rows (batch x m). Each row is produced by
-        // exactly one chunk with a fixed serial accumulation order, so the
-        // result is bit-identical at any thread count. The inner kernel is
-        // ikj (axpy over contiguous rows of b) with the k loop blocked so a
-        // panel of b rows stays cache-resident across the row block.
-        const K_BLOCK: usize = 64;
+        // exactly one chunk with a fixed serial accumulation order (every
+        // output element sums k ascending with one accumulator), so the
+        // result is bit-identical at any thread count — and bit-identical
+        // to a naive triple loop, since the register-tiled kernel only
+        // changes which *elements* are in flight, never the order within
+        // an element's chain. See `crate::kernels` for the MR x NR
+        // microkernel and packed-panel layout.
         crate::pool::parallel_rows_mut(
             &mut out,
             ab * m,
             matmul_min_rows(m, n, k),
             |first, block| {
-                for (r, o_row) in block.chunks_mut(n).enumerate() {
-                    let row = first + r;
-                    let (batch, i) = (row / m, row % m);
-                    let a_row = &a[batch * m * k + i * k..][..k];
-                    let b_off = if broadcast_rhs { 0 } else { batch * k * n };
-                    for p0 in (0..k).step_by(K_BLOCK) {
-                        let p1 = (p0 + K_BLOCK).min(k);
-                        for (p, &a_ip) in a_row[p0..p1].iter().enumerate() {
-                            let b_row = &b[b_off + (p0 + p) * n..][..n];
-                            for (o, &b_pj) in o_row.iter_mut().zip(b_row.iter()) {
-                                *o += a_ip * b_pj;
-                            }
-                        }
-                    }
-                }
+                crate::kernels::gemm_nn_block(first, block, a, b, m, k, n, broadcast_rhs);
             },
         );
         let mut shape = self.shape[..self.rank() - 2].to_vec();
@@ -390,25 +382,16 @@ impl Tensor {
         let mut out = vec![0.0f32; ab * m * n];
         let a = &self.data;
         let b = &other.data;
+        // Packing transposes B panels up front, turning what used to be a
+        // latency-bound scalar dot per output element into the same
+        // register-tiled microkernel as `matmul` — with the identical
+        // per-element k-ascending accumulation order.
         crate::pool::parallel_rows_mut(
             &mut out,
             ab * m,
             matmul_min_rows(m, n, k),
             |first, block| {
-                for (r, o_row) in block.chunks_mut(n).enumerate() {
-                    let row = first + r;
-                    let (batch, i) = (row / m, row % m);
-                    let a_row = &a[batch * m * k + i * k..][..k];
-                    let b_off = if broadcast_rhs { 0 } else { batch * n * k };
-                    for (j, o) in o_row.iter_mut().enumerate() {
-                        let b_row = &b[b_off + j * k..][..k];
-                        let mut acc = 0.0f32;
-                        for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                            acc += x * y;
-                        }
-                        *o = acc;
-                    }
-                }
+                crate::kernels::gemm_bt_block(first, block, a, b, m, k, n, broadcast_rhs);
             },
         );
         let mut shape = self.shape[..self.rank() - 2].to_vec();
@@ -435,27 +418,16 @@ impl Tensor {
         let mut out = vec![0.0f32; ab * k * n];
         let a = &self.data;
         let b = &other.data;
+        // out[batch, p, :] = sum_i a[batch, i, p] * b[batch, i, :], i
+        // ascending — identical to the serial ikj order on a materialized
+        // transpose. The reduction walks rows of both operands, so the
+        // rank-1-update microkernel gets contiguous loads with no packing.
         crate::pool::parallel_rows_mut(
             &mut out,
             ab * k,
             matmul_min_rows(k, n, m),
             |first, block| {
-                for (r, o_row) in block.chunks_mut(n).enumerate() {
-                    let row = first + r;
-                    let (batch, p) = (row / k, row % k);
-                    // out[batch, p, :] = sum_i a[batch, i, p] * b[batch, i, :],
-                    // i ascending — identical to the serial ikj order on a
-                    // materialized transpose.
-                    let a_off = batch * m * k;
-                    let b_off = batch * m * n;
-                    for i in 0..m {
-                        let a_ip = a[a_off + i * k + p];
-                        let b_row = &b[b_off + i * n..][..n];
-                        for (o, &b_ij) in o_row.iter_mut().zip(b_row.iter()) {
-                            *o += a_ip * b_ij;
-                        }
-                    }
-                }
+                crate::kernels::gemm_tn_block(first, block, a, b, m, k, n);
             },
         );
         let mut shape = self.shape[..self.rank() - 2].to_vec();
@@ -482,24 +454,17 @@ impl Tensor {
         let mut out = vec![0.0f32; k * n];
         let a = &self.data;
         let b = &other.data;
+        // out[p, :] = sum over (batch, i) of a[batch, i, p] * b[batch, i, :]
+        // in ascending (batch, i) order — the same order a serial
+        // accumulation over batches and rows would use. Same
+        // rank-1-update microkernel as `matmul_tn`, with the batch
+        // dimension flattened into the reduction.
         crate::pool::parallel_rows_mut(
             &mut out,
             k,
             matmul_min_rows(k, n, ab * m),
             |first, block| {
-                for (r, o_row) in block.chunks_mut(n).enumerate() {
-                    let p = first + r;
-                    // out[p, :] = sum over (batch, i) of a[batch, i, p] * b[batch, i, :]
-                    // in ascending (batch, i) order — the same order a serial
-                    // accumulation over batches and rows would use.
-                    for bi in 0..ab * m {
-                        let a_ip = a[bi * k + p];
-                        let b_row = &b[bi * n..][..n];
-                        for (o, &b_ij) in o_row.iter_mut().zip(b_row.iter()) {
-                            *o += a_ip * b_ij;
-                        }
-                    }
-                }
+                crate::kernels::gemm_tn_acc_block(first, block, a, b, ab * m, k, n);
             },
         );
         Tensor::new(vec![k, n], out)
@@ -511,19 +476,12 @@ impl Tensor {
         let d = *self.shape.last().expect("softmax_last requires rank >= 1");
         let mut out = self.as_ref().to_vec();
         let rows = out.len() / d.max(1);
-        // Rows are independent, so row-parallelism is exact.
+        // Rows are independent, so row-parallelism is exact. The per-row
+        // kernel is shared with the cached-attention path and the decoding
+        // strategies (`crate::kernels::softmax_in_place`).
         crate::pool::parallel_rows_mut(&mut out, rows, softmax_min_rows(d), |_, block| {
             for row in block.chunks_mut(d) {
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for x in row.iter_mut() {
-                    *x = (*x - max).exp();
-                    sum += *x;
-                }
-                let inv = 1.0 / sum;
-                for x in row.iter_mut() {
-                    *x *= inv;
-                }
+                crate::kernels::softmax_in_place(row);
             }
         });
         Tensor {
@@ -543,11 +501,7 @@ impl Tensor {
         let rows = out.len() / d.max(1);
         crate::pool::parallel_rows_mut(&mut out, rows, softmax_min_rows(d), |_, block| {
             for row in block.chunks_mut(d) {
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let logsum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-                for x in row.iter_mut() {
-                    *x -= logsum;
-                }
+                crate::kernels::log_softmax_in_place(row);
             }
         });
         Tensor {

@@ -134,6 +134,131 @@ proptest! {
         let want = naive_matmul(&a, &b);
         prop_assert_eq!(got.data(), want.data());
     }
+
+    #[test]
+    fn matmul_bt_matches_naive_on_random_shapes(
+        batch in 1usize..4,
+        m in 1usize..16,
+        k in 1usize..96,
+        n in 1usize..12,
+        broadcast in prop::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rand::seeded(seed ^ 0xb7);
+        let a = rand_tensor(&[batch, m, k], &mut rng);
+        let b = if broadcast {
+            rand_tensor(&[n, k], &mut rng)
+        } else {
+            rand_tensor(&[batch, n, k], &mut rng)
+        };
+        let rb = b.rank();
+        let bt = b.transpose(rb - 2, rb - 1);
+        let got = a.matmul_bt(&b);
+        let want = naive_matmul(&a, &bt);
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn matmul_tn_matches_naive_on_random_shapes(
+        batch in 1usize..4,
+        m in 1usize..32,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        // `m` here is the reduction dim of the transposed product.
+        let mut rng = Rand::seeded(seed ^ 0x73);
+        let a = rand_tensor(&[batch, m, k], &mut rng);
+        let b = rand_tensor(&[batch, m, n], &mut rng);
+        let at = a.transpose(1, 2);
+        let got = a.matmul_tn(&b);
+        let want = naive_matmul(&at, &b);
+        prop_assert_eq!(got.data(), want.data());
+    }
+
+    #[test]
+    fn matmul_tn_acc_matches_naive_on_random_shapes(
+        batch in 1usize..4,
+        m in 1usize..32,
+        k in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rand::seeded(seed ^ 0xac);
+        let a = rand_tensor(&[batch, m, k], &mut rng);
+        let b = rand_tensor(&[batch, m, n], &mut rng);
+        // out[p][j] folds over (batch, i) ascending.
+        let mut expect = vec![0.0f32; k * n];
+        for (p, row) in expect.chunks_mut(n).enumerate() {
+            for (j, out) in row.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for bt in 0..batch {
+                    for i in 0..m {
+                        acc += a.data()[bt * m * k + i * k + p] * b.data()[bt * m * n + i * n + j];
+                    }
+                }
+                *out = acc;
+            }
+        }
+        let got = a.matmul_tn_acc(&b);
+        prop_assert_eq!(got.data(), &expect[..]);
+    }
+
+    #[test]
+    fn int8_round_trip_error_is_within_half_a_step(
+        len in 1usize..256,
+        scale in 0.01f32..100.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rand::seeded(seed ^ 0x18);
+        let x: Vec<f32> = rng
+            .uniform_vec(len)
+            .into_iter()
+            .map(|u| (u - 0.5) * scale)
+            .collect();
+        let (q, s, z) = lm4db_tensor::quantize_activation(&x);
+        // Asymmetric per-vector grid: every element decodes to within half
+        // a quantization step (plus float slack) of the original — the
+        // 254-step range guarantees no value ever clamps.
+        for (&xi, &qi) in x.iter().zip(q.iter()) {
+            let back = (i32::from(qi) - z) as f32 * s;
+            prop_assert!(
+                (xi - back).abs() <= s * 0.5 + 1e-6 * scale,
+                "element {} decoded to {} with step {}", xi, back, s
+            );
+        }
+    }
+
+    #[test]
+    fn int8_matvec_is_exact_over_i32(
+        d_in in 1usize..96,
+        d_out in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = Rand::seeded(seed ^ 0x88);
+        let w: Vec<f32> = rng.uniform_vec(d_in * d_out).into_iter().map(|u| u - 0.5).collect();
+        let x: Vec<f32> = rng.uniform_vec(d_in).into_iter().map(|u| u - 0.5).collect();
+        let bias: Vec<f32> = rng.uniform_vec(d_out).into_iter().map(|u| u - 0.5).collect();
+        let qm = lm4db_tensor::QuantizedMatrix::from_weight(&w, d_in, d_out);
+        let (qx, sx, zx) = lm4db_tensor::quantize_activation(&x);
+        let got = qm.matvec(&qx, sx, zx, &bias);
+        for r in 0..d_out {
+            // Integer accumulation is exact, so the kernel must equal the
+            // widened i64 reference bit for bit after the single dequant
+            // (including the zero-point correction by the row's weight sum).
+            let mut acc = 0i64;
+            let mut wsum = 0i64;
+            for (c, &qxc) in qx.iter().enumerate() {
+                let qw = i64::from(
+                    (qm.dequantize(r, c) / qm.scale(r).max(f32::MIN_POSITIVE)).round() as i32,
+                );
+                acc += qw * i64::from(qxc);
+                wsum += qw;
+            }
+            let want = bias[r] + (acc - i64::from(zx) * wsum) as f32 * (qm.scale(r) * sx);
+            prop_assert_eq!(got[r], want);
+        }
+    }
 }
 
 /// A forward/backward sweep through every parallelized graph op; returns an

@@ -7,7 +7,7 @@
 //! schema-specialized [`SqlTrie`] — so the parser can only emit executable
 //! SQL.
 
-use lm4db_serve::{Engine, Request};
+use lm4db_serve::{Engine, EngineOptions, Request};
 use lm4db_tokenize::{vocab::SPECIAL_TOKENS, Bpe, Tokenizer, BOS, EOS};
 use lm4db_transformer::{Constraint, GptModel, Hypothesis, ModelConfig};
 
@@ -145,6 +145,8 @@ pub struct SemanticParser {
     trie: SqlTrie,
     beam_width: usize,
     max_new: usize,
+    /// Decode through the int8 quantized engine path.
+    quantized: bool,
 }
 
 impl SemanticParser {
@@ -174,6 +176,7 @@ impl SemanticParser {
             trie,
             beam_width: 3,
             max_new: 48,
+            quantized: false,
         }
     }
 
@@ -195,6 +198,13 @@ impl SemanticParser {
     /// Sets the beam width used at decode time.
     pub fn set_beam_width(&mut self, width: usize) {
         self.beam_width = width.max(1);
+    }
+
+    /// Switches [`SemanticParser::predict_batch`] between f32 (default) and
+    /// int8 quantized decoding. Quantization perturbs logits within the
+    /// per-row scale bound; Exp C's quantized leg pins the accuracy delta.
+    pub fn set_quantized(&mut self, quantized: bool) {
+        self.quantized = quantized;
     }
 
     /// Fine-tunes on the training pairs for `epochs` passes; returns the
@@ -248,7 +258,13 @@ impl SemanticParser {
             .iter()
             .map(|p| TrieConstraint::new(&self.bpe, &self.trie, p.len()))
             .collect();
-        let mut engine = Engine::new(&self.gpt);
+        let mut engine = Engine::with_options(
+            &self.gpt,
+            EngineOptions {
+                quantized: self.quantized,
+                ..EngineOptions::default()
+            },
+        );
         let reqs = prompts
             .iter()
             .zip(&constraints)

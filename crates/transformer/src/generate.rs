@@ -246,18 +246,18 @@ pub fn argmax(xs: &[f32]) -> usize {
 }
 
 fn softmax(xs: &[f32]) -> Vec<f32> {
-    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|e| e / sum).collect()
+    let mut out = xs.to_vec();
+    lm4db_tensor::kernels::softmax_in_place(&mut out);
+    out
 }
 
 /// Numerically stable log-softmax, shared with the batched engine so both
-/// paths normalize scores with identical float operations.
+/// paths normalize scores with identical float operations (it routes
+/// through the same tensor kernel as `Tensor::log_softmax_last`).
 pub fn log_softmax(xs: &[f32]) -> Vec<f32> {
-    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let logsum = xs.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
-    xs.iter().map(|&x| x - logsum).collect()
+    let mut out = xs.to_vec();
+    lm4db_tensor::kernels::log_softmax_in_place(&mut out);
+    out
 }
 
 fn keep_top_k(probs: &mut [f32], k: usize) {

@@ -19,6 +19,7 @@ use lm4db_tokenize::PAD;
 use crate::generate::NextToken;
 use crate::gpt::GptModel;
 use crate::layers::AttnCache;
+use crate::quant::QuantizedGpt;
 
 /// The complete per-request decode state: per-layer attention key/value
 /// caches, the token prefix they encode, and the logits after the last fed
@@ -129,6 +130,70 @@ impl KvCache {
         let _timer = lm4db_obs::leaf("kv/feed_all");
         for &t in tokens {
             self.feed(model, t);
+        }
+        &self.last_logits
+    }
+
+    /// Feeds one token through the int8 quantized path: embeddings, layer
+    /// norms, residuals, and attention mixing stay f32 (from `model`); all
+    /// heavy projections run int8 (from `quant`). Returns the next-token
+    /// logits.
+    ///
+    /// A cache fed through this path holds quantized-path keys/values — do
+    /// not mix f32 and quantized feeds on the same cache.
+    ///
+    /// # Panics
+    /// Panics when the context would exceed the model's `max_seq_len`, when
+    /// `token` is out of vocabulary, or when `quant` was built from a model
+    /// with a different layer count.
+    pub fn feed_quant(&mut self, model: &GptModel, quant: &QuantizedGpt, token: usize) -> &[f32] {
+        // Distinct leaf from the f32 path so traces show which decode path
+        // served a request.
+        let _timer = lm4db_obs::leaf("infer/feed_token_q8");
+        let m = model;
+        let pos = self.tokens.len();
+        assert!(
+            pos < m.cfg.max_seq_len,
+            "kv cache exceeded max_seq_len {}",
+            m.cfg.max_seq_len
+        );
+        assert!(token < m.cfg.vocab_size, "token {token} out of vocabulary");
+        assert_eq!(
+            quant.n_blocks(),
+            m.blocks.len(),
+            "quantized snapshot does not match model depth"
+        );
+        let d = m.cfg.d_model;
+        let tok_emb = m.store.get(m.tok_emb);
+        let pos_emb = m.store.get(m.pos_emb);
+        let mut x: Vec<f32> = tok_emb.data()[token * d..(token + 1) * d]
+            .iter()
+            .zip(pos_emb.data()[pos * d..(pos + 1) * d].iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        for (i, cache) in self.layers.iter_mut().enumerate() {
+            x = quant.block(i).step(&m.blocks[i], &m.store, &x, cache);
+        }
+        let x = m.ln_f.apply_slice(&m.store, &x);
+        // The vocabulary head stays f32: its logits feed directly into
+        // argmax/beam comparisons, where int8 noise flips decisions.
+        self.last_logits = m.head.apply_slice(&m.store, &x);
+        self.tokens.push(token);
+        &self.last_logits
+    }
+
+    /// Feeds several tokens through the quantized path; returns the logits
+    /// after the last one.
+    pub fn feed_all_quant(
+        &mut self,
+        model: &GptModel,
+        quant: &QuantizedGpt,
+        tokens: &[usize],
+    ) -> &[f32] {
+        assert!(!tokens.is_empty(), "feed_all_quant of empty token slice");
+        let _timer = lm4db_obs::leaf("kv/feed_all_q8");
+        for &t in tokens {
+            self.feed_quant(model, quant, t);
         }
         &self.last_logits
     }

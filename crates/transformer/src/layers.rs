@@ -12,8 +12,8 @@ use crate::config::ModelConfig;
 /// A dense layer `y = x W + b`.
 #[derive(Debug, Clone, Copy)]
 pub struct Linear {
-    w: ParamId,
-    b: ParamId,
+    pub(crate) w: ParamId,
+    pub(crate) b: ParamId,
 }
 
 impl Linear {
@@ -50,12 +50,7 @@ impl Linear {
         // order, so the result is bit-identical at any thread count.
         let min_cols = (8_192 / d_in.max(1)).max(1);
         lm4db_tensor::parallel_rows_mut(&mut y, d_out, min_cols, |first, block| {
-            for (i, &xi) in x.iter().enumerate() {
-                let row = &wd[i * d_out + first..i * d_out + first + block.len()];
-                for (yj, &wij) in block.iter_mut().zip(row.iter()) {
-                    *yj += xi * wij;
-                }
-            }
+            lm4db_tensor::kernels::vec_matmul_block(x, wd, d_out, first, block);
         });
         y
     }
@@ -100,12 +95,12 @@ impl LayerNorm {
 /// Multi-head self-attention with separate Q/K/V/O projections.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiHeadAttention {
-    wq: Linear,
-    wk: Linear,
-    wv: Linear,
-    wo: Linear,
-    n_heads: usize,
-    head_dim: usize,
+    pub(crate) wq: Linear,
+    pub(crate) wk: Linear,
+    pub(crate) wv: Linear,
+    pub(crate) wo: Linear,
+    pub(crate) n_heads: usize,
+    pub(crate) head_dim: usize,
 }
 
 impl MultiHeadAttention {
@@ -162,9 +157,9 @@ impl MultiHeadAttention {
 /// all past positions, stored as consecutive `[n_heads * head_dim]` slices.
 #[derive(Debug, Clone, Default)]
 pub struct AttnCache {
-    k: Vec<f32>,
-    v: Vec<f32>,
-    t: usize,
+    pub(crate) k: Vec<f32>,
+    pub(crate) v: Vec<f32>,
+    pub(crate) t: usize,
 }
 
 impl AttnCache {
@@ -220,57 +215,45 @@ impl MultiHeadAttention {
     /// appends its key/value to `cache`, and attends over all cached
     /// positions. Causality is implicit — only the past is in the cache.
     pub fn step(&self, store: &ParamStore, x: &[f32], cache: &mut AttnCache) -> Vec<f32> {
-        let (h, hd) = (self.n_heads, self.head_dim);
-        let d = h * hd;
         let q = self.wq.apply_slice(store, x);
         let k = self.wk.apply_slice(store, x);
         let v = self.wv.apply_slice(store, x);
         cache.k.extend_from_slice(&k);
         cache.v.extend_from_slice(&v);
         cache.t += 1;
-
-        let scale = 1.0 / (hd as f32).sqrt();
-        let mut ctx = vec![0.0f32; d];
-        // Heads are independent and each owns a disjoint `hd`-wide slice of
-        // `ctx`, so they fan out across the pool. Tiny caches run inline
-        // (min_heads = h forces a single chunk).
-        let min_heads = if cache.t * hd >= 4_096 { 1 } else { h };
-        let (ck, cv, t_cached) = (&cache.k, &cache.v, cache.t);
-        lm4db_tensor::parallel_rows_mut(&mut ctx, h, min_heads, |first_head, block| {
-            let mut scores = vec![0.0f32; t_cached];
-            for (hh, ctx_h) in block.chunks_mut(hd).enumerate() {
-                let off = (first_head + hh) * hd;
-                let qh = &q[off..off + hd];
-                for (t, s) in scores.iter_mut().enumerate() {
-                    let kh = &ck[t * d + off..t * d + off + hd];
-                    *s = qh.iter().zip(kh.iter()).map(|(a, b)| a * b).sum::<f32>() * scale;
-                }
-                // Softmax in place.
-                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for s in scores.iter_mut() {
-                    *s = (*s - max).exp();
-                    sum += *s;
-                }
-                let inv = 1.0 / sum;
-                for (t, &s) in scores.iter().enumerate() {
-                    let p = s * inv;
-                    let vh = &cv[t * d + off..t * d + off + hd];
-                    for (c, &vv) in ctx_h.iter_mut().zip(vh.iter()) {
-                        *c += p * vv;
-                    }
-                }
-            }
-        });
+        let ctx = attend_cached(&q, cache, self.n_heads, self.head_dim);
         self.wo.apply_slice(store, &ctx)
     }
+}
+
+/// Attends one projected query over every cached position, returning the
+/// mixed context vector (pre-output-projection). Shared by the f32 and
+/// quantized decode paths so both hit the same fused softmax·V kernel.
+pub(crate) fn attend_cached(q: &[f32], cache: &AttnCache, h: usize, hd: usize) -> Vec<f32> {
+    let d = h * hd;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut ctx = vec![0.0f32; d];
+    // Heads are independent and each owns a disjoint `hd`-wide slice of
+    // `ctx`, so they fan out across the pool. Tiny caches run inline
+    // (min_heads = h forces a single chunk).
+    let min_heads = if cache.t * hd >= 4_096 { 1 } else { h };
+    let (ck, cv, t_cached) = (&cache.k, &cache.v, cache.t);
+    lm4db_tensor::parallel_rows_mut(&mut ctx, h, min_heads, |first_head, block| {
+        let mut scores = vec![0.0f32; t_cached];
+        for (hh, ctx_h) in block.chunks_mut(hd).enumerate() {
+            let off = (first_head + hh) * hd;
+            let qh = &q[off..off + hd];
+            lm4db_tensor::kernels::attn_head(qh, ck, cv, d, off, scale, &mut scores, ctx_h);
+        }
+    });
+    ctx
 }
 
 /// Two-layer feed-forward network with GELU.
 #[derive(Debug, Clone, Copy)]
 pub struct FeedForward {
-    up: Linear,
-    down: Linear,
+    pub(crate) up: Linear,
+    pub(crate) down: Linear,
 }
 
 impl FeedForward {
@@ -302,10 +285,10 @@ impl FeedForward {
 /// A pre-norm transformer block: `x + attn(ln1(x))`, then `x + ffn(ln2(x))`.
 #[derive(Debug, Clone, Copy)]
 pub struct Block {
-    ln1: LayerNorm,
-    attn: MultiHeadAttention,
-    ln2: LayerNorm,
-    ffn: FeedForward,
+    pub(crate) ln1: LayerNorm,
+    pub(crate) attn: MultiHeadAttention,
+    pub(crate) ln2: LayerNorm,
+    pub(crate) ffn: FeedForward,
 }
 
 impl Block {

@@ -20,6 +20,7 @@ pub mod generate;
 pub mod gpt;
 pub mod incremental;
 pub mod layers;
+pub mod quant;
 pub mod rnn;
 pub mod train;
 
@@ -32,6 +33,7 @@ pub use generate::{
 };
 pub use gpt::GptModel;
 pub use incremental::{greedy_cached, IncrementalSession, KvCache};
+pub use quant::{QuantLinear, QuantizedGpt};
 pub use rnn::{RnnConfig, RnnLm};
 pub use train::{
     evaluate_perplexity, pack_corpus, pretrain_gpt, sample_windows, TrainOptions, TrainReport,

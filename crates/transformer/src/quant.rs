@@ -1,0 +1,249 @@
+//! Int8 quantized inference for [`GptModel`].
+//!
+//! A [`QuantizedGpt`] is a frozen int8 snapshot of the heavy weight
+//! matrices of a trained model: all Q/K/V/O attention projections and
+//! both feed-forward projections, each quantized with per-output-row
+//! scales (see `lm4db_tensor::quant`). Everything that is small or
+//! precision-sensitive — embeddings, layer norms, residual adds, GELU,
+//! softmax, and the vocabulary head (whose logits feed directly into
+//! argmax/beam decisions) — stays f32 and is read from the original
+//! model, so the quantized decode path needs both the [`GptModel`] (for
+//! the f32 pieces) and the [`QuantizedGpt`] (for the int8 matmuls).
+//!
+//! The quantized path is deterministic: activation quantization is a pure
+//! function of the activation, and the int8 matvec accumulates in exact
+//! i32 arithmetic, so quantized decode is bit-identical at any thread
+//! count — it gets its own golden set next to the f32 one.
+
+use lm4db_tensor::{quantize_activation, ParamStore, QuantizedMatrix};
+
+use crate::gpt::GptModel;
+use crate::layers::{attend_cached, AttnCache, Block, Linear};
+
+/// An int8 linear layer: quantized weight plus the original f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantLinear {
+    w: QuantizedMatrix,
+    b: Vec<f32>,
+}
+
+impl QuantLinear {
+    /// Quantizes one f32 [`Linear`] out of `store`.
+    pub(crate) fn from_linear(store: &ParamStore, lin: &Linear) -> Self {
+        let w = store.get(lin.w);
+        let (d_in, d_out) = (w.shape()[0], w.shape()[1]);
+        QuantLinear {
+            w: QuantizedMatrix::from_weight(w.data(), d_in, d_out),
+            b: store.get(lin.b).data().to_vec(),
+        }
+    }
+
+    /// Applies the layer to one activation vector: dynamic int8
+    /// quantization of `x`, exact i32 matvec, dequant-on-store.
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        let (qx, sx, zx) = quantize_activation(x);
+        self.w.matvec(&qx, sx, zx, &self.b)
+    }
+
+    /// Heap bytes of the quantized weight (int8 payload + scales + bias).
+    pub fn memory_bytes(&self) -> usize {
+        self.w.memory_bytes() + self.b.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// The int8 projections of one transformer block.
+#[derive(Debug, Clone)]
+pub struct QuantBlock {
+    wq: QuantLinear,
+    wk: QuantLinear,
+    wv: QuantLinear,
+    wo: QuantLinear,
+    up: QuantLinear,
+    down: QuantLinear,
+}
+
+impl QuantBlock {
+    fn from_block(store: &ParamStore, block: &Block) -> Self {
+        QuantBlock {
+            wq: QuantLinear::from_linear(store, &block.attn.wq),
+            wk: QuantLinear::from_linear(store, &block.attn.wk),
+            wv: QuantLinear::from_linear(store, &block.attn.wv),
+            wo: QuantLinear::from_linear(store, &block.attn.wo),
+            up: QuantLinear::from_linear(store, &block.ffn.up),
+            down: QuantLinear::from_linear(store, &block.ffn.down),
+        }
+    }
+
+    /// Incremental application to one new position, mirroring
+    /// [`Block::step`] with the six heavy projections routed through int8.
+    /// Layer norms, residuals, GELU, and the fused softmax·V attention stay
+    /// f32 via `model_block`.
+    pub(crate) fn step(
+        &self,
+        model_block: &Block,
+        store: &ParamStore,
+        x: &[f32],
+        cache: &mut AttnCache,
+    ) -> Vec<f32> {
+        let (h, hd) = (model_block.attn.n_heads, model_block.attn.head_dim);
+        let normed = model_block.ln1.apply_slice(store, x);
+        let q = self.wq.apply(&normed);
+        let k = self.wk.apply(&normed);
+        let v = self.wv.apply(&normed);
+        cache.k.extend_from_slice(&k);
+        cache.v.extend_from_slice(&v);
+        cache.t += 1;
+        let ctx = attend_cached(&q, cache, h, hd);
+        let attn = self.wo.apply(&ctx);
+        let x1: Vec<f32> = x.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
+        let normed = model_block.ln2.apply_slice(store, &x1);
+        let mut hidden = self.up.apply(&normed);
+        for v in hidden.iter_mut() {
+            *v = lm4db_tensor::tensor::gelu(*v);
+        }
+        let ffn = self.down.apply(&hidden);
+        x1.iter().zip(ffn.iter()).map(|(a, b)| a + b).collect()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.wq.memory_bytes()
+            + self.wk.memory_bytes()
+            + self.wv.memory_bytes()
+            + self.wo.memory_bytes()
+            + self.up.memory_bytes()
+            + self.down.memory_bytes()
+    }
+}
+
+/// A frozen int8 snapshot of a [`GptModel`]'s heavy weights, for use with
+/// [`crate::KvCache::feed_quant`] / [`crate::KvCache::feed_all_quant`].
+#[derive(Debug, Clone)]
+pub struct QuantizedGpt {
+    blocks: Vec<QuantBlock>,
+}
+
+impl QuantizedGpt {
+    /// Quantizes every attention/FFN projection of `model`. The vocabulary
+    /// head is deliberately left f32 — standard int8 practice, because head
+    /// logits are compared directly by greedy/beam decoding. The model is
+    /// not modified; training can continue on the f32 weights while serving
+    /// decodes against this snapshot.
+    pub fn from_model(model: &GptModel) -> Self {
+        let _timer = lm4db_obs::leaf("quant/from_model");
+        let store = model.params();
+        QuantizedGpt {
+            blocks: model
+                .blocks
+                .iter()
+                .map(|b| QuantBlock::from_block(store, b))
+                .collect(),
+        }
+    }
+
+    /// Number of quantized transformer blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Per-block quantized weights.
+    pub(crate) fn block(&self, i: usize) -> &QuantBlock {
+        &self.blocks[i]
+    }
+
+    /// Total heap bytes of the quantized weights — roughly a quarter of the
+    /// f32 bytes they replace.
+    pub fn weight_bytes(&self) -> usize {
+        self.blocks.iter().map(QuantBlock::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::incremental::KvCache;
+    use lm4db_tokenize::BOS;
+
+    fn trained_model() -> GptModel {
+        let mut m = GptModel::new(ModelConfig::test(), 7);
+        let mut opt = m.optimizer(3e-3);
+        let batch: Vec<Vec<usize>> = vec![
+            vec![BOS, 10, 11, 12, 10, 11, 12],
+            vec![BOS, 20, 21, 22, 20, 21, 22],
+        ];
+        for _ in 0..30 {
+            m.train_step(&batch, &mut opt);
+        }
+        m
+    }
+
+    #[test]
+    fn quantized_weight_bytes_are_about_a_quarter() {
+        let m = GptModel::new(ModelConfig::test(), 7);
+        let q = QuantizedGpt::from_model(&m);
+        let cfg = m.config();
+        // f32 bytes of exactly the quantized matrices (per block: 4 att
+        // projections + up/down; the head stays f32 and is excluded). At the
+        // tiny test config the per-row scales and f32 biases are a visible
+        // fraction of the total, so assert a 2x shrink here; the int8 payload
+        // itself is exactly 4x smaller (asserted in lm4db-tensor's quant
+        // tests).
+        let per_block = 4 * cfg.d_model * cfg.d_model + 2 * cfg.d_model * cfg.d_ff;
+        let f32_bytes = cfg.n_layers * per_block * 4;
+        assert!(
+            q.weight_bytes() * 2 < f32_bytes,
+            "quantized {} vs f32 {}",
+            q.weight_bytes(),
+            f32_bytes
+        );
+    }
+
+    #[test]
+    fn quantized_decode_tracks_f32_decode() {
+        let m = trained_model();
+        let q = QuantizedGpt::from_model(&m);
+        let prefix = [BOS, 10, 11, 12];
+        let mut f32_cache = KvCache::new(&m);
+        let f32_logits = f32_cache.feed_all(&m, &prefix).to_vec();
+        let mut q_cache = KvCache::new(&m);
+        let q_logits = q_cache.feed_all_quant(&m, &q, &prefix).to_vec();
+        assert_eq!(f32_logits.len(), q_logits.len());
+        // Quantization error is bounded; the two paths must agree on the
+        // argmax for a well-trained pattern and stay close in logit space.
+        let scale = f32_logits
+            .iter()
+            .fold(0.0f32, |a, &v| a.max(v.abs()))
+            .max(1.0);
+        let max_rel = f32_logits
+            .iter()
+            .zip(q_logits.iter())
+            .map(|(a, b)| (a - b).abs() / scale)
+            .fold(0.0f32, f32::max);
+        assert!(max_rel < 0.1, "quantized logits drifted: max rel {max_rel}");
+        let argmax = |v: &[f32]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        assert_eq!(argmax(&f32_logits), argmax(&q_logits));
+    }
+
+    #[test]
+    fn quantized_decode_is_deterministic_across_thread_counts() {
+        let m = trained_model();
+        let q = QuantizedGpt::from_model(&m);
+        let prefix = [BOS, 20, 21, 22];
+        let before = lm4db_tensor::threads();
+        let run = |threads: usize| {
+            lm4db_tensor::set_threads(threads);
+            let mut cache = KvCache::new(&m);
+            cache.feed_all_quant(&m, &q, &prefix).to_vec()
+        };
+        let one = run(1);
+        let four = run(4);
+        lm4db_tensor::set_threads(before);
+        assert_eq!(one, four, "quantized decode depends on thread count");
+    }
+}

@@ -55,6 +55,35 @@ impl ArchSpec {
         let head = if self.tied_embeddings { 0 } else { v * d };
         embeddings + l * per_block + 2 * d + head
     }
+
+    /// Weight bytes under our int8 inference scheme (`lm4db_tensor::quant`):
+    /// the heavy matrices — per block the four attention projections and the
+    /// two FFN projections — drop to 1 byte per element (+8 bytes per output
+    /// row: an f32 scale and an i32 weight sum for the activation zero-point
+    /// correction); everything else (embeddings, biases, layer norms, and
+    /// the LM head, which stays full precision because its logits feed
+    /// argmax/beam comparisons) remains f32 at 4 bytes per element.
+    pub fn int8_weight_bytes(&self) -> u64 {
+        let d = self.d_model as u64;
+        let dff = self.d_ff as u64;
+        let v = self.vocab_size as u64;
+        let l = self.n_layers as u64;
+        // Quantized matrices: elements + 8 bytes per output row (f32 scale
+        // and i32 weight sum).
+        let q_per_block = 4 * (d * d + 8 * d) + (d * dff + 8 * dff) + (dff * d + 8 * d);
+        // f32 leftovers: embeddings, per-block biases + layer norms, final
+        // layer norm, and the full-precision LM head (weights + bias).
+        let f32_per_block = 4 * d + dff + d + 4 * d;
+        let head = if self.tied_embeddings { 0 } else { v * d + v };
+        let f32_elems = v * d + self.max_seq_len as u64 * d + l * f32_per_block + 2 * d + head;
+        l * q_per_block + 4 * f32_elems
+    }
+
+    /// f32 weight bytes (4 per parameter), the baseline for
+    /// [`ArchSpec::int8_weight_bytes`].
+    pub fn f32_weight_bytes(&self) -> u64 {
+        4 * self.param_estimate()
+    }
 }
 
 /// One entry of the Figure 1 chart.
@@ -455,5 +484,65 @@ mod tests {
             spec.param_estimate() + cfg.vocab_size as u64,
             cfg.param_count_decoder() as u64
         );
+    }
+
+    #[test]
+    fn int8_estimate_approaches_a_quarter_at_scale() {
+        // For large dense decoders the heavy matrices dominate, so the int8
+        // footprint approaches 1/4 of f32; for every disclosed architecture
+        // it must at least stay strictly below half.
+        for m in figure1_models() {
+            let Some(spec) = m.spec else { continue };
+            let ratio = spec.int8_weight_bytes() as f64 / spec.f32_weight_bytes() as f64;
+            assert!(
+                (0.24..0.5).contains(&ratio),
+                "{}: int8/f32 ratio {ratio:.3} out of range",
+                m.name
+            );
+        }
+        // GPT-3 specifically: matmul-dominated, so within a couple percent
+        // of the ideal quarter.
+        let gpt3 = figure1_models()
+            .into_iter()
+            .find(|m| m.name == "GPT-3")
+            .unwrap();
+        let spec = gpt3.spec.unwrap();
+        let ratio = spec.int8_weight_bytes() as f64 / spec.f32_weight_bytes() as f64;
+        assert!(ratio < 0.27, "GPT-3 int8 ratio {ratio:.3} not near 1/4");
+    }
+
+    #[test]
+    fn int8_estimate_matches_quantizer_at_small_scale() {
+        // The closed form must agree exactly with what QuantizedGpt actually
+        // allocates for our own (untied) decoder config, plus the f32
+        // leftovers it reads from the model.
+        use lm4db_transformer::{GptModel, ModelConfig, QuantizedGpt};
+        let cfg = ModelConfig::test();
+        let model = GptModel::new(cfg.clone(), 7);
+        let q = QuantizedGpt::from_model(&model);
+        let spec = ArchSpec {
+            n_layers: cfg.n_layers,
+            d_model: cfg.d_model,
+            n_heads: cfg.n_heads,
+            d_ff: cfg.d_ff,
+            vocab_size: cfg.vocab_size,
+            max_seq_len: cfg.max_seq_len,
+            tied_embeddings: false,
+        };
+        // Quantized part of the estimate = estimate minus the f32 leftovers.
+        let d = cfg.d_model as u64;
+        let dff = cfg.d_ff as u64;
+        let v = cfg.vocab_size as u64;
+        let l = cfg.n_layers as u64;
+        let f32_elems = v * d
+            + cfg.max_seq_len as u64 * d
+            + l * (4 * d + dff + d + 4 * d)
+            + 2 * d
+            + (v * d + v);
+        let quantized_bytes = spec.int8_weight_bytes() - 4 * f32_elems;
+        // QuantizedGpt additionally carries the f32 biases of the quantized
+        // layers (4 attn d-biases + dff + d per block).
+        let bias_bytes = 4 * l * (4 * d + dff + d);
+        assert_eq!(q.weight_bytes() as u64, quantized_bytes + bias_bytes);
     }
 }
