@@ -15,6 +15,7 @@
 //! | [`transformer`] | GPT & BERT models, RNN baseline, constrained decoding |
 //! | [`lm`] | N-gram baseline, prompting, LM classification |
 //! | [`serve`] | Batched inference engine with KV/prefix caching |
+//! | [`loadgen`] | Seeded open-loop traffic generator (tenants, Poisson/burst phases) |
 //! | [`corpus`] | Seeded synthetic text / entity / table generators |
 //! | [`sql`] | In-memory SQL engine (parser, planner, executor) |
 //! | [`text2sql`] | NL→SQL with PICARD-style constrained decoding |
@@ -43,6 +44,7 @@ pub use lm4db_corpus as corpus;
 pub use lm4db_factcheck as factcheck;
 pub use lm4db_fault as fault;
 pub use lm4db_lm as lm;
+pub use lm4db_loadgen as loadgen;
 pub use lm4db_neuraldb as neuraldb;
 pub use lm4db_obs as obs;
 pub use lm4db_serve as serve;

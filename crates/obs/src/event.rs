@@ -154,6 +154,15 @@ pub fn instant_for(name: &'static str, req: u64) {
     }
 }
 
+/// Like [`instant_for`], but carrying an integer argument — e.g. tagging a
+/// request's trace with its tenant id at submit. No-op below trace level 2.
+#[inline]
+pub fn instant_for_arg(name: &'static str, req: u64, arg: u64) {
+    if crate::events_enabled() {
+        crate::flight::record(Event::now_for(EventKind::Instant, name, arg, req));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -192,4 +192,67 @@ mod tests {
         h.record(5); // bucket [4, 8) with upper bound 8 > max 5
         assert_eq!(h.quantile(0.5), 5);
     }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(777);
+        // One observation IS the whole distribution: any q (even a
+        // clamped-out-of-range one) must report it.
+        for q in [-0.5, 0.0, 0.01, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(h.quantile(q), 777, "q={q}");
+        }
+        assert_eq!(h.min(), 777);
+        assert_eq!(h.max(), 777);
+        assert_eq!(h.mean(), 777);
+    }
+
+    #[test]
+    fn all_samples_in_one_bucket_report_that_bucket() {
+        let mut h = Histogram::new();
+        // 64, 100, 127 all land in bucket [64, 128).
+        for v in [64, 100, 127, 100, 64] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.01), 127, "bucket upper bound clamps to max");
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn zero_and_one_share_the_first_bucket() {
+        let mut h = Histogram::new();
+        h.record(0); // v.max(1) puts 0 in bucket [1, 2)
+        h.record(1);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.quantile(0.5), 1, "upper bound 2 clamps to observed max");
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        // Anything ≥ 2^31 lands in the last bucket, including u64::MAX,
+        // whose upper bound would overflow a shift if not special-cased.
+        h.record(1u64 << 31);
+        h.record(u64::MAX);
+        assert_eq!(h.buckets()[BUCKETS - 1], 2);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // Cumulative count crosses in the saturating bucket: the reported
+        // upper bound is u64::MAX clamped to the observed max.
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.min(), 1u64 << 31);
+        // total saturates rather than wrapping.
+        assert_eq!(h.total(), u64::MAX);
+    }
 }

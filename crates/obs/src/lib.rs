@@ -87,8 +87,8 @@ pub mod registry;
 pub mod span;
 
 pub use event::{
-    current_request, instant, instant_arg, instant_for, request_scope, Event, EventKind,
-    RequestScope,
+    current_request, instant, instant_arg, instant_for, instant_for_arg, request_scope, Event,
+    EventKind, RequestScope,
 };
 pub use export::{Snapshot, TimerStat};
 pub use flight::{

@@ -37,10 +37,24 @@
 //! one terminal outcome
 //! (`completed + cancelled + expired + failed + rejected == submitted`).
 //!
+//! **Multi-tenant scheduling** (DESIGN.md §5h). With
+//! [`EngineOptions::tenants`] configured, each request carries a
+//! [`Request::tenant`] id and waits in that tenant's own queue; admission
+//! picks across queues by strict priority tier and weighted-fair virtual
+//! time (see [`crate::sched`]), instead of global FIFO. Optionally,
+//! [`EngineOptions::slo_admission`] turns the queue bound into an
+//! SLO-aware controller: a tenant with an `slo_steps` target sheds its own
+//! arrivals (lowest tiers feel the backlog first — higher-tier work jumps
+//! their queue) whenever the backlog it must wait behind, times a running
+//! estimate of per-request service steps, predicts a deadline miss. Every
+//! outcome, retry, and a step-based latency distribution is additionally
+//! booked per tenant in [`Stats::tenants`]; the conservation law above
+//! holds tenant by tenant.
+//!
 //! [`parallel_rows_mut`]: lm4db_tensor::parallel_rows_mut
 //! [`try_parallel_tasks_mut`]: lm4db_tensor::try_parallel_tasks_mut
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -48,7 +62,8 @@ use lm4db_transformer::generate::{apply_constraint, argmax, log_softmax};
 use lm4db_transformer::{Constraint, GptModel, Hypothesis, KvCache};
 
 use crate::prefix::PrefixCache;
-use crate::stats::Stats;
+use crate::sched::{FairQueues, TenantClass, TenantId};
+use crate::stats::{Stats, TenantStats};
 
 /// Engine-assigned request handle, increasing in submission order.
 pub type RequestId = u64;
@@ -110,6 +125,10 @@ pub struct Request<'a> {
     pub constraint: Option<&'a dyn Constraint>,
     /// Optional deadline.
     pub deadline: Deadline,
+    /// Owning tenant. With [`EngineOptions::tenants`] configured this must
+    /// index into that list (validated at submit); otherwise it is a free
+    /// label that only keys the per-tenant [`Stats::tenants`] accounting.
+    pub tenant: TenantId,
 }
 
 impl<'a> Request<'a> {
@@ -120,6 +139,7 @@ impl<'a> Request<'a> {
             decode: Decode::Greedy { max_new, stop },
             constraint: None,
             deadline: Deadline::None,
+            tenant: 0,
         }
     }
 
@@ -134,6 +154,7 @@ impl<'a> Request<'a> {
             },
             constraint: None,
             deadline: Deadline::None,
+            tenant: 0,
         }
     }
 
@@ -148,6 +169,7 @@ impl<'a> Request<'a> {
             },
             constraint: None,
             deadline: Deadline::None,
+            tenant: 0,
         }
     }
 
@@ -160,6 +182,12 @@ impl<'a> Request<'a> {
     /// Attaches a deadline.
     pub fn with_deadline(mut self, d: Deadline) -> Self {
         self.deadline = d;
+        self
+    }
+
+    /// Assigns the request to a tenant (see [`Request::tenant`]).
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
         self
     }
 }
@@ -231,6 +259,24 @@ pub struct EngineOptions {
     /// count, but its outputs differ from f32 decode — both paths have
     /// their own golden sets.
     pub quantized: bool,
+    /// Tenant classes, indexed by [`Request::tenant`]. Empty (the default)
+    /// keeps the single global FIFO queue; non-empty switches admission to
+    /// per-tenant queues with strict-priority tiers and weighted-fair
+    /// sharing within a tier (see [`crate::sched`]), and submits must carry
+    /// a tenant id below `tenants.len()`.
+    pub tenants: Vec<TenantClass>,
+    /// SLO-aware admission control: a submit for a tenant with a non-zero
+    /// [`TenantClass::slo_steps`] is shed with [`Outcome::Rejected`] when
+    /// `(backlog_ahead / max_batch + 1) * estimated_service_steps` exceeds
+    /// the tenant's target — the backlog a tenant waits behind is its own
+    /// tier's and higher tiers' queues plus the running batch, so
+    /// lower-tier tenants shed first under overload. The service estimate
+    /// is a deterministic integer EWMA over completed requests, seeded by
+    /// [`EngineOptions::slo_initial_service_steps`].
+    pub slo_admission: bool,
+    /// Initial per-request service-step estimate for SLO admission, before
+    /// any request has completed (clamped to ≥ 1).
+    pub slo_initial_service_steps: u64,
 }
 
 impl Default for EngineOptions {
@@ -242,6 +288,9 @@ impl Default for EngineOptions {
             max_retries: 2,
             retry_backoff_steps: 2,
             quantized: false,
+            tenants: Vec::new(),
+            slo_admission: false,
+            slo_initial_service_steps: 8,
         }
     }
 }
@@ -249,6 +298,15 @@ impl Default for EngineOptions {
 /// Bounded exponential backoff in scheduler steps for retry `attempt`.
 fn backoff_steps(base: u64, attempt: u32) -> u64 {
     (base.max(1) << attempt.min(10)).min(1024)
+}
+
+/// Mirrors one per-tenant counter into the global registry as
+/// `serve/tenant/<id>/<name>`. The name is formatted lazily: with tracing
+/// off this is a single branch, no allocation.
+fn tenant_counter(tenant: TenantId, name: &str, delta: u64) {
+    if lm4db_obs::enabled() {
+        lm4db_obs::counter_add(&format!("serve/tenant/{tenant}/{name}"), delta);
+    }
 }
 
 /// One live sequence (a greedy/score request has one; a beam request has
@@ -277,6 +335,9 @@ struct Pending<'a> {
     wake: u64,
     req: Request<'a>,
     submitted: Instant,
+    /// Engine tick at which [`Engine::submit`] accepted the request;
+    /// step-based queue-wait and latency run from here.
+    submit_tick: u64,
     /// Remaining step-deadline budget, carried across retries (quarantine
     /// backoff does not consume it).
     steps_left: Option<u64>,
@@ -294,6 +355,13 @@ struct Active<'a> {
     /// When [`Engine::submit`] accepted the request (end-to-end latency
     /// runs from here).
     submitted: Instant,
+    /// Owning tenant (accounting key).
+    tenant: TenantId,
+    /// See [`Pending::submit_tick`].
+    submit_tick: u64,
+    /// Engine tick of this attempt's admission; service-step observations
+    /// for the SLO estimator run from here.
+    admit_tick: u64,
     prompt_len: usize,
     decode: Decode,
     constraint: Option<&'a dyn Constraint>,
@@ -332,7 +400,9 @@ pub struct Engine<'a> {
     /// Int8 weight snapshot, present iff [`EngineOptions::quantized`].
     quant: Option<lm4db_transformer::QuantizedGpt>,
     opts: EngineOptions,
-    queue: VecDeque<Pending<'a>>,
+    /// Per-tenant admission queues (one plain FIFO when no tenant classes
+    /// are configured).
+    queue: FairQueues<Pending<'a>>,
     /// Quarantined requests waiting out their backoff before re-admission.
     retrying: Vec<Pending<'a>>,
     cancelled: HashSet<RequestId>,
@@ -347,6 +417,9 @@ pub struct Engine<'a> {
     ticks: u64,
     /// Engine-local submission counter backing [`Pending::serial`].
     next_serial: u64,
+    /// Deterministic integer EWMA of admit→retire service steps over
+    /// completed requests, used by SLO admission (`est ← (3·est + obs)/4`).
+    est_service_steps: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -361,12 +434,14 @@ impl<'a> Engine<'a> {
         let quant = opts
             .quantized
             .then(|| lm4db_transformer::QuantizedGpt::from_model(model));
+        let queue = FairQueues::new(opts.tenants.clone());
+        let est_service_steps = opts.slo_initial_service_steps.max(1);
         Engine {
             model,
             quant,
             prefix: PrefixCache::new(opts.prefix_cache_tokens),
             opts,
-            queue: VecDeque::new(),
+            queue,
             retrying: Vec::new(),
             cancelled: HashSet::new(),
             active: Vec::new(),
@@ -374,6 +449,7 @@ impl<'a> Engine<'a> {
             stats: Stats::default(),
             ticks: 0,
             next_serial: 0,
+            est_service_steps,
         }
     }
 
@@ -393,16 +469,21 @@ impl<'a> Engine<'a> {
     }
 
     /// Enqueues a request; it is admitted into the batch on a later
-    /// [`Engine::step`]. Requests are admitted and answered in FIFO order
-    /// of their ids.
+    /// [`Engine::step`]. Without tenant classes, requests are admitted and
+    /// answered in FIFO order of their ids; with [`EngineOptions::tenants`]
+    /// configured, admission order follows the tier/weighted-fair policy of
+    /// [`crate::sched`] (FIFO within one tenant).
     ///
-    /// Two conditions retire the request immediately instead of queueing
+    /// Three conditions retire the request immediately instead of queueing
     /// it: a prompt longer than the model's `max_seq_len` fails validation
-    /// ([`Outcome::Failed`] — the feed pass could only panic on it), and a
+    /// ([`Outcome::Failed`] — the feed pass could only panic on it); a
     /// queue already holding [`EngineOptions::max_queue`] requests sheds
-    /// the submission with [`Outcome::Rejected`]. Structurally invalid
-    /// requests (empty prompt, zero-width beam, degenerate scoring split)
-    /// are API misuse and still panic.
+    /// the submission with [`Outcome::Rejected`]; and with
+    /// [`EngineOptions::slo_admission`] on, a submission predicted to miss
+    /// its tenant's `slo_steps` target sheds the same way (booked under
+    /// [`TenantStats::slo_shed`]). Structurally invalid requests (empty
+    /// prompt, zero-width beam, degenerate scoring split, out-of-range
+    /// tenant id) are API misuse and still panic.
     pub fn submit(&mut self, req: Request<'a>) -> RequestId {
         assert!(!req.prompt.is_empty(), "prompt must be non-empty");
         match req.decode {
@@ -413,15 +494,29 @@ impl<'a> Engine<'a> {
             ),
             Decode::Greedy { .. } => {}
         }
+        if !self.opts.tenants.is_empty() {
+            assert!(
+                (req.tenant as usize) < self.opts.tenants.len(),
+                "tenant id {} out of range: {} classes configured",
+                req.tenant,
+                self.opts.tenants.len()
+            );
+        }
+        let tenant = req.tenant;
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         self.stats.submitted += 1;
+        self.tenant_stats(tenant).submitted += 1;
         lm4db_obs::counter_add("serve/submitted", 1);
+        tenant_counter(tenant, "submitted", 1);
         lm4db_obs::instant_for("serve/submit", id);
+        lm4db_obs::instant_for_arg("serve/tenant", id, u64::from(tenant));
         let submitted = Instant::now();
         let max_seq_len = self.model.config().max_seq_len;
         if req.prompt.len() > max_seq_len {
             self.stats.failed += 1;
+            self.tenant_stats(tenant).failed += 1;
             lm4db_obs::counter_add("serve/failed", 1);
+            tenant_counter(tenant, "failed", 1);
             lm4db_obs::instant_for("serve/request_failed", id);
             self.record_latency(id, submitted);
             self.finished.push(Response {
@@ -439,9 +534,18 @@ impl<'a> Engine<'a> {
             });
             return id;
         }
-        if self.opts.max_queue > 0 && self.queue.len() >= self.opts.max_queue {
+        let over_queue = self.opts.max_queue > 0 && self.queue.len() >= self.opts.max_queue;
+        let slo_shed = !over_queue && self.opts.slo_admission && self.predicts_slo_miss(tenant);
+        if over_queue || slo_shed {
             self.stats.rejected += 1;
+            let t = self.tenant_stats(tenant);
+            t.rejected += 1;
+            if slo_shed {
+                t.slo_shed += 1;
+                tenant_counter(tenant, "slo_shed", 1);
+            }
             lm4db_obs::counter_add("serve/rejected", 1);
+            tenant_counter(tenant, "rejected", 1);
             lm4db_obs::instant_for("serve/shed", id);
             self.record_latency(id, submitted);
             self.finished.push(Response {
@@ -460,17 +564,45 @@ impl<'a> Engine<'a> {
         };
         let serial = self.next_serial;
         self.next_serial += 1;
-        self.queue.push_back(Pending {
-            id,
-            serial,
-            attempt: 0,
-            wake: 0,
-            req,
-            submitted,
-            steps_left,
-            wall,
-        });
+        let class = self.queue.class_index(tenant);
+        self.queue.push(
+            class,
+            Pending {
+                id,
+                serial,
+                attempt: 0,
+                wake: 0,
+                req,
+                submitted,
+                submit_tick: self.ticks,
+                steps_left,
+                wall,
+            },
+        );
         id
+    }
+
+    /// SLO admission predicate: would a request submitted now for `tenant`
+    /// likely retire after the tenant's step target? The backlog the
+    /// request waits behind is everything running or quarantined plus
+    /// every queued request in its own or a higher tier; each `max_batch`
+    /// of backlog costs roughly one service generation of the current
+    /// estimate. Deterministic — pure integer arithmetic over queue depths.
+    fn predicts_slo_miss(&self, tenant: TenantId) -> bool {
+        let class = self.queue.class_index(tenant);
+        let slo = self.queue.classes()[class].slo_steps;
+        if slo == 0 {
+            return false;
+        }
+        let tier = self.queue.classes()[class].tier;
+        let ahead = self.active.len() + self.retrying.len() + self.queue.queued_at_or_above(tier);
+        let generations = (ahead / self.opts.max_batch.max(1)) as u64 + 1;
+        generations.saturating_mul(self.est_service_steps) > slo
+    }
+
+    /// The mutable per-tenant accounting slot for `tenant`.
+    fn tenant_stats(&mut self, tenant: TenantId) -> &mut TenantStats {
+        self.stats.tenants.entry(tenant).or_default()
     }
 
     /// Cancels a queued or active request; it retires with partial results
@@ -486,7 +618,16 @@ impl<'a> Engine<'a> {
         s.active = self.active.len();
         s.retrying = self.retrying.len();
         s.prefix_cache_nodes = self.prefix.nodes();
+        for (_, p) in self.queue.iter() {
+            s.tenants.entry(p.req.tenant).or_default().queued += 1;
+        }
         s
+    }
+
+    /// The tenant classes this engine schedules across (one synthetic
+    /// default class when [`EngineOptions::tenants`] was empty).
+    pub fn tenant_classes(&self) -> &[TenantClass] {
+        self.queue.classes()
     }
 
     /// Responses completed so far, drained in submission order.
@@ -627,7 +768,8 @@ impl<'a> Engine<'a> {
     /// Moves queued requests into free batch slots. Quarantined requests
     /// whose backoff has elapsed re-admit first (oldest wake, then id), so
     /// a retry never starves behind an unbounded stream of fresh arrivals;
-    /// fresh requests then fill remaining slots in FIFO order.
+    /// fresh requests then fill remaining slots in queue order — FIFO with
+    /// a single class, tier-then-weighted-fair across tenant classes.
     fn admit(&mut self) {
         while self.active.len() < self.opts.max_batch {
             let retry_idx = self
@@ -639,15 +781,17 @@ impl<'a> Engine<'a> {
                 .map(|(i, _)| i);
             let pending = match retry_idx {
                 Some(i) => self.retrying.remove(i),
-                None => match self.queue.pop_front() {
-                    Some(p) => p,
+                None => match self.queue.pop_next() {
+                    Some((_, p)) => p,
                     None => break,
                 },
             };
             if self.cancelled.remove(&pending.id) {
                 self.stats.cancelled += 1;
+                self.tenant_stats(pending.req.tenant).cancelled += 1;
                 self.record_latency(pending.id, pending.submitted);
                 lm4db_obs::counter_add("serve/cancelled", 1);
+                tenant_counter(pending.req.tenant, "cancelled", 1);
                 self.finished.push(Response {
                     id: pending.id,
                     outcome: Outcome::Cancelled,
@@ -661,6 +805,11 @@ impl<'a> Engine<'a> {
                 let wait_ns = pending.submitted.elapsed().as_nanos() as u64;
                 self.stats.queue_wait.record(wait_ns);
                 lm4db_obs::record_duration_ns("serve/queue_wait", wait_ns);
+                let wait_steps = self.ticks.saturating_sub(pending.submit_tick);
+                let t = self.tenant_stats(pending.req.tenant);
+                t.admitted += 1;
+                t.queue_wait_steps.record(wait_steps);
+                tenant_counter(pending.req.tenant, "admitted", 1);
             }
             lm4db_obs::instant_for("serve/admit", pending.id);
             let Pending {
@@ -670,6 +819,7 @@ impl<'a> Engine<'a> {
                 wake: _,
                 req,
                 submitted,
+                submit_tick,
                 steps_left,
                 wall,
             } = pending;
@@ -692,6 +842,9 @@ impl<'a> Engine<'a> {
                 serial,
                 attempt,
                 submitted,
+                tenant: req.tenant,
+                submit_tick,
+                admit_tick: self.ticks,
                 prompt_len,
                 decode: req.decode,
                 constraint: req.constraint,
@@ -728,13 +881,21 @@ impl<'a> Engine<'a> {
                 let p = self.retrying.remove(i);
                 let outcome = if cancel {
                     self.stats.cancelled += 1;
+                    self.tenant_stats(p.req.tenant).cancelled += 1;
                     lm4db_obs::counter_add("serve/cancelled", 1);
+                    tenant_counter(p.req.tenant, "cancelled", 1);
                     Outcome::Cancelled
                 } else {
                     self.stats.expired += 1;
+                    self.tenant_stats(p.req.tenant).expired += 1;
                     lm4db_obs::counter_add("serve/expired", 1);
+                    tenant_counter(p.req.tenant, "expired", 1);
                     Outcome::DeadlineExpired
                 };
+                // Quarantined requests were admitted at least once, so they
+                // count in the tenant's step-latency distribution.
+                let lat = self.ticks.saturating_sub(p.submit_tick);
+                self.tenant_stats(p.req.tenant).latency_steps.record(lat);
                 self.record_latency(p.id, p.submitted);
                 self.finished.push(Response {
                     id: p.id,
@@ -864,7 +1025,9 @@ impl<'a> Engine<'a> {
             let act = self.active.remove(i);
             if act.attempt < self.opts.max_retries {
                 self.stats.retries += 1;
+                self.tenant_stats(act.tenant).retries += 1;
                 lm4db_obs::counter_add("serve/retries", 1);
+                tenant_counter(act.tenant, "retries", 1);
                 lm4db_obs::instant_for("serve/retry", id);
                 let prompt = act.live[0].ids[..act.prompt_len].to_vec();
                 self.retrying.push(Pending {
@@ -877,14 +1040,21 @@ impl<'a> Engine<'a> {
                         decode: act.decode,
                         constraint: act.constraint,
                         deadline: Deadline::None, // resolved at submit; unused here
+                        tenant: act.tenant,
                     },
                     submitted: act.submitted,
+                    submit_tick: act.submit_tick,
                     steps_left: act.steps_left,
                     wall: act.wall,
                 });
             } else {
                 self.stats.failed += 1;
+                let lat = self.ticks.saturating_sub(act.submit_tick);
+                let t = self.tenant_stats(act.tenant);
+                t.failed += 1;
+                t.latency_steps.record(lat);
                 lm4db_obs::counter_add("serve/failed", 1);
+                tenant_counter(act.tenant, "failed", 1);
                 lm4db_obs::instant_for("serve/request_failed", id);
                 self.record_latency(id, act.submitted);
                 let mut act = act;
@@ -928,18 +1098,42 @@ impl<'a> Engine<'a> {
     /// Books a finished response and frees its batch slot.
     fn retire(&mut self, i: usize, resp: Response) {
         self.record_latency(self.active[i].id, self.active[i].submitted);
+        let tenant = self.active[i].tenant;
+        let lat_steps = self.ticks.saturating_sub(self.active[i].submit_tick);
+        let service = self.ticks.saturating_sub(self.active[i].admit_tick).max(1);
         match &resp.outcome {
             Outcome::Finished => {
                 self.stats.completed += 1;
                 lm4db_obs::counter_add("serve/completed", 1);
+                tenant_counter(tenant, "completed", 1);
+                self.tenant_stats(tenant).completed += 1;
+                // Feed the SLO estimator: a deterministic integer EWMA of
+                // admit→retire service steps (weight 1/4 on the newest
+                // observation, floor 1 so the estimate never collapses).
+                self.est_service_steps = ((3 * self.est_service_steps + service) / 4).max(1);
+                let slo = self.queue.classes()[self.queue.class_index(tenant)].slo_steps;
+                if slo > 0 {
+                    let t = self.tenant_stats(tenant);
+                    if lat_steps <= slo {
+                        t.slo_met += 1;
+                        tenant_counter(tenant, "slo_met", 1);
+                    } else {
+                        t.slo_missed += 1;
+                        tenant_counter(tenant, "slo_missed", 1);
+                    }
+                }
             }
             Outcome::Cancelled => {
                 self.stats.cancelled += 1;
+                self.tenant_stats(tenant).cancelled += 1;
                 lm4db_obs::counter_add("serve/cancelled", 1);
+                tenant_counter(tenant, "cancelled", 1);
             }
             Outcome::DeadlineExpired => {
                 self.stats.expired += 1;
+                self.tenant_stats(tenant).expired += 1;
                 lm4db_obs::counter_add("serve/expired", 1);
+                tenant_counter(tenant, "expired", 1);
             }
             // Failed retires through `handle_failures` (the request is
             // already out of the batch there) and Rejected through
@@ -948,6 +1142,7 @@ impl<'a> Engine<'a> {
                 unreachable!("{:?} never retires from the batch", resp.outcome)
             }
         }
+        self.tenant_stats(tenant).latency_steps.record(lat_steps);
         self.finished.push(resp);
         self.active.remove(i);
     }
@@ -1559,6 +1754,141 @@ mod tests {
         assert_eq!(hyps.len(), 1);
         assert_eq!(hyps[0].ids, vec![BOS, 10]);
         assert!(!hyps[0].finished);
+    }
+
+    /// Two tenant classes: tier-0 interactive (weight 2) and tier-1 batch.
+    fn two_tenants() -> Vec<TenantClass> {
+        vec![
+            TenantClass::new("interactive").weight(2),
+            TenantClass::new("batch").tier(1),
+        ]
+    }
+
+    #[test]
+    fn tenant_outcomes_are_booked_per_tenant_and_conserve() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                max_batch: 2,
+                tenants: two_tenants(),
+                ..EngineOptions::default()
+            },
+        );
+        for p in prompts() {
+            let tenant = (p.len() % 2) as TenantId;
+            engine.submit(Request::greedy(p, 4, EOS).with_tenant(tenant));
+        }
+        engine.run();
+        let stats = engine.stats();
+        assert_eq!(stats.tenants.len(), 2);
+        let mut submitted = 0;
+        for t in stats.tenants.values() {
+            assert_eq!(t.terminal_total(), t.submitted);
+            assert_eq!(t.admitted, t.submitted);
+            assert_eq!(t.latency_steps.count(), t.submitted);
+            assert_eq!(t.queue_wait_steps.count(), t.submitted);
+            submitted += t.submitted;
+        }
+        assert_eq!(submitted, stats.submitted);
+    }
+
+    #[test]
+    fn higher_tier_tenant_admits_first_under_contention() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                max_batch: 1,
+                tenants: two_tenants(),
+                ..EngineOptions::default()
+            },
+        );
+        // Batch-tenant backlog first, then one interactive arrival: with a
+        // single slot, the tier-0 request must finish before the tier-1
+        // backlog clears.
+        let b0 = engine.submit(Request::greedy(vec![BOS, 20], 3, EOS).with_tenant(1));
+        let b1 = engine.submit(Request::greedy(vec![BOS, 20, 21], 3, EOS).with_tenant(1));
+        let i0 = engine.submit(Request::greedy(vec![BOS, 10], 3, EOS).with_tenant(0));
+        let mut order = Vec::new();
+        while engine.step() {
+            for r in engine.take_responses() {
+                order.push(r.id);
+            }
+        }
+        for r in engine.take_responses() {
+            order.push(r.id);
+        }
+        assert_eq!(order.len(), 3);
+        // b0 occupies the slot when i0 arrives, but i0 jumps b1.
+        let pos = |id| order.iter().position(|&x| x == id).unwrap();
+        assert!(
+            pos(i0) < pos(b1),
+            "tier 0 must pass queued tier 1: {order:?}"
+        );
+        let _ = b0;
+    }
+
+    #[test]
+    fn tenant_ids_validated_when_classes_configured() {
+        let m = model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                tenants: two_tenants(),
+                ..EngineOptions::default()
+            },
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.submit(Request::greedy(vec![BOS, 10], 2, EOS).with_tenant(7));
+        }));
+        assert!(result.is_err(), "out-of-range tenant must panic");
+    }
+
+    #[test]
+    fn slo_admission_sheds_predicted_misses() {
+        let m = trained_model();
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                max_batch: 1,
+                tenants: vec![TenantClass::new("strict").slo_steps(4)],
+                slo_admission: true,
+                slo_initial_service_steps: 4,
+                ..EngineOptions::default()
+            },
+        );
+        // First request fills the single slot and fits the target; the
+        // backlog behind it predicts (ahead/1 + 1) * 4 > 4 and sheds.
+        let ids: Vec<RequestId> = (0..4)
+            .map(|_| engine.submit(Request::greedy(vec![BOS, 10], 3, EOS)))
+            .collect();
+        engine.run();
+        let stats = engine.stats();
+        let t = &stats.tenants[&0];
+        assert_eq!(t.submitted, 4);
+        assert!(t.slo_shed >= 2, "backlogged submits must shed: {t:?}");
+        assert_eq!(t.rejected, t.slo_shed);
+        assert_eq!(t.terminal_total(), t.submitted);
+        assert_eq!(stats.rejected, t.rejected);
+        // Everything admitted met its SLO — that is the controller's point.
+        assert_eq!(t.slo_missed, 0);
+        assert_eq!(t.slo_met, t.completed);
+        let _ = ids;
+    }
+
+    #[test]
+    fn default_options_keep_single_tenant_fifo_accounting() {
+        let m = trained_model();
+        let mut engine = Engine::new(&m);
+        engine.greedy(&[BOS, 10], 3, EOS);
+        engine.greedy(&[BOS, 20], 3, EOS);
+        let stats = engine.stats();
+        assert_eq!(stats.tenants.len(), 1);
+        let t = &stats.tenants[&0];
+        assert_eq!(t.submitted, 2);
+        assert_eq!(t.completed, 2);
+        assert_eq!(t.slo_met + t.slo_missed, 0, "no SLO configured");
     }
 }
 

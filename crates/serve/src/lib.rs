@@ -22,6 +22,13 @@
 //!   restore is bitwise identical to recomputation.
 //! * **Deadlines & cancellation**: per-request step- or wall-clock
 //!   deadlines with graceful partial results, plus [`Engine::cancel`].
+//! * **Multi-tenant scheduling** ([`sched`] module, DESIGN.md §5h):
+//!   per-tenant queues with strict-priority tiers and weighted-fair
+//!   sharing within a tier ([`EngineOptions::tenants`]), SLO-aware
+//!   admission control that sheds predicted deadline misses
+//!   ([`EngineOptions::slo_admission`]), and per-tenant outcome/latency
+//!   accounting in [`Stats::tenants`] — deterministic step-based
+//!   histograms, mirrored into `lm4db-obs` as `serve/tenant/*` counters.
 //! * **Observability**: a [`Stats`] snapshot with queued/prefilled/decoded
 //!   token counters, prefix-cache hits, and batch occupancy. With
 //!   `LM4DB_TRACE=1` the same counters are mirrored into the global
@@ -70,8 +77,10 @@
 
 pub mod engine;
 pub mod prefix;
+pub mod sched;
 pub mod stats;
 
 pub use engine::{Deadline, Decode, Engine, EngineOptions, Outcome, Request, RequestId, Response};
 pub use prefix::PrefixCache;
-pub use stats::Stats;
+pub use sched::{TenantClass, TenantId};
+pub use stats::{Stats, TenantStats};

@@ -14,6 +14,8 @@
 //! `stats().latency.quantile(0.99)` answers the tail-latency question
 //! without any tracing armed.
 
+use std::collections::BTreeMap;
+
 use lm4db_obs::Histogram;
 
 /// A point-in-time snapshot of the engine's counters, taken with
@@ -67,6 +69,59 @@ pub struct Stats {
     /// End-to-end wall-clock nanoseconds from submit to retire (one
     /// observation per retired request, including cancelled and expired).
     pub latency: Histogram,
+    /// Per-tenant accounting, keyed by [`crate::Request::tenant`]. Always
+    /// populated (an unconfigured engine books everything under tenant 0);
+    /// the per-tenant latency distributions count scheduler *steps*, not
+    /// wall time, so they are deterministic and fingerprint-safe.
+    pub tenants: BTreeMap<u32, TenantStats>,
+}
+
+/// One tenant's slice of the engine counters (see [`Stats::tenants`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantStats {
+    /// Requests this tenant ever submitted.
+    pub submitted: u64,
+    /// Requests admitted into the batch at least once.
+    pub admitted: u64,
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests cancelled before completion.
+    pub cancelled: u64,
+    /// Requests retired by a deadline with partial results.
+    pub expired: u64,
+    /// Requests retired with [`crate::Outcome::Failed`].
+    pub failed: u64,
+    /// Requests shed at admission ([`crate::Outcome::Rejected`]): queue
+    /// bound plus SLO sheds.
+    pub rejected: u64,
+    /// The subset of `rejected` shed by SLO-aware admission control
+    /// ([`crate::EngineOptions::slo_admission`]) rather than the hard
+    /// queue bound.
+    pub slo_shed: u64,
+    /// Retry attempts scheduled after a poisoned feed pass.
+    pub retries: u64,
+    /// Completed requests whose submit→retire step count met the tenant's
+    /// `slo_steps` target (only booked when a target is configured).
+    pub slo_met: u64,
+    /// Completed requests that overran the tenant's `slo_steps` target.
+    pub slo_missed: u64,
+    /// Requests currently waiting in this tenant's queue.
+    pub queued: usize,
+    /// Scheduler steps each admitted request waited before first
+    /// admission (one observation per admitted request). Step-based and
+    /// therefore deterministic, unlike the wall-clock [`Stats::queue_wait`].
+    pub queue_wait_steps: Histogram,
+    /// Submit→retire scheduler steps for every admitted-then-retired
+    /// request (sheds are excluded: they never consumed a step).
+    pub latency_steps: Histogram,
+}
+
+impl TenantStats {
+    /// Terminal outcomes booked for this tenant; equals `submitted` once
+    /// the engine is idle (the conservation law, per tenant).
+    pub fn terminal_total(&self) -> u64 {
+        self.completed + self.cancelled + self.expired + self.failed + self.rejected
+    }
 }
 
 impl Stats {
@@ -121,6 +176,23 @@ mod tests {
         };
         assert_eq!(s.mean_batch_occupancy(), 2.5);
         assert_eq!(s.prefix_hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn tenant_terminal_total_sums_every_terminal_outcome() {
+        let t = TenantStats {
+            submitted: 10,
+            admitted: 6,
+            completed: 4,
+            cancelled: 1,
+            expired: 1,
+            failed: 1,
+            rejected: 3,
+            slo_shed: 2, // a subset of rejected: not summed separately
+            ..TenantStats::default()
+        };
+        assert_eq!(t.terminal_total(), 10);
+        assert_eq!(t.terminal_total(), t.submitted);
     }
 
     #[test]

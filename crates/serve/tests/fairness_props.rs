@@ -1,0 +1,149 @@
+//! Property tests for the weighted-fair multi-tenant scheduler.
+//!
+//! The claim under test is the start-time-fair-queuing service bound: among
+//! tenants that stay continuously backlogged, normalized service
+//! (admissions ÷ weight) never diverges by more than one maximal virtual-
+//! time increment — so no tenant starves, whatever the weights, batch
+//! size, or arrival pattern. The engine is driven one step at a time and
+//! the per-tenant [`lm4db_serve::TenantStats`] counters are checked after
+//! every step, not just at the end.
+
+use lm4db_serve::{Engine, EngineOptions, Request, TenantClass};
+use lm4db_tokenize::BOS;
+use lm4db_transformer::{GptModel, ModelConfig};
+use proptest::prelude::*;
+
+/// A request that decodes exactly one token and retires (the stop token
+/// can never be emitted), so admission order is the only degree of freedom.
+fn one_token_request(tenant: u32, salt: usize) -> Request<'static> {
+    Request::greedy(vec![BOS, 4 + (salt % 50)], 1, usize::MAX).with_tenant(tenant)
+}
+
+proptest! {
+    /// All tenants share tier 0 with arbitrary weights and every request
+    /// is submitted up front, so every tenant is continuously backlogged
+    /// until its queue drains. At every step and for every backlogged
+    /// pair, |admitted_i/w_i − admitted_j/w_j| must stay within one
+    /// admission of the ideal share; and the run must drain completely
+    /// with per-tenant conservation.
+    #[test]
+    fn backlogged_tenants_get_weighted_shares_and_never_starve(
+        weights in prop::collection::vec(1u32..9, 2..5),
+        per_tenant in 6usize..14,
+        max_batch in 1usize..4,
+    ) {
+        let model = GptModel::new(ModelConfig::test(), 7);
+        let tenants: Vec<TenantClass> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| TenantClass::new(&format!("t{i}")).weight(w))
+            .collect();
+        let n = tenants.len();
+        let mut engine = Engine::with_options(
+            &model,
+            EngineOptions {
+                max_batch,
+                tenants,
+                ..EngineOptions::default()
+            },
+        );
+        for r in 0..per_tenant {
+            for t in 0..n {
+                engine.submit(one_token_request(t as u32, r * n + t));
+            }
+        }
+        let mut steps = 0u32;
+        loop {
+            let more = engine.step();
+            steps += 1;
+            prop_assert!(steps < 10_000, "engine failed to drain");
+            let stats = engine.stats();
+            // The SFQ bound, checked pairwise among still-backlogged
+            // tenants. Slack of one admission absorbs the integer
+            // virtual-time rounding and the batch fill granularity.
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let (ti, tj) = (&stats.tenants[&(i as u32)], &stats.tenants[&(j as u32)]);
+                    if ti.queued == 0 || tj.queued == 0 {
+                        continue;
+                    }
+                    let share_i = ti.admitted as f64 / f64::from(weights[i]);
+                    let share_j = tj.admitted as f64 / f64::from(weights[j]);
+                    let bound = 1.0 + max_batch as f64;
+                    prop_assert!(
+                        (share_i - share_j).abs() <= bound,
+                        "unfair split at step {steps}: tenant {i} (w={}) admitted {} vs \
+                         tenant {j} (w={}) admitted {}",
+                        weights[i], ti.admitted, weights[j], tj.admitted
+                    );
+                }
+            }
+            if !more {
+                break;
+            }
+        }
+        // Drained: every tenant's requests were admitted and completed —
+        // starvation-freedom in the strongest form — and the conservation
+        // ledger balances tenant by tenant.
+        let stats = engine.stats();
+        prop_assert_eq!(stats.tenants.len(), n);
+        for t in 0..n {
+            let ts = &stats.tenants[&(t as u32)];
+            prop_assert_eq!(ts.submitted, per_tenant as u64);
+            prop_assert_eq!(ts.admitted, per_tenant as u64);
+            prop_assert_eq!(ts.completed, per_tenant as u64);
+            prop_assert_eq!(ts.terminal_total(), ts.submitted);
+            prop_assert_eq!(ts.queued, 0);
+        }
+    }
+
+    /// Strict priority across tiers: with a tier-0 and a tier-1 tenant
+    /// both fully backlogged up front, the tier-1 tenant is never admitted
+    /// while the tier-0 queue is non-empty.
+    #[test]
+    fn lower_tier_never_admits_while_higher_tier_backlogged(
+        per_tenant in 4usize..10,
+        max_batch in 1usize..4,
+        w_low in 1u32..9,
+    ) {
+        let model = GptModel::new(ModelConfig::test(), 7);
+        let mut engine = Engine::with_options(
+            &model,
+            EngineOptions {
+                max_batch,
+                tenants: vec![
+                    TenantClass::new("hi").tier(0),
+                    // However large the low tier's weight, tiers win.
+                    TenantClass::new("lo").tier(1).weight(w_low),
+                ],
+                ..EngineOptions::default()
+            },
+        );
+        for r in 0..per_tenant {
+            engine.submit(one_token_request(1, r));
+            engine.submit(one_token_request(0, r));
+        }
+        let mut steps = 0u32;
+        loop {
+            let more = engine.step();
+            steps += 1;
+            prop_assert!(steps < 10_000, "engine failed to drain");
+            let stats = engine.stats();
+            let hi = &stats.tenants[&0];
+            let lo = &stats.tenants[&1];
+            if hi.queued > 0 {
+                prop_assert!(
+                    lo.admitted == 0,
+                    "tier 1 admitted while {} tier-0 requests still queued",
+                    hi.queued
+                );
+            }
+            if !more {
+                break;
+            }
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.tenants[&0].completed, per_tenant as u64);
+        prop_assert_eq!(stats.tenants[&1].completed, per_tenant as u64);
+    }
+}

@@ -6,7 +6,7 @@
 //! registry are process-global, and a dedicated process keeps other tests'
 //! engines from bleeding counters into the snapshot.
 
-use lm4db_serve::{Engine, EngineOptions, Outcome, Request};
+use lm4db_serve::{Engine, EngineOptions, Outcome, Request, TenantClass};
 use lm4db_tokenize::{BOS, EOS};
 use lm4db_transformer::{GptModel, ModelConfig};
 
@@ -186,6 +186,79 @@ fn fault_counters_match_engine_stats() {
     );
     // Pool-level isolation accounting fired for every poisoned task.
     assert!(counter("pool/task_panics") > 0);
+}
+
+#[test]
+fn tenant_counters_match_per_tenant_stats() {
+    let _l = lock();
+    lm4db_obs::set_enabled(true);
+    lm4db_obs::reset();
+
+    let m = GptModel::new(ModelConfig::test(), 7);
+    let mut engine = Engine::with_options(
+        &m,
+        EngineOptions {
+            max_batch: 1,
+            max_queue: 3,
+            tenants: vec![
+                TenantClass::new("interactive").weight(2),
+                TenantClass::new("batch").tier(1),
+            ],
+            ..Default::default()
+        },
+    );
+    // 4 requests per tenant into a 3-deep shared queue: some shed, the
+    // rest complete — every per-tenant counter class gets exercised.
+    for i in 0..4u32 {
+        engine.submit(Request::greedy(vec![BOS, 10 + i as usize], 2, EOS).with_tenant(0));
+        engine.submit(Request::greedy(vec![BOS, 20 + i as usize], 2, EOS).with_tenant(1));
+    }
+    engine.run();
+
+    let stats = engine.stats();
+    let snap = lm4db_obs::snapshot();
+    lm4db_obs::set_enabled(false);
+
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(stats.tenants.len(), 2, "both tenants booked");
+    let mut rejected_total = 0;
+    for (&tenant, t) in &stats.tenants {
+        // The registry's serve/tenant/<id>/* counters are a second view of
+        // the same per-tenant accounting — exact, not approximate.
+        for (field, value) in [
+            ("submitted", t.submitted),
+            ("admitted", t.admitted),
+            ("completed", t.completed),
+            ("rejected", t.rejected),
+            ("slo_shed", t.slo_shed),
+            ("failed", t.failed),
+            ("cancelled", t.cancelled),
+            ("expired", t.expired),
+            ("retries", t.retries),
+        ] {
+            assert_eq!(
+                counter(&format!("serve/tenant/{tenant}/{field}")),
+                value,
+                "tenant {tenant} field {field}"
+            );
+        }
+        assert_eq!(t.submitted, 4);
+        assert_eq!(t.terminal_total(), t.submitted, "per-tenant conservation");
+        assert_eq!(
+            t.latency_steps.count(),
+            t.admitted,
+            "one step-latency per admit"
+        );
+        rejected_total += t.rejected;
+    }
+    assert_eq!(rejected_total, stats.rejected, "tenant sheds sum to global");
+    assert!(
+        stats.rejected > 0,
+        "a 3-deep queue under 8 submits must shed"
+    );
+    // The global view is the sum of the tenant views.
+    let sum: u64 = stats.tenants.values().map(|t| t.completed).sum();
+    assert_eq!(sum, stats.completed);
 }
 
 #[test]
