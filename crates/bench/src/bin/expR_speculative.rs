@@ -1,0 +1,361 @@
+//! **Exp R** (speculative decoding): decode throughput of the serve
+//! engine with an n-gram draft model proposing lookahead tokens that the
+//! transformer verifies in one batched forward pass.
+//!
+//! The workload is the Exp L shape (8 concurrent requests sharing a long
+//! instruction-style header) on a *larger* model, where single-token
+//! decode is bound by streaming the weight matrices per token. The
+//! speculative path feeds the whole draft chunk through
+//! [`KvCache::feed_many`], whose row-tiled kernels stream each weight
+//! tile once per group of rows — the same memory traffic now yields
+//! several verified tokens.
+//!
+//! Every leg runs twice on a fresh engine: an untimed warm-up that
+//! populates the prefix trie, then the timed pass — so the reported
+//! number is *decode* throughput (prefill amortized away by the prefix
+//! cache), which is the thing speculation accelerates.
+//!
+//! Five legs over identical requests:
+//!
+//! 1. engine, `draft_k = 0` (the non-speculative baseline),
+//! 2. engine, `draft_k = 2`, n-gram draft,
+//! 3. engine, `draft_k = 4`, n-gram draft,
+//! 4. engine, `draft_k = 8`, n-gram draft,
+//! 5. engine, `draft_k = 4` *with* a grammar-style [`TokenMask`] applied
+//!    during both draft and verify (compared against a masked
+//!    non-speculative run, not against the unmasked legs).
+//!
+//! The draft model is an [`NGramLm`] trained on the baseline engine's own
+//! outputs, so acceptance is high by construction — but correctness never
+//! depends on it: every speculative leg must be byte-identical to its
+//! non-speculative counterpart, and the bench asserts exactly that.
+//!
+//! Acceptance (skipped under `LM4DB_SMOKE=1`): the best speculative leg
+//! must clear 2x the non-speculative engine's decode throughput.
+//!
+//! [`KvCache::feed_many`]: lm4db::transformer::KvCache::feed_many
+//! [`TokenMask`]: lm4db::transformer::TokenMask
+//! [`NGramLm`]: lm4db::lm::NGramLm
+
+use lm4db::lm::NGramLm;
+use lm4db::obs;
+use lm4db::serve::{Engine, EngineOptions, Request};
+use lm4db::tokenize::BOS;
+use lm4db::transformer::{GptModel, ModelConfig, TokenMask};
+use lm4db_bench::{json_obj, print_table, write_results_json};
+use serde_json::Value;
+
+const STOP: usize = usize::MAX; // never emitted: measure full budgets
+const HEADER_LEN: usize = 24;
+// Long contexts disambiguate the eight generated tails from each other
+// (the first 24 prompt tokens are shared), keeping acceptance high.
+const DRAFT_ORDER: usize = 8;
+
+/// Grammar-style mask for the composition leg: vetoes the special tokens
+/// (PAD/UNK/BOS/EOS), the way a real grammar vetoes ill-formed
+/// continuations. Cheap on purpose — the leg measures mask *plumbing*
+/// (mask consulted on every draft and verify step), not mask cost.
+struct NoSpecials;
+
+impl TokenMask for NoSpecials {
+    fn fill(&self, _prefix: &[usize], mask: &mut [bool]) {
+        for (id, slot) in mask.iter_mut().enumerate() {
+            *slot = id >= 4;
+        }
+    }
+}
+
+fn cfg(smoke: bool) -> ModelConfig {
+    ModelConfig {
+        vocab_size: 512,
+        max_seq_len: 96,
+        // Big enough that single-token decode is bound by streaming the
+        // weight matrices (they overflow L2) — the regime the speculative
+        // batched verify is built for. Smoke keeps CI fast.
+        d_model: if smoke { 64 } else { 384 },
+        n_heads: 4,
+        n_layers: 4,
+        d_ff: if smoke { 256 } else { 1536 },
+        dropout: 0.0,
+    }
+}
+
+/// Eight prompts sharing a long instruction-style header (the Exp L
+/// prompt shape), each with a short unique tail.
+fn prompts() -> Vec<Vec<usize>> {
+    let mut header = vec![BOS];
+    header.extend((0..HEADER_LEN - 1).map(|i| 10 + (i * 7) % 500));
+    (0..8)
+        .map(|r| {
+            let mut p = header.clone();
+            p.extend([10 + (r * 31) % 500, 10 + (r * 17) % 500]);
+            p
+        })
+        .collect()
+}
+
+fn requests(ps: &[Vec<usize>], new_tokens: usize) -> Vec<Request<'static>> {
+    ps.iter()
+        .map(|p| Request::greedy(p.clone(), new_tokens, STOP))
+        .collect()
+}
+
+/// Runs one engine leg — an untimed warm-up pass to fill the prefix trie,
+/// then the timed pass — and returns (outputs, wall-clock seconds of the
+/// timed pass, drafted, accepted) with the counters scoped to the timed
+/// pass only.
+fn run_leg(
+    label: &'static str,
+    model: &GptModel,
+    draft: Option<&NGramLm>,
+    draft_k: usize,
+    mask: Option<&dyn TokenMask>,
+    ps: &[Vec<usize>],
+    new_tokens: usize,
+) -> (Vec<Vec<usize>>, f64, u64, u64) {
+    let mut engine = Engine::with_options(
+        model,
+        EngineOptions {
+            max_batch: 8,
+            draft_k,
+            ..Default::default()
+        },
+    );
+    if let Some(d) = draft {
+        engine.set_draft(d);
+    }
+    let build = || {
+        requests(ps, new_tokens)
+            .into_iter()
+            .map(|r| match mask {
+                Some(m) => r.with_mask(m),
+                None => r,
+            })
+            .collect::<Vec<Request<'_>>>()
+    };
+    let warm_out: Vec<Vec<usize>> = engine
+        .generate_batch(build())
+        .into_iter()
+        .map(|r| r.tokens)
+        .collect();
+    let before = engine.stats();
+    let (out, took) = obs::timed(label, || {
+        engine
+            .generate_batch(build())
+            .into_iter()
+            .map(|r| r.tokens)
+            .collect::<Vec<Vec<usize>>>()
+    });
+    assert_eq!(warm_out, out, "{label}: warm pass diverged from timed pass");
+    let stats = engine.stats();
+    (
+        out,
+        took.as_secs_f64(),
+        stats.drafted_tokens - before.drafted_tokens,
+        stats.draft_accepted_tokens - before.draft_accepted_tokens,
+    )
+}
+
+fn main() {
+    let smoke = std::env::var("LM4DB_SMOKE").is_ok_and(|v| v == "1");
+    let new_tokens: usize = if smoke { 8 } else { 32 };
+    let model = GptModel::new(cfg(smoke), 11);
+    let ps = prompts();
+    let total_new = 8 * new_tokens;
+    let tps = |secs: f64| total_new as f64 / secs;
+
+    // 1. Non-speculative baseline.
+    let (out_base, secs_base, _, _) = run_leg(
+        "bench/expR_baseline",
+        &model,
+        None,
+        0,
+        None,
+        &ps,
+        new_tokens,
+    );
+
+    // Distill a draft model from the baseline's own outputs: prompt plus
+    // generated tail per request. Deterministic, so every process that
+    // runs this bench trains the identical draft.
+    let mut ngram = NGramLm::new(DRAFT_ORDER, cfg(smoke).vocab_size);
+    for (p, o) in ps.iter().zip(&out_base) {
+        let mut stream = p.clone();
+        stream.extend(o);
+        ngram.train(&stream);
+    }
+
+    // 2–4. Speculative legs; byte-equality with the baseline is asserted
+    // unconditionally — speculation may never change the answer.
+    let (out_k2, secs_k2, drafted_k2, accepted_k2) = run_leg(
+        "bench/expR_spec_k2",
+        &model,
+        Some(&ngram),
+        2,
+        None,
+        &ps,
+        new_tokens,
+    );
+    let (out_k4, secs_k4, drafted_k4, accepted_k4) = run_leg(
+        "bench/expR_spec_k4",
+        &model,
+        Some(&ngram),
+        4,
+        None,
+        &ps,
+        new_tokens,
+    );
+    let (out_k8, secs_k8, drafted_k8, accepted_k8) = run_leg(
+        "bench/expR_spec_k8",
+        &model,
+        Some(&ngram),
+        8,
+        None,
+        &ps,
+        new_tokens,
+    );
+    assert_eq!(out_base, out_k2, "speculative k=2 output diverged");
+    assert_eq!(out_base, out_k4, "speculative k=4 output diverged");
+    assert_eq!(out_base, out_k8, "speculative k=8 output diverged");
+    assert!(drafted_k4 > 0, "k=4 leg never drafted");
+
+    // 4. Grammar-constrained composition: masked speculative vs masked
+    // non-speculative. The mask changes the output (specials vetoed), so
+    // the reference is the masked baseline, not the unmasked one.
+    let mask = NoSpecials;
+    let (out_m0, secs_m0, _, _) = run_leg(
+        "bench/expR_masked_base",
+        &model,
+        None,
+        0,
+        Some(&mask),
+        &ps,
+        new_tokens,
+    );
+    let (out_m4, secs_m4, drafted_m4, accepted_m4) = run_leg(
+        "bench/expR_masked_spec",
+        &model,
+        Some(&ngram),
+        4,
+        Some(&mask),
+        &ps,
+        new_tokens,
+    );
+    assert_eq!(out_m0, out_m4, "masked speculative output diverged");
+    assert!(
+        out_m0.iter().flatten().all(|&t| t >= 4),
+        "mask violated: special token emitted"
+    );
+
+    let accept = |a: u64, d: u64| {
+        if d == 0 {
+            0.0
+        } else {
+            a as f64 / d as f64
+        }
+    };
+    let rows = vec![
+        vec![
+            "engine, draft_k=0 (baseline)".into(),
+            format!("{:.0}", tps(secs_base)),
+            "1.00x".into(),
+            "-".into(),
+        ],
+        vec![
+            "engine, n-gram draft, k=2".into(),
+            format!("{:.0}", tps(secs_k2)),
+            format!("{:.2}x", secs_base / secs_k2),
+            format!("{:.1}%", 100.0 * accept(accepted_k2, drafted_k2)),
+        ],
+        vec![
+            "engine, n-gram draft, k=4".into(),
+            format!("{:.0}", tps(secs_k4)),
+            format!("{:.2}x", secs_base / secs_k4),
+            format!("{:.1}%", 100.0 * accept(accepted_k4, drafted_k4)),
+        ],
+        vec![
+            "engine, n-gram draft, k=8".into(),
+            format!("{:.0}", tps(secs_k8)),
+            format!("{:.2}x", secs_base / secs_k8),
+            format!("{:.1}%", 100.0 * accept(accepted_k8, drafted_k8)),
+        ],
+        vec![
+            "engine, masked, draft_k=0".into(),
+            format!("{:.0}", tps(secs_m0)),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "engine, masked, k=4".into(),
+            format!("{:.0}", tps(secs_m4)),
+            format!("{:.2}x vs masked base", secs_m0 / secs_m4),
+            format!("{:.1}%", 100.0 * accept(accepted_m4, drafted_m4)),
+        ],
+    ];
+    print_table(
+        &format!(
+            "Exp R — speculative decoding, 8 shared-prefix requests, {new_tokens} new tokens each"
+        ),
+        &["strategy", "tokens/sec", "speedup", "accept rate"],
+        &rows,
+    );
+    println!("output check: every speculative leg byte-identical to its non-speculative reference");
+
+    let speedup = secs_base / secs_k2.min(secs_k4).min(secs_k8);
+    if smoke {
+        println!("smoke mode: skipping the 2x acceptance gate (tiny shapes)");
+    } else {
+        assert!(
+            speedup >= 2.0,
+            "acceptance: speculative decode must clear 2x the non-speculative engine, got {speedup:.2}x"
+        );
+    }
+
+    let path = write_results_json(
+        "expR_speculative.json",
+        &json_obj(vec![
+            ("experiment", Value::Str("expR_speculative".into())),
+            ("threads", Value::Int(lm4db::tensor::threads() as i64)),
+            ("smoke", Value::Bool(smoke)),
+            ("requests", Value::Int(8)),
+            ("new_tokens_per_request", Value::Int(new_tokens as i64)),
+            ("draft_order", Value::Int(DRAFT_ORDER as i64)),
+            ("wall_clock_secs_baseline", Value::Float(secs_base)),
+            ("wall_clock_secs_spec_k2", Value::Float(secs_k2)),
+            ("wall_clock_secs_spec_k4", Value::Float(secs_k4)),
+            ("wall_clock_secs_spec_k8", Value::Float(secs_k8)),
+            ("wall_clock_secs_masked_base", Value::Float(secs_m0)),
+            ("wall_clock_secs_masked_spec_k4", Value::Float(secs_m4)),
+            ("tokens_per_sec_baseline", Value::Float(tps(secs_base))),
+            ("tokens_per_sec_spec_k4", Value::Float(tps(secs_k4))),
+            ("speedup_spec_vs_baseline", Value::Float(speedup)),
+            (
+                "accept_rate_k2",
+                Value::Float(accept(accepted_k2, drafted_k2)),
+            ),
+            (
+                "accept_rate_k4",
+                Value::Float(accept(accepted_k4, drafted_k4)),
+            ),
+            (
+                "accept_rate_k8",
+                Value::Float(accept(accepted_k8, drafted_k8)),
+            ),
+            (
+                "accept_rate_masked_k4",
+                Value::Float(accept(accepted_m4, drafted_m4)),
+            ),
+            (
+                "speedup_masked_spec_vs_masked_base",
+                Value::Float(secs_m0 / secs_m4),
+            ),
+            ("outputs_bit_identical", Value::Bool(true)),
+        ]),
+    );
+    println!("wrote {}", path.display());
+
+    if obs::enabled() {
+        println!("\n### Trace snapshot (LM4DB_TRACE=1)\n");
+        println!("```\n{}```", obs::snapshot().to_text());
+    }
+}

@@ -96,6 +96,68 @@ impl NGramLm {
         }
     }
 
+    /// Full next-token distribution after `context`, in one pass per order.
+    ///
+    /// Bit-identical to calling [`NGramLm::prob`] for every vocabulary
+    /// entry (the per-token accumulation runs over orders in the same
+    /// sequence, with the same float expressions), but each order's
+    /// context is hashed once and its successor total summed once instead
+    /// of once per token — `O(order · successors + vocab)` rather than
+    /// `O(vocab · order · successors)`. This is what makes the n-gram
+    /// viable as a serve-engine draft model: one distribution per drafted
+    /// token, on the critical path of every speculative decode step.
+    pub fn dist(&self, context: &[usize]) -> Vec<f32> {
+        let mut num = vec![0.0f32; self.vocab_size];
+        let mut weight_sum = 0.0;
+        for k in 0..self.order {
+            if k > context.len() {
+                continue;
+            }
+            let ctx = &context[context.len() - k..];
+            if k == 0 {
+                let w = self.weights[0];
+                match self.counts[0].get(ctx) {
+                    Some(succ) => {
+                        let total: u32 = succ.values().sum();
+                        let denom = total as f32 + self.vocab_size as f32;
+                        // Every token starts at the add-one floor
+                        // ((0 + 1.0) / denom == 1.0 / denom exactly);
+                        // observed successors overwrite with their count.
+                        for slot in num.iter_mut() {
+                            *slot = w * (1.0 / denom);
+                        }
+                        for (&t, &c) in succ {
+                            num[t] = w * ((c as f32 + 1.0) / denom);
+                        }
+                    }
+                    None => {
+                        let p = 1.0 / self.vocab_size as f32;
+                        for slot in num.iter_mut() {
+                            *slot = w * p;
+                        }
+                    }
+                }
+                weight_sum += w;
+            } else if let Some(succ) = self.counts[k].get(ctx) {
+                let total: u32 = succ.values().sum();
+                let w = self.weights[k];
+                // Tokens outside the successor map would add `w * 0.0`,
+                // which never changes a non-negative accumulator.
+                for (&t, &c) in succ {
+                    num[t] += w * (c as f32 / total as f32);
+                }
+                weight_sum += w;
+            }
+        }
+        if weight_sum == 0.0 {
+            return vec![1.0 / self.vocab_size as f32; self.vocab_size];
+        }
+        for slot in num.iter_mut() {
+            *slot /= weight_sum;
+        }
+        num
+    }
+
     /// Per-token perplexity of `stream` (starting from the second token).
     pub fn perplexity(&self, stream: &[usize]) -> f32 {
         assert!(stream.len() >= 2, "perplexity needs at least 2 tokens");
@@ -119,8 +181,28 @@ impl NextToken for NGramLm {
     }
 
     fn next_logits(&mut self, prefix: &[usize]) -> Vec<f32> {
-        (0..self.vocab_size)
-            .map(|t| self.prob(prefix, t).max(1e-12).ln())
+        self.dist(prefix)
+            .into_iter()
+            .map(|p| p.max(1e-12).ln())
+            .collect()
+    }
+}
+
+impl lm4db_transformer::DraftModel for NGramLm {
+    fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Same logits as [`NextToken::next_logits`], through `&self`: the
+    /// serve engine shares one trained n-gram across every in-flight
+    /// request and uses it to draft tokens the transformer then verifies
+    /// in a single batched forward. One [`NGramLm::dist`] call per drafted
+    /// token is orders of magnitude cheaper than a transformer decode
+    /// step, which is the whole speculative bet.
+    fn draft_logits(&self, prefix: &[usize]) -> Vec<f32> {
+        self.dist(prefix)
+            .into_iter()
+            .map(|p| p.max(1e-12).ln())
             .collect()
     }
 }
@@ -183,6 +265,43 @@ mod tests {
         lm.train(&repeating_stream());
         let out = greedy(&mut lm, &[1, 2], 4, 999, &Unconstrained);
         assert_eq!(out, vec![3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dist_is_bitwise_identical_to_per_token_prob() {
+        // The dense distribution is the draft-model fast path; it must be
+        // indistinguishable from the reference scalar probability — exact
+        // equality, because the serve engine's speculative byte-equality
+        // guarantee rests on the draft and verify paths never disagreeing
+        // about float values.
+        let mut lm = NGramLm::new(4, 32);
+        lm.train(&repeating_stream());
+        lm.train(&[5, 9, 5, 9, 5, 2, 7]);
+        let untrained = NGramLm::new(3, 16);
+        for ctx in [
+            vec![],
+            vec![1],
+            vec![1, 2],
+            vec![2, 3, 1],
+            vec![9, 5, 9],
+            vec![30, 31],
+            vec![1, 2, 3, 1, 2],
+        ] {
+            let dense = lm.dist(&ctx);
+            for (t, &p) in dense.iter().enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    lm.prob(&ctx, t).to_bits(),
+                    "ctx {ctx:?} token {t}"
+                );
+            }
+            if ctx.iter().all(|&t| t < 16) {
+                let dense = untrained.dist(&ctx);
+                for (t, &p) in dense.iter().enumerate() {
+                    assert_eq!(p.to_bits(), untrained.prob(&ctx, t).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -143,6 +143,7 @@ pub(crate) fn build_request(
                 stop: STOP,
             },
             constraint: None,
+            mask: None,
             deadline: lm4db_serve::Deadline::None,
             tenant: 0,
         },

@@ -58,8 +58,8 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use lm4db_transformer::generate::{apply_constraint, argmax, log_softmax};
-use lm4db_transformer::{Constraint, GptModel, Hypothesis, KvCache};
+use lm4db_transformer::generate::{apply_constraint, apply_token_mask, argmax, log_softmax};
+use lm4db_transformer::{Constraint, DraftModel, GptModel, Hypothesis, KvCache, TokenMask};
 
 use crate::prefix::PrefixCache;
 use crate::sched::{FairQueues, TenantClass, TenantId};
@@ -123,6 +123,13 @@ pub struct Request<'a> {
     pub decode: Decode,
     /// Optional PICARD-style decoding constraint.
     pub constraint: Option<&'a dyn Constraint>,
+    /// Optional incremental grammar mask, the engine-native form of a
+    /// constraint: materialized once per decode step as a vocabulary-wide
+    /// allow table instead of probed token by token. When both `mask` and
+    /// `constraint` are attached the mask wins; outputs are byte-identical
+    /// whenever the two encode the same veto set (see
+    /// [`lm4db_transformer::TokenMask`]).
+    pub mask: Option<&'a dyn TokenMask>,
     /// Optional deadline.
     pub deadline: Deadline,
     /// Owning tenant. With [`EngineOptions::tenants`] configured this must
@@ -138,6 +145,7 @@ impl<'a> Request<'a> {
             prompt,
             decode: Decode::Greedy { max_new, stop },
             constraint: None,
+            mask: None,
             deadline: Deadline::None,
             tenant: 0,
         }
@@ -153,6 +161,7 @@ impl<'a> Request<'a> {
                 stop,
             },
             constraint: None,
+            mask: None,
             deadline: Deadline::None,
             tenant: 0,
         }
@@ -168,6 +177,7 @@ impl<'a> Request<'a> {
                 prefix_len: prefix.len(),
             },
             constraint: None,
+            mask: None,
             deadline: Deadline::None,
             tenant: 0,
         }
@@ -176,6 +186,12 @@ impl<'a> Request<'a> {
     /// Attaches a decoding constraint.
     pub fn with_constraint(mut self, c: &'a dyn Constraint) -> Self {
         self.constraint = Some(c);
+        self
+    }
+
+    /// Attaches an incremental grammar mask (see [`Request::mask`]).
+    pub fn with_mask(mut self, m: &'a dyn TokenMask) -> Self {
+        self.mask = Some(m);
         self
     }
 
@@ -277,6 +293,18 @@ pub struct EngineOptions {
     /// Initial per-request service-step estimate for SLO admission, before
     /// any request has completed (clamped to ≥ 1).
     pub slo_initial_service_steps: u64,
+    /// Speculative decoding lookahead: after each greedy selection the
+    /// draft model (see [`Engine::set_draft`]) proposes up to this many
+    /// tokens, which the next scheduler step verifies in **one** batched
+    /// forward pass ([`KvCache::feed_many`]) instead of one pass per
+    /// token. The longest prefix of drafts agreeing with the
+    /// transformer's own argmax is accepted; the first disagreement is
+    /// resampled from the transformer's logits and the KV cache rolls
+    /// back to the verified prefix — so output is byte-identical to
+    /// non-speculative greedy decoding at any draft quality. `0` (the
+    /// default) disables speculation; without a draft model the setting
+    /// is inert. Beam and scoring requests never speculate.
+    pub draft_k: usize,
 }
 
 impl Default for EngineOptions {
@@ -291,6 +319,7 @@ impl Default for EngineOptions {
             tenants: Vec::new(),
             slo_admission: false,
             slo_initial_service_steps: 8,
+            draft_k: 0,
         }
     }
 }
@@ -313,12 +342,20 @@ fn tenant_counter(tenant: TenantId, name: &str, delta: u64) {
 /// up to `width`).
 struct Seq {
     cache: KvCache,
-    /// Full token sequence: prompt plus chosen continuations.
+    /// Full token sequence: prompt plus chosen continuations. With
+    /// speculation, the last [`Seq::spec`] entries are unverified drafts.
     ids: Vec<usize>,
     /// How many of `ids` are scheduled for feeding; the unfed span is
     /// `ids[cache.len()..sched]`.
     sched: usize,
     log_prob: f32,
+    /// How many trailing `ids` are speculative drafts awaiting
+    /// verification (0 outside speculative greedy decoding).
+    spec: usize,
+    /// Per-position logits from the last chunked feed: `step_logits[j]`
+    /// is the model's output after `ids[fed + j]` where `fed` was the
+    /// cache length before the feed. Empty outside speculation.
+    step_logits: Vec<Vec<f32>>,
 }
 
 /// A request waiting for admission: freshly submitted, or quarantined
@@ -365,6 +402,7 @@ struct Active<'a> {
     prompt_len: usize,
     decode: Decode,
     constraint: Option<&'a dyn Constraint>,
+    mask: Option<&'a dyn TokenMask>,
     steps_left: Option<u64>,
     wall: Option<Instant>,
     live: Vec<Seq>,
@@ -399,6 +437,9 @@ pub struct Engine<'a> {
     model: &'a GptModel,
     /// Int8 weight snapshot, present iff [`EngineOptions::quantized`].
     quant: Option<lm4db_transformer::QuantizedGpt>,
+    /// Cheap proposal model for speculative decoding, shared read-only
+    /// across every in-flight request (see [`Engine::set_draft`]).
+    draft: Option<&'a dyn DraftModel>,
     opts: EngineOptions,
     /// Per-tenant admission queues (one plain FIFO when no tenant classes
     /// are configured).
@@ -439,6 +480,7 @@ impl<'a> Engine<'a> {
         Engine {
             model,
             quant,
+            draft: None,
             prefix: PrefixCache::new(opts.prefix_cache_tokens),
             opts,
             queue,
@@ -466,6 +508,20 @@ impl<'a> Engine<'a> {
     /// Heap bytes of the int8 weight snapshot (0 for an f32 engine).
     pub fn quantized_weight_bytes(&self) -> usize {
         self.quant.as_ref().map_or(0, |q| q.weight_bytes())
+    }
+
+    /// Installs the draft model used by speculative greedy decoding when
+    /// [`EngineOptions::draft_k`] is non-zero. The draft only *proposes*
+    /// tokens — every proposal is verified against the transformer's own
+    /// argmax before it can appear in an output, so a bad draft costs
+    /// throughput, never correctness.
+    pub fn set_draft(&mut self, draft: &'a dyn DraftModel) {
+        assert_eq!(
+            draft.vocab_size(),
+            self.model.config().vocab_size,
+            "draft model vocabulary must match the served model"
+        );
+        self.draft = Some(draft);
     }
 
     /// Enqueues a request; it is admitted into the batch on a later
@@ -678,7 +734,14 @@ impl<'a> Engine<'a> {
             let mut i = 0;
             while i < self.active.len() {
                 let _req = lm4db_obs::request_scope(self.active[i].id);
-                if let Some(resp) = select_request(&mut self.active[i], self.model) {
+                let resp = select_request(
+                    &mut self.active[i],
+                    self.model,
+                    self.draft,
+                    self.opts.draft_k,
+                    &mut self.stats,
+                );
+                if let Some(resp) = resp {
                     self.retire(i, resp);
                 } else {
                     i += 1;
@@ -739,6 +802,26 @@ impl<'a> Engine<'a> {
         let mut req = Request::beam(prompt.to_vec(), width, max_new, stop);
         if let Some(c) = constraint {
             req = req.with_constraint(c);
+        }
+        let id = self.submit(req);
+        self.run_for(id).hyps
+    }
+
+    /// Convenience: beam search under an incremental grammar mask instead
+    /// of a per-token [`Constraint`] oracle — same results whenever the
+    /// two encode the same veto set, but the mask is materialized once per
+    /// expansion step rather than probed once per vocabulary entry.
+    pub fn beam_masked(
+        &mut self,
+        prompt: &[usize],
+        width: usize,
+        max_new: usize,
+        stop: usize,
+        mask: Option<&'a dyn TokenMask>,
+    ) -> Vec<Hypothesis> {
+        let mut req = Request::beam(prompt.to_vec(), width, max_new, stop);
+        if let Some(m) = mask {
+            req = req.with_mask(m);
         }
         let id = self.submit(req);
         self.run_for(id).hyps
@@ -848,6 +931,7 @@ impl<'a> Engine<'a> {
                 prompt_len,
                 decode: req.decode,
                 constraint: req.constraint,
+                mask: req.mask,
                 steps_left,
                 wall,
                 live: vec![Seq {
@@ -855,6 +939,8 @@ impl<'a> Engine<'a> {
                     ids: req.prompt,
                     sched: target,
                     log_prob: 0.0,
+                    spec: 0,
+                    step_logits: Vec::new(),
                 }],
                 done: Vec::new(),
                 rounds: 0,
@@ -954,6 +1040,9 @@ impl<'a> Engine<'a> {
             salt: u64,
             fed: usize,
             prompt_len: usize,
+            /// Speculative chunk: keep per-position logits for the
+            /// verify walk in [`select_request`].
+            spec: bool,
             seq: &'s mut Seq,
             toks: Vec<usize>,
         }
@@ -968,11 +1057,13 @@ impl<'a> Engine<'a> {
                 let fed = seq.cache.len();
                 if seq.sched > fed {
                     let toks = seq.ids[fed..seq.sched].to_vec();
+                    let spec = seq.spec > 0;
                     works.push(Work {
                         id,
                         salt: base ^ ((fed as u64) << 20),
                         fed,
                         prompt_len,
+                        spec,
                         seq,
                         toks,
                     });
@@ -986,10 +1077,20 @@ impl<'a> Engine<'a> {
                 // kernel leaves on this pool thread — to the request.
                 let _req = lm4db_obs::request_scope(w.id);
                 lm4db_fault::point("serve/feed", w.salt);
-                match quant {
-                    Some(q) => w.seq.cache.feed_all_quant(model, q, &w.toks),
-                    None => w.seq.cache.feed_all(model, &w.toks),
-                };
+                if w.spec {
+                    // Speculative chunk: one batched forward over the
+                    // fresh token plus its drafts, keeping every
+                    // position's logits for the verify walk.
+                    w.seq.step_logits = match quant {
+                        Some(q) => w.seq.cache.feed_many_quant(model, q, &w.toks),
+                        None => w.seq.cache.feed_many(model, &w.toks),
+                    };
+                } else {
+                    match quant {
+                        Some(q) => w.seq.cache.feed_all_quant(model, q, &w.toks),
+                        None => w.seq.cache.feed_all(model, &w.toks),
+                    };
+                }
             });
             for f in failures {
                 poisoned.push((works[f.index].id, f.message));
@@ -1039,6 +1140,7 @@ impl<'a> Engine<'a> {
                         prompt,
                         decode: act.decode,
                         constraint: act.constraint,
+                        mask: act.mask,
                         deadline: Deadline::None, // resolved at submit; unused here
                         tenant: act.tenant,
                     },
@@ -1216,39 +1318,150 @@ fn finish_hyps(act: &mut Active<'_>) -> Vec<Hypothesis> {
     done
 }
 
+/// Applies a request's decoding restriction to `logits` in place and
+/// returns how many tokens remain allowed. The engine-native [`TokenMask`]
+/// wins over a per-token [`Constraint`] oracle when both are attached;
+/// [`apply_token_mask`] and [`apply_constraint`] perform the same float
+/// write (`NEG_INFINITY` into vetoed entries, ascending token order), so
+/// the two forms decode byte-identically whenever they encode the same
+/// veto set.
+fn apply_decode_mask(
+    logits: &mut [f32],
+    prefix: &[usize],
+    constraint: Option<&dyn Constraint>,
+    mask: Option<&dyn TokenMask>,
+) -> usize {
+    if let Some(m) = mask {
+        let mut allow = vec![false; logits.len()];
+        m.fill(prefix, &mut allow);
+        apply_token_mask(logits, &allow)
+    } else if let Some(c) = constraint {
+        apply_constraint(logits, prefix, c)
+    } else {
+        logits.len()
+    }
+}
+
 /// One selection round for one request: consume the freshly computed
 /// logits, choose continuations, and either schedule more work (`None`) or
 /// finish (`Some(response)`). Runs serially — constraints need not be
 /// thread-safe, and the choice never depends on other requests.
-fn select_request(act: &mut Active<'_>, model: &GptModel) -> Option<Response> {
+///
+/// For greedy requests this is the speculative **verify walk** (DESIGN.md
+/// §5i). A non-speculative request (`draft_k == 0`, the default) walks a
+/// single position and selects exactly like `generate::greedy`. A
+/// speculative request arrives here with `seq.spec` unverified draft
+/// tokens at the tail of `seq.ids`, whose per-position logits the feed
+/// phase computed in one batched forward; the walk accepts the longest
+/// prefix of drafts matching the transformer's own (masked) argmax at
+/// each position, then discards the rest, rolls the KV cache back to the
+/// verified prefix, emits the transformer's selection for the first
+/// disagreeing position, and drafts a fresh lookahead. Every emitted
+/// token is the transformer's argmax over its own logits at a verified
+/// prefix, so output is byte-identical to non-speculative decoding.
+fn select_request(
+    act: &mut Active<'_>,
+    model: &GptModel,
+    draft: Option<&dyn DraftModel>,
+    draft_k: usize,
+    stats: &mut Stats,
+) -> Option<Response> {
     let max_seq_len = model.config().max_seq_len;
     match act.decode {
         Decode::Greedy { max_new, stop } => {
             if act.out.len() >= max_new {
                 return Some(response_for(act, Outcome::Finished));
             }
-            let seq = &mut act.live[0];
-            let mut logits = seq.cache.last_logits().to_vec();
-            let allowed = match act.constraint {
-                Some(c) => apply_constraint(&mut logits, &seq.ids, c),
-                None => logits.len(),
+            let (spec, chunk_logits) = {
+                let seq = &mut act.live[0];
+                let spec = seq.spec;
+                seq.spec = 0;
+                (spec, std::mem::take(&mut seq.step_logits))
             };
-            if allowed == 0 {
-                // Dead end: `generate::greedy` stops and returns the
-                // output so far.
-                return Some(response_for(act, Outcome::Finished));
+            // `ids[..vlen]` is the verified prefix; `ids[vstart..]` are
+            // the unverified drafts. `chunk_logits[vlen - vstart]` is the
+            // model's output after `ids[vlen - 1]` — simultaneously the
+            // selection logits at the cursor and the `last_logits` to
+            // restore if the cache rolls back to `vlen`.
+            let vstart = act.live[0].ids.len() - spec;
+            let mut vlen = vstart;
+            loop {
+                let li = vlen - vstart;
+                let seq = &mut act.live[0];
+                let raw: Vec<f32> = match chunk_logits.get(li) {
+                    Some(row) => row.clone(),
+                    None => seq.cache.last_logits().to_vec(),
+                };
+                let mut logits = raw.clone();
+                let allowed =
+                    apply_decode_mask(&mut logits, &seq.ids[..vlen], act.constraint, act.mask);
+                if allowed == 0 {
+                    // Dead end: `generate::greedy` stops and returns the
+                    // output so far.
+                    return Some(response_for(act, Outcome::Finished));
+                }
+                let tok = argmax(&logits);
+                if tok == stop || vlen >= max_seq_len {
+                    return Some(response_for(act, Outcome::Finished));
+                }
+                if li < spec && seq.ids[vlen] == tok {
+                    // The draft agrees with the transformer's own choice:
+                    // accept it and keep walking the chunk.
+                    vlen += 1;
+                    act.out.push(tok);
+                    stats.draft_accepted_tokens += 1;
+                    lm4db_obs::counter_add("serve/draft_accepted_tokens", 1);
+                    if act.out.len() >= max_new {
+                        return Some(response_for(act, Outcome::Finished));
+                    }
+                    continue;
+                }
+                // First disagreement (or the chunk is exhausted): discard
+                // the unverified tail, restore the KV cache to the
+                // verified prefix, and emit the transformer's selection —
+                // exactly what non-speculative greedy chooses here.
+                seq.ids.truncate(vlen);
+                if seq.cache.len() > vlen {
+                    seq.cache.rollback(model, vlen, raw);
+                }
+                seq.ids.push(tok);
+                act.out.push(tok);
+                if act.out.len() >= max_new {
+                    return Some(response_for(act, Outcome::Finished));
+                }
+                // Draft the next lookahead with the cheap model; the next
+                // scheduler step verifies the fresh token plus all drafts
+                // in one batched forward. Drafts honor the grammar mask
+                // too — a masked-out or stop proposal ends the lookahead
+                // (stop is never scheduled for feeding).
+                let mut drafted = 0;
+                if let (Some(dm), true) = (draft, draft_k > 0) {
+                    let budget = draft_k
+                        .min(max_new - act.out.len())
+                        .min(max_seq_len.saturating_sub(seq.ids.len()));
+                    while drafted < budget {
+                        let mut dl = dm.draft_logits(&seq.ids);
+                        let allowed =
+                            apply_decode_mask(&mut dl, &seq.ids, act.constraint, act.mask);
+                        if allowed == 0 {
+                            break;
+                        }
+                        let dt = argmax(&dl);
+                        if dt == stop {
+                            break;
+                        }
+                        seq.ids.push(dt);
+                        drafted += 1;
+                    }
+                }
+                seq.spec = drafted;
+                seq.sched = seq.ids.len();
+                if drafted > 0 {
+                    stats.drafted_tokens += drafted as u64;
+                    lm4db_obs::counter_add("serve/drafted_tokens", drafted as u64);
+                }
+                return None;
             }
-            let tok = argmax(&logits);
-            if tok == stop || seq.ids.len() >= max_seq_len {
-                return Some(response_for(act, Outcome::Finished));
-            }
-            seq.ids.push(tok);
-            seq.sched = seq.ids.len();
-            act.out.push(tok);
-            if act.out.len() >= max_new {
-                return Some(response_for(act, Outcome::Finished));
-            }
-            None
         }
         Decode::Beam {
             width,
@@ -1264,10 +1477,7 @@ fn select_request(act: &mut Active<'_>, model: &GptModel) -> Option<Response> {
             let mut specs: Vec<(usize, usize, f32)> = Vec::new();
             for (si, seq) in act.live.iter().enumerate() {
                 let mut logits = seq.cache.last_logits().to_vec();
-                let allowed = match act.constraint {
-                    Some(c) => apply_constraint(&mut logits, &seq.ids, c),
-                    None => logits.len(),
-                };
+                let allowed = apply_decode_mask(&mut logits, &seq.ids, act.constraint, act.mask);
                 if allowed == 0 {
                     continue; // dead end — drop this beam
                 }
@@ -1315,6 +1525,8 @@ fn select_request(act: &mut Active<'_>, model: &GptModel) -> Option<Response> {
                     ids,
                     sched,
                     log_prob: lp,
+                    spec: 0,
+                    step_logits: Vec::new(),
                 });
             }
             act.live = new_live;
@@ -1338,12 +1550,61 @@ fn select_request(act: &mut Active<'_>, model: &GptModel) -> Option<Response> {
     }
 }
 
+/// Deterministic draft models for the speculative-decoding tests: a
+/// pattern-following draft that agrees with the trained test model often
+/// (exercising the accept path) and a constant draft that almost never
+/// does (exercising rollback).
+#[cfg(test)]
+mod testdraft {
+    use lm4db_transformer::DraftModel;
+
+    /// Proposes `last token + 1` — near-perfect on the arithmetic
+    /// sequences the test model is trained on.
+    pub struct IncDraft {
+        pub vocab: usize,
+    }
+
+    impl DraftModel for IncDraft {
+        fn vocab_size(&self) -> usize {
+            self.vocab
+        }
+
+        fn draft_logits(&self, prefix: &[usize]) -> Vec<f32> {
+            let mut l = vec![0.0f32; self.vocab];
+            let next = prefix.last().map_or(0, |&t| (t + 1) % self.vocab);
+            l[next] = 1.0;
+            l
+        }
+    }
+
+    /// Always proposes the same token — an adversarial draft whose
+    /// proposals the verify walk must reject without corrupting output.
+    pub struct ConstDraft {
+        pub vocab: usize,
+        pub tok: usize,
+    }
+
+    impl DraftModel for ConstDraft {
+        fn vocab_size(&self) -> usize {
+            self.vocab
+        }
+
+        fn draft_logits(&self, _prefix: &[usize]) -> Vec<f32> {
+            let mut l = vec![0.0f32; self.vocab];
+            l[self.tok] = 1.0;
+            l
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::testdraft::{ConstDraft, IncDraft};
     use super::*;
     use lm4db_tokenize::{BOS, EOS};
     use lm4db_transformer::{
-        beam as beam_single, greedy_cached, IncrementalSession, ModelConfig, Unconstrained,
+        beam as beam_single, greedy_cached, ConstraintMask, IncrementalSession, ModelConfig,
+        Unconstrained,
     };
 
     fn model() -> GptModel {
@@ -1756,6 +2017,166 @@ mod tests {
         assert!(!hyps[0].finished);
     }
 
+    #[test]
+    fn speculative_greedy_is_byte_identical_to_non_speculative() {
+        let m = trained_model();
+        let ps = prompts();
+        let want: Vec<Vec<usize>> = ps.iter().map(|p| greedy_cached(&m, p, 8, EOS)).collect();
+        let vocab = m.config().vocab_size;
+        let good = IncDraft { vocab };
+        let bad = ConstDraft { vocab, tok: 5 };
+        let drafts: [(&str, &dyn DraftModel); 2] = [("inc", &good), ("const", &bad)];
+        for (name, draft) in drafts {
+            for draft_k in [1, 2, 4] {
+                for max_batch in [1, 8] {
+                    let mut engine = Engine::with_options(
+                        &m,
+                        EngineOptions {
+                            max_batch,
+                            draft_k,
+                            ..EngineOptions::default()
+                        },
+                    );
+                    engine.set_draft(draft);
+                    let reqs = ps
+                        .iter()
+                        .map(|p| Request::greedy(p.clone(), 8, EOS))
+                        .collect();
+                    let out: Vec<Vec<usize>> = engine
+                        .generate_batch(reqs)
+                        .into_iter()
+                        .map(|r| r.tokens)
+                        .collect();
+                    assert_eq!(out, want, "draft {name} / k {draft_k} / batch {max_batch}");
+                    let stats = engine.stats();
+                    assert!(stats.drafted_tokens > 0, "speculation must have run");
+                    assert!(stats.draft_accepted_tokens <= stats.drafted_tokens);
+                    if name == "inc" {
+                        assert!(
+                            stats.draft_accepted_tokens > 0,
+                            "pattern draft must land accepts on the trained model"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn draft_k_without_draft_model_is_inert() {
+        let m = trained_model();
+        let p = vec![BOS, 10];
+        let want = greedy_cached(&m, &p, 8, EOS);
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                draft_k: 3,
+                ..EngineOptions::default()
+            },
+        );
+        assert_eq!(engine.greedy(&p, 8, EOS), want);
+        assert_eq!(engine.stats().drafted_tokens, 0);
+    }
+
+    #[test]
+    fn quantized_speculative_matches_quantized_non_speculative() {
+        let m = trained_model();
+        let ps = prompts();
+        let mut base = Engine::with_options(
+            &m,
+            EngineOptions {
+                quantized: true,
+                ..EngineOptions::default()
+            },
+        );
+        let reqs = ps
+            .iter()
+            .map(|p| Request::greedy(p.clone(), 8, EOS))
+            .collect();
+        let want: Vec<Vec<usize>> = base
+            .generate_batch(reqs)
+            .into_iter()
+            .map(|r| r.tokens)
+            .collect();
+        let good = IncDraft {
+            vocab: m.config().vocab_size,
+        };
+        let mut engine = Engine::with_options(
+            &m,
+            EngineOptions {
+                quantized: true,
+                draft_k: 3,
+                ..EngineOptions::default()
+            },
+        );
+        engine.set_draft(&good);
+        let reqs = ps
+            .iter()
+            .map(|p| Request::greedy(p.clone(), 8, EOS))
+            .collect();
+        let out: Vec<Vec<usize>> = engine
+            .generate_batch(reqs)
+            .into_iter()
+            .map(|r| r.tokens)
+            .collect();
+        assert_eq!(out, want, "quantized speculative decode diverged");
+        assert!(engine.stats().draft_accepted_tokens > 0);
+    }
+
+    #[test]
+    fn masked_speculative_matches_constrained_non_speculative() {
+        let m = trained_model();
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2) || t == EOS;
+        let mask = ConstraintMask(&even);
+        let good = IncDraft {
+            vocab: m.config().vocab_size,
+        };
+        for p in prompts().into_iter().take(4) {
+            let mut a = Engine::new(&m);
+            let ia = a.submit(Request::greedy(p.clone(), 8, EOS).with_constraint(&even));
+            let want = a
+                .run()
+                .into_iter()
+                .find(|r| r.id == ia)
+                .expect("constrained request completes")
+                .tokens;
+            let mut b = Engine::with_options(
+                &m,
+                EngineOptions {
+                    draft_k: 3,
+                    ..EngineOptions::default()
+                },
+            );
+            b.set_draft(&good);
+            let ib = b.submit(Request::greedy(p.clone(), 8, EOS).with_mask(&mask));
+            let got = b
+                .run()
+                .into_iter()
+                .find(|r| r.id == ib)
+                .expect("masked request completes")
+                .tokens;
+            assert_eq!(got, want, "prompt {p:?}");
+            assert!(got.iter().all(|&t| t % 2 == 0), "mask violated: {got:?}");
+        }
+    }
+
+    #[test]
+    fn beam_masked_matches_beam_constrained() {
+        let m = trained_model();
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2) || t == EOS;
+        let mask = ConstraintMask(&even);
+        let p = vec![BOS, 10];
+        let mut a = Engine::new(&m);
+        let want = a.beam(&p, 2, 5, EOS, Some(&even));
+        let mut b = Engine::new(&m);
+        let got = b.beam_masked(&p, 2, 5, EOS, Some(&mask));
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!(g.ids, w.ids);
+            assert_eq!(g.log_prob.to_bits(), w.log_prob.to_bits());
+        }
+    }
+
     /// Two tenant classes: tier-0 interactive (weight 2) and tier-1 batch.
     fn two_tenants() -> Vec<TenantClass> {
         vec![
@@ -1894,9 +2315,12 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    use super::testdraft::ConstDraft;
     use super::*;
     use lm4db_tokenize::{BOS, EOS};
-    use lm4db_transformer::{greedy_cached, ModelConfig};
+    use lm4db_transformer::{
+        greedy as greedy_single, greedy_cached, ConstraintMask, IncrementalSession, ModelConfig,
+    };
     use proptest::prelude::*;
 
     proptest! {
@@ -1928,6 +2352,54 @@ mod proptests {
                 prompt.extend_from_slice(p);
                 let want = greedy_cached(&m, &prompt, 6, EOS);
                 prop_assert_eq!(&r.tokens, &want);
+            }
+        }
+
+        /// Grammar-constrained speculative decoding as a property: for any
+        /// prompts, draft lookahead (including an adversarial constant
+        /// draft), batch size, and divisibility grammar, the engine never
+        /// emits a mask-vetoed token and reproduces the single-request
+        /// constrained greedy output byte for byte.
+        #[test]
+        fn constrained_speculative_decode_never_violates_mask(
+            prompts in prop::collection::vec(
+                prop::collection::vec(8usize..60, 1..6), 1..5),
+            draft_k in 0usize..5,
+            modulus in 1usize..4,
+            draft_tok in 8usize..60,
+            max_batch in 1usize..4,
+        ) {
+            let m = GptModel::new(ModelConfig::test(), 13);
+            let step = modulus + 1;
+            let allow = move |_p: &[usize], t: usize| t.is_multiple_of(step) || t == EOS;
+            let mask = ConstraintMask(&allow);
+            let draft = ConstDraft {
+                vocab: m.config().vocab_size,
+                tok: draft_tok % m.config().vocab_size,
+            };
+            let mut engine = Engine::with_options(&m, EngineOptions {
+                max_batch,
+                draft_k,
+                ..EngineOptions::default()
+            });
+            engine.set_draft(&draft);
+            let mut reqs = Vec::new();
+            for p in &prompts {
+                let mut prompt = vec![BOS];
+                prompt.extend_from_slice(p);
+                reqs.push(Request::greedy(prompt, 6, EOS).with_mask(&mask));
+            }
+            let responses = engine.generate_batch(reqs);
+            for (p, r) in prompts.iter().zip(responses.iter()) {
+                let mut prompt = vec![BOS];
+                prompt.extend_from_slice(p);
+                let mut session = IncrementalSession::new(&m);
+                let want = greedy_single(&mut session, &prompt, 6, EOS, &allow);
+                prop_assert_eq!(&r.tokens, &want);
+                prop_assert!(
+                    r.tokens.iter().all(|&t| t.is_multiple_of(step)),
+                    "mask violated: {:?}", r.tokens
+                );
             }
         }
     }

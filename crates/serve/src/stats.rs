@@ -51,8 +51,19 @@ pub struct Stats {
     pub prefill_tokens: u64,
     /// Prompt tokens restored from the prefix cache instead of recomputed.
     pub cached_prefix_tokens: u64,
-    /// Generated tokens fed back through the model.
+    /// Generated tokens fed back through the model. With speculative
+    /// decoding this counts every token fed through a verify pass,
+    /// including drafts that were later rejected — it measures model
+    /// work, not emitted output.
     pub decoded_tokens: u64,
+    /// Draft tokens proposed by the speculative draft model and scheduled
+    /// for verification (see [`crate::EngineOptions::draft_k`]).
+    pub drafted_tokens: u64,
+    /// Draft tokens that matched the transformer's own argmax during the
+    /// verify walk and were emitted without an extra decode step;
+    /// `draft_accepted_tokens / drafted_tokens` is the acceptance rate
+    /// ([`Stats::draft_accept_rate`]).
+    pub draft_accepted_tokens: u64,
     /// Scheduler steps executed.
     pub steps: u64,
     /// Largest number of concurrently active requests observed.
@@ -150,6 +161,16 @@ impl Stats {
             0.0
         } else {
             self.cached_prefix_tokens as f32 / total as f32
+        }
+    }
+
+    /// Fraction of speculative drafts accepted by the verify walk (0 when
+    /// speculation never ran).
+    pub fn draft_accept_rate(&self) -> f32 {
+        if self.drafted_tokens == 0 {
+            0.0
+        } else {
+            self.draft_accepted_tokens as f32 / self.drafted_tokens as f32
         }
     }
 }

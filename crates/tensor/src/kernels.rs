@@ -213,6 +213,49 @@ mod avx {
         _mm256_storeu_ps(y_block.as_mut_ptr(), acc0);
         _mm256_storeu_ps(y_block[8..].as_mut_ptr(), acc1);
     }
+
+    /// AVX body of the full-tile, four-row case of
+    /// [`super::vec_matmul_rows`]: one 16-column weight tile is loaded per
+    /// `i` and reused by four input rows, with per-row lane math identical
+    /// to [`vec_matmul_tile16`] (broadcast, mul, add — no FMA).
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX ([`usable`]), that rows
+    /// `row0..row0 + 4` of `xs`/`ys` are in bounds, and that columns
+    /// `col0..col0 + 16` of `w`/`ys` are in bounds.
+    #[target_feature(enable = "avx")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn vec_matmul_tile16_rows4(
+        xs: &[f32],
+        d_in: usize,
+        row0: usize,
+        w: &[f32],
+        d_out: usize,
+        col0: usize,
+        ys: &mut [f32],
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let y = &ys[(row0 + r) * d_out + col0..];
+            accr[0] = _mm256_loadu_ps(y.as_ptr());
+            accr[1] = _mm256_loadu_ps(y[8..].as_ptr());
+        }
+        for i in 0..d_in {
+            let wrow = &w[i * d_out + col0..i * d_out + col0 + 16];
+            let w0 = _mm256_loadu_ps(wrow.as_ptr());
+            let w1 = _mm256_loadu_ps(wrow[8..].as_ptr());
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let xv = _mm256_broadcast_ss(&xs[(row0 + r) * d_in + i]);
+                accr[0] = _mm256_add_ps(accr[0], _mm256_mul_ps(xv, w0));
+                accr[1] = _mm256_add_ps(accr[1], _mm256_mul_ps(xv, w1));
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let y = &mut ys[(row0 + r) * d_out + col0..];
+            _mm256_storeu_ps(y.as_mut_ptr(), accr[0]);
+            _mm256_storeu_ps(y[8..].as_mut_ptr(), accr[1]);
+        }
+    }
 }
 
 /// The MR×NR register microkernel: `out[r][j] = Σ_p a[r][p] * panel[p][j]`
@@ -667,6 +710,61 @@ pub fn vec_matmul_block(x: &[f32], w: &[f32], d_out: usize, first: usize, y_bloc
     }
 }
 
+/// Multi-row vector-matrix product: `rows` input vectors (`xs`, row-major,
+/// `d_in` wide) against one `[d_in, d_out]` weight, into `rows` outputs
+/// (`ys`, row-major, `d_out` wide, pre-filled with the bias row by the
+/// caller). Per output element the accumulation is bit-identical to
+/// [`vec_matmul_block`] — bias-initialized, `i` ascending — so a batched
+/// application equals `rows` single applications byte for byte. The batch
+/// exists for memory locality: the cached-decode matvec is bound on weight
+/// traffic, and here each 16-column weight tile is streamed once per group
+/// of four rows instead of once per row, which is what makes speculative
+/// draft verification cheaper than re-decoding token by token.
+pub fn vec_matmul_rows(xs: &[f32], d_in: usize, w: &[f32], d_out: usize, ys: &mut [f32]) {
+    /// Columns per register tile (matches [`vec_matmul_block`]).
+    const CT: usize = 16;
+    /// Rows sharing one weight-tile sweep (4×2 AVX accumulators).
+    const RT: usize = 4;
+    assert!(d_in > 0 && d_out > 0, "vec_matmul_rows of empty weight");
+    let rows = xs.len() / d_in;
+    assert_eq!(xs.len(), rows * d_in, "xs is not a whole number of rows");
+    assert_eq!(ys.len(), rows * d_out, "ys shape mismatch");
+    let mut c0 = 0;
+    while c0 < d_out {
+        let ct = CT.min(d_out - c0);
+        let mut r0 = 0;
+        while r0 < rows {
+            let rt = RT.min(rows - r0);
+            #[cfg(target_arch = "x86_64")]
+            if ct == CT && rt == RT && avx::usable() {
+                // SAFETY: AVX support was just checked, the tile is full,
+                // and the row group is full.
+                unsafe { avx::vec_matmul_tile16_rows4(xs, d_in, r0, w, d_out, c0, ys) };
+                r0 += RT;
+                continue;
+            }
+            let mut acc = [[0.0f32; CT]; RT];
+            for (r, accr) in acc[..rt].iter_mut().enumerate() {
+                accr[..ct].copy_from_slice(&ys[(r0 + r) * d_out + c0..][..ct]);
+            }
+            for i in 0..d_in {
+                let wrow = &w[i * d_out + c0..i * d_out + c0 + ct];
+                for (r, accr) in acc[..rt].iter_mut().enumerate() {
+                    let xi = xs[(r0 + r) * d_in + i];
+                    for (a, &wj) in accr[..ct].iter_mut().zip(wrow.iter()) {
+                        *a += xi * wj;
+                    }
+                }
+            }
+            for (r, accr) in acc[..rt].iter().enumerate() {
+                ys[(r0 + r) * d_out + c0..][..ct].copy_from_slice(&accr[..ct]);
+            }
+            r0 += rt;
+        }
+        c0 += ct;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,6 +911,36 @@ mod tests {
         vec_matmul_block(&x, &w, d_out, 0, lo);
         vec_matmul_block(&x, &w, d_out, split, hi);
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn vec_matmul_rows_bitwise_matches_per_row_block() {
+        // The speculative-verify batch must be indistinguishable from
+        // decoding row by row: exact equality, not tolerance. Shapes
+        // straddle the 4-row group and 16-column tile edges.
+        for &(rows, d_in, d_out) in &[
+            (1usize, 13usize, 37usize),
+            (3, 16, 16),
+            (4, 13, 48),
+            (5, 24, 33),
+            (9, 7, 16),
+        ] {
+            let xs = fill(rows * d_in, 21);
+            let w = fill(d_in * d_out, 22);
+            let bias = fill(d_out, 23);
+            let mut want = Vec::with_capacity(rows * d_out);
+            for r in 0..rows {
+                let mut y = bias.clone();
+                vec_matmul_block(&xs[r * d_in..(r + 1) * d_in], &w, d_out, 0, &mut y);
+                want.extend_from_slice(&y);
+            }
+            let mut got = Vec::with_capacity(rows * d_out);
+            for _ in 0..rows {
+                got.extend_from_slice(&bias);
+            }
+            vec_matmul_rows(&xs, d_in, &w, d_out, &mut got);
+            assert_eq!(got, want, "rows={rows} d_in={d_in} d_out={d_out}");
+        }
     }
 
     #[test]

@@ -119,6 +119,48 @@ impl Constraint for TrieConstraint<'_> {
     }
 }
 
+/// The engine-native form of the oracle: one vocabulary-wide allow table
+/// per decode step. Byte-for-byte the same veto set as
+/// [`Constraint::allowed`] — the tests pin the two token by token — but
+/// the per-step trie state (`decode_units` of the generated prefix, the
+/// sorted `next_words` frontier, completability of the current node) is
+/// computed **once** per step instead of once per candidate token, which
+/// is what makes grammar-constrained decoding cheap enough to run inside
+/// the engine's speculative draft/verify loop.
+impl lm4db_transformer::TokenMask for TrieConstraint<'_> {
+    fn fill(&self, prefix: &[usize], mask: &mut [bool]) {
+        let generated = &prefix[self.prompt_len.min(prefix.len())..];
+        let (units, partial) = decode_units(self.bpe, generated);
+        let nexts = self.trie.next_words(&units);
+        let p = partial.as_deref().unwrap_or("");
+        if partial.is_none() && self.trie.is_complete(&units) {
+            mask[EOS] = true;
+        }
+        let vocab = self.bpe.vocab();
+        for (id, slot) in mask.iter_mut().enumerate().skip(SPECIAL_TOKENS.len()) {
+            let tok = vocab.token(id);
+            match tok.strip_suffix(crate::EOW) {
+                // Token finishes the current word: the completed word must
+                // be on the trie frontier (`nexts` is sorted).
+                Some(stem) => {
+                    let word = format!("{p}{stem}");
+                    *slot = nexts.binary_search(&word.as_str()).is_ok();
+                }
+                // Token extends the partial word: some frontier word must
+                // continue through it and stay spellable to an EOW token.
+                None => {
+                    let cand = format!("{p}{tok}");
+                    *slot = nexts.iter().any(|w| {
+                        w.len() > cand.len()
+                            && w.starts_with(&cand)
+                            && suffix_completable(self.bpe, &w[cand.len()..])
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Decoding mode for [`SemanticParser::predict`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DecodeMode {
@@ -271,7 +313,11 @@ impl SemanticParser {
             .map(|(p, c)| {
                 let req = Request::beam(p.clone(), self.beam_width, self.max_new, EOS);
                 match mode {
-                    DecodeMode::Constrained => req.with_constraint(c),
+                    // The incremental mask is the engine-native form of the
+                    // PICARD oracle — identical veto set (pinned by tests),
+                    // materialized once per beam step instead of probed per
+                    // vocabulary token.
+                    DecodeMode::Constrained => req.with_mask(c),
                     DecodeMode::Unconstrained => req,
                 }
             })
@@ -378,6 +424,42 @@ mod tests {
         assert!(allowed_any, "constraint rejected everything");
         // EOS is not allowed at the very start.
         assert!(!constraint.allowed(&prompt, EOS));
+    }
+
+    #[test]
+    fn token_mask_agrees_with_constraint_oracle_token_by_token() {
+        use lm4db_transformer::TokenMask;
+        let (_, parser, _) = setup(8);
+        let prompt = parser.prompt_ids("show the name of all employees");
+        let constraint = TrieConstraint::new(&parser.bpe, &parser.trie, prompt.len());
+        let vocab_len = parser.bpe.vocab().len();
+        // Walk a constrained decode: at every prefix along the way, the
+        // one-shot mask and the per-token oracle must agree on the entire
+        // vocabulary (this is what makes mask-decoded SQL byte-identical
+        // to oracle-decoded SQL).
+        let mut prefix = prompt.clone();
+        for _step in 0..10 {
+            let mut mask = vec![false; vocab_len];
+            constraint.fill(&prefix, &mut mask);
+            let mut next = None;
+            for (id, &m) in mask.iter().enumerate() {
+                assert_eq!(
+                    m,
+                    constraint.allowed(&prefix, id),
+                    "mask and oracle disagree on token {id} ({:?}) after {:?}",
+                    parser.bpe.vocab().token(id),
+                    &prefix[prompt.len()..]
+                );
+                if m && id != EOS && next.is_none() {
+                    next = Some(id);
+                }
+            }
+            match next {
+                Some(id) => prefix.push(id),
+                None => break,
+            }
+        }
+        assert!(prefix.len() > prompt.len(), "walk never advanced");
     }
 
     #[test]

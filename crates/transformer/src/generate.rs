@@ -40,6 +40,69 @@ impl<F: Fn(&[usize], usize) -> bool> Constraint for F {
     }
 }
 
+/// A per-step grammar mask: given the decoded prefix, mark every allowed
+/// next token in one pass.
+///
+/// This is the incremental (PICARD-style) form of [`Constraint`] used by
+/// the serving engine: instead of one `allowed(prefix, token)` oracle call
+/// per candidate token — which re-derives the grammar state `vocab_size`
+/// times per step — an implementation derives its state once per step and
+/// fills the whole mask. The veto *set* must match whatever `Constraint`
+/// the grammar also implements, so masked and oracle-constrained decoding
+/// stay byte-identical; only the cost per step changes.
+pub trait TokenMask {
+    /// Sets `mask[token] = true` for every token allowed after `prefix`.
+    /// The buffer arrives zeroed (`false`) and is `vocab_size` long.
+    fn fill(&self, prefix: &[usize], mask: &mut [bool]);
+}
+
+/// Adapts any [`Constraint`] oracle to the [`TokenMask`] interface by
+/// probing every token. (A blanket impl is impossible — closures already
+/// implement `Constraint` — so the adapter is an explicit wrapper.)
+pub struct ConstraintMask<'a>(pub &'a dyn Constraint);
+
+impl TokenMask for ConstraintMask<'_> {
+    fn fill(&self, prefix: &[usize], mask: &mut [bool]) {
+        for (tok, m) in mask.iter_mut().enumerate() {
+            *m = self.0.allowed(prefix, tok);
+        }
+    }
+}
+
+/// Masks every token not allowed by `mask` to `-inf` in place; returns how
+/// many tokens remain allowed. The float operations (ascending-token
+/// `NEG_INFINITY` stores) are exactly those of [`apply_constraint`], so a
+/// grammar exposed both ways yields bit-identical logits.
+pub fn apply_token_mask(logits: &mut [f32], mask: &[bool]) -> usize {
+    assert_eq!(logits.len(), mask.len(), "mask width mismatch");
+    let mut allowed = 0;
+    for (l, &ok) in logits.iter_mut().zip(mask.iter()) {
+        if ok {
+            allowed += 1;
+        } else {
+            *l = f32::NEG_INFINITY;
+        }
+    }
+    allowed
+}
+
+/// A cheap proposal model for speculative decoding: drafts likely next
+/// tokens that the transformer then verifies in one batched forward.
+/// Implementations must be deterministic pure functions of the prefix —
+/// the n-gram LM in `lm4db-lm` is the canonical one. Drafts never affect
+/// emitted output (the verifier accepts only tokens the target model would
+/// itself have picked), so draft quality controls speed, not correctness.
+pub trait DraftModel {
+    /// Size of the logit vector (must match the target model's vocabulary).
+    fn vocab_size(&self) -> usize;
+
+    /// Unnormalized next-token logits for `prefix`. Unlike
+    /// [`NextToken::next_logits`] this takes `&self`: drafting happens
+    /// inside the scheduler where the draft model is shared across
+    /// requests.
+    fn draft_logits(&self, prefix: &[usize]) -> Vec<f32>;
+}
+
 /// Options controlling [`sample`].
 #[derive(Debug, Clone)]
 pub struct SampleOptions {
@@ -420,6 +483,25 @@ mod tests {
         for h in &hyps {
             assert!(h.ids[1..].iter().all(|t| t % 2 == 0), "{:?}", h.ids);
         }
+    }
+
+    #[test]
+    fn token_mask_matches_constraint_bitwise() {
+        // Same veto set through both interfaces ⇒ identical logits,
+        // identical allowed count — the invariant the engine relies on to
+        // keep masked decoding byte-equal to oracle-constrained decoding.
+        let even = |_p: &[usize], t: usize| t.is_multiple_of(2);
+        let logits: Vec<f32> = (0..10).map(|t| (t as f32) * 0.7 - 3.0).collect();
+        let mut via_constraint = logits.clone();
+        let n_c = apply_constraint(&mut via_constraint, &[3], &even);
+        let mut mask = vec![false; 10];
+        ConstraintMask(&even).fill(&[3], &mut mask);
+        let mut via_mask = logits.clone();
+        let n_m = apply_token_mask(&mut via_mask, &mask);
+        assert_eq!(n_c, n_m);
+        let a: Vec<u32> = via_constraint.iter().map(|f| f.to_bits()).collect();
+        let b: Vec<u32> = via_mask.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -134,6 +134,93 @@ impl KvCache {
         &self.last_logits
     }
 
+    /// Feeds `tokens` as ONE batched chunk, returning the next-token
+    /// logits after EACH token (one row per token, last row == what
+    /// [`KvCache::last_logits`] then holds). Bitwise identical to feeding
+    /// the same tokens one at a time — the batched kernels keep the exact
+    /// per-element accumulation order, and each chunk position attends
+    /// over only its own prefix — but every weight panel is streamed once
+    /// per chunk instead of once per token. This is the speculative-decode
+    /// verification forward: the engine feeds `[corrected, draft₁..draftₖ]`
+    /// here and uses the per-position logits to accept the longest
+    /// agreeing draft prefix.
+    ///
+    /// # Panics
+    /// Panics when the chunk would exceed the model's `max_seq_len` or any
+    /// token is out of vocabulary.
+    pub fn feed_many(&mut self, model: &GptModel, tokens: &[usize]) -> Vec<Vec<f32>> {
+        assert!(!tokens.is_empty(), "feed_many of empty token slice");
+        // Distinct flat timer from the per-token path, so the pinned
+        // `infer/feed_token` count keeps meaning "tokens fed one at a
+        // time" for the non-speculative engine.
+        let _timer = lm4db_obs::leaf("kv/feed_many");
+        let m = model;
+        let n = tokens.len();
+        let pos = self.tokens.len();
+        assert!(
+            pos + n <= m.cfg.max_seq_len,
+            "kv cache exceeded max_seq_len {}",
+            m.cfg.max_seq_len
+        );
+        let d = m.cfg.d_model;
+        let tok_emb = m.store.get(m.tok_emb);
+        let pos_emb = m.store.get(m.pos_emb);
+        let mut xs = Vec::with_capacity(n * d);
+        for (i, &token) in tokens.iter().enumerate() {
+            assert!(token < m.cfg.vocab_size, "token {token} out of vocabulary");
+            let p = pos + i;
+            xs.extend(
+                tok_emb.data()[token * d..(token + 1) * d]
+                    .iter()
+                    .zip(pos_emb.data()[p * d..(p + 1) * d].iter())
+                    .map(|(a, b)| a + b),
+            );
+        }
+        for (block, cache) in m.blocks.iter().zip(self.layers.iter_mut()) {
+            xs = block.step_many(&m.store, &xs, n, cache);
+        }
+        let normed = m.ln_f.apply_rows(&m.store, &xs, n);
+        let logits = m.head.apply_rows(&m.store, &normed, n);
+        self.tokens.extend_from_slice(tokens);
+        let rows: Vec<Vec<f32>> = logits
+            .chunks_exact(m.cfg.vocab_size)
+            .map(|r| r.to_vec())
+            .collect();
+        self.last_logits = rows.last().expect("non-empty chunk").clone();
+        rows
+    }
+
+    /// Rolls the cache back to its first `len` tokens, dropping a rejected
+    /// speculative tail: per-layer key/value rows past `len` are truncated
+    /// and `last_logits` is restored to the caller-provided logits after
+    /// token `len - 1` (the batched [`KvCache::feed_many`] returned them
+    /// per position, so the verifier has them at hand). Key/value rows are
+    /// pure functions of the token prefix, so a rolled-back cache is
+    /// bitwise identical to one that never saw the dropped tokens.
+    ///
+    /// # Panics
+    /// Panics when `len` is zero (use [`KvCache::clear`]), exceeds the
+    /// cached length, or `last_logits` has the wrong width.
+    pub fn rollback(&mut self, model: &GptModel, len: usize, last_logits: Vec<f32>) {
+        assert!(len > 0, "rollback to empty prefix: use clear()");
+        assert!(
+            len <= self.tokens.len(),
+            "rollback {len} beyond cache length {}",
+            self.tokens.len()
+        );
+        assert_eq!(
+            last_logits.len(),
+            model.cfg.vocab_size,
+            "rollback logits width mismatch"
+        );
+        let d = model.cfg.d_model;
+        for layer in &mut self.layers {
+            layer.truncate(len, d);
+        }
+        self.tokens.truncate(len);
+        self.last_logits = last_logits;
+    }
+
     /// Feeds one token through the int8 quantized path: embeddings, layer
     /// norms, residuals, and attention mixing stay f32 (from `model`); all
     /// heavy projections run int8 (from `quant`). Returns the next-token
@@ -196,6 +283,25 @@ impl KvCache {
             self.feed_quant(model, quant, t);
         }
         &self.last_logits
+    }
+
+    /// Quantized-path counterpart of [`KvCache::feed_many`]: returns the
+    /// logits after each token. The int8 matvec keeps its own per-token
+    /// layout, so this runs the chunk token by token — chunk semantics
+    /// (per-position logits, cache state) are identical to the f32 batched
+    /// path, it just doesn't amortize weight traffic yet.
+    pub fn feed_many_quant(
+        &mut self,
+        model: &GptModel,
+        quant: &QuantizedGpt,
+        tokens: &[usize],
+    ) -> Vec<Vec<f32>> {
+        assert!(!tokens.is_empty(), "feed_many_quant of empty token slice");
+        let _timer = lm4db_obs::leaf("kv/feed_many_q8");
+        tokens
+            .iter()
+            .map(|&t| self.feed_quant(model, quant, t).to_vec())
+            .collect()
     }
 
     /// Extracts the per-layer key/value rows of cached position `t` as one
@@ -466,6 +572,104 @@ mod tests {
         // Exact equality: a fork must be indistinguishable from the
         // original, bit for bit.
         assert_eq!(la, lb);
+    }
+
+    /// A model with non-symmetric weights, so bitwise comparisons are
+    /// meaningful.
+    fn trained_model() -> GptModel {
+        let mut m = model();
+        let mut opt = m.optimizer(3e-3);
+        let batch = vec![
+            vec![BOS, 10, 11, 12, 13, 14, EOS],
+            vec![BOS, 20, 21, 22, 23, 24, EOS],
+        ];
+        for _ in 0..20 {
+            m.train_step(&batch, &mut opt);
+        }
+        m
+    }
+
+    #[test]
+    fn feed_many_bitwise_matches_sequential_feeds() {
+        let m = trained_model();
+        let tokens = [BOS, 10, 11, 20, 12, 21, 13, 22, 14];
+        // Reference: one token at a time, recording logits after each.
+        let mut seq = KvCache::new(&m);
+        let want: Vec<Vec<f32>> = tokens.iter().map(|&t| seq.feed(&m, t).to_vec()).collect();
+        // Chunked: every chunk size, including prefill-then-chunk splits.
+        for chunk in 1..=4usize {
+            let mut batched = KvCache::new(&m);
+            let mut got: Vec<Vec<f32>> = Vec::new();
+            for c in tokens.chunks(chunk) {
+                got.extend(batched.feed_many(&m, c));
+            }
+            // Exact equality — the speculative verify forward must be
+            // indistinguishable from sequential decode, bit for bit.
+            assert_eq!(got, want, "chunk size {chunk}");
+            assert_eq!(batched.last_logits(), seq.last_logits());
+            assert_eq!(batched.tokens(), seq.tokens());
+            for t in 0..tokens.len() {
+                assert_eq!(
+                    batched.position_kv(&m, t),
+                    seq.position_kv(&m, t),
+                    "kv rows diverged at position {t} (chunk size {chunk})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn feed_many_quant_matches_sequential_quant_feeds() {
+        let m = trained_model();
+        let q = QuantizedGpt::from_model(&m);
+        let tokens = [BOS, 10, 11, 12, 13];
+        let mut seq = KvCache::new(&m);
+        let want: Vec<Vec<f32>> = tokens
+            .iter()
+            .map(|&t| seq.feed_quant(&m, &q, t).to_vec())
+            .collect();
+        let mut batched = KvCache::new(&m);
+        let got = batched.feed_many_quant(&m, &q, &tokens);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rollback_restores_bitwise_identical_state() {
+        let m = trained_model();
+        let mut base = KvCache::new(&m);
+        base.feed_all(&m, &[BOS, 10, 11, 12]);
+        // Speculate 3 tokens past the verified prefix, then reject them all.
+        let mut spec = base.clone();
+        let keep_logits = base.last_logits().to_vec();
+        spec.feed_many(&m, &[13, 20, 21]);
+        spec.rollback(&m, 4, keep_logits);
+        assert_eq!(spec.tokens(), base.tokens());
+        assert_eq!(spec.last_logits(), base.last_logits());
+        for t in 0..4 {
+            assert_eq!(spec.position_kv(&m, t), base.position_kv(&m, t));
+        }
+        // The rolled-back cache must continue exactly like the original.
+        let a = spec.feed(&m, 23).to_vec();
+        let b = base.feed(&m, 23).to_vec();
+        assert_eq!(a, b, "post-rollback decode diverged");
+    }
+
+    #[test]
+    fn rollback_to_partial_chunk_keeps_accepted_prefix() {
+        let m = trained_model();
+        let mut seq = KvCache::new(&m);
+        seq.feed_all(&m, &[BOS, 10, 11]);
+        let mut spec = seq.clone();
+        // Chunk of 4; accept 2, reject 2 — last_logits must become the
+        // per-position logits after the last accepted token.
+        let rows = spec.feed_many(&m, &[12, 13, 20, 21]);
+        spec.rollback(&m, 5, rows[1].clone());
+        seq.feed_all(&m, &[12, 13]);
+        assert_eq!(spec.tokens(), seq.tokens());
+        assert_eq!(spec.last_logits(), seq.last_logits());
+        let a = spec.feed(&m, 14).to_vec();
+        let b = seq.feed(&m, 14).to_vec();
+        assert_eq!(a, b);
     }
 
     #[test]

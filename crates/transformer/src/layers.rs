@@ -54,6 +54,27 @@ impl Linear {
         });
         y
     }
+
+    /// Inference-only application to `rows` consecutive vectors (row-major
+    /// in `xs`), returning the outputs row-major. Bitwise identical to
+    /// `rows` calls of [`Linear::apply_slice`] — the multi-row kernel keeps
+    /// the per-element accumulation order — but streams each weight tile
+    /// once per row group instead of once per row, which is where batched
+    /// speculative verification earns its speedup (the decode matvec is
+    /// memory-bound on weights). Runs in the calling thread: decode-time
+    /// parallelism comes from the engine fanning sequences across the pool.
+    pub fn apply_rows(&self, store: &ParamStore, xs: &[f32], rows: usize) -> Vec<f32> {
+        let w = store.get(self.w);
+        let b = store.get(self.b);
+        let (d_in, d_out) = (w.shape()[0], w.shape()[1]);
+        assert_eq!(xs.len(), rows * d_in, "apply_rows input shape mismatch");
+        let mut ys = Vec::with_capacity(rows * d_out);
+        for _ in 0..rows {
+            ys.extend_from_slice(b.data());
+        }
+        lm4db_tensor::kernels::vec_matmul_rows(xs, d_in, w.data(), d_out, &mut ys);
+        ys
+    }
 }
 
 /// Layer-norm parameters (gain initialized to 1, bias to 0).
@@ -89,6 +110,19 @@ impl LayerNorm {
             .zip(gain.data().iter().zip(bias.data().iter()))
             .map(|(&v, (&g, &b))| (v - mean) * istd * g + b)
             .collect()
+    }
+
+    /// Inference-only normalization of `rows` consecutive `d`-wide vectors.
+    /// Normalization is per row, so this is trivially bitwise identical to
+    /// `rows` calls of [`LayerNorm::apply_slice`].
+    pub fn apply_rows(&self, store: &ParamStore, xs: &[f32], rows: usize) -> Vec<f32> {
+        assert_eq!(xs.len() % rows.max(1), 0, "apply_rows ragged input");
+        let d = xs.len() / rows.max(1);
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs.chunks_exact(d) {
+            out.extend_from_slice(&self.apply_slice(store, x));
+        }
+        out
     }
 }
 
@@ -208,6 +242,18 @@ impl AttnCache {
         self.v.extend_from_slice(v);
         self.t += 1;
     }
+
+    /// Drops every cached position past the first `t` (rows are `d` wide),
+    /// keeping the allocations. Speculative decoding uses this to discard
+    /// the key/value rows of rejected draft tokens; rows are pure functions
+    /// of the token prefix, so a truncated cache is bitwise identical to
+    /// one that never saw the dropped positions.
+    pub fn truncate(&mut self, t: usize, d: usize) {
+        assert!(t <= self.t, "truncate {t} beyond cache length {}", self.t);
+        self.k.truncate(t * d);
+        self.v.truncate(t * d);
+        self.t = t;
+    }
 }
 
 impl MultiHeadAttention {
@@ -224,22 +270,68 @@ impl MultiHeadAttention {
         let ctx = attend_cached(&q, cache, self.n_heads, self.head_dim);
         self.wo.apply_slice(store, &ctx)
     }
+
+    /// Incremental self-attention over `rows` NEW positions at once (`xs`
+    /// row-major): projects every row, appends all key/value rows, then
+    /// attends each chunk position over exactly the cache prefix the
+    /// sequential decoder would have had at that step — causality inside
+    /// the chunk, bitwise identical to `rows` calls of
+    /// [`MultiHeadAttention::step`]. This is the speculative-verification
+    /// forward: one weight sweep verifies a whole draft chunk.
+    pub fn step_many(
+        &self,
+        store: &ParamStore,
+        xs: &[f32],
+        rows: usize,
+        cache: &mut AttnCache,
+    ) -> Vec<f32> {
+        let (h, hd) = (self.n_heads, self.head_dim);
+        let d = h * hd;
+        let q = self.wq.apply_rows(store, xs, rows);
+        let k = self.wk.apply_rows(store, xs, rows);
+        let v = self.wv.apply_rows(store, xs, rows);
+        let base = cache.t;
+        cache.k.extend_from_slice(&k);
+        cache.v.extend_from_slice(&v);
+        cache.t += rows;
+        let mut ctx = vec![0.0f32; rows * d];
+        for (p, ctx_p) in ctx.chunks_exact_mut(d).enumerate() {
+            let attended = attend_prefix(&q[p * d..(p + 1) * d], cache, base + p + 1, h, hd);
+            ctx_p.copy_from_slice(&attended);
+        }
+        self.wo.apply_rows(store, &ctx, rows)
+    }
 }
 
 /// Attends one projected query over every cached position, returning the
 /// mixed context vector (pre-output-projection). Shared by the f32 and
 /// quantized decode paths so both hit the same fused softmax·V kernel.
 pub(crate) fn attend_cached(q: &[f32], cache: &AttnCache, h: usize, hd: usize) -> Vec<f32> {
+    attend_prefix(q, cache, cache.t, h, hd)
+}
+
+/// Prefix-limited form of [`attend_cached`]: attends over only the first
+/// `t_lim` cached positions. Batched speculative verification appends a
+/// whole chunk of key/value rows before attending, so each chunk position
+/// passes the cache length the sequential decoder would have seen — the
+/// per-head kernel call is then identical to the one-position path.
+pub(crate) fn attend_prefix(
+    q: &[f32],
+    cache: &AttnCache,
+    t_lim: usize,
+    h: usize,
+    hd: usize,
+) -> Vec<f32> {
     let d = h * hd;
     let scale = 1.0 / (hd as f32).sqrt();
     let mut ctx = vec![0.0f32; d];
     // Heads are independent and each owns a disjoint `hd`-wide slice of
     // `ctx`, so they fan out across the pool. Tiny caches run inline
     // (min_heads = h forces a single chunk).
-    let min_heads = if cache.t * hd >= 4_096 { 1 } else { h };
-    let (ck, cv, t_cached) = (&cache.k, &cache.v, cache.t);
+    let min_heads = if t_lim * hd >= 4_096 { 1 } else { h };
+    let (ck, cv) = (&cache.k[..t_lim * d], &cache.v[..t_lim * d]);
     lm4db_tensor::parallel_rows_mut(&mut ctx, h, min_heads, |first_head, block| {
-        let mut scores = vec![0.0f32; t_cached];
+        let mut scores = vec![0.0f32; t_lim];
         for (hh, ctx_h) in block.chunks_mut(hd).enumerate() {
             let off = (first_head + hh) * hd;
             let qh = &q[off..off + hd];
@@ -279,6 +371,17 @@ impl FeedForward {
             *v = lm4db_tensor::tensor::gelu(*v);
         }
         self.down.apply_slice(store, &h)
+    }
+
+    /// Inference-only application to `rows` consecutive vectors, bitwise
+    /// identical to `rows` calls of [`FeedForward::apply_slice`] (GELU is
+    /// elementwise; the projections batch via [`Linear::apply_rows`]).
+    pub fn apply_rows(&self, store: &ParamStore, xs: &[f32], rows: usize) -> Vec<f32> {
+        let mut h = self.up.apply_rows(store, xs, rows);
+        for v in h.iter_mut() {
+            *v = lm4db_tensor::tensor::gelu(*v);
+        }
+        self.down.apply_rows(store, &h, rows)
     }
 }
 
@@ -334,6 +437,25 @@ impl Block {
         let x1: Vec<f32> = x.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
         let normed = self.ln2.apply_slice(store, &x1);
         let ffn = self.ffn.apply_slice(store, &normed);
+        x1.iter().zip(ffn.iter()).map(|(a, b)| a + b).collect()
+    }
+
+    /// Incremental application to `rows` new positions at once, bitwise
+    /// identical to `rows` calls of [`Block::step`]: layer norms and
+    /// residual adds are per element, the projections batch row-wise, and
+    /// attention is prefix-limited per chunk position.
+    pub fn step_many(
+        &self,
+        store: &ParamStore,
+        xs: &[f32],
+        rows: usize,
+        cache: &mut AttnCache,
+    ) -> Vec<f32> {
+        let normed = self.ln1.apply_rows(store, xs, rows);
+        let attn = self.attn.step_many(store, &normed, rows, cache);
+        let x1: Vec<f32> = xs.iter().zip(attn.iter()).map(|(a, b)| a + b).collect();
+        let normed = self.ln2.apply_rows(store, &x1, rows);
+        let ffn = self.ffn.apply_rows(store, &normed, rows);
         x1.iter().zip(ffn.iter()).map(|(a, b)| a + b).collect()
     }
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Fail on dead intra-repo links in the top-level docs.
+#
+# Two classes of reference are checked, in README.md, DESIGN.md,
+# ARCHITECTURE.md, and EXPERIMENTS.md:
+#
+#   1. Markdown links `[text](target)` whose target is a relative path
+#      (external http(s):// links and pure #anchors are skipped; a
+#      trailing #anchor on a relative path is stripped before the check).
+#   2. Backtick-quoted repo paths like `crates/serve/src/engine.rs` or
+#      `DESIGN.md` — only extensions .md/.rs/.sh/.toml are checked, so
+#      gitignored artifacts (e.g. results/*.json trace dumps) and shell
+#      snippets don't false-positive.
+#
+# Exits non-zero listing every dead link. Run from anywhere; paths are
+# resolved against the repo root.
+
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+docs=(README.md DESIGN.md ARCHITECTURE.md EXPERIMENTS.md)
+dead=0
+
+check() {
+    local doc="$1" target="$2" kind="$3"
+    # Strip a trailing #anchor, if any.
+    local path="${target%%#*}"
+    [ -z "$path" ] && return 0
+    if [ ! -e "$root/$path" ]; then
+        echo "DEAD $kind link in $doc: $target"
+        dead=$((dead + 1))
+    fi
+}
+
+for doc in "${docs[@]}"; do
+    if [ ! -f "$root/$doc" ]; then
+        echo "DEAD doc: $doc (listed in check_doc_links.sh but missing)"
+        dead=$((dead + 1))
+        continue
+    fi
+
+    # 1. Markdown relative links.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        check "$doc" "$target" "markdown"
+    done < <(grep -o '\[[^]]*\]([^)]*)' "$root/$doc" | sed 's/.*](\([^)]*\))/\1/')
+
+    # 2. Backtick-quoted repo paths with checked extensions.
+    while IFS= read -r target; do
+        check "$doc" "$target" "backtick"
+    done < <(grep -o '`[A-Za-z0-9_./-]*\.\(md\|rs\|sh\|toml\)`' "$root/$doc" |
+        tr -d '`' | sort -u)
+done
+
+if [ "$dead" -gt 0 ]; then
+    echo "check_doc_links: $dead dead link(s)"
+    exit 1
+fi
+echo "check_doc_links: OK (${#docs[@]} docs)"
