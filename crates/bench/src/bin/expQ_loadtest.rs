@@ -33,6 +33,7 @@
 use std::collections::HashMap;
 
 use lm4db::loadgen::{LoadGen, Phase, PromptShape, TenantSpec, Workload};
+use lm4db::obs;
 use lm4db::serve::{Engine, EngineOptions, Outcome, RequestId, TenantClass};
 use lm4db::transformer::{GptModel, ModelConfig};
 use lm4db_bench::{json_obj, write_results_json};
@@ -257,13 +258,28 @@ fn main() {
     );
     emit("|---|---|---|---|---|---|---|---|---|---|");
 
+    obs::series_reset();
     let mut curves: Vec<Value> = Vec::new();
     let mut cells: Vec<(f64, RunMetrics, RunMetrics)> = Vec::new();
-    for &mul in &mults {
+    for (level, &mul) in mults.iter().enumerate() {
         let fifo = drive(&model, fifo_opts(), ticks, mul);
         let slo = drive(&model, slo_opts(), ticks, mul);
         let offered_rate = fifo.offered as f64 / ticks as f64;
         for (name, r) in [("fifo", &fifo), ("slo", &slo)] {
+            // Per-phase telemetry series: one point per offered-load level
+            // (step = level index), so the sweep's shape is available to
+            // the exporters/dashboard like any other sampled series.
+            obs::series_record(&format!("expQ/{name}/completed"), level as u64, r.completed);
+            obs::series_record(
+                &format!("expQ/{name}/shed"),
+                level as u64,
+                r.shed.iter().sum::<u64>(),
+            );
+            obs::series_record(
+                &format!("expQ/{name}/interactive_p99_steps"),
+                level as u64,
+                r.p(0, 0.99),
+            );
             let in_slo = r.lat[0].iter().filter(|&&l| l <= SLO_STEPS).count();
             let slo_pct = if r.lat[0].is_empty() {
                 100.0
@@ -367,6 +383,40 @@ fn main() {
          {overload_points} overload points; FIFO missed at all of them"
     ));
 
+    // The per-phase series recorded above, rendered as (step:value) pairs
+    // and carried into the results JSON for the trajectory aggregator.
+    emit("");
+    emit("per-phase series (step = load-level index):");
+    let mut series_json: Vec<Value> = Vec::new();
+    for (name, s) in obs::series_snapshot() {
+        if !name.starts_with("expQ/") {
+            continue;
+        }
+        let pts: Vec<String> = s
+            .points()
+            .iter()
+            .map(|p| format!("{}:{}", p.step, p.value))
+            .collect();
+        emit(&format!("  {name} = [{}]", pts.join(", ")));
+        series_json.push(json_obj(vec![
+            ("name", Value::Str(name.clone())),
+            (
+                "points",
+                Value::Array(
+                    s.points()
+                        .iter()
+                        .map(|p| {
+                            Value::Array(vec![
+                                Value::Int(p.step as i64),
+                                Value::Int(p.value as i64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
     let txt_path = lm4db_bench::results_path("expQ_loadtest.txt");
     std::fs::create_dir_all(txt_path.parent().unwrap()).expect("results dir");
     std::fs::write(&txt_path, &out).expect("write txt results");
@@ -383,6 +433,7 @@ fn main() {
             ("measured_capacity_per_tick", Value::Float(capacity)),
             ("overload_points_checked", Value::Int(overload_points)),
             ("curves", Value::Array(curves)),
+            ("series", Value::Array(series_json)),
         ]),
     );
     println!("wrote {} and {}", txt_path.display(), path.display());

@@ -1,0 +1,219 @@
+//! Std-only metrics scrape endpoint: a background thread serving
+//! `/metrics` (Prometheus text exposition) and `/dashboard` (HTML with
+//! sparklines) over a plain `TcpListener`.
+//!
+//! The server never touches live registry internals beyond taking the
+//! same snapshots any caller can take — each request renders from
+//! [`crate::snapshot`] + [`crate::timeseries::series_snapshot`], so a
+//! scrape mid-soak observes a consistent point-in-time view and adds
+//! nothing to the decode hot path. The accept loop polls a nonblocking
+//! listener (50 ms naps when idle) and exits when the [`MetricsServer`]
+//! handle drops, which joins the thread — no leaked listeners between
+//! tests.
+//!
+//! Arm it from the environment (`LM4DB_METRICS_ADDR=127.0.0.1:9898`) via
+//! [`serve_metrics_from_env`], or bind explicitly — port 0 picks an
+//! ephemeral port, reported by [`MetricsServer::addr`]:
+//!
+//! ```
+//! let server = lm4db_obs::endpoint::serve_metrics("127.0.0.1:0").unwrap();
+//! let addr = server.addr(); // scrape http://{addr}/metrics
+//! drop(server);             // shuts down and joins the thread
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running scrape endpoint; dropping it stops the server and
+/// joins its thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and spawns
+/// the serving thread. Errors are the bind/configure I/O errors.
+pub fn serve_metrics<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("lm4db-metrics".into())
+        .spawn(move || accept_loop(listener, &thread_stop))?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Starts the endpoint iff `LM4DB_METRICS_ADDR` is set to a bindable
+/// address; `None` when unset. Bind errors are reported on stderr rather
+/// than panicking — monitoring must never take down the workload.
+pub fn serve_metrics_from_env() -> Option<MetricsServer> {
+    let addr = std::env::var("LM4DB_METRICS_ADDR").ok()?;
+    let addr = addr.trim();
+    if addr.is_empty() {
+        return None;
+    }
+    match serve_metrics(addr) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("lm4db-obs: cannot bind LM4DB_METRICS_ADDR={addr}: {e}");
+            None
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare and renders are cheap, so
+                // one connection at a time keeps the thread budget at 1.
+                let _ = handle_conn(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Reads the request head (first line is enough — bodies are ignored)
+/// and routes it.
+fn handle_conn(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 2048];
+    let mut head = Vec::new();
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .unwrap_or(&[]);
+    let request_line = String::from_utf8_lossy(request_line);
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+
+    let (status, ctype, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::prom::global_prometheus(),
+            ),
+            "/dashboard" | "/" => (
+                "200 OK",
+                "text/html; charset=utf-8",
+                crate::dashboard::global_html(),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found; try /metrics or /dashboard\n".to_string(),
+            ),
+        }
+    };
+    let header = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal scrape client for tests and benches: issues `GET {path}` to
+/// `addr` and returns `(status_line, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = match raw.find("\r\n\r\n") {
+        Some(i) => raw[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_dashboard_and_404() {
+        let server = serve_metrics("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr();
+
+        let (status, body) = http_get(addr, "/metrics").expect("GET /metrics");
+        assert!(status.contains("200"), "{status}");
+        crate::prom::validate_exposition(&body).expect("scrape must be valid exposition");
+
+        let (status, body) = http_get(addr, "/dashboard").expect("GET /dashboard");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.starts_with("<!doctype html>"));
+
+        let (status, _) = http_get(addr, "/nope").expect("GET /nope");
+        assert!(status.contains("404"), "{status}");
+
+        drop(server); // joins the thread; a second bind of the port is now possible
+    }
+
+    #[test]
+    fn env_helper_is_quiet_when_unset() {
+        // LM4DB_METRICS_ADDR is not set in the test environment.
+        if std::env::var("LM4DB_METRICS_ADDR").is_err() {
+            assert!(serve_metrics_from_env().is_none());
+        }
+    }
+}

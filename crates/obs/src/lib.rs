@@ -42,6 +42,18 @@
 //! timelines — and a [`request_scope`] guard attributes them to the
 //! serving request that caused them.
 //!
+//! **Telemetry over time.** Point-in-time snapshots compose with a
+//! step-clock telemetry layer: [`timeseries`] keeps bounded per-series
+//! ring buffers (sampled on the serve engine's scheduler cadence,
+//! `LM4DB_SAMPLE_STEPS`) with `rate()`/`delta()`/window views; [`slo`]
+//! runs multi-window burn-rate rules over those samples through a
+//! deterministic pending→firing→resolved alert state machine; and the
+//! [`prom`]/[`dashboard`]/[`endpoint`] exporters publish everything as
+//! Prometheus text exposition and a self-contained HTML dashboard from a
+//! background scrape thread (`LM4DB_METRICS_ADDR`) that only ever reads
+//! snapshots. Because samples and alerts live on the virtual step clock,
+//! they replay byte-identically under the golden/soak matrices.
+//!
 //! # Examples
 //!
 //! ```
@@ -79,13 +91,20 @@
 
 #![warn(missing_docs)]
 
+pub mod dashboard;
+pub mod endpoint;
 pub mod event;
 pub mod export;
 pub mod flight;
 pub mod hist;
+pub mod prom;
 pub mod registry;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 
+pub use dashboard::to_html;
+pub use endpoint::{serve_metrics, serve_metrics_from_env, MetricsServer};
 pub use event::{
     current_request, instant, instant_arg, instant_for, instant_for_arg, request_scope, Event,
     EventKind, RequestScope,
@@ -96,8 +115,13 @@ pub use flight::{
     FlightTrace, PhaseTotal, Ring, ShardTrace,
 };
 pub use hist::Histogram;
+pub use prom::{global_prometheus, to_prometheus, validate_exposition};
 pub use registry::{counter_add, gauge_set, record_duration_ns, reset, snapshot};
+pub use slo::{AlertConfig, AlertState, AlertTransition, SloMonitor};
 pub use span::{leaf, span, time, timed, Span};
+pub use timeseries::{
+    env_sample_steps, sample_registry, series_record, series_reset, series_snapshot, Point, Series,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -116,6 +116,14 @@ pub fn reset() {
 
 /// Merges every thread's shard into one point-in-time [`Snapshot`].
 /// Works whether or not tracing is enabled.
+///
+/// **Ordering contract.** The snapshot's `counters`, `gauges`, and
+/// `timers` maps are `BTreeMap`s, so iteration is always sorted by
+/// metric name — independent of shard registration order, thread count,
+/// or recording interleaving. Exporters rely on this: two snapshots with
+/// equal contents render byte-identical text, JSON, and Prometheus
+/// exposition no matter how many threads contributed. Pinned by
+/// `snapshot_iteration_is_sorted_across_shards` below.
 pub fn snapshot() -> Snapshot {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut timers: BTreeMap<String, Histogram> = BTreeMap::new();
@@ -147,6 +155,52 @@ pub fn snapshot() -> Snapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_iteration_is_sorted_across_shards() {
+        let _lock = crate::TEST_LOCK.lock().unwrap();
+        crate::set_enabled(true);
+        reset();
+        // Record deliberately out of order, from several threads, so the
+        // per-shard insertion orders disagree with each other.
+        counter_add("z/last", 1);
+        counter_add("a/first", 1);
+        gauge_set("m/gauge", 2.0);
+        gauge_set("b/gauge", 1.0);
+        record_duration_ns("t/two", 10);
+        record_duration_ns("s/one", 10);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    counter_add("k/worker", i);
+                    counter_add("c/worker", 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = snapshot();
+        crate::set_enabled(false);
+        let names: Vec<&String> = snap.counters.keys().collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "counter iteration must be sorted by name");
+        let gnames: Vec<&String> = snap.gauges.keys().collect();
+        let mut gsorted = gnames.clone();
+        gsorted.sort();
+        assert_eq!(gnames, gsorted, "gauge iteration must be sorted by name");
+        let tnames: Vec<&String> = snap.timers.keys().collect();
+        let mut tsorted = tnames.clone();
+        tsorted.sort();
+        assert_eq!(tnames, tsorted, "timer iteration must be sorted by name");
+        // And therefore renderings are byte-stable snapshot-to-snapshot.
+        assert_eq!(snap.to_json(), snapshot().to_json());
+        assert_eq!(
+            crate::prom::to_prometheus(&snap, &[]),
+            crate::prom::to_prometheus(&snapshot(), &[]),
+        );
+    }
 
     #[test]
     fn timer_buckets_are_log2() {

@@ -1,0 +1,106 @@
+//! Property tests for the telemetry primitives: time-series ring
+//! wraparound and histogram merge (ISSUE 9 satellite).
+
+use lm4db_obs::timeseries::Series;
+use lm4db_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Ring wraparound as a property: for any capacity and push count,
+    /// the series keeps exactly the most recent `min(n, cap)` samples,
+    /// the retained sample indices (stored as values) stay strictly
+    /// monotonic in chronological order after any number of overwrites,
+    /// and the total/dropped accounting balances.
+    #[test]
+    fn series_wraparound_keeps_newest_monotonic(cap in 1usize..64, n in 0usize..300) {
+        let mut s = Series::with_capacity(cap);
+        for i in 0..n as u64 {
+            // step strictly increases; value carries the push index.
+            s.push(i * 3, i);
+        }
+        let kept = n.min(cap);
+        prop_assert_eq!(s.len(), kept);
+        prop_assert_eq!(s.total_pushed(), n as u64);
+        prop_assert_eq!(s.dropped(), (n - kept) as u64);
+        let pts = s.points();
+        for (k, p) in pts.iter().enumerate() {
+            // Exactly the newest `kept` samples, in push order.
+            prop_assert_eq!(p.value, (n - kept + k) as u64);
+            prop_assert_eq!(p.step, p.value * 3);
+            if k > 0 {
+                prop_assert!(pts[k - 1].step < p.step, "steps must stay monotonic");
+                prop_assert!(pts[k - 1].value < p.value, "sample indices must stay monotonic");
+            }
+        }
+        if kept > 0 {
+            prop_assert_eq!(s.oldest().unwrap().value, (n - kept) as u64);
+            prop_assert_eq!(s.latest().unwrap().value, (n - 1) as u64);
+        }
+    }
+
+    /// Windowed views as a property: on a counter advancing `inc` per
+    /// sample, `delta(w)` is exactly `inc * effective_window` and
+    /// `rate(w)` returns the exact integer ratio.
+    #[test]
+    fn series_delta_and_rate_are_exact_on_linear_counters(
+        cap in 2usize..48,
+        n in 2usize..200,
+        inc in 0u64..1000,
+        stride in 1u64..50,
+        window in 1usize..64,
+    ) {
+        let mut s = Series::with_capacity(cap);
+        for i in 0..n as u64 {
+            s.push(i * stride, i * inc);
+        }
+        let kept = n.min(cap);
+        // delta/rate span at most `window` intervals, clamped to what the
+        // ring retains.
+        let eff = window.min(kept - 1) as u64;
+        prop_assert_eq!(s.delta(window), eff * inc);
+        let (dv, ds) = s.rate(window);
+        prop_assert_eq!(dv, eff * inc);
+        prop_assert_eq!(ds, eff * stride);
+    }
+
+    /// Histogram::merge preserves count and total exactly, keeps min/max
+    /// tight, and quantiles stay monotone in `q` after any merge.
+    #[test]
+    fn histogram_merge_preserves_mass_and_quantile_monotonicity(
+        xs in prop::collection::vec(1u64..1_000_000, 0..40),
+        ys in prop::collection::vec(1u64..1_000_000, 0..40),
+    ) {
+        let mut a = Histogram::new();
+        for &x in &xs { a.record(x); }
+        let mut b = Histogram::new();
+        for &y in &ys { b.record(y); }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        prop_assert_eq!(merged.total(), a.total() + b.total());
+        if !xs.is_empty() || !ys.is_empty() {
+            let lo = xs.iter().chain(ys.iter()).copied().min().unwrap();
+            let hi = xs.iter().chain(ys.iter()).copied().max().unwrap();
+            prop_assert_eq!(merged.min(), lo);
+            prop_assert_eq!(merged.max(), hi);
+        }
+        // Quantiles are monotone non-decreasing in q...
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(
+                merged.quantile(w[0]) <= merged.quantile(w[1]),
+                "quantile({}) > quantile({})", w[0], w[1]
+            );
+        }
+        // ...bounded by the true extremes, and merge order is immaterial.
+        if merged.count() > 0 {
+            prop_assert!(merged.quantile(1.0) <= merged.max());
+            prop_assert!(merged.quantile(0.0) >= 1);
+        }
+        let mut other = b.clone();
+        other.merge(&a);
+        for q in qs {
+            prop_assert_eq!(merged.quantile(q), other.quantile(q));
+        }
+    }
+}

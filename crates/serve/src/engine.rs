@@ -305,6 +305,31 @@ pub struct EngineOptions {
     /// default) disables speculation; without a draft model the setting
     /// is inert. Beam and scoring requests never speculate.
     pub draft_k: usize,
+    /// Telemetry sampling cadence in scheduler ticks: every
+    /// `sample_steps`-th tick, the engine snapshots its step-based
+    /// counters, queue depths, and per-tenant step-latency quantiles into
+    /// the global [`lm4db_obs::timeseries`] store and feeds the SLO
+    /// monitor. Samples are pure functions of the request schedule
+    /// (virtual step clock, no wall time), so sampling never perturbs
+    /// outputs and replays byte-identically at any thread count or trace
+    /// level. `0` disables sampling; the default comes from
+    /// `LM4DB_SAMPLE_STEPS` ([`lm4db_obs::env_sample_steps`]).
+    pub sample_steps: u64,
+    /// Multi-window burn-rate alerting over per-tenant SLO outcomes (see
+    /// [`lm4db_obs::slo`]): each sampler tick observes, per tenant class
+    /// with a non-zero `slo_steps`, the cumulative bad outcomes
+    /// (`slo_missed + slo_shed`) against all SLO-tracked outcomes.
+    /// Transitions are booked in [`Stats`] (`slo_pending` / `slo_firing`
+    /// / `slo_resolved`), mirrored as `slo/*` registry counters and
+    /// flight-recorder instants, and kept in an in-order log
+    /// ([`Engine::alert_transitions`]). While a tenant's alert is firing,
+    /// SLO admission tightens: the shed predicate halves that tenant's
+    /// step target, shedding earlier to drain the burn. Requires
+    /// [`EngineOptions::sample_steps`] > 0 to observe anything. `None`
+    /// (the default) disables alerting — and because alerting changes
+    /// admission decisions, golden/soak determinism legs leave it off
+    /// while freely enabling `sample_steps`.
+    pub slo_alerts: Option<lm4db_obs::AlertConfig>,
 }
 
 impl Default for EngineOptions {
@@ -320,6 +345,8 @@ impl Default for EngineOptions {
             slo_admission: false,
             slo_initial_service_steps: 8,
             draft_k: 0,
+            sample_steps: lm4db_obs::env_sample_steps(),
+            slo_alerts: None,
         }
     }
 }
@@ -461,6 +488,12 @@ pub struct Engine<'a> {
     /// Deterministic integer EWMA of admit→retire service steps over
     /// completed requests, used by SLO admission (`est ← (3·est + obs)/4`).
     est_service_steps: u64,
+    /// Burn-rate monitor, present iff [`EngineOptions::slo_alerts`] is
+    /// configured; fed by the sampler, consulted by SLO admission.
+    monitor: Option<lm4db_obs::SloMonitor>,
+    /// In-order log of every alert state-machine transition, for replay
+    /// determinism assertions ([`Engine::alert_transitions`]).
+    transitions: Vec<lm4db_obs::AlertTransition>,
 }
 
 impl<'a> Engine<'a> {
@@ -477,6 +510,7 @@ impl<'a> Engine<'a> {
             .then(|| lm4db_transformer::QuantizedGpt::from_model(model));
         let queue = FairQueues::new(opts.tenants.clone());
         let est_service_steps = opts.slo_initial_service_steps.max(1);
+        let monitor = opts.slo_alerts.map(lm4db_obs::SloMonitor::new);
         Engine {
             model,
             quant,
@@ -492,6 +526,8 @@ impl<'a> Engine<'a> {
             ticks: 0,
             next_serial: 0,
             est_service_steps,
+            monitor,
+            transitions: Vec::new(),
         }
     }
 
@@ -650,6 +686,14 @@ impl<'a> Engine<'a> {
         if slo == 0 {
             return false;
         }
+        // Alert-coupled tightening: while this tenant's burn-rate alert
+        // is firing, act as if the step budget were half its size, so
+        // admission sheds earlier and the burn drains. Deterministic —
+        // the alert state is itself a pure function of the schedule.
+        let slo = match &self.monitor {
+            Some(m) if m.is_firing(&self.queue.classes()[class].name) => (slo / 2).max(1),
+            _ => slo,
+        };
         let tier = self.queue.classes()[class].tier;
         let ahead = self.active.len() + self.retrying.len() + self.queue.queued_at_or_above(tier);
         let generations = (ahead / self.opts.max_batch.max(1)) as u64 + 1;
@@ -715,6 +759,11 @@ impl<'a> Engine<'a> {
             self.sweep_cancelled_and_expired();
         }
         if self.active.is_empty() {
+            // Idle ticks still sample: the monitor must keep observing
+            // after load drains, or a firing alert could never resolve.
+            if self.opts.sample_steps > 0 && self.ticks.is_multiple_of(self.opts.sample_steps) {
+                self.sample_telemetry();
+            }
             return !(self.queue.is_empty() && self.retrying.is_empty());
         }
         {
@@ -754,7 +803,118 @@ impl<'a> Engine<'a> {
             lm4db_obs::gauge_set("serve/peak_batch", self.stats.peak_batch as f64);
             lm4db_obs::gauge_set("serve/prefix_cache_nodes", self.prefix.nodes() as f64);
         }
+        if self.opts.sample_steps > 0 && self.ticks.is_multiple_of(self.opts.sample_steps) {
+            self.sample_telemetry();
+        }
         !(self.active.is_empty() && self.queue.is_empty() && self.retrying.is_empty())
+    }
+
+    /// One sampler tick: snapshots step-based engine state into the
+    /// global time-series store and feeds the burn-rate monitor. Every
+    /// recorded value is derived from the virtual step clock (tick
+    /// counts, queue depths, step-latency quantiles) — never wall time —
+    /// so the sample stream, and any alert trajectory computed over it,
+    /// is a pure function of the request schedule.
+    fn sample_telemetry(&mut self) {
+        let step = self.ticks;
+        self.stats.sampler_ticks += 1;
+        lm4db_obs::counter_add("serve/sampler_ticks", 1);
+        lm4db_obs::series_record("serve/queued", step, self.queue.len() as u64);
+        lm4db_obs::series_record("serve/active", step, self.active.len() as u64);
+        lm4db_obs::series_record("serve/retrying", step, self.retrying.len() as u64);
+        lm4db_obs::series_record("serve/submitted", step, self.stats.submitted);
+        lm4db_obs::series_record("serve/completed", step, self.stats.completed);
+        lm4db_obs::series_record("serve/rejected", step, self.stats.rejected);
+        lm4db_obs::series_record("serve/expired", step, self.stats.expired);
+        lm4db_obs::series_record("serve/failed", step, self.stats.failed);
+        lm4db_obs::series_record("serve/decoded_tokens", step, self.stats.decoded_tokens);
+
+        let n_classes = self.queue.classes().len();
+        for class in 0..n_classes {
+            let tenant = class as TenantId;
+            let (slo_steps, name) = {
+                let c = &self.queue.classes()[class];
+                (c.slo_steps, c.name.clone())
+            };
+            let (completed, met, missed, shed, p50, p99) = match self.stats.tenants.get(&tenant) {
+                Some(t) => (
+                    t.completed,
+                    t.slo_met,
+                    t.slo_missed,
+                    t.slo_shed,
+                    t.latency_steps.quantile(0.50),
+                    t.latency_steps.quantile(0.99),
+                ),
+                None => (0, 0, 0, 0, 0, 0),
+            };
+            lm4db_obs::series_record(&format!("serve/tenant/{tenant}/completed"), step, completed);
+            lm4db_obs::series_record(&format!("serve/tenant/{tenant}/slo_missed"), step, missed);
+            lm4db_obs::series_record(&format!("serve/tenant/{tenant}/slo_shed"), step, shed);
+            lm4db_obs::series_record(
+                &format!("serve/tenant/{tenant}/latency_steps_p50"),
+                step,
+                p50,
+            );
+            lm4db_obs::series_record(
+                &format!("serve/tenant/{tenant}/latency_steps_p99"),
+                step,
+                p99,
+            );
+            if slo_steps == 0 {
+                continue; // best-effort tenants have no burn to monitor
+            }
+            let Some(monitor) = self.monitor.as_mut() else {
+                continue;
+            };
+            // Burn inputs: bad = SLO-relevant failures (deadline overruns
+            // plus admission sheds), total = every SLO-tracked outcome.
+            let bad = missed + shed;
+            let total = met + missed + shed;
+            for tr in monitor.observe(&name, step, bad, total) {
+                match tr.to {
+                    lm4db_obs::AlertState::Pending => {
+                        self.stats.slo_pending += 1;
+                        lm4db_obs::counter_add("slo/pending", 1);
+                        lm4db_obs::instant_arg("slo/pending", u64::from(tenant));
+                    }
+                    lm4db_obs::AlertState::Firing => {
+                        self.stats.slo_firing += 1;
+                        lm4db_obs::counter_add("slo/firing", 1);
+                        lm4db_obs::instant_arg("slo/firing", u64::from(tenant));
+                    }
+                    lm4db_obs::AlertState::Resolved => {
+                        self.stats.slo_resolved += 1;
+                        lm4db_obs::counter_add("slo/resolved", 1);
+                        lm4db_obs::instant_arg("slo/resolved", u64::from(tenant));
+                    }
+                    lm4db_obs::AlertState::Inactive => {
+                        lm4db_obs::instant_arg("slo/inactive", u64::from(tenant));
+                    }
+                }
+                self.transitions.push(tr);
+            }
+        }
+    }
+
+    /// Every burn-rate alert transition so far, in observation order.
+    /// Empty unless both [`EngineOptions::sample_steps`] and
+    /// [`EngineOptions::slo_alerts`] are configured. Transitions carry
+    /// the scheduler step they happened at, so two replays of the same
+    /// schedule can be asserted to alert identically.
+    pub fn alert_transitions(&self) -> &[lm4db_obs::AlertTransition] {
+        &self.transitions
+    }
+
+    /// Current burn-rate alert state for `tenant`
+    /// ([`lm4db_obs::AlertState::Inactive`] when alerting is off).
+    pub fn alert_state(&self, tenant: TenantId) -> lm4db_obs::AlertState {
+        match &self.monitor {
+            Some(m) => {
+                let class = self.queue.class_index(tenant);
+                m.state(&self.queue.classes()[class].name)
+            }
+            None => lm4db_obs::AlertState::Inactive,
+        }
     }
 
     /// Steps until idle and returns all completed responses in submission
@@ -2296,6 +2456,140 @@ mod tests {
         assert_eq!(t.slo_missed, 0);
         assert_eq!(t.slo_met, t.completed);
         let _ = ids;
+    }
+
+    #[test]
+    fn sampling_is_purely_observational() {
+        let m = trained_model();
+        let outputs = |sample_steps: u64| {
+            let mut engine = Engine::with_options(
+                &m,
+                EngineOptions {
+                    max_batch: 2,
+                    sample_steps,
+                    ..EngineOptions::default()
+                },
+            );
+            let reqs = prompts()
+                .into_iter()
+                .map(|p| Request::greedy(p, 4, EOS))
+                .collect();
+            engine
+                .generate_batch(reqs)
+                .into_iter()
+                .map(|r| (r.tokens, format!("{:?}", r.outcome)))
+                .collect::<Vec<_>>()
+        };
+        let base = outputs(0);
+        let sampled = outputs(3);
+        assert_eq!(base, sampled, "sampling must never change outputs");
+        // And the sampled run actually left series behind.
+        let snap = lm4db_obs::series_snapshot();
+        let active = snap.iter().find(|(k, _)| k == "serve/active");
+        assert!(
+            active.is_some_and(|(_, s)| !s.is_empty()),
+            "sampler must record serve/active"
+        );
+    }
+
+    #[test]
+    fn burn_rate_alerts_fire_and_resolve_deterministically() {
+        let m = trained_model();
+        let run_once = || {
+            let mut engine = Engine::with_options(
+                &m,
+                EngineOptions {
+                    max_batch: 1,
+                    tenants: vec![TenantClass::new("strict").slo_steps(4)],
+                    slo_admission: true,
+                    slo_initial_service_steps: 4,
+                    sample_steps: 1,
+                    slo_alerts: Some(lm4db_obs::AlertConfig {
+                        fast_samples: 1,
+                        slow_samples: 2,
+                        burn_num: 1,
+                        burn_den: 4,
+                        resolve_samples: 2,
+                    }),
+                    ..EngineOptions::default()
+                },
+            );
+            // Overload phase: one fresh submission per tick against a
+            // single batch slot — most shed, and every sampler tick
+            // watches the cumulative burn grow.
+            for _ in 0..12 {
+                engine.submit(Request::greedy(vec![BOS, 10], 3, EOS));
+                engine.step();
+            }
+            engine.run();
+            // Idle cool-down ticks let the monitor see the burn stop.
+            for _ in 0..8 {
+                engine.step();
+            }
+            (engine.alert_transitions().to_vec(), engine.stats())
+        };
+        let (tr, stats) = run_once();
+        assert!(stats.sampler_ticks > 0);
+        assert!(stats.tenants[&0].slo_shed > 0, "overload must shed");
+        assert!(stats.slo_firing >= 1, "overload must fire: {tr:?}");
+        assert!(stats.slo_resolved >= 1, "cool-down must resolve: {tr:?}");
+        let fired = tr
+            .iter()
+            .filter(|t| t.to == lm4db_obs::AlertState::Firing)
+            .count() as u64;
+        let resolved = tr
+            .iter()
+            .filter(|t| t.to == lm4db_obs::AlertState::Resolved)
+            .count() as u64;
+        assert_eq!(stats.slo_firing, fired, "stats mirror the transition log");
+        assert_eq!(stats.slo_resolved, resolved);
+        // Replay the identical schedule: the alert trajectory — including
+        // the exact step of every transition — must be byte-identical.
+        let (tr2, stats2) = run_once();
+        assert_eq!(tr, tr2);
+        assert_eq!(stats.slo_pending, stats2.slo_pending);
+        assert_eq!(stats.slo_firing, stats2.slo_firing);
+        assert_eq!(stats.slo_resolved, stats2.slo_resolved);
+    }
+
+    #[test]
+    fn firing_alert_tightens_slo_admission() {
+        let m = trained_model();
+        // Identical overload schedules; the alerting engine halves the
+        // effective step target while firing, so it must shed at least as
+        // much as the alert-free engine.
+        let shed_with = |alerts: Option<lm4db_obs::AlertConfig>| {
+            let mut engine = Engine::with_options(
+                &m,
+                EngineOptions {
+                    max_batch: 1,
+                    tenants: vec![TenantClass::new("strict").slo_steps(12)],
+                    slo_admission: true,
+                    slo_initial_service_steps: 4,
+                    sample_steps: 1,
+                    slo_alerts: alerts,
+                    ..EngineOptions::default()
+                },
+            );
+            for _ in 0..16 {
+                engine.submit(Request::greedy(vec![BOS, 10], 3, EOS));
+                engine.step();
+            }
+            engine.run();
+            engine.stats().tenants[&0].slo_shed
+        };
+        let base = shed_with(None);
+        let alerted = shed_with(Some(lm4db_obs::AlertConfig {
+            fast_samples: 1,
+            slow_samples: 2,
+            burn_num: 1,
+            burn_den: 4,
+            resolve_samples: 2,
+        }));
+        assert!(
+            alerted >= base,
+            "tightened admission must not shed less ({alerted} < {base})"
+        );
     }
 
     #[test]

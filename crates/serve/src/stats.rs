@@ -66,6 +66,18 @@ pub struct Stats {
     pub draft_accepted_tokens: u64,
     /// Scheduler steps executed.
     pub steps: u64,
+    /// Telemetry sampler ticks taken ([`crate::EngineOptions::sample_steps`]);
+    /// mirrored as the `serve/sampler_ticks` counter. Step-based, hence
+    /// deterministic for a given request schedule.
+    pub sampler_ticks: u64,
+    /// Burn-rate alert transitions into `Pending`
+    /// ([`crate::EngineOptions::slo_alerts`]); mirrored as `slo/pending`.
+    pub slo_pending: u64,
+    /// Burn-rate alert transitions into `Firing`; mirrored as `slo/firing`.
+    pub slo_firing: u64,
+    /// Burn-rate alert transitions into `Resolved`; mirrored as
+    /// `slo/resolved`.
+    pub slo_resolved: u64,
     /// Largest number of concurrently active requests observed.
     pub peak_batch: usize,
     /// Sum over steps of the number of live sequences (beam hypotheses

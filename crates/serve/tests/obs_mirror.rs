@@ -339,6 +339,98 @@ fn tenant_counters_match_per_tenant_stats() {
 }
 
 #[test]
+fn sampler_and_alert_counters_match_engine_stats() {
+    let _l = lock();
+    lm4db_obs::set_enabled(true);
+    lm4db_obs::reset();
+    lm4db_obs::series_reset();
+
+    let mut m = GptModel::new(ModelConfig::test(), 7);
+    let mut opt = m.optimizer(3e-3);
+    let batch = vec![
+        vec![BOS, 10, 11, 12, 13, 14, EOS],
+        vec![BOS, 20, 21, 22, 23, 24, EOS],
+    ];
+    for _ in 0..10 {
+        m.train_step(&batch, &mut opt);
+    }
+    lm4db_obs::reset();
+
+    let mut engine = Engine::with_options(
+        &m,
+        EngineOptions {
+            max_batch: 1,
+            tenants: vec![TenantClass::new("strict").slo_steps(4)],
+            slo_admission: true,
+            slo_initial_service_steps: 4,
+            sample_steps: 1,
+            slo_alerts: Some(lm4db_obs::AlertConfig {
+                fast_samples: 1,
+                slow_samples: 2,
+                burn_num: 1,
+                burn_den: 4,
+                resolve_samples: 2,
+            }),
+            ..Default::default()
+        },
+    );
+    // Overload, then drain, then idle cool-down: exercises shed-driven
+    // burn, firing, and resolution — every slo/* counter class.
+    for _ in 0..12 {
+        engine.submit(Request::greedy(vec![BOS, 10], 3, EOS));
+        engine.step();
+    }
+    engine.run();
+    for _ in 0..8 {
+        engine.step();
+    }
+
+    let stats = engine.stats();
+    let snap = lm4db_obs::snapshot();
+    lm4db_obs::set_enabled(false);
+
+    // Same equality style as the per-tenant nine: the registry's
+    // sampler/alert counters are a second view of the Stats fields.
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert!(stats.sampler_ticks > 0, "sampler must have ticked");
+    assert_eq!(counter("serve/sampler_ticks"), stats.sampler_ticks);
+    assert_eq!(counter("slo/pending"), stats.slo_pending);
+    assert_eq!(counter("slo/firing"), stats.slo_firing);
+    assert_eq!(counter("slo/resolved"), stats.slo_resolved);
+    assert!(stats.slo_firing > 0, "overload must fire");
+    assert!(stats.slo_resolved > 0, "cool-down must resolve");
+
+    // The transition log agrees with both views, state by state.
+    let fired = engine
+        .alert_transitions()
+        .iter()
+        .filter(|t| t.to == lm4db_obs::AlertState::Firing)
+        .count() as u64;
+    assert_eq!(fired, stats.slo_firing);
+
+    // And the sampler's series cover the engine's step range with one
+    // point per tick (cadence 1), values consistent with the stats.
+    let series = lm4db_obs::series_snapshot();
+    let get = |name: &str| {
+        series
+            .iter()
+            .find(|(k, _)| k == name)
+            .unwrap_or_else(|| panic!("missing series {name}"))
+            .1
+            .clone()
+    };
+    let submitted = get("serve/submitted");
+    assert_eq!(submitted.total_pushed(), stats.sampler_ticks);
+    assert_eq!(submitted.latest().unwrap().value, stats.submitted);
+    let shed = get("serve/tenant/0/slo_shed");
+    assert_eq!(
+        shed.latest().unwrap().value,
+        stats.tenants[&0].slo_shed,
+        "series end at the cumulative stat"
+    );
+}
+
+#[test]
 fn tracing_does_not_change_engine_output() {
     let _l = lock();
     // Same engine run with tracing off and on: token streams must be

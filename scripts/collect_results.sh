@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Aggregates the machine-readable per-experiment results into one
+# trajectory file:
+#
+#   results/exp*.json  ->  results/trajectory.json
+#
+# Every input is a single JSON object written by a bench binary via
+# `lm4db_bench::write_results_json` and self-identifies with an
+# `"experiment"` key; files without that key (raw trace dumps like
+# expN_trace.json) are skipped. The output is a JSON object whose
+# `experiments` array holds the input objects verbatim, sorted by file
+# name, so downstream tooling (and the CI artifact) gets the whole
+# experiment trajectory in one read without needing jq.
+#
+# Run from anywhere; paths resolve against the repo root. Exits non-zero
+# if no experiment results exist yet.
+
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+out="$root/results/trajectory.json"
+
+collected=()
+for f in "$root"/results/exp*.json; do
+    [ -e "$f" ] || continue
+    # Only per-experiment summaries, not raw trace/event dumps.
+    grep -q '"experiment"' "$f" || continue
+    collected+=("$f")
+done
+
+if [ "${#collected[@]}" -eq 0 ]; then
+    echo "collect_results: no results/exp*.json summaries found" >&2
+    echo "run the bench binaries first, e.g.: cargo run --release --bin expS_telemetry" >&2
+    exit 1
+fi
+
+{
+    printf '{\n'
+    printf '  "schema": "lm4db-trajectory-v1",\n'
+    printf '  "experiment_count": %d,\n' "${#collected[@]}"
+    printf '  "experiments": [\n'
+    sep=''
+    for f in "${collected[@]}"; do
+        printf '%s' "$sep"
+        sep=',
+'
+        # Indent the file body two spaces; each input is one valid JSON
+        # object, so comma-joining them yields a valid array.
+        sed 's/^/    /' "$f"
+    done
+    printf '\n  ]\n}\n'
+} > "$out"
+
+echo "collect_results: aggregated ${#collected[@]} experiments into ${out#"$root"/}"
+for f in "${collected[@]}"; do
+    echo "  - ${f#"$root"/results/}"
+done

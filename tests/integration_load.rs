@@ -11,7 +11,10 @@
 //! * a fixed loadgen seed reproduces the complete outcome stream — every
 //!   response's outcome, tokens, and score bits, plus the step-based
 //!   per-tenant accounting — byte-identically at every thread count and
-//!   trace level (one fingerprint per seed, eight ways), and
+//!   trace level (one fingerprint per seed, eight ways),
+//! * enabling the step-clock telemetry sampler (`LM4DB_SAMPLE_STEPS`)
+//!   leaves the fingerprint untouched across the same matrix — sampling
+//!   is purely observational, and
 //! * different seeds drive visibly different schedules.
 //!
 //! Everything fingerprinted is on the virtual clock (scheduler steps);
@@ -228,12 +231,16 @@ fn soak_child() {
 #[test]
 fn soak_matrix_is_byte_identical_across_threads_and_trace() {
     let exe = std::env::current_exe().expect("current test binary");
-    let run = |seed: u64, threads: &str, trace: &str| -> String {
+    let run = |seed: u64, threads: &str, trace: &str, sample_steps: &str| -> String {
         let out = Command::new(&exe)
             .args(["soak_child", "--exact", "--nocapture"])
             .env("LM4DB_SOAK_SEED", seed.to_string())
             .env("LM4DB_THREADS", threads)
             .env("LM4DB_TRACE", trace)
+            // Telemetry sampling is step-clock-driven and must be purely
+            // observational: sampler-enabled legs share the reference
+            // fingerprint ("0" disables sampling).
+            .env("LM4DB_SAMPLE_STEPS", sample_steps)
             // A chaos-job environment must not poison the soak run.
             .env_remove("LM4DB_FAULTS")
             .output()
@@ -258,18 +265,29 @@ fn soak_matrix_is_byte_identical_across_threads_and_trace() {
 
     let mut per_seed = Vec::new();
     for seed in [11u64, 12] {
-        let reference = run(seed, "1", "0");
+        let reference = run(seed, "1", "0", "0");
         for (threads, trace) in [("1", "2"), ("4", "0"), ("4", "2")] {
-            let fp = run(seed, threads, trace);
+            let fp = run(seed, threads, trace, "0");
             assert_eq!(
                 reference, fp,
                 "seed {seed}: outcome stream changed at threads={threads} trace={trace}"
             );
         }
+        // Sampler-enabled legs: telemetry snapshots every 7 steps must not
+        // perturb a single scheduling decision, at any thread count or
+        // trace level.
+        for (threads, trace) in [("1", "0"), ("1", "2"), ("4", "0"), ("4", "2")] {
+            let fp = run(seed, threads, trace, "7");
+            assert_eq!(
+                reference, fp,
+                "seed {seed}: sampler changed the outcome stream at \
+                 threads={threads} trace={trace}"
+            );
+        }
         per_seed.push(reference);
     }
     // Same config twice: the fingerprint is a constant of the seed.
-    let again = run(11, "1", "0");
+    let again = run(11, "1", "0", "0");
     assert_eq!(per_seed[0], again, "fixed-seed soak run not reproducible");
     assert_ne!(
         per_seed[0], per_seed[1],

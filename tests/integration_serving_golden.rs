@@ -416,11 +416,13 @@ fn golden_outcomes_reproducible_under_fixed_seed_faults() {
 }
 
 /// The batch-size sweep above runs in-process; this matrix re-runs it in
-/// subprocesses across worker-thread counts {1, 4} and tracing levels
-/// {off, metrics, events} and asserts the rendered outputs are identical —
-/// goldens hold at every (batch, threads, trace) point, and both
-/// `LM4DB_TRACE=1` and the level-2 flight recorder are purely
-/// observational (DESIGN.md §5d/§5e's "tracing never changes output").
+/// subprocesses across worker-thread counts {1, 4}, tracing levels
+/// {off, metrics, events}, and telemetry-sampler cadences {off, 5} and
+/// asserts the rendered outputs are identical — goldens hold at every
+/// (batch, threads, trace, sample) point, and `LM4DB_TRACE` at both
+/// levels plus the `LM4DB_SAMPLE_STEPS` step-clock sampler are purely
+/// observational (DESIGN.md §5d/§5e's "tracing never changes output",
+/// extended to time-series sampling by §5k).
 #[test]
 fn golden_outputs_stable_across_thread_counts() {
     if std::env::var("LM4DB_BLESS").is_ok() {
@@ -428,25 +430,33 @@ fn golden_outputs_stable_across_thread_counts() {
     }
     let exe = std::env::current_exe().expect("current test binary");
     let mut fps = Vec::new();
-    for (threads, trace) in [
-        ("1", "0"),
-        ("4", "0"),
-        ("1", "1"),
-        ("4", "1"),
-        ("1", "2"),
-        ("4", "2"),
+    for (threads, trace, sample) in [
+        ("1", "0", "0"),
+        ("4", "0", "0"),
+        ("1", "1", "0"),
+        ("4", "1", "0"),
+        ("1", "2", "0"),
+        ("4", "2", "0"),
+        // Sampler-enabled legs: snapshotting telemetry every 5 engine
+        // steps must not move a single output byte at any thread count
+        // or trace level.
+        ("1", "0", "5"),
+        ("4", "0", "5"),
+        ("1", "2", "5"),
+        ("4", "2", "5"),
     ] {
         let out = Command::new(&exe)
             .args(["golden_child_fingerprint", "--exact", "--nocapture"])
             .env("LM4DB_THREADS", threads)
             .env("LM4DB_TRACE", trace)
+            .env("LM4DB_SAMPLE_STEPS", sample)
             .env_remove("LM4DB_FAULTS")
             .output()
             .expect("spawn child test");
         let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
         assert!(
             out.status.success(),
-            "child failed with {threads} threads, trace={trace}:\n{stdout}"
+            "child failed with {threads} threads, trace={trace}, sample={sample}:\n{stdout}"
         );
         let fp = stdout
             .split("SERVE_GOLDEN_FP=")
@@ -454,12 +464,12 @@ fn golden_outputs_stable_across_thread_counts() {
             .and_then(|s| s.split_whitespace().next())
             .unwrap_or_else(|| panic!("no fingerprint in child output:\n{stdout}"))
             .to_string();
-        fps.push((threads, trace, fp));
+        fps.push((threads, trace, sample, fp));
     }
     for point in &fps[1..] {
         assert_eq!(
-            fps[0].2, point.2,
-            "engine output depends on thread count or tracing: {fps:?}"
+            fps[0].3, point.3,
+            "engine output depends on thread count, tracing, or sampling: {fps:?}"
         );
     }
 }
