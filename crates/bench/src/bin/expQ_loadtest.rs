@@ -76,6 +76,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
             tier: 0,
             weight: 4,
             slo_steps: SLO_STEPS,
+            slo_wall_ms: 250,
             mix: Workload::mix(&[
                 (Workload::Text2Sql, 3.0),
                 (Workload::Wrangle, 2.0),
@@ -89,6 +90,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
             tier: 1,
             weight: 2,
             slo_steps: 0,
+            slo_wall_ms: 0,
             mix: Workload::mix(&[
                 (Workload::Summarize, 2.0),
                 (Workload::FactCheck, 1.0),
@@ -101,6 +103,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
             tier: 2,
             weight: 1,
             slo_steps: 0,
+            slo_wall_ms: 0,
             mix: Workload::mix(&[(Workload::CodeGen, 2.0), (Workload::Lm, 1.0)]),
         },
     ]
@@ -115,6 +118,7 @@ fn tenant_classes() -> Vec<TenantClass> {
                 .tier(s.tier)
                 .weight(s.weight)
                 .slo_steps(s.slo_steps)
+                .slo_wall_ms(s.slo_wall_ms)
         })
         .collect()
 }

@@ -15,6 +15,7 @@
 //! | [`transformer`] | GPT & BERT models, RNN baseline, constrained decoding |
 //! | [`lm`] | N-gram baseline, prompting, LM classification |
 //! | [`serve`] | Batched inference engine with KV/prefix caching |
+//! | [`router`] | Sharded serving: prefix-affinity routing over N replicas, breakers, failover |
 //! | [`loadgen`] | Seeded open-loop traffic generator (tenants, Poisson/burst phases) |
 //! | [`corpus`] | Seeded synthetic text / entity / table generators |
 //! | [`sql`] | In-memory SQL engine (parser, planner, executor) |
@@ -47,6 +48,7 @@ pub use lm4db_lm as lm;
 pub use lm4db_loadgen as loadgen;
 pub use lm4db_neuraldb as neuraldb;
 pub use lm4db_obs as obs;
+pub use lm4db_router as router;
 pub use lm4db_serve as serve;
 pub use lm4db_sql as sql;
 pub use lm4db_summarize as summarize;

@@ -219,6 +219,25 @@ pub fn point(site: &'static str, salt: u64) {
     }
 }
 
+/// A supervisory instrumentation point: rolls for `(site, salt)` like
+/// [`point`], but returns the decision for the **caller** to enact
+/// structurally instead of panicking or stalling this thread. This is how
+/// control planes consume fault decisions — the router's replica-health
+/// sweep maps `Panic` to "kill the replica" and `Delay` to "missed
+/// heartbeat" — so one `LM4DB_FAULTS` spec drives thread-level chaos
+/// (worker panics at `serve/feed`) and topology-level chaos (replica
+/// loss) from the same seed. Fired decisions are counted
+/// (`fault/injected`, `fault/probes`) and leave a `fault_probe` instant;
+/// the disabled path is the same one-load-one-branch as [`point`].
+#[inline]
+pub fn probe(site: &'static str, salt: u64) -> Option<Fault> {
+    let fault = roll(site, salt)?;
+    lm4db_obs::counter_add("fault/injected", 1);
+    lm4db_obs::counter_add("fault/probes", 1);
+    lm4db_obs::instant("fault_probe");
+    Some(fault)
+}
+
 /// A fresh dispatch ticket for salting repeated call sites.
 pub fn ticket() -> u64 {
     TICKET.fetch_add(1, Ordering::Relaxed)
@@ -335,6 +354,21 @@ mod tests {
         assert!(is_injected(&msg), "unexpected message: {msg}");
         assert!(msg.contains("p/site"));
         disarm();
+    }
+
+    #[test]
+    fn probe_returns_the_same_decision_point_would_enact() {
+        let _l = LOCK.lock().unwrap();
+        configure(5, 0.5);
+        for salt in 0..256 {
+            assert_eq!(
+                probe("probe/site", salt),
+                roll("probe/site", salt),
+                "probe must be roll plus accounting, nothing more"
+            );
+        }
+        disarm();
+        assert_eq!(probe("probe/site", 1), None, "disarmed probes are inert");
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub struct TenantSpec {
     pub weight: u32,
     /// SLO deadline in scheduler steps (0 = best-effort, no SLO).
     pub slo_steps: u64,
+    /// Wall-clock SLO target in milliseconds (0 = none). Plumbed through
+    /// to [`lm4db_serve::TenantClass::slo_wall_ms`]: recorded in the
+    /// engine's per-tenant stats, not yet enforced — the step-based and
+    /// wall-clock SLO targets share one schema so wall-clock enforcement
+    /// can land without changing any spec.
+    pub slo_wall_ms: u64,
     /// Relative weights over [`Workload::ALL`]; zero entries are never
     /// sampled.
     pub mix: [f64; 7],
@@ -218,6 +224,7 @@ mod tests {
             tier: 0,
             weight: 1,
             slo_steps: 0,
+            slo_wall_ms: 0,
             mix: [1.0; 7],
         }
     }

@@ -34,6 +34,7 @@
 //!     tier: 0,
 //!     weight: 4,
 //!     slo_steps: 32,
+//!     slo_wall_ms: 0,
 //!     mix: Workload::mix(&[(Workload::Text2Sql, 3.0), (Workload::NeuralDb, 1.0)]),
 //! }];
 //! let shape = PromptShape { vocab: 64, max_prompt: 10, max_new: 3 };

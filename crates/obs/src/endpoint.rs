@@ -75,6 +75,15 @@ pub fn serve_metrics<A: ToSocketAddrs>(addr: A) -> std::io::Result<MetricsServer
 /// than panicking — monitoring must never take down the workload.
 pub fn serve_metrics_from_env() -> Option<MetricsServer> {
     let addr = std::env::var("LM4DB_METRICS_ADDR").ok()?;
+    serve_metrics_or_log(&addr)
+}
+
+/// [`serve_metrics`] with the graceful-degradation policy applied: an
+/// empty address is a quiet no-op, and a taken or invalid one books a
+/// `fault/endpoint_bind_failed` counter, logs one stderr line, and
+/// disables the scrape server — the workload keeps running unmonitored
+/// rather than dying over an observability port.
+pub fn serve_metrics_or_log(addr: &str) -> Option<MetricsServer> {
     let addr = addr.trim();
     if addr.is_empty() {
         return None;
@@ -82,6 +91,7 @@ pub fn serve_metrics_from_env() -> Option<MetricsServer> {
     match serve_metrics(addr) {
         Ok(s) => Some(s),
         Err(e) => {
+            crate::counter_add("fault/endpoint_bind_failed", 1);
             eprintln!("lm4db-obs: cannot bind LM4DB_METRICS_ADDR={addr}: {e}");
             None
         }
@@ -207,6 +217,33 @@ mod tests {
         assert!(status.contains("404"), "{status}");
 
         drop(server); // joins the thread; a second bind of the port is now possible
+    }
+
+    #[test]
+    fn bind_failure_degrades_gracefully_and_books_a_counter() {
+        // Hold a port so the second bind must fail with AddrInUse.
+        let taken = TcpListener::bind("127.0.0.1:0").expect("reserve a port");
+        let addr = taken.local_addr().unwrap().to_string();
+        crate::set_enabled(true);
+        let before = crate::snapshot()
+            .counters
+            .get("fault/endpoint_bind_failed")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            serve_metrics_or_log(&addr).is_none(),
+            "a taken address must disable the endpoint, not panic"
+        );
+        let after = crate::snapshot()
+            .counters
+            .get("fault/endpoint_bind_failed")
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(after, before + 1, "bind failure must be counted");
+        // Garbage addresses take the same path.
+        assert!(serve_metrics_or_log("not-an-address").is_none());
+        assert!(serve_metrics_or_log("   ").is_none(), "blank stays quiet");
+        crate::set_enabled(false);
     }
 
     #[test]

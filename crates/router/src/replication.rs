@@ -1,0 +1,383 @@
+//! Log-shipping replication for read-mostly state: one leader, N
+//! followers, reads fanned out over a consistent-hash ring.
+//!
+//! The oxibase WAL-replication shape, reproduced deterministically
+//! in-process: every write is applied to the leader **and** appended to an
+//! ordered op log; [`Replicated::ship`] replays the log suffix each
+//! follower has not seen yet, so any follower that has caught up is
+//! byte-identical to the leader (pinned by [`StateMachine::fingerprint`]).
+//! Reads route through a [`HashRing`] over the *live* followers — the
+//! same minimal-disruption hashing the request router uses — and fall
+//! back to the leader when every follower is dead, so a read always has a
+//! home. Writes never fan out: the leader is the single serialization
+//! point, which is what keeps the log a total order without any
+//! coordination protocol.
+//!
+//! Consistency model: reads served between a write and the next
+//! [`Replicated::ship`] may observe a lagging follower (eventual
+//! consistency); `ship` + [`Replicated::converged`] gives read-your-writes
+//! when the caller wants it. Both modes are deterministic — lag is a
+//! function of the call sequence, not of timing.
+//!
+//! [`FactState`] is the concrete machine the serving stack replicates:
+//! the NeuralDB fact store's read surface (`lookup`/`count`) over
+//! `(subject, attribute) → value` triples, fed by
+//! [`lm4db_neuraldb::ExtractedFact`] rows.
+
+use std::collections::BTreeMap;
+
+use lm4db_neuraldb::ExtractedFact;
+
+use crate::ring::HashRing;
+
+/// A deterministic state machine driven by an ordered op log.
+pub trait StateMachine: Clone {
+    /// One logged operation.
+    type Op;
+
+    /// Applies `op`. Must be deterministic: the same op sequence from the
+    /// same initial state yields the same fingerprint, on any replica.
+    fn apply(&mut self, op: &Self::Op);
+
+    /// A 64-bit digest of the full state, used to check convergence.
+    fn fingerprint(&self) -> u64;
+}
+
+/// One follower's slice of a [`Replicated`] group.
+#[derive(Debug, Clone)]
+struct Follower<S> {
+    state: S,
+    /// Ops replayed so far (an index into the leader's log).
+    applied: usize,
+    alive: bool,
+}
+
+/// A leader, its op log, and N log-shipping followers.
+#[derive(Debug, Clone)]
+pub struct Replicated<S: StateMachine> {
+    leader: S,
+    log: Vec<S::Op>,
+    followers: Vec<Follower<S>>,
+    ring: HashRing,
+    reads_leader: u64,
+    reads_follower: u64,
+}
+
+impl<S: StateMachine> Replicated<S> {
+    /// A group whose leader and followers all start from `initial`.
+    /// `vnodes` is the per-follower virtual-node count for read routing.
+    pub fn new(initial: S, followers: usize, vnodes: u32) -> Self {
+        Replicated {
+            followers: (0..followers)
+                .map(|_| Follower {
+                    state: initial.clone(),
+                    applied: 0,
+                    alive: true,
+                })
+                .collect(),
+            leader: initial,
+            log: Vec::new(),
+            ring: HashRing::new(followers as u32, vnodes),
+            reads_leader: 0,
+            reads_follower: 0,
+        }
+    }
+
+    /// Applies `op` on the leader and appends it to the log. Followers see
+    /// it at the next [`Replicated::ship`].
+    pub fn write(&mut self, op: S::Op) {
+        self.leader.apply(&op);
+        self.log.push(op);
+        lm4db_obs::counter_add("router/repl_writes", 1);
+    }
+
+    /// Ships the log: every live follower replays the suffix it has not
+    /// applied yet. Returns the number of (follower, op) replays.
+    pub fn ship(&mut self) -> usize {
+        let mut replayed = 0;
+        for f in self.followers.iter_mut().filter(|f| f.alive) {
+            for op in &self.log[f.applied..] {
+                f.state.apply(op);
+                replayed += 1;
+            }
+            f.applied = self.log.len();
+        }
+        lm4db_obs::counter_add("router/repl_shipped", replayed as u64);
+        replayed
+    }
+
+    /// The state a read keyed by `key` is served from: the ring-chosen
+    /// live follower, or the leader when none is live. The follower may
+    /// lag the leader by [`Replicated::lag`] ops.
+    pub fn read(&mut self, key: u64) -> &S {
+        let pick = self
+            .ring
+            .successors(key)
+            .find(|&f| self.followers[f as usize].alive);
+        match pick {
+            Some(f) => {
+                self.reads_follower += 1;
+                &self.followers[f as usize].state
+            }
+            None => {
+                self.reads_leader += 1;
+                &self.leader
+            }
+        }
+    }
+
+    /// Direct access to the leader state (always current).
+    pub fn leader(&self) -> &S {
+        &self.leader
+    }
+
+    /// Marks follower `i` dead: it stops replaying and its ring positions
+    /// are removed, so its read keys remap to the surviving followers.
+    pub fn kill(&mut self, i: usize) {
+        if self.followers[i].alive {
+            self.followers[i].alive = false;
+            self.ring.remove(i as u32);
+        }
+    }
+
+    /// Revives follower `i`; it rejoins the ring and catches up from its
+    /// last applied index at the next [`Replicated::ship`].
+    pub fn revive(&mut self, i: usize) {
+        if !self.followers[i].alive {
+            self.followers[i].alive = true;
+            self.ring.insert(i as u32);
+        }
+    }
+
+    /// Ops follower `i` has not replayed yet.
+    pub fn lag(&self, i: usize) -> usize {
+        self.log.len() - self.followers[i].applied
+    }
+
+    /// Whether every live follower's fingerprint equals the leader's.
+    pub fn converged(&self) -> bool {
+        let fp = self.leader.fingerprint();
+        self.followers
+            .iter()
+            .filter(|f| f.alive)
+            .all(|f| f.state.fingerprint() == fp)
+    }
+
+    /// Total ops logged.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Live follower count.
+    pub fn live_followers(&self) -> usize {
+        self.followers.iter().filter(|f| f.alive).count()
+    }
+
+    /// `(follower_reads, leader_fallback_reads)` served so far.
+    pub fn read_split(&self) -> (u64, u64) {
+        (self.reads_follower, self.reads_leader)
+    }
+}
+
+/// One logged mutation of a [`FactState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactOp {
+    /// Upsert `(subject, attribute) → value`.
+    Put {
+        /// Fact subject ("Paris").
+        subject: String,
+        /// Fact attribute ("population").
+        attribute: String,
+        /// Fact value ("2.1M").
+        value: String,
+    },
+    /// Remove `(subject, attribute)` if present.
+    Delete {
+        /// Fact subject.
+        subject: String,
+        /// Fact attribute.
+        attribute: String,
+    },
+}
+
+impl From<&ExtractedFact> for FactOp {
+    /// The replication op that installs an extracted NeuralDB fact.
+    fn from(f: &ExtractedFact) -> Self {
+        FactOp::Put {
+            subject: f.subject.clone(),
+            attribute: f.attribute.clone(),
+            value: f.value.clone(),
+        }
+    }
+}
+
+/// The NeuralDB read surface as a replicated state machine:
+/// `(subject, attribute) → value` with point lookups and value counts,
+/// mirroring [`lm4db_neuraldb`]'s store queries.
+#[derive(Debug, Clone, Default)]
+pub struct FactState {
+    facts: BTreeMap<(String, String), String>,
+}
+
+impl FactState {
+    /// An empty store.
+    pub fn new() -> Self {
+        FactState::default()
+    }
+
+    /// The value for `(subject, attribute)`, if known.
+    pub fn lookup(&self, subject: &str, attribute: &str) -> Option<&str> {
+        self.facts
+            .get(&(subject.to_string(), attribute.to_string()))
+            .map(String::as_str)
+    }
+
+    /// How many subjects have `attribute = value`.
+    pub fn count(&self, attribute: &str, value: &str) -> usize {
+        self.facts
+            .iter()
+            .filter(|((_, a), v)| a == attribute && v.as_str() == value)
+            .count()
+    }
+
+    /// Total facts stored.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+}
+
+impl StateMachine for FactState {
+    type Op = FactOp;
+
+    fn apply(&mut self, op: &FactOp) {
+        match op {
+            FactOp::Put {
+                subject,
+                attribute,
+                value,
+            } => {
+                self.facts
+                    .insert((subject.clone(), attribute.clone()), value.clone());
+            }
+            FactOp::Delete { subject, attribute } => {
+                self.facts.remove(&(subject.clone(), attribute.clone()));
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // FNV-1a over the sorted entries: BTreeMap iteration order is the
+        // key order, so equal states hash equal on every replica.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |s: &str| {
+            for b in s.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= 0xff;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for ((s, a), v) in &self.facts {
+            eat(s);
+            eat(a);
+            eat(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(s: &str, a: &str, v: &str) -> FactOp {
+        FactOp::Put {
+            subject: s.into(),
+            attribute: a.into(),
+            value: v.into(),
+        }
+    }
+
+    #[test]
+    fn followers_converge_after_ship() {
+        let mut g = Replicated::new(FactState::new(), 3, 16);
+        g.write(put("paris", "population", "2.1M"));
+        g.write(put("berlin", "population", "3.6M"));
+        assert!(!g.converged(), "followers lag before ship");
+        assert_eq!(g.lag(0), 2);
+        let replayed = g.ship();
+        assert_eq!(replayed, 6, "2 ops × 3 followers");
+        assert!(g.converged());
+        assert_eq!(g.read(7).lookup("paris", "population"), Some("2.1M"));
+    }
+
+    #[test]
+    fn reads_fan_out_and_fall_back_to_leader() {
+        let mut g = Replicated::new(FactState::new(), 2, 16);
+        g.write(put("a", "x", "1"));
+        g.ship();
+        for k in 0..50 {
+            assert_eq!(g.read(crate::ring::mix(k)).lookup("a", "x"), Some("1"));
+        }
+        let (follower, leader) = g.read_split();
+        assert_eq!((follower, leader), (50, 0), "all reads from followers");
+        g.kill(0);
+        g.kill(1);
+        assert_eq!(g.live_followers(), 0);
+        assert_eq!(g.read(9).lookup("a", "x"), Some("1"));
+        let (_, leader) = g.read_split();
+        assert_eq!(leader, 1, "leader serves when no follower is live");
+    }
+
+    #[test]
+    fn killed_follower_catches_up_after_revive() {
+        let mut g = Replicated::new(FactState::new(), 2, 16);
+        g.write(put("a", "x", "1"));
+        g.ship();
+        g.kill(1);
+        g.write(put("b", "x", "2"));
+        g.write(FactOp::Delete {
+            subject: "a".into(),
+            attribute: "x".into(),
+        });
+        g.ship();
+        assert_eq!(g.lag(1), 2, "dead follower accumulates lag");
+        g.revive(1);
+        g.ship();
+        assert!(g.converged(), "revived follower replays the suffix");
+        assert_eq!(g.read(3).lookup("a", "x"), None, "delete replicated");
+    }
+
+    #[test]
+    fn extracted_facts_convert_to_ops() {
+        let f = ExtractedFact {
+            subject: "tokyo".into(),
+            attribute: "country".into(),
+            value: "japan".into(),
+        };
+        let mut st = FactState::new();
+        st.apply(&FactOp::from(&f));
+        assert_eq!(st.lookup("tokyo", "country"), Some("japan"));
+        assert_eq!(st.count("country", "japan"), 1);
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn fingerprints_track_state_not_history() {
+        let mut a = FactState::new();
+        let mut b = FactState::new();
+        a.apply(&put("x", "k", "1"));
+        a.apply(&put("y", "k", "2"));
+        b.apply(&put("y", "k", "2"));
+        b.apply(&put("x", "k", "0"));
+        b.apply(&put("x", "k", "1"));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same state, same digest");
+        b.apply(&put("z", "k", "3"));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

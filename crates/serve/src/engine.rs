@@ -115,7 +115,11 @@ pub enum Decode {
     },
 }
 
-/// One unit of work for the engine.
+/// One unit of work for the engine. `Clone` is part of the contract: the
+/// router tier keeps a copy of every in-flight request so it can re-submit
+/// it to another replica after a kill (constraint and mask attachments are
+/// borrowed, so a clone is cheap and shares them).
+#[derive(Clone)]
 pub struct Request<'a> {
     /// Prompt token ids (non-empty, at most `max_seq_len`).
     pub prompt: Vec<usize>,
@@ -511,6 +515,14 @@ impl<'a> Engine<'a> {
         let queue = FairQueues::new(opts.tenants.clone());
         let est_service_steps = opts.slo_initial_service_steps.max(1);
         let monitor = opts.slo_alerts.map(lm4db_obs::SloMonitor::new);
+        // Record each tenant's wall-clock SLO target up front so stats
+        // snapshots carry the full SLO schema. The target is accounting
+        // only for now: admission and alerting still run on `slo_steps`
+        // (see TenantStats::slo_wall_ms).
+        let mut stats = Stats::default();
+        for (i, class) in opts.tenants.iter().enumerate() {
+            stats.tenants.entry(i as TenantId).or_default().slo_wall_ms = class.slo_wall_ms;
+        }
         Engine {
             model,
             quant,
@@ -522,7 +534,7 @@ impl<'a> Engine<'a> {
             cancelled: HashSet::new(),
             active: Vec::new(),
             finished: Vec::new(),
-            stats: Stats::default(),
+            stats,
             ticks: 0,
             next_serial: 0,
             est_service_steps,

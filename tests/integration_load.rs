@@ -51,6 +51,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
             tier: 0,
             weight: 4,
             slo_steps: 24,
+            slo_wall_ms: 250,
             mix: Workload::mix(&[
                 (Workload::Text2Sql, 2.0),
                 (Workload::Wrangle, 2.0),
@@ -64,6 +65,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
             tier: 1,
             weight: 2,
             slo_steps: 0,
+            slo_wall_ms: 0,
             mix: Workload::mix(&[(Workload::Summarize, 2.0), (Workload::Lm, 1.0)]),
         },
         TenantSpec {
@@ -72,6 +74,7 @@ fn tenant_specs() -> Vec<TenantSpec> {
             tier: 2,
             weight: 1,
             slo_steps: 0,
+            slo_wall_ms: 0,
             mix: Workload::mix(&[(Workload::CodeGen, 2.0), (Workload::Lm, 1.0)]),
         },
     ]
@@ -113,6 +116,7 @@ fn soak_workload(seed: u64) -> String {
                 .tier(s.tier)
                 .weight(s.weight)
                 .slo_steps(s.slo_steps)
+                .slo_wall_ms(s.slo_wall_ms)
         })
         .collect();
     let model = GptModel::new(ModelConfig::test(), 7);
